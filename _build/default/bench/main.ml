@@ -1,0 +1,185 @@
+(* Benchmark harness.
+
+   Part 1 (Bechamel): one micro-benchmark per experiment kernel — the
+   pieces whose cost determines each table/figure of the paper:
+
+     fig4/*      the Figure 4 pipeline's kernels (Gibbs sweep, StEM
+                 iteration, baseline estimator) on a paper-structure
+                 store at 5% observation;
+     fig5/*      the Figure 5 kernels on a (reduced) webapp store;
+     kernel/*    the Figure 3 conditional itself (density build,
+                 exact sampling);
+     substrate/* simulator, initializers, LP, Jackson analysis.
+
+   Part 2: the experiment harness at --quick scale, printing the same
+   rows/series the paper's tables and figures report (full-scale runs:
+   bin/qnet_experiments).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Rng = Qnet_prob.Rng
+module Topologies = Qnet_des.Topologies
+module Network = Qnet_des.Network
+module Webapp = Qnet_webapp.Webapp
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Params = Qnet_core.Params
+module Gibbs = Qnet_core.Gibbs
+module Init = Qnet_core.Init
+module Stem = Qnet_core.Stem
+module Estimators = Qnet_core.Estimators
+module Jackson = Qnet_analytic.Jackson
+module Parallel_gibbs = Qnet_core.Parallel_gibbs
+module E = Qnet_experiments
+
+(* ------------------------------------------------------------------ *)
+(* prepared fixtures (built once; the benchmarks mutate copies) *)
+
+let fig4_net = Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(1, 2, 4) ~service_rate:5.0 ()
+
+let fig4_trace =
+  let rng = Rng.create ~seed:1001 () in
+  Network.simulate_poisson rng fig4_net ~num_tasks:300
+
+let fig4_mask =
+  Obs.mask (Rng.create ~seed:1002 ()) (Obs.Task_fraction 0.05) fig4_trace
+
+let fig4_store =
+  let store = Store.of_trace ~observed:fig4_mask fig4_trace in
+  let params = Params.of_network fig4_net in
+  (match Init.feasible ~target:params store with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  store
+
+let fig4_params = Params.of_network fig4_net
+
+let fig5_config =
+  { Webapp.default_config with Webapp.num_requests = 800; duration = 300.0 }
+
+let fig5_trace = Webapp.generate (Rng.create ~seed:1003 ()) fig5_config
+
+let fig5_store =
+  let mask = Obs.mask (Rng.create ~seed:1004 ()) (Obs.Task_fraction 0.1) fig5_trace in
+  let store = Store.of_trace ~observed:mask fig5_trace in
+  let guess = Stem.initial_guess store in
+  (match Init.feasible ~target:guess store with Ok () -> () | Error m -> failwith m);
+  store
+
+let fig5_params = Stem.initial_guess fig5_store
+
+let kernel_event =
+  (* a latent event in the middle of the store with a bounded window *)
+  let unobserved = Store.unobserved_events fig4_store in
+  unobserved.(Array.length unobserved / 2)
+
+let tiny_store_fixture =
+  let rng = Rng.create ~seed:1005 () in
+  let net = Topologies.tandem ~arrival_rate:6.0 ~service_rates:[ 8.0; 7.0 ] in
+  let trace = Network.simulate_poisson rng net ~num_tasks:10 in
+  let mask = Obs.mask rng (Obs.Task_fraction 0.2) trace in
+  ( Store.of_trace ~observed:mask trace,
+    Params.create ~rates:[| 6.0; 8.0; 7.0 |] ~arrival_queue:0 )
+
+let observed_tasks_fixture = Obs.observed_tasks fig4_trace fig4_mask
+
+(* ------------------------------------------------------------------ *)
+(* benchmarks *)
+
+let bench_rng = Rng.create ~seed:1006 ()
+
+let tests =
+  Test.make_grouped ~name:"qnet"
+    [
+      Test.make_grouped ~name:"fig4"
+        [
+          Test.make ~name:"gibbs-sweep-5pct-1200ev"
+            (Staged.stage (fun () ->
+                 Gibbs.sweep ~shuffle:false bench_rng fig4_store fig4_params));
+          Test.make ~name:"stem-iteration"
+            (Staged.stage (fun () ->
+                 Gibbs.sweep ~shuffle:false bench_rng fig4_store fig4_params;
+                 ignore
+                   (Stem.mle_step fig4_store ~previous:fig4_params
+                      ~min_queue_events:1)));
+          Test.make ~name:"baseline-estimator"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Estimators.mean_observed_service fig4_trace
+                      ~observed_tasks:observed_tasks_fixture)));
+        ];
+      Test.make_grouped ~name:"fig5"
+        [
+          Test.make ~name:"gibbs-sweep-webapp-3200ev"
+            (Staged.stage (fun () ->
+                 Gibbs.sweep ~shuffle:false bench_rng fig5_store fig5_params));
+          Test.make ~name:"parallel-sweep-webapp"
+            (let plan = Parallel_gibbs.plan fig5_store in
+             Staged.stage (fun () ->
+                 Parallel_gibbs.sweep bench_rng plan fig5_store fig5_params));
+          Test.make ~name:"initial-guess-webapp"
+            (Staged.stage (fun () -> ignore (Stem.initial_guess fig5_store)));
+        ];
+      Test.make_grouped ~name:"kernel"
+        [
+          Test.make ~name:"local-density"
+            (Staged.stage (fun () ->
+                 ignore (Gibbs.local_density fig4_store fig4_params kernel_event)));
+          Test.make ~name:"sample-conditional"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Gibbs.sample_event bench_rng fig4_store fig4_params kernel_event)));
+        ];
+      Test.make_grouped ~name:"substrate"
+        [
+          Test.make ~name:"simulate-300-tasks"
+            (Staged.stage (fun () ->
+                 ignore (Network.simulate_poisson bench_rng fig4_net ~num_tasks:300)));
+          Test.make ~name:"init-difference-constraints"
+            (Staged.stage (fun () ->
+                 ignore (Init.feasible ~target:fig4_params fig4_store)));
+          Test.make ~name:"init-lp-30-events"
+            (Staged.stage (fun () ->
+                 let store, params = tiny_store_fixture in
+                 ignore (Init.lp store params)));
+          Test.make ~name:"jackson-analysis"
+            (Staged.stage (fun () ->
+                 ignore (Jackson.analyze ~arrival_rate:10.0 fig4_net)));
+          Test.make ~name:"webapp-generate-800"
+            (Staged.stage (fun () -> ignore (Webapp.generate bench_rng fig5_config)));
+        ];
+    ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ minor_allocated; monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  Bechamel_notty.Unit.add Instance.monotonic_clock "ns";
+  Bechamel_notty.Unit.add Instance.minor_allocated "w";
+  let results = benchmark () in
+  let window = { Bechamel_notty.w = 100; h = 1 } in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run
+      results
+  in
+  Notty_unix.output_image Notty.I.(img <-> void 0 1);
+  (* ---------------------------------------------------------------- *)
+  (* part 2: the experiment harness at quick scale — the same
+     rows/series as the paper's tables and figures *)
+  print_newline ();
+  E.Fig4.print_report (E.Fig4.run E.Fig4.quick_config);
+  E.Baseline.print_report (E.Baseline.run E.Baseline.quick_config);
+  E.Fig5.print_report (E.Fig5.run E.Fig5.quick_config);
+  E.Ablate.print_init_report (E.Ablate.run_init_ablation ~num_tasks:200 ~max_sweeps:150 ());
+  E.Ablate.print_em_report (E.Ablate.run_em_ablation ~num_tasks:200 ());
+  E.Misspec.print_report (E.Misspec.run ~num_tasks:300 ~stem_iterations:100 ());
+  E.Routes.print_report (E.Routes.run ~num_tasks:300 ~stem_iterations:120 ());
+  E.General_service.print_report (E.General_service.run ~num_tasks:300 ~stem_iterations:120 ());
+  E.Online.print_report (E.Online.run ~num_requests:1200 ~num_windows:4 ())

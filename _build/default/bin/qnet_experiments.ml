@@ -1,0 +1,129 @@
+(* qnet_experiments: regenerate every table and figure of the paper
+   (and the ablations from DESIGN.md). Subcommands:
+
+     fig4         Figure 4 accuracy sweep (E1/E2)
+     baseline     §5.1 estimator comparison (E3)
+     fig5         Figure 5 web application (E4)
+     ablate-init  A1: initialization strategies
+     ablate-em    A2: StEM vs MCEM
+     misspec      A3: service misspecification
+     all          everything above
+
+   --quick runs reduced-scale versions (the full fig4 takes minutes). *)
+
+open Cmdliner
+module E = Qnet_experiments
+
+let progress verbose = if verbose then fun s -> Printf.eprintf "%s\n%!" s else fun _ -> ()
+
+let write_csv path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents);
+  Printf.printf "raw data written to %s\n" path
+
+let run_fig4 ?csv quick verbose =
+  let config = if quick then E.Fig4.quick_config else E.Fig4.default_config in
+  let obs = E.Fig4.run ~progress:(progress verbose) config in
+  E.Fig4.print_report obs;
+  Option.iter (fun path -> write_csv path (E.Fig4.to_csv obs)) csv
+
+let run_baseline quick verbose =
+  let config = if quick then E.Baseline.quick_config else E.Baseline.default_config in
+  E.Baseline.print_report (E.Baseline.run ~progress:(progress verbose) config)
+
+let run_fig5 ?csv quick verbose =
+  let config = if quick then E.Fig5.quick_config else E.Fig5.default_config in
+  let rows = E.Fig5.run ~progress:(progress verbose) config in
+  E.Fig5.print_report rows;
+  Option.iter (fun path -> write_csv path (E.Fig5.to_csv rows)) csv
+
+let run_ablate_init quick _verbose =
+  let rows =
+    if quick then E.Ablate.run_init_ablation ~num_tasks:200 ~max_sweeps:150 ()
+    else E.Ablate.run_init_ablation ()
+  in
+  E.Ablate.print_init_report rows
+
+let run_ablate_em quick _verbose =
+  let rows =
+    if quick then E.Ablate.run_em_ablation ~num_tasks:200 ()
+    else E.Ablate.run_em_ablation ()
+  in
+  E.Ablate.print_em_report rows
+
+let run_routes quick _verbose =
+  let rows =
+    if quick then E.Routes.run ~num_tasks:300 ~stem_iterations:120 ()
+    else E.Routes.run ()
+  in
+  E.Routes.print_report rows
+
+let run_general quick _verbose =
+  let rows =
+    if quick then E.General_service.run ~num_tasks:300 ~stem_iterations:120 ()
+    else E.General_service.run ()
+  in
+  E.General_service.print_report rows
+
+let run_online quick _verbose =
+  let rows =
+    if quick then E.Online.run ~num_requests:1200 ~num_windows:4 ()
+    else E.Online.run ()
+  in
+  E.Online.print_report rows
+
+let run_misspec quick _verbose =
+  let rows =
+    if quick then E.Misspec.run ~num_tasks:300 ~stem_iterations:100 ()
+    else E.Misspec.run ()
+  in
+  E.Misspec.print_report rows
+
+let run_all quick verbose =
+  run_fig4 quick verbose;
+  run_baseline quick verbose;
+  run_fig5 quick verbose;
+  run_ablate_init quick verbose;
+  run_ablate_em quick verbose;
+  run_misspec quick verbose;
+  run_routes quick verbose;
+  run_general quick verbose;
+  run_online quick verbose
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-scale run (for smoke tests).")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.")
+
+let csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the raw rows as CSV (fig4/fig5).")
+
+let subcommand name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick $ verbose)
+
+let subcommand_csv name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun csv quick verbose -> f ?csv quick verbose) $ csv $ quick $ verbose)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "qnet_experiments"
+       ~doc:"Regenerate the paper's tables and figures from the OCaml reproduction")
+    [
+      subcommand_csv "fig4" "Figure 4: accuracy vs observed fraction (E1/E2)" run_fig4;
+      subcommand "baseline" "Section 5.1 estimator comparison (E3)" run_baseline;
+      subcommand_csv "fig5" "Figure 5: web application estimates (E4)" run_fig5;
+      subcommand "ablate-init" "A1: initialization strategies" run_ablate_init;
+      subcommand "ablate-em" "A2: StEM vs Monte Carlo EM" run_ablate_em;
+      subcommand "misspec" "A3: service misspecification" run_misspec;
+      subcommand "routes" "A4: latent routing via Metropolis-Hastings" run_routes;
+      subcommand "general" "A5: non-exponential service inference" run_general;
+      subcommand "online" "A6: windowed/online inference over a load ramp" run_online;
+      subcommand "all" "Run every experiment" run_all;
+    ]
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,104 @@
+(* qnet_infer: run StEM inference on a trace CSV.
+
+   Reads a trace produced by qnet_sim (or a real system's exporter),
+   optionally re-masks it to a given observation fraction, estimates
+   per-queue rates and waiting times, and prints a localization
+   report. *)
+
+open Cmdliner
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+module Bayes = Qnet_core.Bayes
+module Localization = Qnet_core.Localization
+
+let run input num_queues fraction iterations seed bayes =
+  match Trace.load ~num_queues input with
+  | Error m -> Error (Printf.sprintf "cannot load %s: %s" input m)
+  | Ok trace ->
+      let rng = Rng.create ~seed () in
+      let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
+      let store = Store.of_trace ~observed:mask trace in
+      Printf.printf "loaded %d events (%d tasks, %d queues); observing %.1f%% of tasks\n%!"
+        (Array.length trace.Trace.events)
+        trace.Trace.num_tasks num_queues (100.0 *. fraction);
+      let mean_service, waiting, intervals =
+        if bayes then begin
+          let config =
+            { Bayes.default_config with Bayes.sweeps = 2 * iterations; burn_in = iterations }
+          in
+          let result = Bayes.run ~config rng store in
+          (result.Bayes.mean_service, result.Bayes.mean_waiting,
+           Some result.Bayes.service_interval)
+        end
+        else begin
+          let config =
+            { Stem.default_config with Stem.iterations; burn_in = iterations / 2 }
+          in
+          let result = Stem.run ~config rng store in
+          let waiting = Stem.estimate_waiting rng store result.Stem.params in
+          (result.Stem.mean_service, waiting, None)
+        end
+      in
+      (match intervals with
+      | None ->
+          Printf.printf "\n%-8s %12s %12s\n" "queue" "mean-serv" "mean-wait";
+          for q = 0 to num_queues - 1 do
+            Printf.printf "%-8d %12.5f %12.5f\n" q mean_service.(q) waiting.(q)
+          done
+      | Some ci ->
+          Printf.printf "\n%-8s %12s %24s %12s\n" "queue" "mean-serv" "90%-credible" "mean-wait";
+          for q = 0 to num_queues - 1 do
+            let lo, hi = ci.(q) in
+            Printf.printf "%-8d %12.5f [%10.5f,%10.5f] %12.5f\n" q mean_service.(q) lo hi
+              waiting.(q)
+          done);
+      let reports =
+        Localization.analyze
+          ~exclude:[ Store.arrival_queue store ]
+          ~mean_service ~mean_waiting:waiting ()
+      in
+      Format.printf "@.%a" Localization.pp_report reports;
+      Ok ()
+
+let input =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE.CSV" ~doc:"Input trace file.")
+
+let num_queues =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "q"; "queues" ] ~docv:"N" ~doc:"Number of queues in the trace.")
+
+let fraction =
+  Arg.(
+    value & opt float 0.1
+    & info [ "f"; "fraction" ] ~docv:"F" ~doc:"Fraction of tasks to observe.")
+
+let iterations =
+  Arg.(value & opt int 200 & info [ "iterations" ] ~docv:"N" ~doc:"StEM iterations.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let bayes =
+  Arg.(
+    value & flag
+    & info [ "bayes" ]
+        ~doc:"Full Bayesian inference (credible intervals) instead of StEM point estimates.")
+
+let cmd =
+  let term =
+    Term.(const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes)
+  in
+  let info =
+    Cmd.info "qnet_infer"
+      ~doc:"Estimate queueing-network parameters from an incomplete trace"
+  in
+  Cmd.v info (Term.map (function Ok () -> 0 | Error m -> prerr_endline m; 1) term)
+
+let () = exit (Cmd.eval' cmd)

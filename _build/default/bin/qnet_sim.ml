@@ -1,0 +1,90 @@
+(* qnet_sim: simulate a queueing network and dump the event trace as CSV.
+
+   Topologies: "mm1", "tandem", "three-tier", "feedback", "webapp".
+   The trace format is the library's canonical CSV (see Qnet_trace). *)
+
+open Cmdliner
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+module Network = Qnet_des.Network
+module Topologies = Qnet_des.Topologies
+module Webapp = Qnet_webapp.Webapp
+
+let build_network topology arrival_rate service_rate tiers =
+  match topology with
+  | "mm1" -> Ok (Topologies.single_mm1 ~arrival_rate ~service_rate)
+  | "tandem" ->
+      Ok (Topologies.tandem ~arrival_rate ~service_rates:[ service_rate; service_rate ])
+  | "three-tier" ->
+      let t1, t2, t3 = tiers in
+      Ok (Topologies.three_tier ~arrival_rate ~tier_sizes:(t1, t2, t3) ~service_rate ())
+  | "feedback" ->
+      Ok (Topologies.feedback ~arrival_rate ~service_rate ~loop_prob:0.3)
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+let run topology arrival_rate service_rate tiers tasks seed output summary =
+  if topology = "webapp" then begin
+    let rng = Rng.create ~seed () in
+    let cfg = { Webapp.default_config with Webapp.num_requests = tasks } in
+    let trace = Webapp.generate rng cfg in
+    if summary then Format.printf "%a" Trace.pp_summary trace;
+    Trace.save trace output;
+    Printf.printf "wrote %d events to %s\n" (Array.length trace.Trace.events) output;
+    Ok ()
+  end
+  else
+    match build_network topology arrival_rate service_rate tiers with
+    | Error m -> Error m
+    | Ok net ->
+        let rng = Rng.create ~seed () in
+        let trace = Network.simulate_poisson rng net ~num_tasks:tasks in
+        if summary then Format.printf "%a" Trace.pp_summary trace;
+        Trace.save trace output;
+        Printf.printf "wrote %d events to %s\n" (Array.length trace.Trace.events) output;
+        Ok ()
+
+let topology =
+  Arg.(
+    value
+    & opt string "three-tier"
+    & info [ "t"; "topology" ] ~docv:"NAME"
+        ~doc:"Topology: mm1, tandem, three-tier, feedback, or webapp.")
+
+let arrival_rate =
+  Arg.(value & opt float 10.0 & info [ "lambda" ] ~docv:"RATE" ~doc:"Arrival rate.")
+
+let service_rate =
+  Arg.(
+    value & opt float 5.0 & info [ "mu" ] ~docv:"RATE" ~doc:"Per-server service rate.")
+
+let tiers =
+  Arg.(
+    value
+    & opt (t3 int int int) (1, 2, 4)
+    & info [ "tiers" ] ~docv:"N1,N2,N3" ~doc:"Three-tier server counts.")
+
+let tasks =
+  Arg.(value & opt int 1000 & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let output =
+  Arg.(
+    value & opt string "trace.csv"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+
+let summary =
+  Arg.(value & flag & info [ "summary" ] ~doc:"Print a per-queue summary table.")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ topology $ arrival_rate $ service_rate $ tiers $ tasks $ seed
+      $ output $ summary)
+  in
+  let info =
+    Cmd.info "qnet_sim" ~doc:"Simulate a queueing network and dump its event trace"
+  in
+  Cmd.v info (Term.map (function Ok () -> 0 | Error m -> prerr_endline m; 1) term)
+
+let () = exit (Cmd.eval' cmd)

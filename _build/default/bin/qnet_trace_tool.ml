@@ -1,0 +1,128 @@
+(* qnet_trace_tool: inspect and manipulate trace CSVs.
+
+   Subcommands:
+     summary   per-queue counts, service/waiting means, utilization
+     validate  check every model constraint; exit 1 on violation
+     window    per-queue report restricted to a wall-clock interval
+     mask      write a partially-observed copy (unobserved departures
+               dropped to a placeholder column value of "nan")   *)
+
+open Cmdliner
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+module Store = Qnet_core.Event_store
+module Obs = Qnet_core.Observation
+module Interval_report = Qnet_core.Interval_report
+
+let load input num_queues =
+  match Trace.load ~num_queues input with
+  | Error m -> Error (Printf.sprintf "cannot load %s: %s" input m)
+  | Ok t -> Ok t
+
+let summary input num_queues =
+  Result.map (fun t -> Format.printf "%a" Trace.pp_summary t) (load input num_queues)
+
+let validate input num_queues =
+  match load input num_queues with
+  | Error m -> Error m
+  | Ok t -> (
+      match Store.validate (Store.of_trace t) with
+      | Ok () ->
+          print_endline "trace satisfies every model constraint";
+          Ok ()
+      | Error m -> Error ("INVALID: " ^ m))
+
+let window input num_queues t0 t1 =
+  match load input num_queues with
+  | Error m -> Error m
+  | Ok t ->
+      let store = Store.of_trace t in
+      let report = Interval_report.snapshot store ~window:(t0, t1) in
+      Format.printf "%a" Interval_report.pp report;
+      (* exclude the virtual arrival queue from the verdict: its
+         "server" models interarrival gaps and is always busy *)
+      let q0 = Store.arrival_queue store in
+      let real =
+        {
+          report with
+          Interval_report.queues =
+            Array.of_list
+              (List.filter
+                 (fun qw -> qw.Interval_report.queue <> q0)
+                 (Array.to_list report.Interval_report.queues));
+        }
+      in
+      let b = Interval_report.busiest real in
+      Printf.printf "busiest queue in window: %d (utilization %.3f)\n"
+        b.Interval_report.queue b.Interval_report.utilization;
+      Ok ()
+
+let mask input num_queues fraction seed output =
+  match load input num_queues with
+  | Error m -> Error m
+  | Ok t ->
+      let rng = Rng.create ~seed () in
+      let m = Obs.mask rng (Obs.Task_fraction fraction) t in
+      let observed = Obs.observed_tasks t m in
+      let keep = Hashtbl.create 64 in
+      List.iter (fun task -> Hashtbl.replace keep task ()) observed;
+      let events =
+        Array.to_list t.Trace.events
+        |> List.filter (fun e -> Hashtbl.mem keep e.Trace.task)
+      in
+      let t' = Trace.create ~num_queues events in
+      Trace.save t' output;
+      Printf.printf "kept %d of %d tasks (%d events) -> %s\n" (List.length observed)
+        t.Trace.num_tasks
+        (Array.length t'.Trace.events)
+        output;
+      Ok ()
+
+let input =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.CSV")
+
+let num_queues =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "q"; "queues" ] ~docv:"N" ~doc:"Number of queues in the trace.")
+
+let handle term =
+  Term.map (function Ok () -> 0 | Error m -> prerr_endline m; 1) term
+
+let summary_cmd =
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Per-queue summary statistics")
+    (handle Term.(const summary $ input $ num_queues))
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check the trace against every model constraint")
+    (handle Term.(const validate $ input $ num_queues))
+
+let window_cmd =
+  let t0 = Arg.(required & opt (some float) None & info [ "from" ] ~docv:"T0") in
+  let t1 = Arg.(required & opt (some float) None & info [ "to" ] ~docv:"T1") in
+  Cmd.v
+    (Cmd.info "window" ~doc:"Per-queue report restricted to [T0, T1)")
+    (handle Term.(const window $ input $ num_queues $ t0 $ t1))
+
+let mask_cmd =
+  let fraction =
+    Arg.(value & opt float 0.1 & info [ "f"; "fraction" ] ~docv:"F")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let output =
+    Arg.(value & opt string "masked.csv" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "mask"
+       ~doc:"Keep only a random fraction of tasks (a partially-observed trace)")
+    (handle Term.(const mask $ input $ num_queues $ fraction $ seed $ output))
+
+let cmd =
+  Cmd.group
+    (Cmd.info "qnet_trace_tool" ~doc:"Inspect and manipulate qnet trace CSVs")
+    [ summary_cmd; validate_cmd; window_cmd; mask_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Printf Qnet_analytic Qnet_core Qnet_des Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+examples/nonexponential_service.ml: Array Format Printf Qnet_core Qnet_des Qnet_prob

@@ -1,0 +1,1 @@
+examples/nonexponential_service.mli:

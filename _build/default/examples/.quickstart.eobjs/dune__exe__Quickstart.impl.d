@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Qnet_analytic Qnet_core Qnet_des Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+examples/slow_request_diagnosis.ml: Array Fun List Printf Qnet_core Qnet_des Qnet_prob

@@ -1,0 +1,1 @@
+examples/webapp_localization.ml: Array List Printf Qnet_core Qnet_prob Qnet_trace Qnet_webapp

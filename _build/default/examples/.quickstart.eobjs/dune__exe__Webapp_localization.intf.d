@@ -1,0 +1,1 @@
+examples/webapp_localization.mli:

@@ -1,0 +1,58 @@
+(* Quickstart: the full qnet workflow in ~40 lines.
+
+   1. Describe a network (one M/M/1 queue behind the arrival queue).
+   2. Simulate a ground-truth trace.
+   3. Throw away 90% of it (observe only 10% of tasks).
+   4. Recover the rates with StEM and compare with the truth.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Rng = Qnet_prob.Rng
+module Topologies = Qnet_des.Topologies
+module Network = Qnet_des.Network
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+module Params = Qnet_core.Params
+
+let () =
+  let rng = Rng.create ~seed:2026 () in
+
+  (* an M/M/1 queue: Poisson(4) arrivals, Exp(6) service *)
+  let net = Topologies.single_mm1 ~arrival_rate:4.0 ~service_rate:6.0 in
+
+  (* ground truth from the discrete-event simulator *)
+  let trace = Network.simulate_poisson rng net ~num_tasks:2000 in
+  Format.printf "simulated: %a@." Qnet_trace.Trace.pp_summary trace;
+
+  (* keep the arrivals of only 10% of tasks *)
+  let mask = Obs.mask rng (Obs.Task_fraction 0.1) trace in
+  let store = Store.of_trace ~observed:mask trace in
+  Printf.printf "observing %d of %d departures\n\n"
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask)
+    (Store.num_events store);
+
+  (* stochastic EM: impute the missing times, estimate the rates *)
+  let result = Stem.run rng store in
+  let truth = Params.of_network net in
+  Printf.printf "%-8s %14s %14s\n" "queue" "true mean serv" "estimated";
+  for q = 0 to Store.num_queues store - 1 do
+    Printf.printf "%-8d %14.4f %14.4f\n" q
+      (Params.mean_service truth q)
+      result.Stem.mean_service.(q)
+  done;
+
+  (* posterior-mean waiting time under the fitted model *)
+  let waiting = Stem.estimate_waiting rng store result.Stem.params in
+  let true_waiting =
+    let w = Qnet_trace.Trace.waiting_times trace 1 in
+    Array.fold_left ( +. ) 0.0 w /. float_of_int (Array.length w)
+  in
+  Printf.printf "\nqueue 1 mean waiting: true %.4f, estimated %.4f\n" true_waiting
+    waiting.(1);
+
+  (* what classical M/M/1 theory would predict at these rates *)
+  let predicted =
+    Qnet_analytic.Mm1.mean_waiting_time ~arrival_rate:4.0 ~service_rate:6.0
+  in
+  Printf.printf "steady-state M/M/1 prediction:      %.4f\n" predicted

@@ -1,0 +1,1 @@
+lib/analytic/jackson.ml: Array Format Qnet_des Qnet_fsm Qnet_prob

@@ -1,0 +1,1 @@
+lib/analytic/jackson.mli: Qnet_des

@@ -1,0 +1,1 @@
+lib/analytic/mg1.ml: Float Qnet_prob

@@ -1,0 +1,1 @@
+lib/analytic/mg1.mli: Qnet_prob

@@ -1,0 +1,1 @@
+lib/analytic/mm1.ml: Float

@@ -1,0 +1,27 @@
+module D = Qnet_prob.Distributions
+
+let second_moment service =
+  let m = D.mean service in
+  let v = D.variance service in
+  if Float.is_nan m || Float.is_nan v || v = infinity then
+    invalid_arg "Mg1: service distribution needs finite first two moments";
+  v +. (m *. m)
+
+let check_stable arrival_rate service =
+  if arrival_rate <= 0.0 then invalid_arg "Mg1: arrival_rate must be > 0";
+  let rho = arrival_rate *. D.mean service in
+  if rho >= 1.0 then invalid_arg "Mg1: unstable queue (rho >= 1)";
+  rho
+
+let mean_waiting_time ~arrival_rate ~service =
+  let rho = check_stable arrival_rate service in
+  arrival_rate *. second_moment service /. (2.0 *. (1.0 -. rho))
+
+let mean_response_time ~arrival_rate ~service =
+  mean_waiting_time ~arrival_rate ~service +. D.mean service
+
+let mean_queue_length ~arrival_rate ~service =
+  arrival_rate *. mean_waiting_time ~arrival_rate ~service
+
+let waiting_inflation_vs_mm1 ~service =
+  (1.0 +. D.squared_cv service) /. 2.0

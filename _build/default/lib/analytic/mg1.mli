@@ -1,0 +1,30 @@
+(** The M/G/1 queue via the Pollaczek–Khinchine formula.
+
+    Poisson arrivals, a single FIFO server, and a {e general} service
+    distribution: the mean waiting time depends on the service
+    distribution only through its first two moments,
+
+    [Wq = λ E[S²] / (2 (1 − ρ))  =  ρ/(μ−λ) · (1 + scv)/2].
+
+    This quantifies the misspecification experiments (A3): an
+    exponential model fit to Erlang or hyperexponential reality is
+    wrong about waiting by exactly the factor [(1 + scv)/2]. *)
+
+val mean_waiting_time :
+  arrival_rate:float -> service:Qnet_prob.Distributions.t -> float
+(** Pollaczek–Khinchine mean queueing delay. Requires a stable queue
+    ([arrival_rate * mean service < 1]) and a service distribution
+    with finite variance; raises [Invalid_argument] otherwise. *)
+
+val mean_response_time :
+  arrival_rate:float -> service:Qnet_prob.Distributions.t -> float
+(** [Wq + E[S]]. *)
+
+val mean_queue_length :
+  arrival_rate:float -> service:Qnet_prob.Distributions.t -> float
+(** [Lq = λ Wq] (Little). *)
+
+val waiting_inflation_vs_mm1 : service:Qnet_prob.Distributions.t -> float
+(** [(1 + scv)/2]: the factor by which true M/G/1 waiting differs from
+    the M/M/1 prediction at equal rates — 0.5 for deterministic
+    service, 1 for exponential, > 1 for heavy-tailed. *)

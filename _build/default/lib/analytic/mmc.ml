@@ -1,0 +1,30 @@
+let erlang_c ~servers ~offered_load =
+  if servers < 1 then invalid_arg "Mmc.erlang_c: need at least one server";
+  let c = float_of_int servers in
+  let a = offered_load in
+  if a <= 0.0 then invalid_arg "Mmc.erlang_c: offered load must be > 0";
+  if a >= c then invalid_arg "Mmc.erlang_c: unstable (offered load >= servers)";
+  (* Sum a^k/k! for k < c, computed incrementally. *)
+  let term = ref 1.0 in
+  let sum = ref 1.0 in
+  for k = 1 to servers - 1 do
+    term := !term *. a /. float_of_int k;
+    sum := !sum +. !term
+  done;
+  let top = !term *. a /. c in
+  (* a^c / c! *)
+  let tail = top *. (c /. (c -. a)) in
+  tail /. (!sum +. tail)
+
+let utilization ~servers ~arrival_rate ~service_rate =
+  if arrival_rate <= 0.0 || service_rate <= 0.0 then
+    invalid_arg "Mmc.utilization: rates must be positive";
+  arrival_rate /. (float_of_int servers *. service_rate)
+
+let mean_waiting_time ~servers ~arrival_rate ~service_rate =
+  let a = arrival_rate /. service_rate in
+  let pw = erlang_c ~servers ~offered_load:a in
+  pw /. ((float_of_int servers *. service_rate) -. arrival_rate)
+
+let mean_response_time ~servers ~arrival_rate ~service_rate =
+  mean_waiting_time ~servers ~arrival_rate ~service_rate +. (1.0 /. service_rate)

@@ -1,0 +1,21 @@
+(** Steady-state theory of the M/M/c queue (c parallel servers fed by
+    one FIFO line). The paper's tiers of replicated servers behave
+    like M/M/c when the balancer can route to any idle server; the
+    library uses these formulas to sanity-check the "tier modeled as
+    parallel M/M/1s" approximation in the experiments. *)
+
+val erlang_c : servers:int -> offered_load:float -> float
+(** [erlang_c ~servers:c ~offered_load:a] is the probability an
+    arriving task must wait (Erlang's C formula), where
+    [a = arrival_rate /. service_rate]. Requires [a < float c]. *)
+
+val mean_waiting_time :
+  servers:int -> arrival_rate:float -> service_rate:float -> float
+(** Mean queueing delay Wq = C(c, a) / (c·μ − λ). *)
+
+val mean_response_time :
+  servers:int -> arrival_rate:float -> service_rate:float -> float
+(** Wq + 1/μ. *)
+
+val utilization : servers:int -> arrival_rate:float -> service_rate:float -> float
+(** ρ = λ/(c·μ). *)

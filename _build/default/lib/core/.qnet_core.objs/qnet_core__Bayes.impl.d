@@ -1,0 +1,1 @@
+lib/core/bayes.ml: Array Event_store Float Gibbs Init Params Qnet_prob Stem

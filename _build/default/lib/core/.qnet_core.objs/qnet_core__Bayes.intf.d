@@ -1,0 +1,1 @@
+lib/core/bayes.mli: Event_store Params Qnet_prob

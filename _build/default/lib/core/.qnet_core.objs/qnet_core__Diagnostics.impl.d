@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Array Float Format Params Qnet_prob

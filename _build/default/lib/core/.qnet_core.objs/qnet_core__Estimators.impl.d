@@ -1,0 +1,1 @@
+lib/core/estimators.ml: Array Hashtbl List Qnet_trace

@@ -1,0 +1,1 @@
+lib/core/estimators.mli: Qnet_trace

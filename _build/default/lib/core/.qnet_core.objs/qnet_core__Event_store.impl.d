@@ -1,0 +1,1 @@
+lib/core/event_store.ml: Array Float Hashtbl List Params Printf Qnet_trace

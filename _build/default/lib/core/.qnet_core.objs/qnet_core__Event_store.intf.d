@@ -1,0 +1,1 @@
+lib/core/event_store.mli: Params Qnet_trace

@@ -1,0 +1,1 @@
+lib/core/general_gibbs.ml: Array Event_store Float Qnet_prob Service_model

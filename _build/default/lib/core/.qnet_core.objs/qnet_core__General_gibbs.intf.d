@@ -1,0 +1,1 @@
+lib/core/general_gibbs.mli: Event_store Qnet_prob Service_model

@@ -1,0 +1,1 @@
+lib/core/general_stem.ml: Array Event_store Float General_gibbs Init List Params Printf Qnet_prob Service_model Stem

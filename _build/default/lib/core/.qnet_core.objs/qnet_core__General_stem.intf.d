@@ -1,0 +1,1 @@
+lib/core/general_stem.mli: Event_store Qnet_prob Service_model

@@ -1,0 +1,1 @@
+lib/core/gibbs.ml: Array Event_store Float List Params Qnet_prob

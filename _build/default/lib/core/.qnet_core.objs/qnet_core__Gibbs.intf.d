@@ -1,0 +1,1 @@
+lib/core/gibbs.mli: Event_store Params Qnet_prob

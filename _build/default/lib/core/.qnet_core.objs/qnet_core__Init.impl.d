@@ -1,0 +1,1 @@
+lib/core/init.ml: Array Event_store Float List Params Qnet_lp Queue

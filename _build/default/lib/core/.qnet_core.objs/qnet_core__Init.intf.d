@@ -1,0 +1,1 @@
+lib/core/init.mli: Event_store Params

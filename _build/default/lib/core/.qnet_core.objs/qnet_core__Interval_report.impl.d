@@ -1,0 +1,1 @@
+lib/core/interval_report.ml: Array Event_store Float Format Gibbs

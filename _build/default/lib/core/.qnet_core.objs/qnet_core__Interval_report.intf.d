@@ -1,0 +1,1 @@
+lib/core/interval_report.mli: Event_store Format Params Qnet_prob

@@ -1,0 +1,1 @@
+lib/core/localization.ml: Array Format Fun List Printf Qnet_prob

@@ -1,0 +1,1 @@
+lib/core/mcem.ml: Array Event_store Gibbs Init Params Stem

@@ -1,0 +1,1 @@
+lib/core/mcem.mli: Event_store Init Params Qnet_prob

@@ -1,0 +1,1 @@
+lib/core/observation.ml: Array Float Hashtbl List Printf Qnet_prob Qnet_trace Stdlib

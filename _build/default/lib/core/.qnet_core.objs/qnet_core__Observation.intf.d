@@ -1,0 +1,1 @@
+lib/core/observation.mli: Qnet_prob Qnet_trace

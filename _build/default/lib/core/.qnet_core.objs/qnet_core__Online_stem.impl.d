@@ -1,0 +1,1 @@
+lib/core/online_stem.ml: Array Event_store Float Hashtbl List Params Qnet_trace Stdlib Stem

@@ -1,0 +1,1 @@
+lib/core/online_stem.mli: Params Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+lib/core/parallel_gibbs.ml: Array Domain Event_store Gibbs Hashtbl List Qnet_prob Stdlib

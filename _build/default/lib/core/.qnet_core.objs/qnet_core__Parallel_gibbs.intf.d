@@ -1,0 +1,1 @@
+lib/core/parallel_gibbs.mli: Event_store Params Qnet_prob

@@ -1,0 +1,1 @@
+lib/core/path_move.ml: Array Event_store List Params Qnet_fsm Qnet_prob

@@ -1,0 +1,1 @@
+lib/core/path_move.mli: Event_store Params Qnet_fsm Qnet_prob

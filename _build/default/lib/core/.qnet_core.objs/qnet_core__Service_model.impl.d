@@ -1,0 +1,1 @@
+lib/core/service_model.ml: Array Float Format Params Printf Qnet_des Qnet_prob

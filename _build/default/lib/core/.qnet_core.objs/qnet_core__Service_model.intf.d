@@ -1,0 +1,1 @@
+lib/core/service_model.mli: Format Params Qnet_des Qnet_prob

@@ -1,0 +1,1 @@
+lib/core/stem.ml: Array Event_store Float Gibbs Init List Params Path_move Qnet_prob Stdlib

@@ -1,0 +1,1 @@
+lib/core/stem.mli: Event_store Init Params Qnet_fsm Qnet_prob

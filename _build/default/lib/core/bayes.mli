@@ -1,0 +1,43 @@
+(** Fully Bayesian inference: Gibbs over both the latent event times
+    and the rates.
+
+    Instead of StEM's point estimates, place a conjugate Gamma prior
+    on every rate (including λ) and alternate:
+
+    + one Gibbs sweep over the unobserved departures given the rates;
+    + a draw of each rate from its exact conditional
+      [Gamma (prior_shape + n_q, prior_rate + Σ s_q)].
+
+    This yields posterior {e distributions} — credible intervals for
+    every service time, which the paper's discussion (Section 6) calls
+    out as the payoff of the probabilistic viewpoint. A proper prior
+    ([prior_rate > 0]) also removes the likelihood degeneracy that
+    StEM needs its MAP stabilizer for. *)
+
+type config = {
+  sweeps : int;  (** total Gibbs sweeps (default 400) *)
+  burn_in : int;  (** discarded sweeps (default 200) *)
+  thin : int;  (** keep every [thin]-th sample (default 2) *)
+  prior_shape : float;  (** Gamma shape a₀ (default 0.5) *)
+  prior_rate : float;
+      (** Gamma rate b₀ (default 0.01): weakly informative, proper *)
+}
+
+val default_config : config
+
+type result = {
+  mean_service : float array;  (** posterior mean of 1/μ_q *)
+  service_interval : (float * float) array;
+      (** central 90% credible interval for 1/μ_q *)
+  mean_waiting : float array;  (** posterior mean waiting per queue *)
+  waiting_interval : (float * float) array;
+      (** central 90% credible interval of each queue's mean waiting *)
+  rate_samples : float array array;  (** retained samples, per queue *)
+  ess : float array;  (** effective sample size of each rate chain *)
+}
+
+val run :
+  ?config:config -> ?init:Params.t -> Qnet_prob.Rng.t -> Event_store.t -> result
+(** Same calling convention as {!Stem.run}: initializes the latent
+    state (targeted, from [init] or {!Stem.initial_guess}) and runs
+    the joint chain. The store is left at the last imputed state. *)

@@ -1,0 +1,45 @@
+module Stats = Qnet_prob.Statistics
+
+type chain_report = {
+  ess : float;
+  autocorr_lag1 : float;
+  mean : float;
+  stddev : float;
+}
+
+let analyze_chain xs =
+  if Array.length xs < 2 then invalid_arg "Diagnostics.analyze_chain: chain too short";
+  {
+    ess = Stats.effective_sample_size xs;
+    autocorr_lag1 = Stats.autocorrelation xs 1;
+    mean = Stats.mean xs;
+    stddev = Stats.stddev xs;
+  }
+
+let rhat_across chains = Stats.gelman_rubin chains
+
+let service_history history q =
+  Array.map (fun p -> Params.mean_service p q) history
+
+let stem_settled ?(window = 50) ?(tolerance = 0.25) history =
+  let n = Array.length history in
+  if n < window then false
+  else begin
+    let nq = Params.num_queues history.(0) in
+    let ok = ref true in
+    for q = 0 to nq - 1 do
+      let tail =
+        Array.init window (fun k -> Params.mean_service history.(n - window + k) q)
+      in
+      let mu = Stats.mean tail in
+      if mu > 0.0 then
+        Array.iter
+          (fun x -> if Float.abs (x -. mu) > tolerance *. mu then ok := false)
+          tail
+    done;
+    !ok
+  end
+
+let pp_chain ppf r =
+  Format.fprintf ppf "mean=%.5g sd=%.5g ess=%.1f acf1=%.3f" r.mean r.stddev r.ess
+    r.autocorr_lag1

@@ -1,0 +1,25 @@
+(** Convergence diagnostics for the samplers and EM drivers. *)
+
+type chain_report = {
+  ess : float;  (** effective sample size (Geyer initial positive sequence) *)
+  autocorr_lag1 : float;
+  mean : float;
+  stddev : float;
+}
+
+val analyze_chain : float array -> chain_report
+
+val rhat_across : float array array -> float
+(** Gelman–Rubin R̂ across parallel chains of equal length. Values
+    near 1 indicate convergence. *)
+
+val service_history : Params.t array -> int -> float array
+(** Extract one queue's mean-service trajectory from an EM history. *)
+
+val stem_settled : ?window:int -> ?tolerance:float -> Params.t array -> bool
+(** Heuristic: the iterate trajectory is "settled" when, over the last
+    [window] (default 50) iterations, every queue's mean service stays
+    within a relative band of [tolerance] (default 0.25) around its
+    window mean. Used by tests and the harness to flag non-convergence. *)
+
+val pp_chain : Format.formatter -> chain_report -> unit

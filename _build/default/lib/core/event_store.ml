@@ -1,0 +1,317 @@
+module Trace = Qnet_trace.Trace
+
+type t = {
+  num_queues : int;
+  num_tasks : int;
+  task : int array;
+  state : int array;
+  queue : int array; (* mutable through move_event *)
+  departure : float array;
+  observed : bool array;
+  pi : int array;
+  pi_inv : int array;
+  rho : int array; (* within-queue chains; mutable through move_event *)
+  rho_inv : int array;
+  heads : int array; (* first event (in arrival order) per queue, -1 if none *)
+  by_task : int array array;
+  arrival_queue : int;
+  task_ids : int array; (* dense task index -> original task id *)
+}
+
+let of_trace ?observed trace =
+  let events = trace.Trace.events in
+  let n = Array.length events in
+  if n = 0 then invalid_arg "Event_store.of_trace: empty trace";
+  let observed =
+    match observed with
+    | None -> Array.make n true
+    | Some o ->
+        if Array.length o <> n then
+          invalid_arg "Event_store.of_trace: observed mask length mismatch";
+        Array.copy o
+  in
+  let task_ids =
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    Array.iter
+      (fun e ->
+        if not (Hashtbl.mem seen e.Trace.task) then begin
+          Hashtbl.add seen e.Trace.task ();
+          acc := e.Trace.task :: !acc
+        end)
+      events;
+    let a = Array.of_list !acc in
+    Array.sort compare a;
+    a
+  in
+  let task_index = Hashtbl.create (Array.length task_ids) in
+  Array.iteri (fun i id -> Hashtbl.add task_index id i) task_ids;
+  let task = Array.map (fun e -> Hashtbl.find task_index e.Trace.task) events in
+  let state = Array.map (fun e -> e.Trace.state) events in
+  let queue = Array.map (fun e -> e.Trace.queue) events in
+  let departure = Array.map (fun e -> e.Trace.departure) events in
+  let arrival0 = Array.map (fun e -> e.Trace.arrival) events in
+  (* Within-task chains: events are sorted by (task, arrival). *)
+  let pi = Array.make n (-1) in
+  let pi_inv = Array.make n (-1) in
+  for i = 1 to n - 1 do
+    if task.(i) = task.(i - 1) then begin
+      pi.(i) <- i - 1;
+      pi_inv.(i - 1) <- i
+    end
+  done;
+  (* Group by task. *)
+  let num_tasks = Array.length task_ids in
+  let by_task =
+    let buckets = Array.make num_tasks [] in
+    for i = n - 1 downto 0 do
+      buckets.(task.(i)) <- i :: buckets.(task.(i))
+    done;
+    Array.map Array.of_list buckets
+  in
+  (* Initial events must be first per task and at a common queue. *)
+  let arrival_queue = queue.(by_task.(0).(0)) in
+  Array.iter
+    (fun evs ->
+      if Array.length evs = 0 then invalid_arg "Event_store.of_trace: empty task";
+      let first = evs.(0) in
+      if arrival0.(first) <> 0.0 then
+        invalid_arg "Event_store.of_trace: task without initial event";
+      if queue.(first) <> arrival_queue then
+        invalid_arg "Event_store.of_trace: inconsistent arrival queue";
+      (* Only initial events may sit at the arrival queue: routing back
+         to q0 would break the paper's convention. *)
+      Array.iteri
+        (fun k e ->
+          if k > 0 && queue.(e) = arrival_queue then
+            invalid_arg "Event_store.of_trace: a task revisits the arrival queue")
+        evs)
+    by_task;
+  (* Within-queue chains from the true arrival order (ties broken by
+     departure, then index, so q0's simultaneous arrivals order by
+     entry time). This order is the fixed "event counter" data. *)
+  let by_queue =
+    let buckets = Array.make trace.Trace.num_queues [] in
+    for i = n - 1 downto 0 do
+      buckets.(queue.(i)) <- i :: buckets.(queue.(i))
+    done;
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort
+          (fun i j ->
+            match compare arrival0.(i) arrival0.(j) with
+            | 0 -> (
+                match compare departure.(i) departure.(j) with
+                | 0 -> compare i j
+                | c -> c)
+            | c -> c)
+          a;
+        a)
+      buckets
+  in
+  let rho = Array.make n (-1) in
+  let rho_inv = Array.make n (-1) in
+  let heads = Array.make trace.Trace.num_queues (-1) in
+  Array.iteri
+    (fun q order ->
+      if Array.length order > 0 then heads.(q) <- order.(0);
+      for k = 1 to Array.length order - 1 do
+        rho.(order.(k)) <- order.(k - 1);
+        rho_inv.(order.(k - 1)) <- order.(k)
+      done)
+    by_queue;
+  {
+    num_queues = trace.Trace.num_queues;
+    num_tasks;
+    task;
+    state;
+    queue;
+    departure;
+    observed;
+    pi;
+    pi_inv;
+    rho;
+    rho_inv;
+    heads;
+    by_task;
+    arrival_queue;
+    task_ids;
+  }
+
+let num_events t = Array.length t.departure
+let num_queues t = t.num_queues
+let num_tasks t = t.num_tasks
+let task t i = t.task.(i)
+let state t i = t.state.(i)
+let queue t i = t.queue.(i)
+let departure t i = t.departure.(i)
+let observed t i = t.observed.(i)
+let pi t i = t.pi.(i)
+let pi_inv t i = t.pi_inv.(i)
+let rho t i = t.rho.(i)
+let rho_inv t i = t.rho_inv.(i)
+
+let arrival t i =
+  let p = t.pi.(i) in
+  if p < 0 then 0.0 else t.departure.(p)
+
+let start_service t i =
+  let a = arrival t i in
+  let r = t.rho.(i) in
+  if r < 0 then a else Float.max a t.departure.(r)
+
+let service t i = t.departure.(i) -. start_service t i
+let waiting t i = start_service t i -. arrival t i
+
+let set_departure t i d =
+  if t.observed.(i) then invalid_arg "Event_store.set_departure: event is observed";
+  if Float.is_nan d then invalid_arg "Event_store.set_departure: NaN";
+  t.departure.(i) <- d
+
+let events_of_task t k = Array.copy t.by_task.(k)
+
+let events_at_queue t q =
+  (* walk the rho chain from the head *)
+  let rec collect i acc = if i < 0 then List.rev acc else collect t.rho_inv.(i) (i :: acc) in
+  Array.of_list (collect t.heads.(q) [])
+
+let unobserved_events t =
+  let acc = ref [] in
+  for i = num_events t - 1 downto 0 do
+    if not t.observed.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let arrival_queue t = t.arrival_queue
+
+let to_trace t =
+  let events = ref [] in
+  for i = num_events t - 1 downto 0 do
+    events :=
+      {
+        Trace.task = t.task_ids.(t.task.(i));
+        state = t.state.(i);
+        queue = t.queue.(i);
+        arrival = arrival t i;
+        departure = t.departure.(i);
+      }
+      :: !events
+  done;
+  Trace.create ~num_queues:t.num_queues !events
+
+let copy t =
+  {
+    t with
+    departure = Array.copy t.departure;
+    observed = Array.copy t.observed;
+    queue = Array.copy t.queue;
+    rho = Array.copy t.rho;
+    rho_inv = Array.copy t.rho_inv;
+    heads = Array.copy t.heads;
+  }
+
+(* Re-home event [i] to [queue], unlinking it from its current rho
+   chain and inserting it into the target chain at the position given
+   by its (current) arrival time. The caller is responsible for
+   checking that the resulting service times are non-negative (the
+   Metropolis–Hastings path move rejects otherwise); this function
+   only maintains the chain structure. *)
+let move_event t i ~queue:q' =
+  if q' < 0 || q' >= t.num_queues then invalid_arg "Event_store.move_event: bad queue";
+  if q' = t.arrival_queue then
+    invalid_arg "Event_store.move_event: cannot move events to the arrival queue";
+  if t.queue.(i) = t.arrival_queue then
+    invalid_arg "Event_store.move_event: cannot move initial events";
+  let q = t.queue.(i) in
+  if q <> q' then begin
+    (* unlink from q *)
+    let p = t.rho.(i) and s = t.rho_inv.(i) in
+    if p >= 0 then t.rho_inv.(p) <- s else t.heads.(q) <- s;
+    if s >= 0 then t.rho.(s) <- p;
+    (* find the insertion point in q': the last event whose arrival is
+       <= ours (ties resolved toward inserting after, which keeps the
+       walk deterministic) *)
+    let a = arrival t i in
+    let rec find prev cur =
+      if cur < 0 then prev
+      else if arrival t cur <= a then find cur t.rho_inv.(cur)
+      else prev
+    in
+    let pred = find (-1) t.heads.(q') in
+    let succ = if pred < 0 then t.heads.(q') else t.rho_inv.(pred) in
+    t.rho.(i) <- pred;
+    t.rho_inv.(i) <- succ;
+    if pred >= 0 then t.rho_inv.(pred) <- i else t.heads.(q') <- i;
+    if succ >= 0 then t.rho.(succ) <- i;
+    t.queue.(i) <- q'
+  end
+
+let validate t =
+  let tol = 1e-9 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  for i = 0 to num_events t - 1 do
+    if service t i < -.tol then
+      fail
+        (Printf.sprintf "event %d: negative service %.12g" i (service t i));
+    if t.departure.(i) < -.tol then
+      fail (Printf.sprintf "event %d: negative departure" i)
+  done;
+  for q = 0 to t.num_queues - 1 do
+    let rec walk prev cur =
+      if cur >= 0 then begin
+        if t.queue.(cur) <> q then
+          fail (Printf.sprintf "event %d linked into queue %d but assigned to %d" cur q t.queue.(cur));
+        if prev >= 0 && arrival t cur < arrival t prev -. tol then
+          fail (Printf.sprintf "queue order violated between events %d and %d" prev cur);
+        walk cur t.rho_inv.(cur)
+      end
+    in
+    walk (-1) t.heads.(q)
+  done;
+  match !err with None -> Ok () | Some m -> Error m
+
+let log_likelihood t params =
+  if Params.num_queues params <> t.num_queues then
+    invalid_arg "Event_store.log_likelihood: params dimension mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to num_events t - 1 do
+    let mu = Params.rate params t.queue.(i) in
+    let s = service t i in
+    if s < 0.0 then acc := neg_infinity
+    else acc := !acc +. log mu -. (mu *. s)
+  done;
+  !acc
+
+let service_sufficient_stats t =
+  let counts = Array.make t.num_queues 0 in
+  let sums = Array.make t.num_queues 0.0 in
+  for i = 0 to num_events t - 1 do
+    let q = t.queue.(i) in
+    counts.(q) <- counts.(q) + 1;
+    sums.(q) <- sums.(q) +. service t i
+  done;
+  Array.init t.num_queues (fun q -> (counts.(q), sums.(q)))
+
+let mean_waiting_by_queue t =
+  let counts = Array.make t.num_queues 0 in
+  let sums = Array.make t.num_queues 0.0 in
+  for i = 0 to num_events t - 1 do
+    let q = t.queue.(i) in
+    counts.(q) <- counts.(q) + 1;
+    sums.(q) <- sums.(q) +. waiting t i
+  done;
+  Array.init t.num_queues (fun q ->
+      if counts.(q) = 0 then 0.0 else sums.(q) /. float_of_int counts.(q))
+
+let mean_service_by_queue t =
+  let counts = Array.make t.num_queues 0 in
+  let sums = Array.make t.num_queues 0.0 in
+  for i = 0 to num_events t - 1 do
+    let q = t.queue.(i) in
+    counts.(q) <- counts.(q) + 1;
+    sums.(q) <- sums.(q) +. service t i
+  done;
+  Array.init t.num_queues (fun q ->
+      if counts.(q) = 0 then 0.0 else sums.(q) /. float_of_int counts.(q))

@@ -1,0 +1,126 @@
+(** The latent-variable view of a trace: the mutable state on which
+    the Gibbs sampler operates.
+
+    Every event [e = (k_e, σ_e, q_e, a_e, d_e)] of the paper's model
+    (Section 2) is represented by a dense index. The only free
+    variables are the {e departures}: by the deterministic constraint
+    [a_e = d_{π(e)}], the arrival of an event is the departure of its
+    within-task predecessor (0 for initial events), so the store keeps
+    a single mutable [departure] array. Within-queue predecessor
+    pointers ρ follow the {e true} arrival order of the trace and stay
+    fixed throughout inference — this is the paper's "event counter"
+    assumption, which guarantees that a Gibbs move only touches a
+    bounded neighbourhood of the moved event.
+
+    Indices follow the canonical ordering of [Trace.events] (sorted by
+    task, then arrival). Pointer accessors return [-1] for "none". *)
+
+type t
+
+val of_trace : ?observed:bool array -> Qnet_trace.Trace.t -> t
+(** [of_trace ~observed trace] builds the linked structure.
+    [observed.(i)] marks the departure of event [i] (in the trace's
+    canonical order) as measured and immutable; the default marks
+    everything observed (a fully-observed store is useful for scoring
+    and testing). Raises [Invalid_argument] if [observed] has the
+    wrong length. *)
+
+(** {1 Sizes} *)
+
+val num_events : t -> int
+val num_queues : t -> int
+val num_tasks : t -> int
+
+(** {1 Per-event accessors} *)
+
+val task : t -> int -> int
+val state : t -> int -> int
+val queue : t -> int -> int
+
+val arrival : t -> int -> float
+(** [arrival t i] is [departure t (pi t i)], or [0.] for an initial
+    event — always consistent with the current latent state. *)
+
+val departure : t -> int -> float
+val observed : t -> int -> bool
+
+val start_service : t -> int -> float
+(** [max (arrival t i) (departure t (rho t i))] — when event [i]'s
+    service began under FIFO. *)
+
+val service : t -> int -> float
+(** [departure t i -. start_service t i]. *)
+
+val waiting : t -> int -> float
+(** [start_service t i -. arrival t i]. *)
+
+val pi : t -> int -> int
+(** Within-task predecessor ([-1] for initial events). *)
+
+val pi_inv : t -> int -> int
+(** Within-task successor ([-1] for a task's last event). *)
+
+val rho : t -> int -> int
+(** Within-queue predecessor in arrival order ([-1] for the first
+    arrival at a queue). *)
+
+val rho_inv : t -> int -> int
+(** Within-queue successor ([-1] for the last arrival). *)
+
+val set_departure : t -> int -> float -> unit
+(** Overwrite a latent departure. Raises [Invalid_argument] on an
+    observed event. No constraint checking — the sampler guarantees
+    feasibility; call {!validate} in tests. *)
+
+val move_event : t -> int -> queue:int -> unit
+(** [move_event t i ~queue] re-homes event [i] to another queue: it is
+    unlinked from its current within-queue (ρ) chain and inserted into
+    the target chain at the position determined by its current arrival
+    time. Used by the Metropolis–Hastings routing move ({!Qnet_core.
+    Path_move}) when FSM paths are themselves uncertain. The chain
+    structure stays consistent; service-time feasibility is the
+    caller's responsibility (the M–H move rejects infeasible
+    proposals). Raises [Invalid_argument] for initial events or the
+    arrival queue. *)
+
+(** {1 Topology} *)
+
+val events_of_task : t -> int -> int array
+(** Event indices of a task in path order. *)
+
+val events_at_queue : t -> int -> int array
+(** Event indices at a queue in (fixed) arrival order. *)
+
+val unobserved_events : t -> int array
+(** Indices with latent departures, ascending. *)
+
+val arrival_queue : t -> int
+(** The queue of the initial events (q0). *)
+
+(** {1 Whole-state operations} *)
+
+val to_trace : t -> Qnet_trace.Trace.t
+(** Export the current latent state as a trace (revalidates). *)
+
+val copy : t -> t
+(** Deep copy (shares immutable topology, copies departures). *)
+
+val validate : t -> (unit, string) result
+(** Check every deterministic constraint of the model on the current
+    state: non-negative services, per-queue arrival order consistent
+    with the fixed ρ chains, observed departures untouched. *)
+
+val log_likelihood : t -> Params.t -> float
+(** Eq. 1's log-density of the current complete state (service-time
+    factors only; the routing factors are constant because paths are
+    held fixed). *)
+
+val service_sufficient_stats : t -> (int * float) array
+(** Per queue: event count and total service time under the current
+    state — the sufficient statistics of the M-step. *)
+
+val mean_waiting_by_queue : t -> float array
+(** Mean waiting time per queue under the current state. *)
+
+val mean_service_by_queue : t -> float array
+(** Mean realized service time per queue under the current state. *)

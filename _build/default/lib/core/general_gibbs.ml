@@ -1,0 +1,98 @@
+module Rng = Qnet_prob.Rng
+module D = Qnet_prob.Distributions
+module Slice = Qnet_prob.Slice
+module Store = Event_store
+
+(* Feasibility window: identical bounds to the exponential kernel
+   (Gibbs.local_density); a test asserts they agree. *)
+let window store f =
+  let lower = ref (Store.start_service store f) in
+  let upper = ref None in
+  let tighten_upper u =
+    match !upper with
+    | None -> upper := Some u
+    | Some u0 -> if u < u0 then upper := Some u
+  in
+  let e = Store.pi_inv store f in
+  let g = Store.rho_inv store f in
+  if e >= 0 then begin
+    tighten_upper (Store.departure store e);
+    let rho_e = Store.rho store e in
+    if rho_e >= 0 && rho_e <> f then
+      lower := Float.max !lower (Store.arrival store rho_e);
+    let next_e = Store.rho_inv store e in
+    if next_e >= 0 then tighten_upper (Store.arrival store next_e)
+  end;
+  if g >= 0 && g <> e then tighten_upper (Store.departure store g);
+  (!lower, !upper)
+
+let log_conditional store model f d =
+  let lower, upper = window store f in
+  let inside = d >= lower && (match upper with None -> true | Some u -> d <= u) in
+  if not inside then neg_infinity
+  else begin
+    let qf = Store.queue store f in
+    let b_f = Store.start_service store f in
+    let acc = ref (Service_model.log_pdf model qf (d -. b_f)) in
+    let e = Store.pi_inv store f in
+    let g = Store.rho_inv store f in
+    if e >= 0 then begin
+      let qe = Store.queue store e in
+      let de = Store.departure store e in
+      let rho_e = Store.rho store e in
+      let start_e =
+        if rho_e < 0 || rho_e = f then d
+        else Float.max d (Store.departure store rho_e)
+      in
+      acc := !acc +. Service_model.log_pdf model qe (de -. start_e)
+    end;
+    if g >= 0 && g <> e then begin
+      let dg = Store.departure store g in
+      let start_g = Float.max (Store.arrival store g) d in
+      acc := !acc +. Service_model.log_pdf model qf (dg -. start_g)
+    end;
+    !acc
+  end
+
+let degenerate_width = 1e-12
+
+let resample_event rng store model f =
+  if Store.observed store f then
+    invalid_arg "General_gibbs.resample_event: event is observed";
+  let lower, upper = window store f in
+  match upper with
+  | None ->
+      (* exact draw from the service distribution's tail case *)
+      let s = D.sample rng (Service_model.service model (Store.queue store f)) in
+      let s = if s > 0.0 then s else Float.min_float in
+      Store.set_departure store f (lower +. s)
+  | Some u ->
+      if u -. lower <= degenerate_width then Store.set_departure store f lower
+      else begin
+        let density d = log_conditional store model f d in
+        (* keep the slice seed strictly inside the window: densities
+           like the lognormal vanish at zero service *)
+        let pad = 1e-9 *. (u -. lower) in
+        let current =
+          Float.max (lower +. pad) (Float.min (u -. pad) (Store.departure store f))
+        in
+        let current =
+          if Float.is_finite (density current) then current
+          else 0.5 *. (lower +. u)
+        in
+        if Float.is_finite (density current) then
+          Store.set_departure store f
+            (Slice.step rng ~log_density:density ~lower ~upper:u ~current)
+        (* else: pathological corner (measure zero) — keep the state *)
+      end
+
+let sweep ?(shuffle = false) rng store model =
+  let order = Store.unobserved_events store in
+  if shuffle then Rng.shuffle_in_place rng order;
+  Array.iter (fun f -> resample_event rng store model f) order
+
+let run ?shuffle ~sweeps rng store model =
+  if sweeps < 0 then invalid_arg "General_gibbs.run: negative sweep count";
+  for _ = 1 to sweeps do
+    sweep ?shuffle rng store model
+  done

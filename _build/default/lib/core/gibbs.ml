@@ -1,0 +1,105 @@
+module Rng = Qnet_prob.Rng
+module Piecewise = Qnet_prob.Piecewise
+module Store = Event_store
+
+type local_density = {
+  event : int;
+  lower : float;
+  upper : float option;
+  linear : float;
+  hinges : Piecewise.hinge list;
+}
+
+let local_density store params f =
+  if Store.observed store f then
+    invalid_arg "Gibbs.local_density: event is observed";
+  let mu_f = Params.rate params (Store.queue store f) in
+  let lower = ref (Store.start_service store f) in
+  let upper = ref None in
+  let linear = ref (-.mu_f) in
+  let hinges = ref [] in
+  let tighten_upper u =
+    match !upper with
+    | None -> upper := Some u
+    | Some u0 -> if u < u0 then upper := Some u
+  in
+  let e = Store.pi_inv store f in
+  let g = Store.rho_inv store f in
+  (* Within-task successor e: its arrival is the value being moved. *)
+  if e >= 0 then begin
+    let mu_e = Params.rate params (Store.queue store e) in
+    tighten_upper (Store.departure store e);
+    let rho_e = Store.rho store e in
+    if rho_e = f then
+      (* The task queues directly behind itself: e's service starts at
+         max(d, d) = d, so the term is linear in d with no breakpoint. *)
+      linear := !linear +. mu_e
+    else if rho_e < 0 then
+      (* e is the first arrival at its queue: service starts at a_e = d. *)
+      linear := !linear +. mu_e
+    else begin
+      (* Breakpoint where d overtakes the previous departure at e's
+         queue; below it the term is constant. *)
+      hinges := { Piecewise.knee = Store.departure store rho_e; slope = mu_e } :: !hinges;
+      (* Keep e's position in its queue's arrival order. *)
+      lower := Float.max !lower (Store.arrival store rho_e)
+    end;
+    let next_e = Store.rho_inv store e in
+    if next_e >= 0 then tighten_upper (Store.arrival store next_e)
+  end;
+  (* Within-queue successor g: its FIFO service start is max(a_g, d). *)
+  if g >= 0 && g <> e then begin
+    tighten_upper (Store.departure store g);
+    hinges := { Piecewise.knee = Store.arrival store g; slope = mu_f } :: !hinges
+  end;
+  { event = f; lower = !lower; upper = !upper; linear = !linear; hinges = !hinges }
+
+let degenerate_width = 1e-12
+
+let compile ld =
+  match ld.upper with
+  | None ->
+      (* Only the self term remains: an exponential tail with rate
+         mu_f = -linear (no hinges can exist without e or g). *)
+      assert (ld.hinges = []);
+      `Tail (ld.lower, -.ld.linear)
+  | Some u ->
+      if u -. ld.lower <= degenerate_width then `Point ld.lower
+      else
+        `Bounded
+          (Piecewise.compile ~lower:ld.lower ~upper:u ~linear:ld.linear
+             ~hinges:ld.hinges)
+
+let log_conditional ld x =
+  let inside =
+    x >= ld.lower && (match ld.upper with None -> true | Some u -> x <= u)
+  in
+  if not inside then neg_infinity
+  else
+    List.fold_left
+      (fun acc { Piecewise.knee; slope } ->
+        acc +. (slope *. Float.max 0.0 (x -. knee)))
+      (ld.linear *. x) ld.hinges
+
+let sample_local rng ld =
+  match compile ld with
+  | `Point x -> x
+  | `Tail (origin, rate) -> origin +. (-.log (Rng.float_pos rng) /. rate)
+  | `Bounded pw -> Piecewise.sample rng pw
+
+let sample_event rng store params f =
+  sample_local rng (local_density store params f)
+
+let resample_event rng store params f =
+  Store.set_departure store f (sample_event rng store params f)
+
+let sweep ?(shuffle = false) rng store params =
+  let order = Store.unobserved_events store in
+  if shuffle then Rng.shuffle_in_place rng order;
+  Array.iter (fun f -> resample_event rng store params f) order
+
+let run ?shuffle ~sweeps rng store params =
+  if sweeps < 0 then invalid_arg "Gibbs.run: negative sweep count";
+  for _ = 1 to sweeps do
+    sweep ?shuffle rng store params
+  done

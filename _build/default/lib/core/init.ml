@@ -1,0 +1,220 @@
+module Store = Event_store
+module Dcs = Qnet_lp.Difference_constraints
+module Simplex = Qnet_lp.Simplex
+
+type strategy = Earliest | Latest | Centered | Targeted
+
+(* Collect the timing constraints induced by the fixed structure.
+   Constraints between two observed (hence fixed) departures are
+   skipped: they hold in any mask derived from a valid trace. *)
+let build_system ?(slack = 1e-9) store =
+  let m = Store.num_events store in
+  (* Cap from observed data only: latent values must not leak. *)
+  let max_obs = ref 0.0 in
+  for i = 0 to m - 1 do
+    if Store.observed store i then max_obs := Float.max !max_obs (Store.departure store i)
+  done;
+  let cap = (1.5 *. !max_obs) +. 10.0 in
+  let sys = Dcs.create ~default_upper:cap m in
+  let count = ref 0 in
+  let fixed = Store.observed store in
+  let le i j c =
+    (* x_i - x_j <= c, skipped when both endpoints are fixed *)
+    if not (fixed i && fixed j) then begin
+      Dcs.add_le sys i j c;
+      incr count
+    end
+  in
+  for i = 0 to m - 1 do
+    if fixed i then begin
+      Dcs.add_eq sys i (Store.departure store i);
+      count := !count + 2
+    end;
+    (* service of i is non-negative: d_i >= a_i and d_i >= d_rho(i) *)
+    let p = Store.pi store i in
+    if p >= 0 then le p i (-.slack)
+    else if not (fixed i) then begin
+      Dcs.add_lower sys i slack;
+      incr count
+    end;
+    let r = Store.rho store i in
+    if r >= 0 then le r i (-.slack);
+    (* arrival order at i's queue: a_i <= a_{rho_inv i} *)
+    let j = Store.rho_inv store i in
+    if j >= 0 then begin
+      let pj = Store.pi store j in
+      if p >= 0 && pj >= 0 then le p pj (-.slack)
+      else if p >= 0 && pj < 0 then
+        (* j is initial (arrival 0) while i is not: impossible unless
+           a_i <= 0; record as an upper bound to surface infeasibility *)
+        le p p 0.0
+    end
+  done;
+  (sys, !count)
+
+let constraint_count store = snd (build_system store)
+
+let write_solution store solution =
+  let m = Store.num_events store in
+  for i = 0 to m - 1 do
+    if not (Store.observed store i) then Store.set_departure store i solution.(i)
+  done
+
+(* The "x_v >= x_u + slack" dependency edges: service non-negativity
+   (pi(i) -> i and rho(i) -> i) and the per-queue arrival-order
+   constraints (pi(i) -> pi(j) for consecutive arrivals i, j). These
+   all point forward in time, so the graph is acyclic for any store
+   built from a valid trace. *)
+let dependency_edges store =
+  let m = Store.num_events store in
+  let edges = ref [] in
+  for i = 0 to m - 1 do
+    let p = Store.pi store i and r = Store.rho store i in
+    if p >= 0 then edges := (p, i) :: !edges;
+    if r >= 0 then edges := (r, i) :: !edges;
+    let j = Store.rho_inv store i in
+    if j >= 0 then begin
+      let pj = Store.pi store j in
+      if p >= 0 && pj >= 0 then edges := (p, pj) :: !edges
+    end
+  done;
+  !edges
+
+let dependency_order store =
+  let m = Store.num_events store in
+  let indegree = Array.make m 0 in
+  let succs = Array.make m [] in
+  List.iter
+    (fun (u, v) ->
+      indegree.(v) <- indegree.(v) + 1;
+      succs.(u) <- v :: succs.(u))
+    (dependency_edges store);
+  let queue = Queue.create () in
+  for i = 0 to m - 1 do
+    if indegree.(i) = 0 then Queue.add i queue
+  done;
+  let order = Array.make m 0 in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    order.(!k) <- i;
+    incr k;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  assert (!k = m);
+  order
+
+(* Greedy LP surrogate: in dependency order, give each latent event a
+   departure of (service start + target mean service), clamped into
+   [all incoming dependencies + slack, latest-feasible]. Clamping by
+   the componentwise-latest solution keeps every later constraint
+   satisfiable; the dependency walk keeps every earlier one satisfied. *)
+let targeted_solution ~slack store target latest =
+  let m = Store.num_events store in
+  let solution = Array.make m 0.0 in
+  let value i =
+    if Store.observed store i then Store.departure store i else solution.(i)
+  in
+  let preds = Array.make m [] in
+  List.iter (fun (u, v) -> preds.(v) <- u :: preds.(v)) (dependency_edges store);
+  Array.iter
+    (fun i ->
+      if Store.observed store i then solution.(i) <- Store.departure store i
+      else begin
+        let p = Store.pi store i and r = Store.rho store i in
+        let arrival = if p < 0 then 0.0 else value p in
+        let start = if r < 0 then arrival else Float.max arrival (value r) in
+        let lower =
+          List.fold_left
+            (fun acc u -> Float.max acc (value u +. slack))
+            (Float.max slack (start +. slack))
+            preds.(i)
+        in
+        let wanted = start +. Params.mean_service target (Store.queue store i) in
+        solution.(i) <- Float.min latest.(i) (Float.max lower wanted)
+      end)
+    (dependency_order store);
+  solution
+
+let feasible ?strategy ?(slack = 1e-9) ?target store =
+  let strategy =
+    match (strategy, target) with
+    | Some s, _ -> s
+    | None, Some _ -> Targeted
+    | None, None -> Centered
+  in
+  let sys, _ = build_system ~slack store in
+  let solved =
+    match strategy with
+    | Earliest -> Dcs.solve sys `Earliest
+    | Latest -> Dcs.solve sys `Latest
+    | Centered -> Dcs.solve_centered sys
+    | Targeted -> (
+        match target with
+        | None -> invalid_arg "Init.feasible: Targeted strategy requires ~target"
+        | Some params -> (
+            match Dcs.solve sys `Latest with
+            | Error e -> Error e
+            | Ok latest -> Ok (targeted_solution ~slack store params latest)))
+  in
+  match solved with
+  | Error { Dcs.message } -> Error message
+  | Ok solution ->
+      write_solution store solution;
+      (match Store.validate store with
+      | Ok () -> Ok ()
+      | Error msg -> Error ("initialization produced invalid state: " ^ msg))
+
+let lp ?(slack = 1e-9) store params =
+  let m = Store.num_events store in
+  (* Variable layout: d_i = i, b_i = m+i, u_i = 2m+i, v_i = 3m+i.
+     b_i is the relaxed service start (>= every lower bound on the
+     true max); u - v = s - target splits the L1 objective. *)
+  let d i = i and b i = m + i and u i = (2 * m) + i and v i = (3 * m) + i in
+  let constraints = ref [] in
+  let add coeffs relation rhs =
+    constraints := { Simplex.coeffs; relation; rhs } :: !constraints
+  in
+  for i = 0 to m - 1 do
+    if Store.observed store i then
+      add [ (d i, 1.0) ] Simplex.Eq (Store.departure store i);
+    let target = Params.mean_service params (Store.queue store i) in
+    let p = Store.pi store i in
+    (* b_i >= a_i *)
+    if p >= 0 then add [ (b i, 1.0); (d p, -1.0) ] Simplex.Ge 0.0;
+    (* b_i >= d_rho(i) *)
+    let r = Store.rho store i in
+    if r >= 0 then add [ (b i, 1.0); (d r, -1.0) ] Simplex.Ge 0.0;
+    (* s_i = d_i - b_i >= slack *)
+    add [ (d i, 1.0); (b i, -1.0) ] Simplex.Ge slack;
+    (* d_i - b_i - u_i + v_i = target *)
+    add [ (d i, 1.0); (b i, -1.0); (u i, -1.0); (v i, 1.0) ] Simplex.Eq target;
+    (* arrival order at i's queue *)
+    let j = Store.rho_inv store i in
+    if j >= 0 then begin
+      let pj = Store.pi store j in
+      if p >= 0 && pj >= 0 then
+        add [ (d p, 1.0); (d pj, -1.0) ] Simplex.Le (-.slack)
+    end
+  done;
+  let objective = List.init m (fun i -> [ (u i, 1.0); (v i, 1.0) ]) |> List.concat in
+  let problem =
+    {
+      Simplex.num_vars = 4 * m;
+      objective;
+      minimize = true;
+      constraints = !constraints;
+    }
+  in
+  match Simplex.solve problem with
+  | Simplex.Infeasible -> Error "LP initialization: infeasible"
+  | Simplex.Unbounded -> Error "LP initialization: unbounded (bug)"
+  | Simplex.Optimal { objective_value; solution } ->
+      write_solution store (Array.sub solution 0 m);
+      (match Store.validate store with
+      | Ok () -> Ok objective_value
+      | Error msg -> Error ("LP initialization produced invalid state: " ^ msg))

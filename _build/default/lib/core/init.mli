@@ -1,0 +1,63 @@
+(** Feasible initialization of the latent departures.
+
+    The Gibbs sampler needs a starting state satisfying every
+    deterministic constraint (Section 3 of the paper notes that such
+    constraints make initialization nontrivial: a task may mix
+    observed and unobserved arrivals, so an arrival is constrained
+    both through its queue and through its task).
+
+    Two methods are provided:
+
+    - {!feasible}: all timing constraints, with arrival orders fixed,
+      form a difference-constraint system over the departure vector;
+      Bellman–Ford yields the componentwise-earliest and -latest
+      solutions, and their midpoint (feasible by convexity) is a
+      well-centred start. This is fast — O(edges) in practice — and is
+      the default everywhere.
+
+    - {!lp}: the paper's initializer — minimize [Σ_e |s_e − 1/μ_{q_e}|]
+      subject to the same constraints, as a linear program (the [max]
+      in the service definition is relaxed to a free service-start
+      variable, which preserves feasibility of the optimum). Cubic-ish
+      in trace size with the dense simplex solver, so it is only
+      practical for small traces; used in tests and the initialization
+      ablation. *)
+
+type strategy =
+  | Earliest  (** everything as early as the constraints allow *)
+  | Latest  (** as late as allowed (bounded by a cap over the horizon) *)
+  | Centered  (** midpoint of the two, feasible by convexity *)
+  | Targeted
+      (** greedy LP surrogate: walk the dependency DAG assigning each
+          latent departure [service start + target mean service],
+          clamped into the latest-feasible envelope. This mimics the
+          paper's LP objective at Bellman–Ford cost and, crucially,
+          does not strand unanchored trailing events far from the data
+          (which {!Centered} does, and single-site Gibbs then takes
+          very long to repair). Requires [target] parameters. *)
+
+val feasible :
+  ?strategy:strategy ->
+  ?slack:float ->
+  ?target:Params.t ->
+  Event_store.t ->
+  (unit, string) result
+(** [feasible store] overwrites every unobserved departure with a
+    feasible assignment. [slack] (default 1e-9) is the strict-order
+    separation enforced between chained times. The default strategy is
+    [Targeted] when [target] is given, [Centered] otherwise; passing
+    [~strategy:Targeted] without [target] raises [Invalid_argument].
+    Returns [Error] if the observations are mutually inconsistent
+    (impossible for masks produced from a valid trace). *)
+
+val lp :
+  ?slack:float -> Event_store.t -> Params.t -> (float, string) result
+(** [lp store params] runs the paper's L1 linear program with target
+    mean services [1/μ_q] from [params], writes the optimal departures
+    into the store, and returns the optimal objective
+    [Σ_e |s_e − 1/μ_{q_e}|] (with [s_e] the LP's relaxed service).
+    Intended for stores with at most a few hundred events. *)
+
+val constraint_count : Event_store.t -> int
+(** Number of difference constraints the trace induces (for
+    reporting). *)

@@ -1,0 +1,45 @@
+(** Time-windowed posterior analysis — the paper's motivating
+    "What happened?" question ("Five minutes ago, a brief spike in
+    workload occurred. Which parts of the system were the bottleneck
+    during that spike?", §1).
+
+    Steady-state theory has no notion of a particular five minutes;
+    the imputed latent state does: every event has a (sampled) arrival
+    and departure, so per-queue load and delay can be conditioned on
+    any wall-clock window. Averaging the report over post-burn-in
+    Gibbs sweeps gives the posterior answer. *)
+
+type queue_window = {
+  queue : int;
+  arrivals : int;  (** events arriving inside the window *)
+  mean_waiting : float;  (** over those events; 0 if none *)
+  mean_service : float;
+  utilization : float;  (** busy fraction of the window *)
+}
+
+type t = {
+  window : float * float;
+  queues : queue_window array;
+}
+
+val snapshot : Event_store.t -> window:float * float -> t
+(** Report of the store's {e current} latent state restricted to the
+    window. Raises [Invalid_argument] on an empty/reversed window. *)
+
+val posterior :
+  ?sweeps:int ->
+  ?burn_in:int ->
+  Qnet_prob.Rng.t ->
+  Event_store.t ->
+  Params.t ->
+  window:float * float ->
+  t
+(** Posterior mean of {!snapshot} over the Gibbs chain: runs [sweeps]
+    (default 60) sweeps under the given parameters, discards
+    [burn_in] (default 20), and averages the per-queue numbers
+    (the arrival counts are rounded posterior means). *)
+
+val busiest : t -> queue_window
+(** The window's highest-utilization queue. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type verdict = Healthy | Load_bottleneck | Intrinsic_slowness
+
+type report = {
+  queue : int;
+  name : string;
+  mean_service : float;
+  mean_waiting : float;
+  share_of_delay : float;
+  verdict : verdict;
+}
+
+let analyze ?names ?(exclude = []) ~mean_service ~mean_waiting () =
+  let nq = Array.length mean_service in
+  if Array.length mean_waiting <> nq then
+    invalid_arg "Localization.analyze: array length mismatch";
+  let name q =
+    match names with
+    | Some ns when q < Array.length ns -> ns.(q)
+    | _ -> Printf.sprintf "q%d" q
+  in
+  let included = List.filter (fun q -> not (List.mem q exclude)) (List.init nq Fun.id) in
+  if included = [] then invalid_arg "Localization.analyze: all queues excluded";
+  let delay q = mean_service.(q) +. mean_waiting.(q) in
+  let total = List.fold_left (fun acc q -> acc +. delay q) 0.0 included in
+  let total = if total > 0.0 then total else 1.0 in
+  let median_other_service q =
+    let others =
+      List.filter_map
+        (fun q' -> if q' = q then None else Some mean_service.(q'))
+        included
+    in
+    match others with
+    | [] -> mean_service.(q)
+    | _ -> Qnet_prob.Statistics.median (Array.of_list others)
+  in
+  let ranked =
+    List.sort (fun a b -> compare (delay b) (delay a)) included
+  in
+  let reports =
+    List.mapi
+      (fun rank q ->
+        let verdict =
+          if rank > 0 then Healthy
+          else if mean_waiting.(q) > 2.0 *. mean_service.(q) then Load_bottleneck
+          else if mean_service.(q) > 1.5 *. median_other_service q then
+            Intrinsic_slowness
+          else Healthy
+        in
+        {
+          queue = q;
+          name = name q;
+          mean_service = mean_service.(q);
+          mean_waiting = mean_waiting.(q);
+          share_of_delay = delay q /. total;
+          verdict;
+        })
+      ranked
+  in
+  Array.of_list reports
+
+let bottleneck reports =
+  if Array.length reports = 0 then invalid_arg "Localization.bottleneck: empty";
+  reports.(0)
+
+let verdict_string = function
+  | Healthy -> "healthy"
+  | Load_bottleneck -> "LOAD BOTTLENECK"
+  | Intrinsic_slowness -> "INTRINSICALLY SLOW"
+
+let pp_report ppf reports =
+  Format.fprintf ppf "%-12s %12s %12s %8s  %s@." "queue" "mean-serv" "mean-wait"
+    "share" "verdict";
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %12.5f %12.5f %7.1f%%  %s@." r.name r.mean_service
+        r.mean_waiting
+        (100.0 *. r.share_of_delay)
+        (verdict_string r.verdict))
+    reports

@@ -1,0 +1,46 @@
+(** Performance-problem localization — the application the paper
+    builds on top of inference (Section 5 intro).
+
+    Given per-queue estimates of mean service time (intrinsic speed)
+    and mean waiting time (load-induced delay), localization answers
+    "which component is the bottleneck, and is it slow or just
+    overloaded?". A queue whose waiting time dominates is
+    load-bound; one whose service time dominates is intrinsically
+    slow. *)
+
+type verdict =
+  | Healthy
+  | Load_bottleneck  (** waiting time dominates the per-queue delay *)
+  | Intrinsic_slowness  (** service time itself is the outlier *)
+
+type report = {
+  queue : int;
+  name : string;
+  mean_service : float;
+  mean_waiting : float;
+  share_of_delay : float;
+      (** this queue's (service+waiting) share of the network total *)
+  verdict : verdict;
+}
+
+val analyze :
+  ?names:string array ->
+  ?exclude:int list ->
+  mean_service:float array ->
+  mean_waiting:float array ->
+  unit ->
+  report array
+(** [analyze ~mean_service ~mean_waiting ()] ranks queues by their
+    contribution to total delay (descending). [exclude] removes
+    queues (e.g. the synthetic arrival queue q0) from the analysis.
+    Verdicts: the top-delay queue is flagged [Load_bottleneck] when
+    waiting exceeds twice its service time, [Intrinsic_slowness] when
+    its service time exceeds 1.5× the median service time of the
+    other queues, and both conditions prefer the former; all other
+    queues are [Healthy]. *)
+
+val bottleneck : report array -> report
+(** The top-ranked report. *)
+
+val pp_report : Format.formatter -> report array -> unit
+(** Table rendering used by the examples and the experiment binary. *)

@@ -1,0 +1,28 @@
+(** Monte Carlo EM: the classical alternative the paper contrasts with
+    StEM (Wei & Tanner's approach). Each EM iteration runs an inner
+    Gibbs chain for several sweeps and averages the sufficient
+    statistics over the retained sweeps before the M-step — more work
+    per iteration than StEM but a smoother parameter path. Included
+    for the A2 ablation experiment. *)
+
+type config = {
+  em_iterations : int;  (** outer EM iterations (default 20) *)
+  sweeps_per_iteration : int;  (** inner Gibbs sweeps (default 20) *)
+  inner_burn_in : int;  (** inner sweeps discarded (default 5) *)
+  init_strategy : Init.strategy;
+  min_queue_events : int;
+}
+
+val default_config : config
+
+type result = {
+  params : Params.t;
+  history : Params.t array;
+  mean_service : float array;
+}
+
+val run :
+  ?config:config -> ?init:Params.t -> Qnet_prob.Rng.t -> Event_store.t -> result
+(** Same contract as {!Stem.run}; the returned parameters are the
+    final EM iterate (MCEM converges rather than jitters, so no
+    averaging is needed). *)

@@ -1,0 +1,87 @@
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+
+type scheme =
+  | All
+  | Task_fraction of float
+  | Event_fraction of float
+  | Explicit_tasks of int list
+
+let validate = function
+  | All -> Ok ()
+  | Task_fraction f | Event_fraction f ->
+      if f >= 0.0 && f <= 1.0 then Ok ()
+      else Error "observation fraction must lie in [0,1]"
+  | Explicit_tasks _ -> Ok ()
+
+(* Group event indices by task, in canonical (task, arrival) order. *)
+let task_groups trace =
+  let events = trace.Trace.events in
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun i e ->
+      let cur = try Hashtbl.find tbl e.Trace.task with Not_found -> [] in
+      Hashtbl.replace tbl e.Trace.task (i :: cur))
+    events;
+  Hashtbl.fold (fun task idxs acc -> (task, Array.of_list (List.rev idxs)) :: acc) tbl []
+  |> List.sort compare
+
+let mark_task_observed mask idxs =
+  (* Every departure, including the final one: in the paper's event
+     model the transition into the FSM's final state is itself an
+     event whose arrival time is the last service completion, so
+     observing all of a task's arrivals pins every departure. *)
+  Array.iter (fun i -> mask.(i) <- true) idxs
+
+let mask rng scheme trace =
+  (match validate scheme with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Observation.mask: " ^ m));
+  let n = Array.length trace.Trace.events in
+  let m = Array.make n false in
+  (match scheme with
+  | All -> Array.fill m 0 n true
+  | Explicit_tasks tasks ->
+      let groups = task_groups trace in
+      List.iter
+        (fun task ->
+          match List.assoc_opt task groups with
+          | Some idxs -> mark_task_observed m idxs
+          | None -> invalid_arg (Printf.sprintf "Observation.mask: unknown task %d" task))
+        tasks
+  | Task_fraction f ->
+      let groups = Array.of_list (task_groups trace) in
+      let total = Array.length groups in
+      let want = Stdlib.max 1 (int_of_float (Float.round (f *. float_of_int total))) in
+      let want = Stdlib.min want total in
+      let chosen = Rng.sample_without_replacement rng want total in
+      List.iter (fun gi -> mark_task_observed m (snd groups.(gi))) chosen
+  | Event_fraction f ->
+      (* Observing the arrival of event e fixes the departure of its
+         within-task predecessor; the arrival of the implicit
+         final-state event fixes the last departure. One independent
+         coin per arrival. *)
+      List.iter
+        (fun (_, idxs) ->
+          let k = Array.length idxs in
+          for j = 1 to k - 1 do
+            if Rng.float_unit rng < f then m.(idxs.(j - 1)) <- true
+          done;
+          if Rng.float_unit rng < f then m.(idxs.(k - 1)) <- true)
+        (task_groups trace));
+  m
+
+let observed_tasks trace mask =
+  let groups = task_groups trace in
+  List.filter_map
+    (fun (task, idxs) ->
+      if Array.for_all (fun i -> mask.(i)) idxs then Some task else None)
+    groups
+
+let fraction_events_observed mask =
+  let n = Array.length mask in
+  if n = 0 then 0.0
+  else begin
+    let c = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+    float_of_int c /. float_of_int n
+  end

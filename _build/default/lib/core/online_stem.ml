@@ -1,0 +1,114 @@
+module Trace = Qnet_trace.Trace
+module Store = Event_store
+
+type step = {
+  window : float * float;
+  num_tasks : int;
+  params : Params.t;
+  mean_service : float array;
+}
+
+type config = { num_windows : int; iterations : int; min_tasks : int }
+
+let default_config = { num_windows = 6; iterations = 80; min_tasks = 10 }
+
+(* entry time of each task = departure of its initial event *)
+let entry_times trace =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      if e.Trace.arrival = 0.0 then Hashtbl.replace tbl e.Trace.task e.Trace.departure)
+    trace.Trace.events;
+  tbl
+
+let run ?(config = default_config) rng trace ~mask =
+  if config.num_windows < 1 then invalid_arg "Online_stem.run: need >= 1 window";
+  if Array.length mask <> Array.length trace.Trace.events then
+    invalid_arg "Online_stem.run: mask length mismatch";
+  let entries = entry_times trace in
+  let lo =
+    Hashtbl.fold (fun _ t acc -> Float.min acc t) entries infinity
+  in
+  let hi =
+    Hashtbl.fold (fun _ t acc -> Float.max acc t) entries neg_infinity
+  in
+  let width = (hi -. lo) /. float_of_int config.num_windows in
+  if not (width > 0.0) then invalid_arg "Online_stem.run: degenerate time span";
+  let window_of task =
+    let t = Hashtbl.find entries task in
+    Stdlib.min (config.num_windows - 1) (int_of_float ((t -. lo) /. width))
+  in
+  let steps = ref [] in
+  let previous = ref None in
+  for w = 0 to config.num_windows - 1 do
+    let t0 = lo +. (float_of_int w *. width) in
+    let t1 = t0 +. width in
+    (* Whole tasks whose entry falls in the window, with their mask.
+       Times are shifted so the window starts near 0: the q0 service
+       sum telescopes to the last entry time, so without the shift the
+       window's arrival-rate estimate would absorb all the time since
+       the trace began. *)
+    let shift e =
+      {
+        e with
+        Trace.arrival = (if e.Trace.arrival = 0.0 then 0.0 else e.Trace.arrival -. t0);
+        departure = e.Trace.departure -. t0;
+      }
+    in
+    let events = ref [] and mask_rev = ref [] in
+    Array.iteri
+      (fun i e ->
+        if window_of e.Trace.task = w then begin
+          events := shift e :: !events;
+          mask_rev := mask.(i) :: !mask_rev
+        end)
+      trace.Trace.events;
+    let events = List.rev !events in
+    let sub_mask = Array.of_list (List.rev !mask_rev) in
+    let num_tasks =
+      List.sort_uniq compare (List.map (fun e -> e.Trace.task) events) |> List.length
+    in
+    if num_tasks >= config.min_tasks then begin
+      let sub_trace = Trace.create ~num_queues:trace.Trace.num_queues events in
+      (* Trace.create sorts by (task, arrival): rebuild the mask in that
+         order by matching (task, departure) keys *)
+      let key e = (e.Trace.task, e.Trace.queue, e.Trace.departure) in
+      let mask_by_key = Hashtbl.create (Array.length sub_mask) in
+      List.iteri
+        (fun i e -> Hashtbl.replace mask_by_key (key e) sub_mask.(i))
+        events;
+      let observed =
+        Array.map (fun e -> Hashtbl.find mask_by_key (key e)) sub_trace.Trace.events
+      in
+      let store = Store.of_trace ~observed sub_trace in
+      let stem_config =
+        {
+          Stem.default_config with
+          Stem.iterations = config.iterations;
+          burn_in = config.iterations / 2;
+        }
+      in
+      let result =
+        match !previous with
+        | None -> Stem.run ~config:stem_config rng store
+        | Some p -> Stem.run ~config:stem_config ~init:p rng store
+      in
+      previous := Some result.Stem.params;
+      steps :=
+        {
+          window = (t0, t1);
+          num_tasks;
+          params = result.Stem.params;
+          mean_service = result.Stem.mean_service;
+        }
+        :: !steps
+    end
+  done;
+  List.rev !steps
+
+let arrival_rate_trajectory steps =
+  List.map
+    (fun s ->
+      let t0, t1 = s.window in
+      (0.5 *. (t0 +. t1), Params.arrival_rate s.params))
+    steps

@@ -1,0 +1,40 @@
+(** Chromatic parallel Gibbs sweeps on OCaml 5 domains — the
+    "distributed inference" direction the paper's §6 closes with.
+
+    A Gibbs move on event [f] reads and writes only [f]'s Markov
+    blanket (its π/ρ neighbours and their π-predecessors, at most nine
+    events). Two unobserved events whose blankets are disjoint can
+    therefore be resampled {e concurrently} without changing the
+    chain's stationary distribution — the classic chromatic Gibbs
+    sampler: colour the conflict graph so no two adjacent latent
+    events share a colour, then process each colour class in parallel,
+    classes in sequence.
+
+    The colouring is computed once per store (the conflict graph is
+    the fixed event topology) and reused across sweeps. Each domain
+    samples from its own {!Qnet_prob.Rng} stream, so runs are
+    deterministic {e given the number of domains} but differ between
+    domain counts (the per-event streams regroup).
+
+    With one domain this is exactly {!Gibbs.sweep} in colour order. *)
+
+type t
+(** A reusable parallel sweep plan for one store (colouring + per-class
+    event lists). *)
+
+val plan : ?num_domains:int -> Event_store.t -> t
+(** [plan store] colours the store's unobserved events.
+    [num_domains] defaults to [Domain.recommended_domain_count - 1],
+    at least 1. The plan is invalidated by {!Event_store.move_event}
+    (the conflict graph changes); build a fresh plan after routing
+    moves. *)
+
+val num_colors : t -> int
+val num_domains : t -> int
+
+val sweep : Qnet_prob.Rng.t -> t -> Event_store.t -> Params.t -> unit
+(** One full parallel sweep: every unobserved event is resampled
+    exactly once. [rng] seeds the per-domain streams for this sweep
+    (it is advanced once per domain). *)
+
+val run : sweeps:int -> Qnet_prob.Rng.t -> t -> Event_store.t -> Params.t -> unit

@@ -1,0 +1,68 @@
+module D = Qnet_prob.Distributions
+module Network = Qnet_des.Network
+
+type t = { services : D.t array; arrival_queue : int }
+
+let family_ok = function
+  | D.Exponential _ | D.Gamma _ | D.Erlang _ | D.Lognormal _
+  | D.Hyperexponential _ | D.Truncated_exponential _ | D.Pareto _ ->
+      true
+  | D.Uniform (lo, _) -> lo >= 0.0
+  | D.Deterministic _ | D.Normal _ -> false
+
+let create ~services ~arrival_queue =
+  Array.iteri
+    (fun q d ->
+      (match D.validate d with
+      | Ok () -> ()
+      | Error m ->
+          invalid_arg (Printf.sprintf "Service_model.create: queue %d: %s" q m));
+      if not (family_ok d) then
+        invalid_arg
+          (Format.asprintf
+             "Service_model.create: queue %d: %a has no usable density on (0, inf)" q
+             D.pp d))
+    services;
+  if arrival_queue < 0 || arrival_queue >= Array.length services then
+    invalid_arg "Service_model.create: arrival_queue out of range";
+  { services = Array.copy services; arrival_queue }
+
+let of_network net =
+  create
+    ~services:(Network.service_distributions net)
+    ~arrival_queue:(Network.arrival_queue net)
+
+let of_params params =
+  create
+    ~services:
+      (Array.init (Params.num_queues params) (fun q ->
+           D.Exponential (Params.rate params q)))
+    ~arrival_queue:
+      (* Params doesn't expose the field directly; recover via rate of
+         each queue — the arrival queue is carried explicitly. *)
+      params.Params.arrival_queue
+
+let to_params_approx t =
+  Params.create
+    ~rates:(Array.map (fun d -> 1.0 /. Float.max 1e-12 (D.mean d)) t.services)
+    ~arrival_queue:t.arrival_queue
+
+let num_queues t = Array.length t.services
+let service t q = t.services.(q)
+let mean_service t q = D.mean t.services.(q)
+
+let with_service t q d =
+  let services = Array.copy t.services in
+  services.(q) <- d;
+  create ~services ~arrival_queue:t.arrival_queue
+
+let log_pdf t q s = D.log_pdf t.services.(q) s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun q d ->
+      Format.fprintf ppf "%s%d: %a@," (if q = t.arrival_queue then "q0=" else "q") q
+        D.pp d)
+    t.services;
+  Format.fprintf ppf "@]"

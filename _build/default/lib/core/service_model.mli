@@ -1,0 +1,38 @@
+(** A generalized network model: one arbitrary positive service
+    distribution per queue (the exponential-only {!Params} is the
+    M/M/1 special case).
+
+    Used by {!General_gibbs} and {!General_stem}, which implement the
+    generalization the paper's §2 and §6 point to ("this viewpoint is
+    just as useful for more general service distributions, and we are
+    currently generalizing the sampler to that case"). *)
+
+type t = {
+  services : Qnet_prob.Distributions.t array;
+  arrival_queue : int;
+}
+
+val create :
+  services:Qnet_prob.Distributions.t array -> arrival_queue:int -> t
+(** Validates every distribution and additionally requires a
+    continuous positive-support family (Exponential, Gamma, Erlang,
+    Lognormal, Uniform on positives, Hyperexponential,
+    Truncated_exponential, Pareto); [Deterministic] and [Normal] are
+    rejected — the sampler needs a density on (0, ∞). *)
+
+val of_network : Qnet_des.Network.t -> t
+val of_params : Params.t -> t
+(** Exponential model with the given rates. *)
+
+val to_params_approx : t -> Params.t
+(** Exponential approximation matching each queue's mean — used to
+    seed initializers that want a {!Params.t}. *)
+
+val num_queues : t -> int
+val service : t -> int -> Qnet_prob.Distributions.t
+val mean_service : t -> int -> float
+val with_service : t -> int -> Qnet_prob.Distributions.t -> t
+val log_pdf : t -> int -> float -> float
+(** [log_pdf t q s]: log-density of service time [s] at queue [q]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+module Store = Event_store
+
+type config = {
+  iterations : int;
+  burn_in : int;
+  warmup_sweeps : int;
+  init_strategy : Init.strategy;
+  shuffle : bool;
+  min_queue_events : int;
+  prior_strength : float;
+}
+
+let default_config =
+  {
+    iterations = 200;
+    burn_in = 100;
+    warmup_sweeps = 10;
+    init_strategy = Init.Targeted;
+    shuffle = true;
+    min_queue_events = 1;
+    prior_strength = 0.05;
+  }
+
+type result = {
+  params : Params.t;
+  params_last : Params.t;
+  history : Params.t array;
+  mean_service : float array;
+  log_likelihood_history : float array;
+}
+
+let initial_guess store =
+  let nq = Store.num_queues store in
+  let m = Store.num_events store in
+  let q0 = Store.arrival_queue store in
+  let horizon = ref 0.0 in
+  for i = 0 to m - 1 do
+    if Store.observed store i then
+      horizon := Float.max !horizon (Store.departure store i)
+  done;
+  let horizon = if !horizon > 0.0 then !horizon else 1.0 in
+  let mean_service_guess q =
+    let order = Store.events_at_queue store q in
+    let n = Array.length order in
+    (* (a) Exact services where the whole neighbourhood is observed. *)
+    let exact_sum = ref 0.0 and exact_count = ref 0 in
+    (* (b) Mean response of observed events: upper bound on service
+       (meaningless at q0, where "response" is the entry time). *)
+    let resp_sum = ref 0.0 and resp_count = ref 0 in
+    (* (c) Mean inter-departure gap between observed events at known
+       order indices — the event counter makes the index gap known.
+       At q0 this estimates 1/λ exactly; elsewhere it upper-bounds the
+       mean service via utilization <= 1. *)
+    let first = ref None and last = ref None in
+    Array.iteri
+      (fun k i ->
+        let obs j = j < 0 || Store.observed store j in
+        if Store.observed store i then begin
+          (match !first with None -> first := Some (k, Store.departure store i) | Some _ -> ());
+          last := Some (k, Store.departure store i);
+          if obs (Store.pi store i) && obs (Store.rho store i) then begin
+            exact_sum := !exact_sum +. Store.service store i;
+            incr exact_count
+          end
+          else if q <> q0 && obs (Store.pi store i) then begin
+            resp_sum := !resp_sum +. (Store.departure store i -. Store.arrival store i);
+            incr resp_count
+          end
+        end)
+      order;
+    let candidates = ref [] in
+    if !exact_count >= 3 && !exact_sum > 0.0 then
+      candidates := (!exact_sum /. float_of_int !exact_count) :: !candidates;
+    if !resp_count >= 3 && !resp_sum > 0.0 then
+      candidates := (!resp_sum /. float_of_int !resp_count) :: !candidates;
+    (match (!first, !last) with
+    | Some (k0, d0), Some (k1, d1) when k1 > k0 && d1 > d0 ->
+        candidates := ((d1 -. d0) /. float_of_int (k1 - k0)) :: !candidates
+    | _ -> ());
+    match !candidates with
+    | [] ->
+        (* no observation at this queue at all: fall back to the
+           horizon-based throughput bound *)
+        Float.min (horizon /. float_of_int (Stdlib.max n 1)) horizon
+    | cs ->
+        (* every candidate is an upper bound on the mean service (or,
+           at q0, an estimate of it); take the tightest *)
+        List.fold_left Float.min infinity cs
+  in
+  let rates =
+    Array.init nq (fun q -> 1.0 /. Float.max 1e-9 (mean_service_guess q))
+  in
+  Params.create ~rates ~arrival_queue:q0
+
+let mle_step ?prior store ~previous ~min_queue_events =
+  let stats = Store.service_sufficient_stats store in
+  Params.map_rates previous (fun q prev ->
+      let count, total = stats.(q) in
+      if count >= min_queue_events && total > 0.0 then begin
+        match prior with
+        | None -> float_of_int count /. total
+        | Some (strength, anchor) ->
+            (* MAP under a Gamma prior with pseudo-service mass
+               [strength * count * anchor mean]: invisible when the
+               imputed services carry real information, but it stops
+               the collapse feedback (rates ratcheting to infinity by
+               hiding all time in density-free waiting) that pure
+               maximum likelihood allows under very sparse
+               observation. *)
+            let pseudo = strength *. float_of_int count *. Params.mean_service anchor q in
+            (float_of_int count +. 1.0) /. (total +. pseudo)
+      end
+      else prev)
+
+let run ?(config = default_config) ?init ?route_fsm rng store =
+  if config.iterations < 1 then invalid_arg "Stem.run: need at least one iteration";
+  if config.burn_in < 0 || config.burn_in >= config.iterations then
+    invalid_arg "Stem.run: burn_in must be in [0, iterations)";
+  let params0 = match init with Some p -> p | None -> initial_guess store in
+  (match Init.feasible ~strategy:config.init_strategy ~target:params0 store with
+  | Ok () -> ()
+  | Error msg -> failwith ("Stem.run: initialization failed: " ^ msg));
+  Gibbs.run ~shuffle:config.shuffle ~sweeps:config.warmup_sweeps rng store params0;
+  let history = Array.make config.iterations params0 in
+  let llh = Array.make config.iterations nan in
+  let params = ref params0 in
+  for it = 0 to config.iterations - 1 do
+    (* Stochastic E-step: one sweep under the current parameters, plus
+       a routing sweep when paths are uncertain. *)
+    Gibbs.sweep ~shuffle:config.shuffle rng store !params;
+    (match route_fsm with
+    | Some fsm -> ignore (Path_move.sweep rng store !params fsm)
+    | None -> ());
+    (* M-step (MAP when prior_strength > 0). *)
+    let prior =
+      if config.prior_strength > 0.0 then Some (config.prior_strength, params0)
+      else None
+    in
+    params :=
+      mle_step ?prior store ~previous:!params
+        ~min_queue_events:config.min_queue_events;
+    history.(it) <- !params;
+    llh.(it) <- Store.log_likelihood store !params
+  done;
+  (* Average post-burn-in iterates in mean-service space. *)
+  let nq = Store.num_queues store in
+  let kept = config.iterations - config.burn_in in
+  let mean_service = Array.make nq 0.0 in
+  for it = config.burn_in to config.iterations - 1 do
+    for q = 0 to nq - 1 do
+      mean_service.(q) <-
+        mean_service.(q) +. (Params.mean_service history.(it) q /. float_of_int kept)
+    done
+  done;
+  let averaged =
+    Params.create
+      ~rates:(Array.map (fun s -> 1.0 /. s) mean_service)
+      ~arrival_queue:(Store.arrival_queue store)
+  in
+  {
+    params = averaged;
+    params_last = !params;
+    history;
+    mean_service;
+    log_likelihood_history = llh;
+  }
+
+let estimate_waiting ?(sweeps = 100) ?(burn_in = 50) rng store params =
+  if burn_in < 0 || burn_in >= sweeps then
+    invalid_arg "Stem.estimate_waiting: burn_in must be in [0, sweeps)";
+  let nq = Store.num_queues store in
+  let acc = Array.make nq 0.0 in
+  let kept = sweeps - burn_in in
+  for sweep = 0 to sweeps - 1 do
+    Gibbs.sweep ~shuffle:true rng store params;
+    if sweep >= burn_in then begin
+      let w = Store.mean_waiting_by_queue store in
+      for q = 0 to nq - 1 do
+        acc.(q) <- acc.(q) +. (w.(q) /. float_of_int kept)
+      done
+    end
+  done;
+  acc
+
+let run_chains ?(config = default_config) ?(chains = 4) ~seed make_store =
+  if chains < 2 then invalid_arg "Stem.run_chains: need at least two chains";
+  let results =
+    Array.init chains (fun c ->
+        let rng = Qnet_prob.Rng.create ~seed:(seed + (c * 7919)) () in
+        run ~config rng (make_store ()))
+  in
+  let nq = Params.num_queues results.(0).params in
+  let kept = config.iterations - config.burn_in in
+  let rhat =
+    Array.init nq (fun q ->
+        let traces =
+          Array.map
+            (fun r ->
+              Array.init kept (fun i ->
+                  Params.mean_service r.history.(config.burn_in + i) q))
+            results
+        in
+        Qnet_prob.Statistics.gelman_rubin traces)
+  in
+  (results, rhat)

@@ -1,0 +1,1 @@
+lib/des/network.ml: Array Event_heap Float Printf Qnet_fsm Qnet_prob Qnet_trace Workload

@@ -1,0 +1,1 @@
+lib/des/network.mli: Qnet_fsm Qnet_prob Qnet_trace Workload

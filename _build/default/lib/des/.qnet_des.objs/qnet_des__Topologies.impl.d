@@ -1,0 +1,1 @@
+lib/des/topologies.ml: Array Fun List Network Printf Qnet_fsm Qnet_prob

@@ -1,0 +1,1 @@
+lib/des/topologies.mli: Network Qnet_prob

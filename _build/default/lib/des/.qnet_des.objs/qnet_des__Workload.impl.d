@@ -1,0 +1,1 @@
+lib/des/workload.ml: Array Float Qnet_prob

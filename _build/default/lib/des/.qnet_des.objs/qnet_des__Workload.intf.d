@@ -1,0 +1,1 @@
+lib/des/workload.mli: Qnet_prob

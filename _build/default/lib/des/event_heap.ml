@@ -1,0 +1,83 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let dummy = h.data in
+    let nd =
+      Array.init ncap (fun i -> if i < h.size then dummy.(i) else dummy.(0))
+    in
+    if cap = 0 then ()
+    else h.data <- nd
+  end
+
+let push h time value =
+  if Float.is_nan time then invalid_arg "Event_heap.push: NaN time";
+  let entry = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then begin
+    h.data <- Array.make 16 entry
+  end
+  else grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let i = ref (h.size - 1) in
+  while !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end
+    else i := 0
+  done
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).time, h.data.(0).value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.value)
+  end
+
+let of_list entries =
+  let h = create () in
+  List.iter (fun (t, v) -> push h t v) entries;
+  h

@@ -1,0 +1,20 @@
+(** Binary min-heap priority queue keyed by time, the core data
+    structure of the discrete-event simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h time v] inserts [v] with priority [time]. Raises
+    [Invalid_argument] on NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-time element. Ties are broken by
+    insertion order (FIFO), which makes simulations deterministic. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val of_list : (float * 'a) list -> 'a t

@@ -1,0 +1,113 @@
+module Rng = Qnet_prob.Rng
+module D = Qnet_prob.Distributions
+module Fsm = Qnet_fsm.Fsm
+module Trace = Qnet_trace.Trace
+
+type t = {
+  fsm : Fsm.t;
+  service : D.t array;
+  names : string array;
+  arrival_queue : int;
+}
+
+let create ?names ~fsm ~service () =
+  let nq = Fsm.num_queues fsm in
+  if Array.length service <> nq then
+    invalid_arg "Network.create: one service distribution per queue required";
+  Array.iteri
+    (fun q d ->
+      match D.validate d with
+      | Ok () -> ()
+      | Error msg ->
+          invalid_arg (Printf.sprintf "Network.create: queue %d: %s" q msg))
+    service;
+  let names =
+    match names with
+    | Some ns ->
+        if Array.length ns <> nq then
+          invalid_arg "Network.create: names length mismatch";
+        ns
+    | None -> Array.init nq (Printf.sprintf "q%d")
+  in
+  let arrival_queue =
+    match Fsm.emitted_queues fsm (Fsm.initial fsm) with
+    | [ (q, p) ] when p > 0.999999 -> q
+    | _ ->
+        invalid_arg
+          "Network.create: the initial state must deterministically emit the arrival queue"
+  in
+  { fsm; service; names; arrival_queue }
+
+let fsm t = t.fsm
+let num_queues t = Fsm.num_queues t.fsm
+let service t q = t.service.(q)
+let service_distributions t = Array.copy t.service
+let arrival_queue t = t.arrival_queue
+let name t q = t.names.(q)
+
+let with_service t q d =
+  (match D.validate d with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Network.with_service: " ^ msg));
+  let service = Array.copy t.service in
+  service.(q) <- d;
+  { t with service }
+
+type pending = { task : int; path : (Fsm.state * Fsm.queue) list }
+
+let simulate rng t ~entries =
+  let n = Array.length entries in
+  for i = 0 to n - 1 do
+    if entries.(i) <= 0.0 then invalid_arg "Network.simulate: entry times must be > 0";
+    if i > 0 && entries.(i) <= entries.(i - 1) then
+      invalid_arg "Network.simulate: entry times must be strictly increasing"
+  done;
+  let events = ref [] in
+  let heap = Event_heap.create () in
+  let initial_state = Fsm.initial t.fsm in
+  for k = 0 to n - 1 do
+    (* The initial event: arrival at q0 at time 0, departure = entry. *)
+    events :=
+      {
+        Trace.task = k;
+        state = initial_state;
+        queue = t.arrival_queue;
+        arrival = 0.0;
+        departure = entries.(k);
+      }
+      :: !events;
+    let path = Fsm.sample_path rng t.fsm in
+    if path <> [] then Event_heap.push heap entries.(k) { task = k; path }
+  done;
+  (* Per-queue last assigned departure: single-server FIFO means a
+     departure can be computed the moment the arrival is popped, since
+     pops happen in global arrival order. *)
+  let last_departure = Array.make (num_queues t) 0.0 in
+  let rec drain () =
+    match Event_heap.pop heap with
+    | None -> ()
+    | Some (arrival, { task; path }) -> (
+        match path with
+        | [] -> assert false
+        | (state, queue) :: rest ->
+            let s = D.sample rng t.service.(queue) in
+            let s = if s > 0.0 then s else Float.min_float in
+            let start = Float.max arrival last_departure.(queue) in
+            let departure = start +. s in
+            last_departure.(queue) <- departure;
+            events :=
+              { Trace.task; state; queue; arrival; departure } :: !events;
+            if rest <> [] then Event_heap.push heap departure { task; path = rest };
+            drain ())
+  in
+  drain ();
+  Trace.create ~num_queues:(num_queues t) !events
+
+let simulate_tasks rng t ~workload ~num_tasks =
+  let entries = Workload.generate rng workload num_tasks in
+  simulate rng t ~entries
+
+let simulate_poisson rng t ~num_tasks =
+  simulate_tasks rng t
+    ~workload:(Workload.Interarrival t.service.(t.arrival_queue))
+    ~num_tasks

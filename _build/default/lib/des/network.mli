@@ -1,0 +1,52 @@
+(** Open queueing networks of single-server FIFO stations, and their
+    discrete-event simulation.
+
+    A network couples a routing {!Qnet_fsm.Fsm.t} with one service
+    distribution per queue. By the paper's convention (Section 2) the
+    queue emitted by the FSM's initial state is the designated arrival
+    queue [q0]; its "service" distribution is the system interarrival
+    distribution, so an M/M/1-style network sets it to
+    [Exponential lambda]. *)
+
+type t
+
+val create :
+  ?names:string array ->
+  fsm:Qnet_fsm.Fsm.t ->
+  service:Qnet_prob.Distributions.t array ->
+  unit ->
+  t
+(** [create ~fsm ~service ()] validates and builds a network. The
+    [service] array must have one entry per FSM queue, each passing
+    [Distributions.validate]; [names] (optional, for reporting) must
+    match in length. The FSM's initial state must deterministically
+    emit a single queue (that queue is [q0]). *)
+
+val fsm : t -> Qnet_fsm.Fsm.t
+val num_queues : t -> int
+val service : t -> int -> Qnet_prob.Distributions.t
+val service_distributions : t -> Qnet_prob.Distributions.t array
+val arrival_queue : t -> int
+val name : t -> int -> string
+
+val with_service : t -> int -> Qnet_prob.Distributions.t -> t
+(** Functional update of one queue's service distribution. *)
+
+val simulate : Qnet_prob.Rng.t -> t -> entries:float array -> Qnet_trace.Trace.t
+(** [simulate rng t ~entries] runs the discrete-event simulation for
+    one task per entry time (strictly increasing, all > 0): each task
+    is born at its entry time, routed by the FSM, and served FIFO by
+    single-server stations. The result contains each task's initial
+    event (arrival 0, departure = entry time) plus one event per queue
+    visit, and satisfies all the deterministic constraints of the
+    paper's model by construction. *)
+
+val simulate_tasks :
+  Qnet_prob.Rng.t -> t -> workload:Workload.t -> num_tasks:int -> Qnet_trace.Trace.t
+(** Convenience wrapper: draw entry times from [workload], then
+    {!simulate}. *)
+
+val simulate_poisson :
+  Qnet_prob.Rng.t -> t -> num_tasks:int -> Qnet_trace.Trace.t
+(** Entry times from the network's own interarrival distribution at
+    [q0] (the M/M/1 ground-truth generator for the paper's §5.1). *)

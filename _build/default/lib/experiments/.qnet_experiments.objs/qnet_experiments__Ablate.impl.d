@@ -1,0 +1,1 @@
+lib/experiments/ablate.ml: Array Common Float List Printf Qnet_core Qnet_des Qnet_prob Sys

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Float List Printf Qnet_core Qnet_des Qnet_prob Qnet_trace String

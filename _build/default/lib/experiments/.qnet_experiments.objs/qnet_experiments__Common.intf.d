@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Qnet_core Qnet_des Qnet_trace

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Buffer Common Float List Printf Qnet_core Qnet_des Qnet_prob

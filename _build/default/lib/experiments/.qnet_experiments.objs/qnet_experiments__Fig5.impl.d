@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Buffer Common Float List Printf Qnet_core Qnet_prob Qnet_trace Qnet_webapp

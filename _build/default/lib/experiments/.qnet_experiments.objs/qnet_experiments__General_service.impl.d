@@ -1,0 +1,1 @@
+lib/experiments/general_service.ml: Array Common Float List Printf Qnet_core Qnet_des Qnet_prob

@@ -1,0 +1,1 @@
+lib/experiments/general_service.mli:

@@ -1,0 +1,1 @@
+lib/experiments/misspec.ml: Array Common Float List Printf Qnet_core Qnet_des Qnet_prob

@@ -1,0 +1,1 @@
+lib/experiments/online.ml: Array Common Float List Printf Qnet_core Qnet_prob Qnet_webapp

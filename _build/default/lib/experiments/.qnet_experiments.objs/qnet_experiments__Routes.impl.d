@@ -1,0 +1,1 @@
+lib/experiments/routes.ml: Array Common Float List Qnet_core Qnet_des Qnet_fsm Qnet_prob

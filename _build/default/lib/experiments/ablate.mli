@@ -1,0 +1,37 @@
+(** Ablations A1 and A2 from DESIGN.md.
+
+    A1 — initialization strategy: how fast does the Gibbs chain's
+    complete-data log-likelihood reach its stationary band from each
+    initializer? (The paper stresses that initialization must be done
+    "carefully"; this quantifies why.)
+
+    A2 — StEM vs Monte Carlo EM: accuracy and wall-clock of the two
+    EM variants at matched total sweep budgets. *)
+
+type init_row = {
+  strategy : string;
+  sweeps_to_stationary : int;
+      (** first sweep whose log-likelihood enters the stationary band
+          (computed from the final quarter of a long reference run);
+          [max_sweeps] when never reached *)
+  initial_llh : float;
+  final_llh : float;
+}
+
+val run_init_ablation :
+  ?seed:int -> ?num_tasks:int -> ?fraction:float -> ?max_sweeps:int -> unit ->
+  init_row list
+
+val print_init_report : init_row list -> unit
+
+type em_row = {
+  algorithm : string;
+  mean_service_error : float;
+  seconds : float;
+}
+
+val run_em_ablation :
+  ?seed:int -> ?num_tasks:int -> ?fraction:float -> unit -> em_row list
+(** StEM (200×1 sweeps) vs MCEM (10×20 sweeps): same total sweeps. *)
+
+val print_em_report : em_row list -> unit

@@ -1,0 +1,46 @@
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+module Network = Qnet_des.Network
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+
+type pipeline_result = {
+  trace : Trace.t;
+  mask : bool array;
+  store : Store.t;
+  stem : Stem.result;
+  waiting : float array;
+}
+
+let stem_config ?(iterations = 200) () =
+  { Stem.default_config with Stem.iterations; burn_in = iterations / 2 }
+
+let run_pipeline ?iterations ?(waiting_sweeps = 60) ~seed ~fraction ~num_tasks net =
+  let rng = Rng.create ~seed () in
+  let trace = Network.simulate_poisson rng net ~num_tasks in
+  let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
+  let store = Store.of_trace ~observed:mask trace in
+  let stem = Stem.run ~config:(stem_config ?iterations ()) rng store in
+  let waiting =
+    Stem.estimate_waiting ~sweeps:waiting_sweeps ~burn_in:(waiting_sweeps / 2) rng
+      store stem.Stem.params
+  in
+  { trace; mask; store; stem; waiting }
+
+let mean a =
+  if Array.length a = 0 then nan
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let true_mean_waiting trace q = mean (Trace.waiting_times trace q)
+let true_mean_service trace q = mean (Trace.service_times trace q)
+
+let print_header title =
+  Printf.printf "\n== %s ==\n%!" title
+
+let print_row cells =
+  let padded = List.map (fun c -> Printf.sprintf "%-12s" c) cells in
+  print_endline (String.concat " " padded)
+
+let cell_f x = if Float.is_nan x then "-" else Printf.sprintf "%.4f" x
+let cell_g x = if Float.is_nan x then "-" else Printf.sprintf "%.4g" x

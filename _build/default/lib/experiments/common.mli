@@ -1,0 +1,47 @@
+(** Shared plumbing for the experiment harness: the simulate → mask →
+    infer pipeline and small table-printing helpers used by every
+    experiment driver. *)
+
+type pipeline_result = {
+  trace : Qnet_trace.Trace.t;
+  mask : bool array;
+  store : Qnet_core.Event_store.t;
+  stem : Qnet_core.Stem.result;
+  waiting : float array;  (** posterior-mean waiting per queue *)
+}
+
+val stem_config : ?iterations:int -> unit -> Qnet_core.Stem.config
+(** The harness' StEM configuration ([iterations] total, half burn-in;
+    default 200). *)
+
+val run_pipeline :
+  ?iterations:int ->
+  ?waiting_sweeps:int ->
+  seed:int ->
+  fraction:float ->
+  num_tasks:int ->
+  Qnet_des.Network.t ->
+  pipeline_result
+(** Simulate [num_tasks] Poisson-arrival tasks on the network, observe
+    a [fraction] of tasks (the paper's §5.1 scheme), run StEM, and
+    estimate waiting times under the final parameters. *)
+
+val true_mean_waiting : Qnet_trace.Trace.t -> int -> float
+(** Ground-truth mean waiting time of a queue over the full trace. *)
+
+val true_mean_service : Qnet_trace.Trace.t -> int -> float
+(** Ground-truth mean realized service time of a queue. *)
+
+(** {1 Table printing} *)
+
+val print_header : string -> unit
+(** Banner line for an experiment section. *)
+
+val print_row : string list -> unit
+(** Tab-aligned row (each cell padded to 12 characters). *)
+
+val cell_f : float -> string
+(** Format a float for a table cell ([%.4f], or "-" for NaN). *)
+
+val cell_g : float -> string
+(** Compact float cell ([%.4g]). *)

@@ -1,0 +1,153 @@
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+module Webapp = Qnet_webapp.Webapp
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+
+type row = {
+  fraction : float;
+  queue : int;
+  name : string;
+  requests : int;
+  service_estimate : float;
+  waiting_estimate : float;
+  service_truth : float;
+}
+
+type config = {
+  fractions : float list;
+  webapp : Webapp.config;
+  stem_iterations : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    fractions = [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.3; 0.5 ];
+    webapp = Webapp.default_config;
+    stem_iterations = 150;
+    seed = 3;
+  }
+
+let quick_config =
+  {
+    fractions = [ 0.05; 0.2; 0.5 ];
+    webapp =
+      { Webapp.default_config with Webapp.num_requests = 1200; duration = 400.0 };
+    stem_iterations = 100;
+    seed = 3;
+  }
+
+let run ?(progress = fun _ -> ()) config =
+  (* one fixed trace (like the paper's single measured dataset),
+     re-observed at each fraction *)
+  let rng = Rng.create ~seed:config.seed () in
+  let trace = Webapp.generate rng config.webapp in
+  let truth = Webapp.ground_truth_mean_service config.webapp in
+  let names = Webapp.queue_names config.webapp in
+  let counts =
+    Array.init (Array.length names) (fun q -> Array.length (Trace.queue_events trace q))
+  in
+  let out = ref [] in
+  List.iter
+    (fun fraction ->
+      let rng = Rng.create ~seed:(config.seed + int_of_float (fraction *. 1e4)) () in
+      let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
+      let store = Store.of_trace ~observed:mask trace in
+      let stem =
+        Stem.run ~config:(Common.stem_config ~iterations:config.stem_iterations ()) rng
+          store
+      in
+      let waiting =
+        Stem.estimate_waiting ~sweeps:40 ~burn_in:20 rng store stem.Stem.params
+      in
+      for q = 0 to Array.length names - 1 do
+        out :=
+          {
+            fraction;
+            queue = q;
+            name = names.(q);
+            requests = counts.(q);
+            service_estimate = stem.Stem.mean_service.(q);
+            waiting_estimate = waiting.(q);
+            service_truth = truth.(q);
+          }
+          :: !out
+      done;
+      progress (Printf.sprintf "fig5: fraction=%.2f done" fraction))
+    config.fractions;
+  List.rev !out
+
+let print_report rows =
+  Common.print_header
+    "Figure 5: movie-voting web application, estimates vs % of traces observed";
+  Common.print_row
+    [ "fraction"; "queue"; "requests"; "serv-est"; "serv-true"; "wait-est" ];
+  List.iter
+    (fun r ->
+      if r.queue <> 0 then
+        Common.print_row
+          [
+            Printf.sprintf "%.2f" r.fraction;
+            r.name;
+            string_of_int r.requests;
+            Common.cell_f r.service_estimate;
+            Common.cell_f r.service_truth;
+            Common.cell_f r.waiting_estimate;
+          ])
+    rows;
+  (* stability analysis: spread of each queue's service estimate across
+     fractions >= 0.1, and the starved server's spread *)
+  let fractions = List.sort_uniq compare (List.map (fun r -> r.fraction) rows) in
+  let stable_fracs = List.filter (fun f -> f >= 0.1) fractions in
+  if List.length stable_fracs >= 2 then begin
+    let queues = List.sort_uniq compare (List.map (fun r -> r.queue) rows) in
+    let spread q =
+      let ests =
+        List.filter_map
+          (fun r ->
+            if r.queue = q && List.mem r.fraction stable_fracs then
+              Some r.service_estimate
+            else None)
+          rows
+        |> Array.of_list
+      in
+      let lo = Array.fold_left Float.min infinity ests in
+      let hi = Array.fold_left Float.max neg_infinity ests in
+      (hi -. lo) /. Float.max 1e-12 (0.5 *. (hi +. lo))
+    in
+    let starved =
+      List.find_opt (fun r -> r.requests < 50 && r.queue <> 0) rows
+    in
+    let healthy_spreads =
+      List.filter_map
+        (fun q ->
+          match starved with
+          | Some s when s.queue = q -> None
+          | _ -> if q = 0 then None else Some (spread q))
+        queues
+    in
+    let med = Qnet_prob.Statistics.median (Array.of_list healthy_spreads) in
+    Printf.printf
+      "stability (fractions >= 10%%): median relative spread of healthy queues = %.2f\n"
+      med;
+    match starved with
+    | Some s ->
+        Printf.printf
+          "starved server %s saw %d requests; relative spread %.2f (paper: the 19-request server is the unstable outlier)\n"
+          s.name s.requests (spread s.queue)
+    | None -> ()
+  end
+
+let to_csv rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "fraction,queue,name,requests,service_estimate,waiting_estimate,service_truth\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.4f,%d,%s,%d,%.8g,%.8g,%.8g\n" r.fraction r.queue r.name
+           r.requests r.service_estimate r.waiting_estimate r.service_truth))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Experiment E4 — the paper's Figure 5: the movie-voting web
+    application.
+
+    For each observation fraction, run StEM on the (synthetic stand-in
+    for the) 5759-request trace and record per-queue mean service and
+    waiting estimates. The paper's qualitative findings to reproduce:
+    estimates are stable from 50% down to ~10% observation, degrade
+    below, and the starved web server (19 requests) is wildly
+    unstable at every fraction. Unlike the paper, our generator knows
+    the ground truth, so we can also report true errors. *)
+
+type row = {
+  fraction : float;
+  queue : int;
+  name : string;
+  requests : int;  (** events this queue served in the trace *)
+  service_estimate : float;
+  waiting_estimate : float;
+  service_truth : float;  (** generator's 1/rate *)
+}
+
+type config = {
+  fractions : float list;  (** default [0.01; 0.02; 0.05; 0.1; 0.2; 0.3; 0.5] *)
+  webapp : Qnet_webapp.Webapp.config;
+  stem_iterations : int;
+  seed : int;
+}
+
+val default_config : config
+val quick_config : config
+(** 1200 requests, 3 fractions. *)
+
+val run : ?progress:(string -> unit) -> config -> row list
+
+val print_report : row list -> unit
+(** The Figure 5 table: one row per (fraction, queue) with estimates
+    vs truth, plus the starved-server stability commentary. *)
+
+val to_csv : row list -> string
+(** The Figure 5 series as CSV for external plotting. *)

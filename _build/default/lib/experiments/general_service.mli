@@ -1,0 +1,28 @@
+(** Ablation/extension A5 — inference with the correct (non-exponential)
+    service family, the generalization the paper's §2/§6 announce.
+
+    The generator gives one queue a lognormal service with high
+    variance. Three inference treatments at 10% observation:
+
+    - [mm1-model]: the paper's exponential-only StEM (misspecified);
+    - [lognormal-model]: {!Qnet_core.General_stem} with the true family
+      at that queue;
+    - [gamma-model]: general StEM with a flexible 2-parameter family
+      that is still not the true one.
+
+    Expected shape: both general fits beat the exponential model on
+    the heavy-tailed queue, and the lognormal fit also recovers the
+    shape parameter. *)
+
+type row = {
+  treatment : string;
+  target_queue_error : float;  (** |mean-service estimate − truth| at the lognormal queue *)
+  target_relative : float;
+  sigma_estimate : float option;  (** lognormal fits only *)
+}
+
+val run :
+  ?seed:int -> ?num_tasks:int -> ?fraction:float -> ?stem_iterations:int -> unit ->
+  row list
+
+val print_report : row list -> unit

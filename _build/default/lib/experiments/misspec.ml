@@ -1,0 +1,74 @@
+module Rng = Qnet_prob.Rng
+module D = Qnet_prob.Distributions
+module Stats = Qnet_prob.Statistics
+module Topologies = Qnet_des.Topologies
+module Network = Qnet_des.Network
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+
+type row = {
+  generator : string;
+  squared_cv : float;
+  median_service_error : float;
+  median_relative_error : float;
+}
+
+(* all service generators share mean 0.2 (mu = 5), matching the
+   paper's synthetic setup *)
+let generators =
+  [
+    ("erlang-4 (scv 0.25)", D.Erlang (4, 20.0));
+    ("exponential (scv 1)", D.Exponential 5.0);
+    ( "hyperexp (scv ~3.5)",
+      (* means 1/2 and 1/18 mixed to mean 0.2 with high variance *)
+      D.Hyperexponential [| (0.325, 2.0); (0.675, 18.0) |] );
+  ]
+
+let run ?(seed = 6) ?(num_tasks = 600) ?(fraction = 0.1) ?(stem_iterations = 150) () =
+  List.map
+    (fun (name, dist) ->
+      let base =
+        Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(4, 2, 4)
+          ~service_rate:5.0 ()
+      in
+      (* swap every non-arrival queue's generator *)
+      let net = ref base in
+      for q = 1 to Network.num_queues base - 1 do
+        net := Network.with_service !net q dist
+      done;
+      let net = !net in
+      let rng = Rng.create ~seed () in
+      let trace = Network.simulate_poisson rng net ~num_tasks in
+      let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
+      let store = Store.of_trace ~observed:mask trace in
+      let stem =
+        Stem.run ~config:(Common.stem_config ~iterations:stem_iterations ()) rng store
+      in
+      let truth = D.mean dist in
+      let errors =
+        Array.init (Network.num_queues net - 1) (fun i ->
+            Float.abs (stem.Stem.mean_service.(i + 1) -. truth))
+      in
+      {
+        generator = name;
+        squared_cv = D.squared_cv dist;
+        median_service_error = Stats.median errors;
+        median_relative_error = Stats.median errors /. truth;
+      })
+    generators
+
+let print_report rows =
+  Common.print_header
+    "Ablation A3: exponential-model StEM under misspecified service distributions";
+  Common.print_row [ "generator"; "scv"; "med-|err|"; "med-rel" ];
+  List.iter
+    (fun r ->
+      Common.print_row
+        [
+          r.generator;
+          Printf.sprintf "%.2f" r.squared_cv;
+          Common.cell_f r.median_service_error;
+          Printf.sprintf "%.1f%%" (100.0 *. r.median_relative_error);
+        ])
+    rows

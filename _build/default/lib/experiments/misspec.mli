@@ -1,0 +1,22 @@
+(** Ablation A3 — robustness to service-distribution misspecification
+    (the paper's §6 motivates generalizing beyond exponential service;
+    this experiment measures how much the M/M/1 model loses when the
+    generator is not exponential).
+
+    The three-tier network is simulated with Erlang (scv < 1),
+    exponential (scv = 1), and hyperexponential (scv > 1) services of
+    identical means; the exponential-model StEM estimate of each mean
+    service time is compared against the truth. *)
+
+type row = {
+  generator : string;
+  squared_cv : float;  (** of the generating service distribution *)
+  median_service_error : float;
+  median_relative_error : float;
+}
+
+val run :
+  ?seed:int -> ?num_tasks:int -> ?fraction:float -> ?stem_iterations:int -> unit ->
+  row list
+
+val print_report : row list -> unit

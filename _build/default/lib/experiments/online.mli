@@ -1,0 +1,21 @@
+(** Extension A6 — online (windowed) inference tracking a load ramp.
+
+    The webapp workload raises the arrival rate linearly (Figure 5's
+    setup); a whole-trace fit reports only the average rate, but the
+    windowed StEM of {!Qnet_core.Online_stem} should track the ramp:
+    each window's λ̂ should follow the true instantaneous rate, while
+    the (stationary) service estimates stay flat. *)
+
+type row = {
+  midpoint : float;
+  true_rate : float;  (** the generator's λ(t) at the window midpoint *)
+  estimated_rate : float;
+  web_service_estimate : float;  (** averaged over healthy web servers *)
+  num_tasks : int;
+}
+
+val run :
+  ?seed:int -> ?num_requests:int -> ?fraction:float -> ?num_windows:int -> unit ->
+  row list
+
+val print_report : row list -> unit

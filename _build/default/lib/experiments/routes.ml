@@ -1,0 +1,105 @@
+module Rng = Qnet_prob.Rng
+module D = Qnet_prob.Distributions
+module Stats = Qnet_prob.Statistics
+module Fsm = Qnet_fsm.Fsm
+module Network = Qnet_des.Network
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Params = Qnet_core.Params
+module Stem = Qnet_core.Stem
+
+type row = {
+  treatment : string;
+  fast_server_error : float;
+  slow_server_error : float;
+  median_error : float;
+}
+
+(* q0 -> front (q1) -> dispatcher tier {fast q2 (mu=8), slow q3 (mu=3)}
+   -> done. States: 0 init, 1 front, 2 tier, 3 final. *)
+let fast_rate = 8.0
+let slow_rate = 3.0
+
+let network () =
+  let fsm =
+    Fsm.create ~num_states:4 ~num_queues:4 ~initial:0 ~final:3
+      ~transitions:[ (0, [ (1, 1.0) ]); (1, [ (2, 1.0) ]); (2, [ (3, 1.0) ]) ]
+      ~emissions:
+        [ (0, [ (0, 1.0) ]); (1, [ (1, 1.0) ]); (2, [ (2, 0.5); (3, 0.5) ]) ]
+  in
+  Network.create
+    ~names:[| "q0"; "front"; "fast"; "slow" |]
+    ~fsm
+    ~service:
+      [|
+        D.Exponential 2.0;
+        D.Exponential 12.0;
+        D.Exponential fast_rate;
+        D.Exponential slow_rate;
+      |]
+    ()
+
+let truths = [| 0.5; 1.0 /. 12.0; 1.0 /. fast_rate; 1.0 /. slow_rate |]
+
+let errors_of mean_service =
+  let errs =
+    Array.init 3 (fun i -> Float.abs (mean_service.(i + 1) -. truths.(i + 1)))
+  in
+  {
+    treatment = "";
+    fast_server_error = Float.abs (mean_service.(2) -. truths.(2));
+    slow_server_error = Float.abs (mean_service.(3) -. truths.(3));
+    median_error = Stats.median errs;
+  }
+
+(* scramble tier assignments of unobserved events, keeping feasibility *)
+let scramble rng store =
+  Array.iter
+    (fun i ->
+      let q = Store.queue store i in
+      if (not (Store.observed store i)) && (q = 2 || q = 3) && Rng.bool rng then begin
+        let q' = if q = 2 then 3 else 2 in
+        Store.move_event store i ~queue:q';
+        let succ = Store.rho_inv store i in
+        let ok =
+          Store.service store i >= 0.0
+          && (succ < 0 || Store.service store succ >= 0.0)
+        in
+        if not ok then Store.move_event store i ~queue:q
+      end)
+    (Store.unobserved_events store)
+
+let run ?(seed = 7) ?(num_tasks = 600) ?(fraction = 0.1) ?(stem_iterations = 200) () =
+  let net = network () in
+  let fsm = Network.fsm net in
+  let rng = Rng.create ~seed () in
+  let trace = Network.simulate_poisson rng net ~num_tasks in
+  let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
+  let config = Common.stem_config ~iterations:stem_iterations () in
+  let treatment name ~scrambled ~route_fsm =
+    let rng = Rng.create ~seed:(seed + 1) () in
+    let store = Store.of_trace ~observed:mask trace in
+    if scrambled then scramble rng store;
+    let stem = Stem.run ~config ?route_fsm rng store in
+    { (errors_of stem.Stem.mean_service) with treatment = name }
+  in
+  [
+    treatment "true-routes" ~scrambled:false ~route_fsm:None;
+    treatment "scrambled-fixed" ~scrambled:true ~route_fsm:None;
+    treatment "mh-routes" ~scrambled:true ~route_fsm:(Some fsm);
+  ]
+
+let print_report rows =
+  Common.print_header
+    "Ablation A4: latent routing (fast mu=8 / slow mu=3 dispatcher tier)";
+  Common.print_row [ "treatment"; "fast-|err|"; "slow-|err|"; "med-|err|" ];
+  List.iter
+    (fun r ->
+      Common.print_row
+        [
+          r.treatment;
+          Common.cell_f r.fast_server_error;
+          Common.cell_f r.slow_server_error;
+          Common.cell_f r.median_error;
+        ])
+    rows

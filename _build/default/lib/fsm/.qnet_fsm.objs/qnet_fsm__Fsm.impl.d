@@ -1,0 +1,1 @@
+lib/fsm/fsm.ml: Array Float List Printf Qnet_prob

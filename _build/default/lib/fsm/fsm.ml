@@ -1,0 +1,164 @@
+type state = int
+type queue = int
+
+type t = {
+  num_states : int;
+  num_queues : int;
+  initial : state;
+  final : state;
+  transitions : (state * float) array array; (* per state, normalized; [||] for final *)
+  emissions : (queue * float) array array; (* per state, normalized; [||] for final *)
+}
+
+let normalize name row =
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 row in
+  if List.exists (fun (_, p) -> p < 0.0 || Float.is_nan p) row then
+    invalid_arg (Printf.sprintf "Fsm.create: negative probability in %s" name);
+  if total <= 0.0 then
+    invalid_arg (Printf.sprintf "Fsm.create: %s sums to zero" name);
+  Array.of_list (List.map (fun (i, p) -> (i, p /. total)) row)
+
+let create ~num_states ~num_queues ~initial ~final ~transitions ~emissions =
+  if num_states < 2 then invalid_arg "Fsm.create: need at least initial and final states";
+  if num_queues < 1 then invalid_arg "Fsm.create: need at least one queue";
+  if initial < 0 || initial >= num_states || final < 0 || final >= num_states then
+    invalid_arg "Fsm.create: initial/final out of range";
+  if initial = final then invalid_arg "Fsm.create: initial and final must differ";
+  let trans = Array.make num_states [||] in
+  let emit = Array.make num_states [||] in
+  List.iter
+    (fun (s, row) ->
+      if s < 0 || s >= num_states then invalid_arg "Fsm.create: transition state out of range";
+      if s = final then invalid_arg "Fsm.create: final state must have no transitions";
+      List.iter
+        (fun (s', _) ->
+          if s' < 0 || s' >= num_states then
+            invalid_arg "Fsm.create: transition target out of range")
+        row;
+      trans.(s) <- normalize (Printf.sprintf "transitions from state %d" s) row)
+    transitions;
+  List.iter
+    (fun (s, row) ->
+      if s < 0 || s >= num_states then invalid_arg "Fsm.create: emission state out of range";
+      if s = final then invalid_arg "Fsm.create: final state must have no emission";
+      List.iter
+        (fun (q, _) ->
+          if q < 0 || q >= num_queues then invalid_arg "Fsm.create: emitted queue out of range")
+        row;
+      emit.(s) <- normalize (Printf.sprintf "emissions from state %d" s) row)
+    emissions;
+  for s = 0 to num_states - 1 do
+    if s <> final && Array.length trans.(s) = 0 then
+      invalid_arg (Printf.sprintf "Fsm.create: state %d has no outgoing transitions" s);
+    if s <> final && Array.length emit.(s) = 0 then
+      invalid_arg (Printf.sprintf "Fsm.create: state %d has no emission distribution" s)
+  done;
+  (* final must be reachable from initial *)
+  let seen = Array.make num_states false in
+  let rec dfs s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      if s <> final then Array.iter (fun (s', p) -> if p > 0.0 then dfs s') trans.(s)
+    end
+  in
+  dfs initial;
+  if not seen.(final) then invalid_arg "Fsm.create: final state unreachable from initial";
+  { num_states; num_queues; initial; final; transitions = trans; emissions = emit }
+
+let linear ~queues ~num_queues =
+  match queues with
+  | [] -> invalid_arg "Fsm.linear: empty queue list"
+  | _ ->
+      let k = List.length queues in
+      (* state i visits queue i (0-based); state k is final *)
+      let transitions = List.init k (fun i -> (i, [ (i + 1, 1.0) ])) in
+      let emissions = List.mapi (fun i q -> (i, [ (q, 1.0) ])) queues in
+      create ~num_states:(k + 1) ~num_queues ~initial:0 ~final:k ~transitions
+        ~emissions
+
+let num_states t = t.num_states
+let num_queues t = t.num_queues
+let initial t = t.initial
+let final t = t.final
+
+let lookup row key =
+  Array.fold_left (fun acc (k, p) -> if k = key then acc +. p else acc) 0.0 row
+
+let transition_prob t s s' = lookup t.transitions.(s) s'
+let emission_prob t s q = lookup t.emissions.(s) q
+let successors t s = Array.to_list t.transitions.(s)
+let emitted_queues t s = Array.to_list t.emissions.(s)
+
+let sample_row rng row =
+  let weights = Array.map snd row in
+  fst row.(Qnet_prob.Rng.categorical rng weights)
+
+let sample_transition rng t s =
+  if s = t.final then invalid_arg "Fsm.sample_transition: final state";
+  sample_row rng t.transitions.(s)
+
+let sample_emission rng t s =
+  if s = t.final then invalid_arg "Fsm.sample_emission: final state";
+  sample_row rng t.emissions.(s)
+
+let sample_path ?(max_len = 10_000) rng t =
+  let rec go s acc len =
+    if len > max_len then failwith "Fsm.sample_path: path exceeded max_len"
+    else begin
+      let s' = sample_transition rng t s in
+      if s' = t.final then List.rev acc
+      else begin
+        let q = sample_emission rng t s' in
+        go s' ((s', q) :: acc) (len + 1)
+      end
+    end
+  in
+  go t.initial [] 0
+
+let log_prob_path t path =
+  let rec go s acc = function
+    | [] ->
+        let p = transition_prob t s t.final in
+        if p <= 0.0 then neg_infinity else acc +. log p
+    | (s', q) :: rest ->
+        let pt = transition_prob t s s' in
+        let pe = emission_prob t s' q in
+        if pt <= 0.0 || pe <= 0.0 then neg_infinity
+        else go s' (acc +. log pt +. log pe) rest
+  in
+  go t.initial 0.0 path
+
+let expected_visits t =
+  (* v.(s) = expected visits to state s; v.(initial) = 1 plus possible
+     returns. Gauss–Seidel on v = e + v P over transient states. *)
+  let v = Array.make t.num_states 0.0 in
+  v.(t.initial) <- 1.0;
+  let tol = 1e-12 in
+  let rec iterate n =
+    if n = 0 then ()
+    else begin
+      let delta = ref 0.0 in
+      let nv = Array.make t.num_states 0.0 in
+      nv.(t.initial) <- 1.0;
+      for s = 0 to t.num_states - 1 do
+        if s <> t.final then
+          Array.iter
+            (fun (s', p) -> if s' <> t.final then nv.(s') <- nv.(s') +. (v.(s) *. p))
+            t.transitions.(s)
+      done;
+      for s = 0 to t.num_states - 1 do
+        delta := Float.max !delta (Float.abs (nv.(s) -. v.(s)));
+        v.(s) <- nv.(s)
+      done;
+      if !delta > tol then iterate (n - 1)
+    end
+  in
+  iterate 100_000;
+  let per_queue = Array.make t.num_queues 0.0 in
+  for s = 0 to t.num_states - 1 do
+    if s <> t.final then
+      Array.iter
+        (fun (q, p) -> per_queue.(q) <- per_queue.(q) +. (v.(s) *. p))
+        t.emissions.(s)
+  done;
+  per_queue

@@ -1,0 +1,76 @@
+(** Probabilistic finite-state machines for task routing.
+
+    The paper models the path of a task through the system as a
+    probabilistic FSM: after each service completion the machine
+    transitions between abstract states with probability [p(σ'|σ)] and
+    each state emits the queue the task joins next with probability
+    [p(q|σ)] (Section 2). The FSM is assumed known (e.g. from the
+    application's protocol); this module provides construction,
+    validation, path sampling, path scoring, and expected visit counts.
+
+    States and queues are dense integer identifiers. State [initial]
+    is where tasks are born (it emits the designated arrival queue
+    [q0]); entering [final] completes the task and emits no queue. *)
+
+type state = int
+type queue = int
+
+type t
+
+val create :
+  num_states:int ->
+  num_queues:int ->
+  initial:state ->
+  final:state ->
+  transitions:(state * (state * float) list) list ->
+  emissions:(state * (queue * float) list) list ->
+  t
+(** [create ~num_states ~num_queues ~initial ~final ~transitions
+    ~emissions] builds and validates a routing FSM. [transitions] gives
+    each non-final state's outgoing distribution; [emissions] gives
+    each non-final state's queue distribution. Distributions are
+    normalized internally. Raises [Invalid_argument] when: a row is
+    missing or sums to zero, probabilities are negative, the final
+    state has outgoing transitions, or the final state is unreachable
+    from [initial]. *)
+
+val linear : queues:queue list -> num_queues:int -> t
+(** [linear ~queues ~num_queues] is the deterministic pipeline visiting
+    [queues] in order — one FSM state per hop. The first queue in the
+    list should be the arrival queue [q0]. *)
+
+val num_states : t -> int
+val num_queues : t -> int
+val initial : t -> state
+val final : t -> state
+
+val transition_prob : t -> state -> state -> float
+val emission_prob : t -> state -> queue -> float
+
+val successors : t -> state -> (state * float) list
+(** Outgoing transition distribution ([[]] for the final state). *)
+
+val emitted_queues : t -> state -> (queue * float) list
+(** Emission distribution ([[]] for the final state). *)
+
+val sample_transition : Qnet_prob.Rng.t -> t -> state -> state
+val sample_emission : Qnet_prob.Rng.t -> t -> state -> queue
+
+val sample_path : ?max_len:int -> Qnet_prob.Rng.t -> t -> (state * queue) list
+(** [sample_path rng t] draws a complete task path: the sequence of
+    (state, emitted queue) pairs from the first transition out of
+    [initial] until [final] is entered (the final state itself is not
+    in the list). [max_len] (default 10_000) guards against FSMs whose
+    expected path length is huge; exceeding it raises [Failure]. *)
+
+val log_prob_path : t -> (state * queue) list -> float
+(** Log-probability of a complete path as produced by
+    {!sample_path}, i.e. Σ log p(σ'|σ) + log p(q|σ'), ending with the
+    transition into [final]. *)
+
+val expected_visits : t -> float array
+(** [expected_visits t] is, per queue, the expected number of visits a
+    single task makes — the visit ratios used by Jackson-network
+    analysis. Computed by solving the linear system
+    [v = e_init P + v P] restricted to transient states with
+    Gauss–Seidel iteration (the FSM is absorbing, so it converges). *)

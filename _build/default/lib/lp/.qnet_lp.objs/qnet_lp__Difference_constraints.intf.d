@@ -1,0 +1,1 @@
+lib/lp/difference_constraints.mli:

@@ -1,0 +1,148 @@
+type constraint_record =
+  | Le of int * int * float (* x_i - x_j <= c *)
+  | Upper of int * float
+  | Lower of int * float
+
+type t = {
+  n : int;
+  default_upper : float;
+  mutable constraints : constraint_record list;
+}
+
+let create ?(default_upper = 1e15) n =
+  if n < 0 then invalid_arg "Difference_constraints.create: negative size";
+  { n; default_upper; constraints = [] }
+
+let num_variables t = t.n
+
+let check_var t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Difference_constraints." ^ name ^ ": bad variable")
+
+let add_le t i j c =
+  check_var t i "add_le";
+  check_var t j "add_le";
+  t.constraints <- Le (i, j, c) :: t.constraints
+
+let add_upper t i c =
+  check_var t i "add_upper";
+  t.constraints <- Upper (i, c) :: t.constraints
+
+let add_lower t i c =
+  check_var t i "add_lower";
+  t.constraints <- Lower (i, c) :: t.constraints
+
+let add_eq t i c =
+  add_upper t i c;
+  add_lower t i c
+
+type infeasibility = { message : string }
+
+(* Shortest paths over nodes 0..n (node n is the zero reference) by
+   SPFA — Bellman–Ford driven by a worklist, near-linear on the
+   DAG-like constraint graphs produced by traces. Edge (u, v, w)
+   encodes x_v <= x_u + w; dist from the reference is the
+   componentwise-greatest feasible solution with x_ref = 0. A node
+   relaxed more than [n + 1] times witnesses a negative cycle. *)
+let bellman_ford n edges =
+  let adjacency = Array.make (n + 1) [] in
+  List.iter (fun (u, v, w) -> adjacency.(u) <- (v, w) :: adjacency.(u)) edges;
+  let dist = Array.make (n + 1) infinity in
+  let in_queue = Array.make (n + 1) false in
+  let relax_count = Array.make (n + 1) 0 in
+  let work = Queue.create () in
+  dist.(n) <- 0.0;
+  Queue.add n work;
+  in_queue.(n) <- true;
+  let negative_cycle = ref false in
+  while (not !negative_cycle) && not (Queue.is_empty work) do
+    let u = Queue.take work in
+    in_queue.(u) <- false;
+    let du = dist.(u) in
+    List.iter
+      (fun (v, w) ->
+        if du +. w < dist.(v) -. 1e-12 then begin
+          dist.(v) <- du +. w;
+          relax_count.(v) <- relax_count.(v) + 1;
+          if relax_count.(v) > n + 1 then negative_cycle := true
+          else if not in_queue.(v) then begin
+            Queue.add v work;
+            in_queue.(v) <- true
+          end
+        end)
+      adjacency.(u)
+  done;
+  if !negative_cycle then
+    Error { message = "negative cycle: constraints are contradictory" }
+  else Ok dist
+
+let edges_latest t =
+  (* x_i - x_j <= c  ==>  edge j -> i with weight c.
+     x_i <= c        ==>  edge ref -> i with weight c.
+     x_i >= c        ==>  edge i -> ref with weight -c. *)
+  let base =
+    List.concat_map
+      (function
+        | Le (i, j, c) -> [ (j, i, c) ]
+        | Upper (i, c) -> [ (t.n, i, c) ]
+        | Lower (i, c) -> [ (i, t.n, -.c) ])
+      t.constraints
+  in
+  let caps = List.init t.n (fun i -> (t.n, i, t.default_upper)) in
+  caps @ base
+
+let edges_earliest t =
+  (* Substituting y = -x mirrors every constraint:
+     x_i - x_j <= c  ==>  y_j - y_i <= c  ==>  edge i -> j weight c.
+     x_i <= c  ==> y_i >= -c; x_i >= c ==> y_i <= -c. *)
+  let base =
+    List.concat_map
+      (function
+        | Le (i, j, c) -> [ (i, j, c) ]
+        | Upper (i, c) -> [ (i, t.n, c) ]
+        | Lower (i, c) -> [ (t.n, i, -.c) ])
+      t.constraints
+  in
+  let caps = List.init t.n (fun i -> (t.n, i, t.default_upper)) in
+  caps @ base
+
+let solve t mode =
+  match mode with
+  | `Latest -> (
+      match bellman_ford t.n (edges_latest t) with
+      | Error e -> Error e
+      | Ok dist -> Ok (Array.init t.n (fun i -> dist.(i) -. dist.(t.n))))
+  | `Earliest -> (
+      match bellman_ford t.n (edges_earliest t) with
+      | Error e -> Error e
+      | Ok dist -> Ok (Array.init t.n (fun i -> dist.(t.n) -. dist.(i))))
+
+let solve_centered t =
+  match solve t `Earliest with
+  | Error e -> Error e
+  | Ok earliest -> (
+      match solve t `Latest with
+      | Error e -> Error e
+      | Ok latest -> Ok (Array.init t.n (fun i -> 0.5 *. (earliest.(i) +. latest.(i)))))
+
+let check t x =
+  if Array.length x <> t.n then Error "check: wrong dimension"
+  else begin
+    let slack = 1e-9 in
+    let violation =
+      List.find_opt
+        (function
+          | Le (i, j, c) -> x.(i) -. x.(j) > c +. slack
+          | Upper (i, c) -> x.(i) > c +. slack
+          | Lower (i, c) -> x.(i) < c -. slack)
+        t.constraints
+    in
+    match violation with
+    | None -> Ok ()
+    | Some (Le (i, j, c)) ->
+        Error
+          (Printf.sprintf "violated: x%d - x%d <= %g (got %g)" i j c (x.(i) -. x.(j)))
+    | Some (Upper (i, c)) ->
+        Error (Printf.sprintf "violated: x%d <= %g (got %g)" i c x.(i))
+    | Some (Lower (i, c)) ->
+        Error (Printf.sprintf "violated: x%d >= %g (got %g)" i c x.(i))
+  end

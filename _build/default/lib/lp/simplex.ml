@@ -1,0 +1,238 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; relation : relation; rhs : float }
+
+type problem = {
+  num_vars : int;
+  objective : (int * float) list;
+  minimize : bool;
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of { objective_value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+let validate p =
+  let check_sparse row =
+    List.iter
+      (fun (i, c) ->
+        if i < 0 || i >= p.num_vars then invalid_arg "Simplex: variable out of range";
+        if Float.is_nan c then invalid_arg "Simplex: NaN coefficient")
+      row
+  in
+  check_sparse p.objective;
+  List.iter
+    (fun c ->
+      check_sparse c.coeffs;
+      if Float.is_nan c.rhs then invalid_arg "Simplex: NaN rhs")
+    p.constraints
+
+(* Tableau layout: m rows (constraints) over columns
+   [structural | slack/surplus | artificial | rhs]. Row operations keep
+   b >= 0; basis.(r) is the variable basic in row r. The objective is
+   handled as a separate cost array reduced against the basis on
+   demand (revised-lite: we recompute reduced costs each pivot, which
+   is O(m·n) — fine at our sizes and immune to drift). *)
+
+type tableau = {
+  m : int;
+  n : int; (* total columns excluding rhs *)
+  a : float array array; (* m x (n + 1); last column is rhs *)
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let a = t.a in
+  let piv = a.(row).(col) in
+  let width = t.n + 1 in
+  let prow = a.(row) in
+  for j = 0 to width - 1 do
+    prow.(j) <- prow.(j) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let factor = a.(i).(col) in
+      if factor <> 0.0 then begin
+        let irow = a.(i) in
+        for j = 0 to width - 1 do
+          irow.(j) <- irow.(j) -. (factor *. prow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced cost of column j under cost vector c: c_j - c_B . B^-1 A_j,
+   where B^-1 A_j is just the current tableau column. *)
+let reduced_costs t cost =
+  let red = Array.copy cost in
+  for r = 0 to t.m - 1 do
+    let cb = cost.(t.basis.(r)) in
+    if cb <> 0.0 then
+      for j = 0 to t.n - 1 do
+        red.(j) <- red.(j) -. (cb *. t.a.(r).(j))
+      done
+  done;
+  red
+
+let objective_value t cost =
+  let acc = ref 0.0 in
+  for r = 0 to t.m - 1 do
+    acc := !acc +. (cost.(t.basis.(r)) *. t.a.(r).(t.n))
+  done;
+  !acc
+
+(* One phase of simplex minimizing [cost]; columns with index >= forbid
+   (artificials in phase 2) may never enter. Bland's rule. *)
+let run_phase t cost ~forbid ~max_iter =
+  let rec loop iter =
+    if iter > max_iter then `MaxIter
+    else begin
+      let red = reduced_costs t cost in
+      (* entering column: smallest index with negative reduced cost *)
+      let entering = ref (-1) in
+      (try
+         for j = 0 to Int.min (forbid - 1) (t.n - 1) do
+           if red.(j) < -.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then `Optimal
+      else begin
+        let col = !entering in
+        (* leaving row: min ratio b_i / a_ic over a_ic > 0; ties by
+           smallest basis index (Bland). *)
+        let best_row = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to t.m - 1 do
+          let aic = t.a.(i).(col) in
+          if aic > eps then begin
+            let ratio = t.a.(i).(t.n) /. aic in
+            if
+              ratio < !best_ratio -. eps
+              || (Float.abs (ratio -. !best_ratio) <= eps
+                 && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+            then begin
+              best_ratio := ratio;
+              best_row := i
+            end
+          end
+        done;
+        if !best_row < 0 then `Unbounded
+        else begin
+          pivot t ~row:!best_row ~col;
+          loop (iter + 1)
+        end
+      end
+    end
+  in
+  loop 0
+
+let solve ?max_iter p =
+  validate p;
+  let constraints = Array.of_list p.constraints in
+  let m = Array.length constraints in
+  let nv = p.num_vars in
+  (* Count slack/surplus columns. *)
+  let n_slack =
+    Array.fold_left
+      (fun acc c -> match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      0 constraints
+  in
+  let n = nv + n_slack + m in
+  (* every row gets an artificial; simpler and robust *)
+  let a = Array.make_matrix m (n + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let slack_idx = ref nv in
+  let art_base = nv + n_slack in
+  Array.iteri
+    (fun i c ->
+      let sign = if c.rhs < 0.0 then -1.0 else 1.0 in
+      List.iter (fun (j, v) -> a.(i).(j) <- a.(i).(j) +. (sign *. v)) c.coeffs;
+      a.(i).(n) <- sign *. c.rhs;
+      (match c.relation with
+      | Le ->
+          a.(i).(!slack_idx) <- sign *. 1.0;
+          incr slack_idx
+      | Ge ->
+          a.(i).(!slack_idx) <- sign *. -1.0;
+          incr slack_idx
+      | Eq -> ());
+      a.(i).(art_base + i) <- 1.0;
+      basis.(i) <- art_base + i)
+    constraints;
+  let t = { m; n; a; basis } in
+  let max_iter =
+    match max_iter with Some k -> k | None -> 50 * (m + n)
+  in
+  (* Phase 1: minimize sum of artificials. *)
+  let phase1_cost = Array.make n 0.0 in
+  for j = art_base to n - 1 do
+    phase1_cost.(j) <- 1.0
+  done;
+  (match run_phase t phase1_cost ~forbid:n ~max_iter with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `MaxIter -> ()
+  | `Optimal -> ());
+  if objective_value t phase1_cost > 1e-7 then Infeasible
+  else begin
+    (* Drive any artificial still basic (at zero) out of the basis. *)
+    for r = 0 to m - 1 do
+      if t.basis.(r) >= art_base then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to art_base - 1 do
+             if Float.abs t.a.(r).(j) > eps then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then pivot t ~row:r ~col:!found
+        (* else: the row is all zeros — redundant constraint; the
+           artificial stays basic at value 0, which is harmless as long
+           as it never re-enters (it is forbidden in phase 2). *)
+      end
+    done;
+    (* Phase 2. *)
+    let phase2_cost = Array.make n 0.0 in
+    let sgn = if p.minimize then 1.0 else -1.0 in
+    List.iter (fun (j, v) -> phase2_cost.(j) <- phase2_cost.(j) +. (sgn *. v)) p.objective;
+    match run_phase t phase2_cost ~forbid:art_base ~max_iter with
+    | `Unbounded -> Unbounded
+    | `MaxIter | `Optimal ->
+        let solution = Array.make nv 0.0 in
+        for r = 0 to m - 1 do
+          if t.basis.(r) < nv then solution.(t.basis.(r)) <- t.a.(r).(n)
+        done;
+        let value = sgn *. objective_value t phase2_cost in
+        Optimal { objective_value = value; solution }
+  end
+
+let solve_free ?max_iter p =
+  (* x_j = x_j^+ - x_j^- ; both parts >= 0. *)
+  let split row =
+    List.concat_map (fun (j, v) -> [ (2 * j, v); ((2 * j) + 1, -.v) ]) row
+  in
+  let p' =
+    {
+      num_vars = 2 * p.num_vars;
+      objective = split p.objective;
+      minimize = p.minimize;
+      constraints =
+        List.map (fun c -> { c with coeffs = split c.coeffs }) p.constraints;
+    }
+  in
+  match solve ?max_iter p' with
+  | Optimal { objective_value; solution } ->
+      let merged =
+        Array.init p.num_vars (fun j -> solution.(2 * j) -. solution.((2 * j) + 1))
+      in
+      Optimal { objective_value; solution = merged }
+  | (Infeasible | Unbounded) as r -> r

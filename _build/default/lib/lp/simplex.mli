@@ -1,0 +1,37 @@
+(** A dense two-phase primal simplex linear-programming solver.
+
+    Small and deliberately simple: the library uses it for the paper's
+    L1 initialization objective (minimize Σ|s_e − μ| subject to the
+    trace's timing constraints) on modest problem sizes, and tests use
+    it as an oracle for the difference-constraint solver. Bland's rule
+    guarantees termination. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable, coefficient) *)
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  num_vars : int;  (** variables are [0 .. num_vars-1], all constrained [>= 0] *)
+  objective : (int * float) list;  (** sparse objective row *)
+  minimize : bool;
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of { objective_value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_iter:int -> problem -> outcome
+(** [solve p] runs phase-1 (artificial variables) then phase-2 simplex.
+    [max_iter] defaults to [50 * (rows + cols)]. Raises
+    [Invalid_argument] on malformed input (bad indices, NaN). *)
+
+val solve_free : ?max_iter:int -> problem -> outcome
+(** Like {!solve} but variables are free (unbounded below): each
+    variable is split internally into a positive and negative part.
+    The reported solution has [num_vars] entries. *)

@@ -1,0 +1,58 @@
+let simpson a b fa fm fb =
+  let h = b -. a in
+  h /. 6.0 *. (fa +. (4.0 *. fm) +. fb)
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 48) f a b =
+  if not (Float.is_finite a && Float.is_finite b) then
+    invalid_arg "Quadrature.adaptive_simpson: endpoints must be finite";
+  if a > b then invalid_arg "Quadrature.adaptive_simpson: a > b";
+  if a = b then 0.0
+  else begin
+    let rec go a b fa fm fb whole tol depth =
+      let m = 0.5 *. (a +. b) in
+      let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+      let flm = f lm and frm = f rm in
+      let left = simpson a m fa flm fm in
+      let right = simpson m b fm frm fb in
+      let delta = left +. right -. whole in
+      if depth <= 0 || Float.abs delta <= 15.0 *. tol then
+        left +. right +. (delta /. 15.0)
+      else
+        go a m fa flm fm left (tol /. 2.0) (depth - 1)
+        +. go m b fm frm fb right (tol /. 2.0) (depth - 1)
+    in
+    let fa = f a and fb = f b and fm = f (0.5 *. (a +. b)) in
+    let whole = simpson a b fa fm fb in
+    go a b fa fm fb whole tol max_depth
+  end
+
+let trapezoid ?(n = 1024) f a b =
+  if n <= 0 then invalid_arg "Quadrature.trapezoid: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (float_of_int i *. h))
+  done;
+  !acc *. h
+
+let log_integral_exp ?(n = 4096) log_f a b =
+  if a >= b then neg_infinity
+  else begin
+    let n = if n mod 2 = 0 then n else n + 1 in
+    let h = (b -. a) /. float_of_int n in
+    (* Composite Simpson applied to exp (log_f x - m) with m the max
+       of the sampled log values. *)
+    let logs = Array.init (n + 1) (fun i -> log_f (a +. (float_of_int i *. h))) in
+    let m = Array.fold_left Float.max neg_infinity logs in
+    if m = neg_infinity then neg_infinity
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to n do
+        let w =
+          if i = 0 || i = n then 1.0 else if i mod 2 = 1 then 4.0 else 2.0
+        in
+        acc := !acc +. (w *. exp (logs.(i) -. m))
+      done;
+      m +. log (!acc *. h /. 3.0)
+    end
+  end

@@ -1,0 +1,113 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then invalid_arg "Roots.bisect: root not bracketed"
+  else begin
+    let rec loop a b fa n =
+      let m = 0.5 *. (a +. b) in
+      if n = 0 || b -. a <= tol then m
+      else
+        let fm = f m in
+        if fm = 0.0 then m
+        else if fa *. fm < 0.0 then loop a m fa (n - 1)
+        else loop m b fm (n - 1)
+    in
+    loop (Float.min a b) (Float.max a b) fa max_iter
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then invalid_arg "Roots.brent: root not bracketed"
+  else begin
+    (* Standard Brent: keep the bracket [a, b] with |f b| <= |f a|. *)
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let iter = ref 0 in
+    while Float.abs !fb > 0.0 && Float.abs (!b -. !a) > tol && !iter < max_iter do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* inverse quadratic interpolation *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo = (3.0 *. !a +. !b) /. 4.0 and hi = !b in
+      let lo, hi = (Float.min lo hi, Float.max lo hi) in
+      let cond1 = s < lo || s > hi in
+      let cond2 = !mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0 in
+      let cond3 = (not !mflag) && Float.abs (s -. !b) >= Float.abs !d /. 2.0 in
+      let s =
+        if cond1 || cond2 || cond3 then begin
+          mflag := true;
+          0.5 *. (!a +. !b)
+        end
+        else begin
+          mflag := false;
+          s
+        end
+      in
+      let fs = f s in
+      d := !c -. !b;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0.0 then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end
+    done;
+    !b
+  end
+
+let inv_phi = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section_min ?(tol = 1e-10) f a b =
+  let rec loop a b c d fc fd n =
+    if Float.abs (b -. a) <= tol || n = 0 then 0.5 *. (a +. b)
+    else if fc < fd then begin
+      let b = d in
+      let d = c in
+      let fd = fc in
+      let c = b -. (inv_phi *. (b -. a)) in
+      loop a b c d (f c) fd (n - 1)
+    end
+    else begin
+      let a = c in
+      let c = d in
+      let fc = fd in
+      let d = a +. (inv_phi *. (b -. a)) in
+      loop a b c d fc (f d) (n - 1)
+    end
+  in
+  let c = b -. (inv_phi *. (b -. a)) in
+  let d = a +. (inv_phi *. (b -. a)) in
+  loop a b c d (f c) (f d) 300
+
+let kahan_sum xs =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t)
+    xs;
+  !sum

@@ -1,0 +1,22 @@
+(** One-dimensional root finding and minimization. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [brent f a b] finds a root of [f] in [[a, b]] by Brent's method
+    (bisection / secant / inverse quadratic). Requires
+    [f a] and [f b] to have opposite signs (or one of them to be 0).
+    [tol] is the bracket-width target (default 1e-12). Raises
+    [Invalid_argument] if the root is not bracketed. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Plain bisection with the same contract as {!brent}; slower but
+    unconditionally robust, used as a cross-check. *)
+
+val golden_section_min :
+  ?tol:float -> (float -> float) -> float -> float -> float
+(** [golden_section_min f a b] locates a local minimizer of a
+    unimodal [f] on [[a, b]]. *)
+
+val kahan_sum : float array -> float
+(** Compensated (Kahan) summation. *)

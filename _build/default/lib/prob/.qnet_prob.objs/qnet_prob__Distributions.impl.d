@@ -1,0 +1,1 @@
+lib/prob/distributions.ml: Array Float Format List Rng Special

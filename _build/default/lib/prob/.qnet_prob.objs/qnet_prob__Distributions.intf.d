@@ -1,0 +1,1 @@
+lib/prob/distributions.mli: Format Rng

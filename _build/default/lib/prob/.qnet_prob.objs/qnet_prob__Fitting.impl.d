@@ -1,0 +1,1 @@
+lib/prob/fitting.ml: Array Distributions Float Special

@@ -1,0 +1,1 @@
+lib/prob/fitting.mli: Distributions

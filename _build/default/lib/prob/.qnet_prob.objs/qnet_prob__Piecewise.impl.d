@@ -1,0 +1,1 @@
+lib/prob/piecewise.ml: Array Float Int List Rng Special

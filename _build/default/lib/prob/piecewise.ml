@@ -1,0 +1,185 @@
+type hinge = { knee : float; slope : float }
+
+type t = {
+  lower : float;
+  upper : float;
+  breaks : float array; (* n + 1 entries; breaks.(0) = lower, breaks.(n) = upper *)
+  rates : float array; (* n entries: log-density slope on each piece *)
+  logvals : float array; (* n + 1 entries: relative log-density at each break *)
+  log_masses : float array; (* n entries: relative log-mass of each piece *)
+  log_z : float;
+}
+
+let tiny_rate_width = 1e-12
+
+(* log of the integral of exp (v + r * (x - t0)) over x in [t0, t0 + w],
+   where v is the log-density at the left edge. *)
+let log_piece_mass ~left_logval:v ~rate:r ~width:w =
+  if w <= 0.0 then neg_infinity
+  else if Float.abs (r *. w) < tiny_rate_width then v +. log w +. (0.5 *. r *. w)
+  else if r > 0.0 then v +. (r *. w) +. Special.log1mexp (-.r *. w) -. log r
+  else v +. Special.log1mexp (r *. w) -. log (-.r)
+
+(* Inverse of the within-piece CDF: given the mass fraction q of the
+   piece that should lie left of the answer, return the offset y from
+   the left edge, 0 <= y <= w. Solves (e^{ry} - 1) / (e^{rw} - 1) = q. *)
+let invert_piece ~rate:r ~width:w q =
+  if q <= 0.0 then 0.0
+  else if q >= 1.0 then w
+  else if Float.abs (r *. w) < tiny_rate_width then q *. w
+  else if r > 0.0 then begin
+    let log_term = log q +. Special.log_expm1 (r *. w) in
+    let y = Special.log_sum_exp2 0.0 log_term /. r in
+    Float.max 0.0 (Float.min w y)
+  end
+  else begin
+    let y = Float.log1p (q *. Float.expm1 (r *. w)) /. r in
+    Float.max 0.0 (Float.min w y)
+  end
+
+let compile ~lower ~upper ~linear ~hinges =
+  if not (Float.is_finite lower && Float.is_finite upper) then
+    invalid_arg "Piecewise.compile: interval must be finite";
+  if not (lower < upper) then invalid_arg "Piecewise.compile: need lower < upper";
+  (* Hinges left of the interval act on every point; hinges right of it
+     never act. Interior knees become breakpoints. *)
+  let base_slope =
+    List.fold_left
+      (fun acc h -> if h.knee <= lower then acc +. h.slope else acc)
+      linear hinges
+  in
+  let interior =
+    List.filter (fun h -> h.knee > lower && h.knee < upper && h.slope <> 0.0) hinges
+  in
+  let knees =
+    List.sort_uniq compare (List.map (fun h -> h.knee) interior)
+  in
+  let breaks = Array.of_list ((lower :: knees) @ [ upper ]) in
+  let n = Array.length breaks - 1 in
+  let rates = Array.make n base_slope in
+  (* A hinge contributes its slope to every piece whose left edge is at
+     or right of the knee. *)
+  List.iter
+    (fun h ->
+      for i = 0 to n - 1 do
+        if breaks.(i) >= h.knee then rates.(i) <- rates.(i) +. h.slope
+      done)
+    interior;
+  let logvals = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    logvals.(i + 1) <- logvals.(i) +. (rates.(i) *. (breaks.(i + 1) -. breaks.(i)))
+  done;
+  (* Re-centre so the largest log value is 0: keeps exp () in range. *)
+  let m = Array.fold_left max neg_infinity logvals in
+  Array.iteri (fun i v -> logvals.(i) <- v -. m) logvals;
+  let log_masses =
+    Array.init n (fun i ->
+        log_piece_mass ~left_logval:logvals.(i) ~rate:rates.(i)
+          ~width:(breaks.(i + 1) -. breaks.(i)))
+  in
+  let log_z = Special.log_sum_exp log_masses in
+  { lower; upper; breaks; rates; logvals; log_masses; log_z }
+
+let lower t = t.lower
+let upper t = t.upper
+
+let pieces t =
+  List.init (Array.length t.rates) (fun i ->
+      (t.breaks.(i), t.breaks.(i + 1), t.rates.(i)))
+
+let find_piece t x =
+  (* Largest i with breaks.(i) <= x; binary search. *)
+  let n = Array.length t.rates in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if t.breaks.(mid) <= x then go mid hi else go lo (mid - 1)
+  in
+  Int.min (go 0 (n - 1)) (n - 1)
+
+let log_density t x =
+  if x < t.lower || x > t.upper then neg_infinity
+  else
+    let i = find_piece t x in
+    t.logvals.(i) +. (t.rates.(i) *. (x -. t.breaks.(i)))
+
+let log_normalizer t = t.log_z
+
+let cdf t x =
+  if x <= t.lower then 0.0
+  else if x >= t.upper then 1.0
+  else begin
+    let i = find_piece t x in
+    let partial =
+      log_piece_mass ~left_logval:t.logvals.(i) ~rate:t.rates.(i)
+        ~width:(x -. t.breaks.(i))
+    in
+    let acc = ref partial in
+    for j = 0 to i - 1 do
+      acc := Special.log_sum_exp2 !acc t.log_masses.(j)
+    done;
+    exp (!acc -. t.log_z)
+  end
+
+let quantile t p =
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg "Piecewise.quantile: p outside [0,1]";
+  if p = 0.0 then t.lower
+  else if p = 1.0 then t.upper
+  else begin
+    let n = Array.length t.rates in
+    (* Walk pieces accumulating normalized mass until we bracket p. *)
+    let rec walk i acc =
+      if i >= n then (n - 1, 1.0)
+      else
+        let w = exp (t.log_masses.(i) -. t.log_z) in
+        if acc +. w >= p || i = n - 1 then (i, (p -. acc) /. w) else walk (i + 1) (acc +. w)
+    in
+    let i, q = walk 0 0.0 in
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    t.breaks.(i)
+    +. invert_piece ~rate:t.rates.(i)
+         ~width:(t.breaks.(i + 1) -. t.breaks.(i))
+         q
+  end
+
+let sample rng t =
+  let n = Array.length t.rates in
+  let i =
+    if n = 1 then 0
+    else begin
+      let weights = Array.map (fun lm -> exp (lm -. t.log_z)) t.log_masses in
+      Rng.categorical rng weights
+    end
+  in
+  let q = Rng.float_unit rng in
+  t.breaks.(i)
+  +. invert_piece ~rate:t.rates.(i) ~width:(t.breaks.(i + 1) -. t.breaks.(i)) q
+
+let mean t =
+  (* Per piece: ∫ x e^{v + r (x - t0)} dx = t0 * mass + e^v * I(r, w)
+     with I(r, w) = ((rw - 1) e^{rw} + 1) / r^2, series-expanded for
+     small rw to avoid cancellation. *)
+  let n = Array.length t.rates in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    let t0 = t.breaks.(i) in
+    let w = t.breaks.(i + 1) -. t0 in
+    let r = t.rates.(i) in
+    let v = exp t.logvals.(i) in
+    let mass = exp (t.log_masses.(i)) in
+    let rw = r *. w in
+    let integral_term =
+      if Float.abs rw < 1e-4 then
+        v *. w *. w *. (0.5 +. (rw /. 3.0) +. (rw *. rw /. 8.0))
+      else if rw > 700.0 then
+        (* exp rw would overflow; the mass concentrates at the right
+           edge, so the contribution tends to (t1 - t0) * mass *)
+        w *. mass
+      else v *. (((rw -. 1.0) *. exp rw) +. 1.0) /. (r *. r)
+    in
+    num := !num +. (t0 *. mass) +. integral_term;
+    den := !den +. mass
+  done;
+  !num /. !den

@@ -1,0 +1,27 @@
+(** One-dimensional slice sampling (Neal 2003) on a bounded interval.
+
+    The exact piecewise-exponential conditional only exists for
+    exponential service; with general service distributions the Gibbs
+    conditional over a departure time is an arbitrary density on a
+    window, and slice sampling draws from it without tuning: sample a
+    vertical level under the density at the current point, then sample
+    uniformly from the horizontal slice, shrinking on rejections. Each
+    call is one exact MCMC transition that leaves the target invariant
+    (it is not an independent draw — callers iterate, as Gibbs sweeps
+    naturally do). *)
+
+val step :
+  ?max_shrink:int ->
+  Rng.t ->
+  log_density:(float -> float) ->
+  lower:float ->
+  upper:float ->
+  current:float ->
+  float
+(** [step rng ~log_density ~lower ~upper ~current] performs one slice
+    transition targeting [exp log_density] restricted to
+    [\[lower, upper\]]. [current] must lie in the interval and have
+    finite log-density; raises [Invalid_argument] otherwise.
+    [max_shrink] (default 100) bounds the shrink loop; if it is
+    exhausted (pathological target), the current point is returned —
+    a valid, if lazy, MCMC move. *)

@@ -1,0 +1,203 @@
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mu : float;
+    mutable m2 : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () = { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mu in
+    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mu));
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mu
+  let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.lo
+  let max t = t.hi
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let fa = float_of_int a.n and fb = float_of_int b.n in
+      let delta = b.mu -. a.mu in
+      let mu = a.mu +. (delta *. fb /. float_of_int n) in
+      let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
+      { n; mu; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+    end
+end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then nan
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Statistics.quantile: empty input";
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg "Statistics.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor h) in
+    let i = Stdlib.min i (n - 2) in
+    let frac = h -. float_of_int i in
+    sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+let median xs = quantile xs 0.5
+let iqr xs = quantile xs 0.75 -. quantile xs 0.25
+
+let median_absolute_deviation xs =
+  let m = median xs in
+  median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+let histogram ?(bins = 20) xs =
+  if bins <= 0 then invalid_arg "Statistics.histogram: bins must be positive";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let lo = Array.fold_left Float.min infinity xs in
+    let hi = Array.fold_left Float.max neg_infinity xs in
+    let hi = if hi > lo then hi else lo +. 1.0 in
+    let width = (hi -. lo) /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let i = int_of_float ((x -. lo) /. width) in
+        let i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
+        counts.(i) <- counts.(i) + 1)
+      xs;
+    Array.init bins (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))
+  end
+
+let empirical_cdf xs x =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Statistics.empirical_cdf: empty input";
+  let count = Array.fold_left (fun acc v -> if v <= x then acc + 1 else acc) 0 xs in
+  float_of_int count /. float_of_int n
+
+let ks_statistic_against xs cdf =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Statistics.ks_statistic_against: empty input";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let fn = float_of_int n in
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let above = (float_of_int (i + 1) /. fn) -. f in
+      let below = f -. (float_of_int i /. fn) in
+      if above > !d then d := above;
+      if below > !d then d := below)
+    sorted;
+  !d
+
+let ks_two_sample xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Statistics.ks_two_sample: empty input";
+  let sx = Array.copy xs and sy = Array.copy ys in
+  Array.sort compare sx;
+  Array.sort compare sy;
+  let fx = float_of_int nx and fy = float_of_int ny in
+  let rec walk i j d =
+    if i >= nx || j >= ny then d
+    else begin
+      let xi = sx.(i) and yj = sy.(j) in
+      let i', j' =
+        if xi <= yj then (i + 1, j) else (i, j + 1)
+      in
+      let i', j' =
+        (* advance past ties on both sides together *)
+        if xi = yj then (i + 1, j + 1) else (i', j')
+      in
+      let diff =
+        Float.abs ((float_of_int i' /. fx) -. (float_of_int j' /. fy))
+      in
+      walk i' j' (Float.max d diff)
+    end
+  in
+  walk 0 0 0.0
+
+let autocorrelation xs k =
+  let n = Array.length xs in
+  if k < 0 || k >= n then invalid_arg "Statistics.autocorrelation: bad lag";
+  let m = mean xs in
+  let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  if denom = 0.0 then 0.0
+  else begin
+    let num = ref 0.0 in
+    for i = 0 to n - k - 1 do
+      num := !num +. ((xs.(i) -. m) *. (xs.(i + k) -. m))
+    done;
+    !num /. denom
+  end
+
+let effective_sample_size xs =
+  let n = Array.length xs in
+  if n < 4 then float_of_int n
+  else begin
+    (* Geyer initial positive sequence: sum consecutive-pair
+       autocorrelations while the pair sums stay positive. *)
+    let max_lag = Stdlib.min (n - 2) 1000 in
+    let rec accumulate k acc =
+      if k + 1 > max_lag then acc
+      else
+        let pair = autocorrelation xs k +. autocorrelation xs (k + 1) in
+        if pair <= 0.0 then acc else accumulate (k + 2) (acc +. pair)
+    in
+    let s = accumulate 1 0.0 in
+    let tau = 1.0 +. (2.0 *. s) in
+    let tau = Float.max tau 1.0 in
+    float_of_int n /. tau
+  end
+
+let gelman_rubin chains =
+  let m = Array.length chains in
+  if m < 2 then invalid_arg "Statistics.gelman_rubin: need >= 2 chains";
+  let n = Array.length chains.(0) in
+  if n < 2 then invalid_arg "Statistics.gelman_rubin: chains too short";
+  Array.iter
+    (fun c ->
+      if Array.length c <> n then
+        invalid_arg "Statistics.gelman_rubin: unequal chain lengths")
+    chains;
+  let fm = float_of_int m and fn = float_of_int n in
+  let chain_means = Array.map mean chains in
+  let grand = mean chain_means in
+  let b =
+    fn /. (fm -. 1.0)
+    *. Array.fold_left
+         (fun acc mu -> acc +. ((mu -. grand) *. (mu -. grand)))
+         0.0 chain_means
+  in
+  let w = mean (Array.map variance chains) in
+  if w = 0.0 then 1.0
+  else
+    let var_plus = (((fn -. 1.0) /. fn) *. w) +. (b /. fn) in
+    sqrt (var_plus /. w)

@@ -1,0 +1,71 @@
+(** Descriptive statistics used by the estimators, the experiment
+    harness, and the test suite. *)
+
+(** Streaming mean/variance accumulator (Welford's algorithm);
+    numerically stable for long runs. *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [nan] for fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+  (** Combine two accumulators (Chan's parallel update). *)
+end
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [nan] for fewer than two elements. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [[0,1]], linear interpolation between
+    order statistics (type-7, the R default). Does not modify [xs].
+    Raises [Invalid_argument] on empty input or [p] outside [[0,1]]. *)
+
+val median : float array -> float
+val iqr : float array -> float
+
+val median_absolute_deviation : float array -> float
+(** Raw MAD (no consistency constant). *)
+
+val histogram : ?bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] is an equal-width histogram as
+    [(lo, hi, count)] triples covering [[min xs, max xs]].
+    Default 20 bins. *)
+
+val empirical_cdf : float array -> float -> float
+(** [empirical_cdf xs x] is the fraction of samples <= [x] (the input
+    need not be sorted; O(n) per query). *)
+
+val ks_statistic_against : float array -> (float -> float) -> float
+(** [ks_statistic_against xs cdf] is the one-sample Kolmogorov–Smirnov
+    statistic sup |F̂(x) − cdf x|, used to validate samplers against
+    their analytic CDFs. *)
+
+val ks_two_sample : float array -> float array -> float
+(** Two-sample KS distance. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs k] is the lag-[k] sample autocorrelation;
+    0 when the series is constant. *)
+
+val effective_sample_size : float array -> float
+(** Initial-positive-sequence estimator (Geyer) of MCMC effective
+    sample size. *)
+
+val gelman_rubin : float array array -> float
+(** [gelman_rubin chains] is the potential-scale-reduction statistic
+    R̂ over two or more equal-length chains. *)

@@ -1,0 +1,1 @@
+lib/trace/timeline.ml: Array Float List Option Trace

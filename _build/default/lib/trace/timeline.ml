@@ -1,0 +1,72 @@
+type point = { time : float; count : int }
+
+let queue_length trace q =
+  let events = Trace.queue_events trace q in
+  (* +1 at arrival, -1 at departure *)
+  let deltas =
+    Array.to_list events
+    |> List.concat_map (fun e ->
+           [ (e.Trace.arrival, 1); (e.Trace.departure, -1) ])
+    |> List.sort compare
+  in
+  let points = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (time, delta) ->
+      count := !count + delta;
+      match !points with
+      | { time = t0; _ } :: rest when t0 = time ->
+          points := { time; count = !count } :: rest
+      | _ -> points := { time; count = !count } :: !points)
+    deltas;
+  Array.of_list (List.rev !points)
+
+let time_average_length ?from_ ?until trace q =
+  let lo_span, hi_span = Trace.span trace in
+  let t0 = Option.value from_ ~default:lo_span in
+  let t1 = Option.value until ~default:hi_span in
+  if t1 <= t0 then invalid_arg "Timeline.time_average_length: empty span";
+  let steps = queue_length trace q in
+  let n = Array.length steps in
+  let acc = ref 0.0 in
+  let level_before t =
+    (* count just before time t: last step with time < t *)
+    let rec find i best =
+      if i >= n || steps.(i).time >= t then best
+      else find (i + 1) steps.(i).count
+    in
+    find 0 0
+  in
+  let current = ref (level_before t0) in
+  let cursor = ref t0 in
+  Array.iter
+    (fun { time; count } ->
+      if time > t0 && time < t1 then begin
+        acc := !acc +. (float_of_int !current *. (time -. !cursor));
+        cursor := time;
+        current := count
+      end
+      else if time <= t0 then current := count)
+    steps;
+  acc := !acc +. (float_of_int !current *. (t1 -. !cursor));
+  !acc /. (t1 -. t0)
+
+let peak_length trace q =
+  let steps = queue_length trace q in
+  Array.fold_left
+    (fun (best, at) { time; count } -> if count > best then (count, time) else (best, at))
+    (0, 0.0) steps
+
+let littles_law_residual trace q =
+  let events = Trace.queue_events trace q in
+  let n = Array.length events in
+  if n = 0 then nan
+  else begin
+    let lo, hi = Trace.span trace in
+    let span = hi -. lo in
+    let lambda_eff = float_of_int n /. span in
+    let resp = Trace.response_times trace q in
+    let w = Array.fold_left ( +. ) 0.0 resp /. float_of_int n in
+    let l = time_average_length trace q in
+    if l <= 0.0 then nan else Float.abs (l -. (lambda_eff *. w)) /. l
+  end

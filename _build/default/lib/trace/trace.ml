@@ -1,0 +1,226 @@
+type event = {
+  task : int;
+  state : int;
+  queue : int;
+  arrival : float;
+  departure : float;
+}
+
+type t = { num_queues : int; num_tasks : int; events : event array }
+
+let chain_tolerance = 1e-9
+
+let compare_task_arrival a b =
+  (* ties on arrival (e.g. a task entering at exactly time 0, whose
+     initial event departs at 0 too) resolve by departure so the chain
+     order is preserved *)
+  match compare a.task b.task with
+  | 0 -> (
+      match compare a.arrival b.arrival with
+      | 0 -> compare a.departure b.departure
+      | c -> c)
+  | c -> c
+
+let create ~num_queues events =
+  let events = Array.of_list events in
+  Array.sort compare_task_arrival events;
+  Array.iter
+    (fun e ->
+      if e.queue < 0 || e.queue >= num_queues then
+        invalid_arg
+          (Printf.sprintf "Trace.create: queue %d out of range [0,%d)" e.queue num_queues);
+      if Float.is_nan e.arrival || Float.is_nan e.departure then
+        invalid_arg "Trace.create: NaN time";
+      if e.arrival < 0.0 then invalid_arg "Trace.create: negative arrival time";
+      if e.departure < e.arrival -. chain_tolerance then
+        invalid_arg
+          (Printf.sprintf "Trace.create: departure %.12g before arrival %.12g (task %d)"
+             e.departure e.arrival e.task))
+    events;
+  (* Per-task chain check. *)
+  let num_tasks = ref 0 in
+  let n = Array.length events in
+  let i = ref 0 in
+  while !i < n do
+    let task = events.(!i).task in
+    incr num_tasks;
+    let first = events.(!i) in
+    if first.arrival <> 0.0 then
+      invalid_arg
+        (Printf.sprintf "Trace.create: task %d has no initial event at time 0" task);
+    let j = ref (!i + 1) in
+    while !j < n && events.(!j).task = task do
+      let prev = events.(!j - 1) and cur = events.(!j) in
+      if Float.abs (cur.arrival -. prev.departure) > chain_tolerance then
+        invalid_arg
+          (Printf.sprintf
+             "Trace.create: task %d broken chain: arrival %.12g <> previous departure %.12g"
+             task cur.arrival prev.departure);
+      incr j
+    done;
+    i := !j
+  done;
+  { num_queues; num_tasks = !num_tasks; events }
+
+let tasks t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.task) then begin
+        Hashtbl.add seen e.task ();
+        acc := e.task :: !acc
+      end)
+    t.events;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let events_of_task t task =
+  let es = Array.of_list (List.filter (fun e -> e.task = task) (Array.to_list t.events)) in
+  Array.sort (fun a b -> compare a.arrival b.arrival) es;
+  es
+
+let queue_events t q =
+  let es = Array.of_list (List.filter (fun e -> e.queue = q) (Array.to_list t.events)) in
+  (* FIFO order: by arrival, ties (notably the all-zero arrivals at q0)
+     by departure, then task for determinism. *)
+  Array.sort
+    (fun a b ->
+      match compare a.arrival b.arrival with
+      | 0 -> (
+          match compare a.departure b.departure with
+          | 0 -> compare a.task b.task
+          | c -> c)
+      | c -> c)
+    es;
+  es
+
+let service_and_waiting t q =
+  let es = queue_events t q in
+  let n = Array.length es in
+  let service = Array.make n 0.0 and waiting = Array.make n 0.0 in
+  let last_departure = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let e = es.(i) in
+    let start = Float.max e.arrival !last_departure in
+    service.(i) <- e.departure -. start;
+    waiting.(i) <- start -. e.arrival;
+    last_departure := e.departure
+  done;
+  (service, waiting)
+
+let service_times t q = fst (service_and_waiting t q)
+let waiting_times t q = snd (service_and_waiting t q)
+
+let response_times t q =
+  Array.map (fun e -> e.departure -. e.arrival) (queue_events t q)
+
+let end_to_end_response t =
+  (* events are sorted by (task, arrival): one pass suffices *)
+  let acc = ref [] in
+  let n = Array.length t.events in
+  let i = ref 0 in
+  while !i < n do
+    let task = t.events.(!i).task in
+    let entry = t.events.(!i).departure in
+    let last = ref entry in
+    let j = ref !i in
+    while !j < n && t.events.(!j).task = task do
+      last := t.events.(!j).departure;
+      incr j
+    done;
+    acc := (task, !last -. entry) :: !acc;
+    i := !j
+  done;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let span t =
+  Array.fold_left
+    (fun (lo, hi) e -> (Float.min lo e.arrival, Float.max hi e.departure))
+    (infinity, neg_infinity) t.events
+
+let utilization t q =
+  let busy = Array.fold_left ( +. ) 0.0 (service_times t q) in
+  let lo, hi = span t in
+  if hi <= lo then 0.0 else busy /. (hi -. lo)
+
+let to_csv t =
+  let buf = Buffer.create (Array.length t.events * 64) in
+  Buffer.add_string buf "task,state,queue,arrival,departure\n";
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%.17g,%.17g\n" e.task e.state e.queue e.arrival
+           e.departure))
+    t.events;
+  Buffer.contents buf
+
+let of_csv ~num_queues text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line lineno line =
+    match String.split_on_char ',' (String.trim line) with
+    | [ task; state; queue; arrival; departure ] -> (
+        try
+          Ok
+            {
+              task = int_of_string task;
+              state = int_of_string state;
+              queue = int_of_string queue;
+              arrival = float_of_string arrival;
+              departure = float_of_string departure;
+            }
+        with _ -> Error (Printf.sprintf "line %d: malformed fields" lineno))
+    | _ -> Error (Printf.sprintf "line %d: expected 5 comma-separated fields" lineno)
+  in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else if lineno = 1 && String.length line >= 4 && String.sub line 0 4 = "task" then
+          go (lineno + 1) acc rest
+        else begin
+          match parse_line lineno line with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error msg -> Error msg
+        end
+  in
+  match go 1 [] lines with
+  | Error msg -> Error msg
+  | Ok events -> (
+      try Ok (create ~num_queues events) with Invalid_argument msg -> Error msg)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))
+
+let load ~num_queues path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        of_csv ~num_queues text)
+  with Sys_error msg -> Error msg
+
+let pp_summary ppf t =
+  let lo, hi = span t in
+  Format.fprintf ppf "trace: %d tasks, %d events, %d queues, time span [%.3f, %.3f]@."
+    t.num_tasks (Array.length t.events) t.num_queues lo hi;
+  Format.fprintf ppf "%6s %8s %12s %12s %8s@." "queue" "events" "mean-serv" "mean-wait"
+    "util";
+  for q = 0 to t.num_queues - 1 do
+    let service, waiting = service_and_waiting t q in
+    let n = Array.length service in
+    if n > 0 then begin
+      let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+      Format.fprintf ppf "%6d %8d %12.5f %12.5f %8.3f@." q n (mean service)
+        (mean waiting) (utilization t q)
+    end
+  done

@@ -1,0 +1,79 @@
+(** Event traces: the common currency between the simulator, the
+    observation model, and the inference engine.
+
+    A trace is the complete record of a set of tasks flowing through a
+    queueing network — one {!event} per (task, queue-visit), including
+    the special initial event at the arrival queue [q0] (arrival time
+    0, departure = the time the task entered the system, per Section 2
+    of the paper). *)
+
+type event = {
+  task : int;  (** task identifier *)
+  state : int;  (** FSM state that emitted this visit *)
+  queue : int;  (** queue visited *)
+  arrival : float;  (** time the task joined the queue *)
+  departure : float;  (** time service completed *)
+}
+
+type t = {
+  num_queues : int;
+  num_tasks : int;
+  events : event array;
+      (** sorted by [(task, arrival)]; each task's first event is its
+          initial event *)
+}
+
+val create : num_queues:int -> event list -> t
+(** [create ~num_queues events] groups, sorts and validates a raw
+    event list into a trace. Validation checks: non-negative times,
+    [departure >= arrival] per event, in-range queue ids, each task's
+    events form a chain ([arrival] of each non-initial event equals
+    the [departure] of the task's previous event, within 1e-9), and
+    exactly one initial event per task. Raises [Invalid_argument]
+    otherwise. *)
+
+val events_of_task : t -> int -> event array
+(** Events of one task in path order (initial event first). *)
+
+val tasks : t -> int array
+(** The distinct task ids, ascending. *)
+
+val queue_events : t -> int -> event array
+(** Events at one queue in arrival order. *)
+
+val service_times : t -> int -> float array
+(** Realized service times at a queue, in arrival order:
+    [departure - max arrival (previous departure)] under FIFO. *)
+
+val waiting_times : t -> int -> float array
+(** Realized waiting times at a queue, in arrival order:
+    [max arrival (previous departure) - arrival]. *)
+
+val response_times : t -> int -> float array
+(** [departure - arrival] per event at a queue. *)
+
+val end_to_end_response : t -> (int * float) array
+(** Per task: total time from system entry (departure of the initial
+    event) to the final departure. *)
+
+val utilization : t -> int -> float
+(** Busy fraction of a queue's server over the trace's time span. *)
+
+val span : t -> float * float
+(** [(earliest arrival, latest departure)] over all events. *)
+
+val to_csv : t -> string
+(** Serialize as CSV with header [task,state,queue,arrival,departure]
+    (times printed with 17 significant digits, round-trippable). *)
+
+val of_csv : num_queues:int -> string -> (t, string) result
+(** Parse the format written by {!to_csv}. *)
+
+val save : t -> string -> unit
+(** [save t path] writes {!to_csv} output to [path]. *)
+
+val load : num_queues:int -> string -> (t, string) result
+
+val pp_summary : Format.formatter -> t -> unit
+(** Multi-line human-readable summary: per-queue counts, mean
+    service/waiting times, utilization. *)

@@ -1,0 +1,1 @@
+lib/webapp/webapp.ml: Array List Printf Qnet_des Qnet_fsm Qnet_prob

@@ -1,0 +1,1 @@
+lib/webapp/webapp.mli: Qnet_des Qnet_prob Qnet_trace

@@ -1,0 +1,128 @@
+module D = Qnet_prob.Distributions
+module Fsm = Qnet_fsm.Fsm
+module Network = Qnet_des.Network
+module Workload = Qnet_des.Workload
+
+type config = {
+  num_web_servers : int;
+  num_requests : int;
+  duration : float;
+  peak_rate : float;
+  network_rate : float;
+  web_rate : float;
+  db_rate : float;
+  starved_server : int option;
+  starved_weight : float;
+}
+
+let default_config =
+  {
+    num_web_servers = 10;
+    num_requests = 5759;
+    duration = 1800.0;
+    peak_rate = 6.0;
+    network_rate = 40.0;
+    web_rate = 0.75;
+    db_rate = 25.0;
+    starved_server = Some 9;
+    starved_weight = 0.0298;
+  }
+
+let validate c =
+  if c.num_web_servers < 1 then Error "num_web_servers must be >= 1"
+  else if c.num_requests < 1 then Error "num_requests must be >= 1"
+  else if c.duration <= 0.0 then Error "duration must be > 0"
+  else if c.peak_rate <= 0.0 then Error "peak_rate must be > 0"
+  else if c.network_rate <= 0.0 || c.web_rate <= 0.0 || c.db_rate <= 0.0 then
+    Error "service rates must be > 0"
+  else if c.starved_weight <= 0.0 || c.starved_weight > 1.0 then
+    Error "starved_weight must be in (0,1]"
+  else
+    match c.starved_server with
+    | Some i when i < 0 || i >= c.num_web_servers -> Error "starved_server out of range"
+    | _ -> Ok ()
+
+(* Queue layout: 0 = q0, 1 = network, 2..(1+n) = web servers, 2+n = db. *)
+let q_network = 1
+let q_web _c i = 2 + i
+let q_db c = 2 + c.num_web_servers
+
+let queue_kind c q =
+  if q = 0 then `Arrival
+  else if q = q_network then `Network
+  else if q = q_db c then `Database
+  else if q >= 2 && q < q_db c then `Web (q - 2)
+  else invalid_arg "Webapp.queue_kind: queue out of range"
+
+let queue_names c =
+  Array.init (q_db c + 1) (fun q ->
+      match queue_kind c q with
+      | `Arrival -> "q0"
+      | `Network -> "network"
+      | `Web i -> Printf.sprintf "web%d" i
+      | `Database -> "db")
+
+let balancer_weights c =
+  Array.init c.num_web_servers (fun i ->
+      match c.starved_server with
+      | Some s when s = i -> c.starved_weight
+      | _ -> 1.0)
+
+let network c =
+  (match validate c with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Webapp.network: " ^ msg));
+  let num_queues = q_db c + 1 in
+  (* States: 0 initial (emits q0), 1 network, 2 web tier, 3 db, 4 final. *)
+  let transitions =
+    [ (0, [ (1, 1.0) ]); (1, [ (2, 1.0) ]); (2, [ (3, 1.0) ]); (3, [ (4, 1.0) ]) ]
+  in
+  let web_emission =
+    let w = balancer_weights c in
+    List.init c.num_web_servers (fun i -> (q_web c i, w.(i)))
+  in
+  let emissions =
+    [
+      (0, [ (0, 1.0) ]);
+      (1, [ (q_network, 1.0) ]);
+      (2, web_emission);
+      (3, [ (q_db c, 1.0) ]);
+    ]
+  in
+  let fsm =
+    Fsm.create ~num_states:5 ~num_queues ~initial:0 ~final:4 ~transitions ~emissions
+  in
+  let mean_arrival_rate =
+    (* the ramp averages half the peak; q0's nominal rate only matters
+       for reporting, the generator below drives actual arrivals *)
+    0.5 *. c.peak_rate
+  in
+  let service =
+    Array.init num_queues (fun q ->
+        match queue_kind c q with
+        | `Arrival -> D.Exponential mean_arrival_rate
+        | `Network -> D.Exponential c.network_rate
+        | `Web _ -> D.Exponential c.web_rate
+        | `Database -> D.Exponential c.db_rate)
+  in
+  Network.create ~names:(queue_names c) ~fsm ~service ()
+
+let generate rng c =
+  let net = network c in
+  let workload =
+    Workload.Ramp
+      {
+        initial_rate = 0.05 *. c.peak_rate;
+        final_rate = c.peak_rate;
+        duration = c.duration;
+      }
+  in
+  Network.simulate_tasks rng net ~workload ~num_tasks:c.num_requests
+
+let ground_truth_mean_service c =
+  Array.init (q_db c + 1) (fun q ->
+      match queue_kind c q with
+      | `Arrival -> 2.0 /. c.peak_rate
+      | `Network -> 1.0 /. c.network_rate
+      | `Web _ -> 1.0 /. c.web_rate
+      | `Database -> 1.0 /. c.db_rate)

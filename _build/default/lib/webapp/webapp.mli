@@ -1,0 +1,60 @@
+(** Synthetic stand-in for the paper's §5.2 testbed: a Ruby-on-Rails
+    movie-voting application behind haproxy with ten identical web
+    server processes and one MySQL database.
+
+    What the paper measured on real hardware we generate with the
+    discrete-event simulator over the same 12-queue topology:
+
+    - queue 0 (q0): task arrivals;
+    - queue 1: "network" — HTTP request/response transmission, the
+      haproxy vantage point;
+    - queues 2–11: the ten web-server instances, selected by a
+      load balancer whose weights may be skewed (the paper's trace
+      had one server that received only 19 of 5759 requests);
+    - queue 12: the database.
+
+    Each request contributes exactly 4 events (initial, network, web,
+    db), so the default 5759 requests yield 23,036 arrival events —
+    matching the paper's numbers. The default workload raises the
+    arrival rate linearly over a 30-minute window, reproducing the
+    light-load → overload sweep of Figure 5. See DESIGN.md §3 for why
+    this substitution preserves the estimation problem. *)
+
+type config = {
+  num_web_servers : int;  (** default 10 *)
+  num_requests : int;  (** default 5759 *)
+  duration : float;  (** ramp length in seconds; default 1800. *)
+  peak_rate : float;  (** arrival rate at the end of the ramp (req/s); default 6.0 *)
+  network_rate : float;  (** exponential service rate of the network queue; default 40. *)
+  web_rate : float;
+      (** rate of each web server; default 0.75, which puts the web
+          tier near saturation at the top of the ramp — the regime
+          where Figure 5's estimates get interesting *)
+  db_rate : float;  (** rate of the database; default 25. *)
+  starved_server : int option;
+      (** index (0-based) of a web server the balancer almost never
+          picks; [Some 9] by default *)
+  starved_weight : float;
+      (** relative weight of the starved server (default 0.0298,
+          tuned to land ~19 requests out of 5759) *)
+}
+
+val default_config : config
+
+val validate : config -> (unit, string) result
+
+val network : config -> Qnet_des.Network.t
+(** The 13-queue network (q0 + network + 10 web + db) with the
+    balancer skew encoded in the FSM emission distribution. *)
+
+val queue_names : config -> string array
+
+val queue_kind : config -> int -> [ `Arrival | `Network | `Web of int | `Database ]
+
+val generate : Qnet_prob.Rng.t -> config -> Qnet_trace.Trace.t
+(** Run the simulated testbed: ramped Poisson arrivals through the
+    network. *)
+
+val ground_truth_mean_service : config -> float array
+(** The true mean service time per queue ([1/rate]); what Figure 5's
+    estimates should recover. *)

@@ -1,0 +1,1 @@
+test/net_helpers.ml: Qnet_core Qnet_des Qnet_prob

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Array Float Hashtbl List Net_helpers Qnet_analytic Qnet_des Qnet_prob Qnet_trace

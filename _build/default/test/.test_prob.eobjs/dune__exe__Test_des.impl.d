@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Float List Net_helpers Option Printf Qnet_analytic Qnet_des Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Float Format List Net_helpers Printf Qnet_core Qnet_des Qnet_fsm Qnet_prob Qnet_trace Qnet_webapp

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qnet_fsm Qnet_prob

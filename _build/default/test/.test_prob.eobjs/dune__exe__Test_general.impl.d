@@ -1,0 +1,1 @@
+test/test_general.ml: Alcotest Array Float Format List Net_helpers Printf Qnet_core Qnet_des Qnet_prob

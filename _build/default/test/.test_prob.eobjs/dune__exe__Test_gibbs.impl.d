@@ -1,0 +1,1 @@
+test/test_gibbs.ml: Alcotest Array Float List Net_helpers Printf Qnet_core Qnet_des Qnet_numerics Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Float Fun List Printf Qnet_core Qnet_des Qnet_prob Qnet_trace Qnet_webapp Sys

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Qnet_lp Sys

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float QCheck QCheck_alcotest Qnet_numerics

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Float List Net_helpers Printf Qnet_core Qnet_des Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float Format Fun Gen List Printf QCheck QCheck_alcotest Qnet_numerics Qnet_prob

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float QCheck QCheck_alcotest Qnet_core Qnet_des Qnet_prob Qnet_trace

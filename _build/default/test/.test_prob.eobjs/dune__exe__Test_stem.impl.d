@@ -1,0 +1,1 @@
+test/test_stem.ml: Alcotest Array Float Format List Net_helpers Printf Qnet_core Qnet_des Qnet_prob Qnet_trace String

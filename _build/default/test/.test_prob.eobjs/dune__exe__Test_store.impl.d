@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Float Net_helpers Printf Qnet_core Qnet_des Qnet_prob Qnet_trace

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Float Format Fun Qnet_trace String Sys

@@ -1,0 +1,1 @@
+test/test_webapp.ml: Alcotest Array List Printf Qnet_des Qnet_prob Qnet_trace Qnet_webapp

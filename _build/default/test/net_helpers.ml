@@ -1,0 +1,15 @@
+(* Shared helpers for the test suite. *)
+
+module Rng = Qnet_prob.Rng
+module Network = Qnet_des.Network
+
+(* Simulate [n] tasks with Poisson arrivals at the network's own q0
+   rate. *)
+let simulate_n rng net n = Network.simulate_poisson rng net ~num_tasks:n
+
+(* Simulate, mask, and build an event store in one call. *)
+let masked_store ?(scheme = Qnet_core.Observation.Task_fraction 0.1) rng net n =
+  let trace = simulate_n rng net n in
+  let mask = Qnet_core.Observation.mask rng scheme trace in
+  let store = Qnet_core.Event_store.of_trace ~observed:mask trace in
+  (trace, mask, store)

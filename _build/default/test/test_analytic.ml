@@ -1,0 +1,255 @@
+(* Tests for the classical queueing-theory library. *)
+
+module Mm1 = Qnet_analytic.Mm1
+module Mmc = Qnet_analytic.Mmc
+module Jackson = Qnet_analytic.Jackson
+module Mg1 = Qnet_analytic.Mg1
+module Topologies = Qnet_des.Topologies
+module Network = Qnet_des.Network
+module Trace = Qnet_trace.Trace
+module Rng = Qnet_prob.Rng
+module Stats = Qnet_prob.Statistics
+module D = Qnet_prob.Distributions
+
+let check_close ?(eps = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" name expected actual
+
+let check_rel ?(eps = 0.05) name expected actual =
+  let denom = Float.max (Float.abs expected) 1e-30 in
+  if Float.abs (expected -. actual) /. denom > eps then
+    Alcotest.failf "%s: expected %.6g, got %.6g" name expected actual
+
+let test_mm1_formulas () =
+  let arrival_rate = 3.0 and service_rate = 5.0 in
+  check_close "rho" 0.6 (Mm1.utilization ~arrival_rate ~service_rate);
+  check_close "L" 1.5 (Mm1.mean_number_in_system ~arrival_rate ~service_rate);
+  check_close "W" 0.5 (Mm1.mean_response_time ~arrival_rate ~service_rate);
+  check_close "Wq" 0.3 (Mm1.mean_waiting_time ~arrival_rate ~service_rate);
+  check_close "Lq" 0.9 (Mm1.mean_queue_length ~arrival_rate ~service_rate)
+
+let test_mm1_littles_law () =
+  (* L = lambda W and Lq = lambda Wq *)
+  let arrival_rate = 2.3 and service_rate = 3.1 in
+  check_close ~eps:1e-12 "L = lambda W"
+    (Mm1.mean_number_in_system ~arrival_rate ~service_rate)
+    (arrival_rate *. Mm1.mean_response_time ~arrival_rate ~service_rate);
+  check_close ~eps:1e-12 "Lq = lambda Wq"
+    (Mm1.mean_queue_length ~arrival_rate ~service_rate)
+    (arrival_rate *. Mm1.mean_waiting_time ~arrival_rate ~service_rate)
+
+let test_mm1_distribution () =
+  let arrival_rate = 1.0 and service_rate = 2.0 in
+  (* geometric number-in-system sums to 1 *)
+  let total = ref 0.0 in
+  for n = 0 to 200 do
+    total := !total +. Mm1.prob_n_in_system ~arrival_rate ~service_rate n
+  done;
+  check_close ~eps:1e-9 "P(N=n) sums to 1" 1.0 !total;
+  (* response time quantile roundtrip *)
+  let p = 0.95 in
+  let x = Mm1.response_time_quantile ~arrival_rate ~service_rate p in
+  check_close ~eps:1e-12 "quantile roundtrip" p
+    (Mm1.response_time_cdf ~arrival_rate ~service_rate x)
+
+let test_mm1_rejects_unstable () =
+  (match Mm1.mean_response_time ~arrival_rate:5.0 ~service_rate:5.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unstable rejection");
+  match Mm1.mean_response_time ~arrival_rate:6.0 ~service_rate:5.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unstable rejection"
+
+let test_erlang_c_single_server () =
+  (* with c = 1 Erlang C reduces to rho *)
+  check_close ~eps:1e-12 "c=1" 0.7 (Mmc.erlang_c ~servers:1 ~offered_load:0.7)
+
+let test_erlang_c_known_value () =
+  (* c = 2, a = 1: C = a^2/(2-a... known closed form:
+     C(2,1) = (1/3)... compute directly: terms 1 + 1 = 2; top = 1/2;
+     tail = (1/2)*(2/1) = 1; C = 1/3 *)
+  check_close ~eps:1e-12 "C(2,1)" (1.0 /. 3.0) (Mmc.erlang_c ~servers:2 ~offered_load:1.0)
+
+let test_mmc_reduces_to_mm1 () =
+  let arrival_rate = 2.0 and service_rate = 3.0 in
+  check_close ~eps:1e-12 "waiting c=1"
+    (Mm1.mean_waiting_time ~arrival_rate ~service_rate)
+    (Mmc.mean_waiting_time ~servers:1 ~arrival_rate ~service_rate);
+  check_close ~eps:1e-12 "response c=1"
+    (Mm1.mean_response_time ~arrival_rate ~service_rate)
+    (Mmc.mean_response_time ~servers:1 ~arrival_rate ~service_rate)
+
+let test_mmc_more_servers_less_waiting () =
+  let w1 = Mmc.mean_waiting_time ~servers:2 ~arrival_rate:3.0 ~service_rate:2.0 in
+  let w2 = Mmc.mean_waiting_time ~servers:4 ~arrival_rate:3.0 ~service_rate:2.0 in
+  Alcotest.(check bool) "more servers wait less" true (w2 < w1)
+
+let test_mmc_against_simulation () =
+  (* simulate M/M/2 via a single shared queue is not directly supported
+     by the FIFO single-server simulator, so check against the
+     textbook value of an M/M/2 with rho = 0.75: a = 1.5, C(2,1.5) =
+     0.642857..., Wq = C/(c mu - lambda) *)
+  let c = Mmc.erlang_c ~servers:2 ~offered_load:1.5 in
+  check_close ~eps:1e-9 "C(2,1.5)" (9.0 /. 14.0) c;
+  let wq = Mmc.mean_waiting_time ~servers:2 ~arrival_rate:1.5 ~service_rate:1.0 in
+  check_close ~eps:1e-9 "Wq" (9.0 /. 14.0 /. 0.5) wq
+
+let test_jackson_tandem () =
+  let net = Topologies.tandem ~arrival_rate:3.0 ~service_rates:[ 5.0; 4.0 ] in
+  let reports = Jackson.analyze ~arrival_rate:3.0 net in
+  Alcotest.(check int) "two queues" 2 (Array.length reports);
+  Array.iter
+    (fun r ->
+      check_close "visit ratio" 1.0 r.Jackson.visit_ratio;
+      check_close "effective arrival" 3.0 r.Jackson.effective_arrival_rate;
+      let expect =
+        Mm1.mean_waiting_time ~arrival_rate:3.0 ~service_rate:r.Jackson.service_rate
+      in
+      check_close "waiting matches M/M/1" expect r.Jackson.mean_waiting_time)
+    reports
+
+let test_jackson_three_tier_visits () =
+  let net =
+    Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(2, 1, 4) ~service_rate:50.0 ()
+  in
+  let reports = Jackson.analyze ~arrival_rate:10.0 net in
+  let by_queue = Hashtbl.create 8 in
+  Array.iter (fun r -> Hashtbl.add by_queue r.Jackson.queue r) reports;
+  (* tier 1 has 2 servers: visit ratio 1/2 each *)
+  let r1 = Hashtbl.find by_queue 1 in
+  check_close "tier1 visit" 0.5 r1.Jackson.visit_ratio;
+  (* tier 2 single server sees everything *)
+  let r3 = Hashtbl.find by_queue 3 in
+  check_close "tier2 visit" 1.0 r3.Jackson.visit_ratio;
+  let r4 = Hashtbl.find by_queue 4 in
+  check_close "tier3 visit" 0.25 r4.Jackson.visit_ratio
+
+let test_jackson_bottleneck () =
+  let net =
+    Topologies.three_tier ~arrival_rate:4.0 ~tier_sizes:(4, 1, 4) ~service_rate:5.0 ()
+  in
+  let reports = Jackson.analyze ~arrival_rate:4.0 net in
+  let b = Jackson.bottleneck reports in
+  (* the single-server tier 2 (queue index 5) carries all traffic *)
+  Alcotest.(check int) "bottleneck queue" 5 b.Jackson.queue;
+  check_close "bottleneck rho" 0.8 b.Jackson.utilization
+
+let test_jackson_unstable_reported () =
+  let net =
+    Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(1, 2, 4) ~service_rate:5.0 ()
+  in
+  let reports = Jackson.analyze ~arrival_rate:10.0 net in
+  let overloaded = Array.to_list reports |> List.filter (fun r -> r.Jackson.queue = 1) in
+  match overloaded with
+  | [ r ] ->
+      check_close "rho = 2" 2.0 r.Jackson.utilization;
+      Alcotest.(check bool) "infinite waiting" true (r.Jackson.mean_waiting_time = infinity)
+  | _ -> Alcotest.fail "queue 1 missing"
+
+let test_jackson_rejects_non_exponential () =
+  let net = Topologies.tandem ~arrival_rate:1.0 ~service_rates:[ 2.0 ] in
+  let net = Network.with_service net 1 (D.Deterministic 0.5) in
+  match Jackson.analyze ~arrival_rate:1.0 net with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of deterministic service"
+
+let test_jackson_feedback_visits () =
+  let net = Topologies.feedback ~arrival_rate:1.0 ~service_rate:10.0 ~loop_prob:0.25 in
+  let reports = Jackson.analyze ~arrival_rate:1.0 net in
+  let r = reports.(Array.length reports - 1) in
+  check_close ~eps:1e-9 "feedback visit ratio" (4.0 /. 3.0) r.Jackson.visit_ratio
+
+let test_mg1_reduces_to_mm1 () =
+  let lambda = 3.0 in
+  let service = D.Exponential 5.0 in
+  check_close ~eps:1e-12 "M/M/1 case"
+    (Mm1.mean_waiting_time ~arrival_rate:lambda ~service_rate:5.0)
+    (Mg1.mean_waiting_time ~arrival_rate:lambda ~service)
+
+let test_mg1_md1_half_waiting () =
+  let lambda = 3.0 in
+  let wq_md1 = Mg1.mean_waiting_time ~arrival_rate:lambda ~service:(D.Deterministic 0.2) in
+  let wq_mm1 = Mm1.mean_waiting_time ~arrival_rate:lambda ~service_rate:5.0 in
+  check_close ~eps:1e-12 "M/D/1 halves the wait" (wq_mm1 /. 2.0) wq_md1
+
+let test_mg1_against_simulation () =
+  (* hyperexponential service: heavy variance, PK formula must match
+     a long simulation *)
+  let lambda = 2.0 in
+  let service = D.Hyperexponential [| (0.7, 10.0); (0.3, 1.5) |] in
+  let predicted = Mg1.mean_waiting_time ~arrival_rate:lambda ~service in
+  let net = Topologies.single_mm1 ~arrival_rate:lambda ~service_rate:1.0 in
+  let net = Network.with_service net 1 service in
+  let rng = Rng.create ~seed:88 () in
+  let trace = Net_helpers.simulate_n rng net 60_000 in
+  let w = Trace.waiting_times trace 1 in
+  let tail = Array.sub w 20_000 40_000 in
+  check_rel ~eps:0.1 "PK vs simulation" predicted (Stats.mean tail)
+
+let test_mg1_inflation_factor () =
+  check_close ~eps:1e-12 "deterministic" 0.5
+    (Mg1.waiting_inflation_vs_mm1 ~service:(D.Deterministic 1.0));
+  check_close ~eps:1e-12 "exponential" 1.0
+    (Mg1.waiting_inflation_vs_mm1 ~service:(D.Exponential 2.0));
+  Alcotest.(check bool) "hyperexp > 1" true
+    (Mg1.waiting_inflation_vs_mm1
+       ~service:(D.Hyperexponential [| (0.9, 10.0); (0.1, 0.5) |])
+    > 1.0)
+
+let test_mg1_rejects_unstable () =
+  match Mg1.mean_waiting_time ~arrival_rate:10.0 ~service:(D.Exponential 5.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unstable M/G/1 rejected"
+
+let test_jackson_end_to_end_vs_simulation () =
+  (* Jackson's product form gives the end-to-end mean response; the
+     simulator must agree on a stable tandem *)
+  let lambda = 2.0 in
+  let net = Topologies.tandem ~arrival_rate:lambda ~service_rates:[ 4.0; 3.5; 5.0 ] in
+  let reports = Jackson.analyze ~arrival_rate:lambda net in
+  let predicted = Jackson.mean_end_to_end_response reports in
+  let rng = Rng.create ~seed:77 () in
+  let trace = Net_helpers.simulate_n rng net 50_000 in
+  let e2e = Trace.end_to_end_response trace in
+  let tail = Array.sub (Array.map snd e2e) 15_000 35_000 in
+  check_rel ~eps:0.07 "end-to-end response" predicted (Stats.mean tail)
+
+let () =
+  Alcotest.run "qnet_analytic"
+    [
+      ( "mm1",
+        [
+          Alcotest.test_case "formulas" `Quick test_mm1_formulas;
+          Alcotest.test_case "little's law" `Quick test_mm1_littles_law;
+          Alcotest.test_case "distributions" `Quick test_mm1_distribution;
+          Alcotest.test_case "rejects unstable" `Quick test_mm1_rejects_unstable;
+        ] );
+      ( "mmc",
+        [
+          Alcotest.test_case "erlang C single server" `Quick test_erlang_c_single_server;
+          Alcotest.test_case "erlang C known" `Quick test_erlang_c_known_value;
+          Alcotest.test_case "reduces to M/M/1" `Quick test_mmc_reduces_to_mm1;
+          Alcotest.test_case "scaling" `Quick test_mmc_more_servers_less_waiting;
+          Alcotest.test_case "M/M/2 closed form" `Quick test_mmc_against_simulation;
+        ] );
+      ( "mg1",
+        [
+          Alcotest.test_case "reduces to M/M/1" `Quick test_mg1_reduces_to_mm1;
+          Alcotest.test_case "M/D/1 halves waiting" `Quick test_mg1_md1_half_waiting;
+          Alcotest.test_case "PK vs simulation" `Slow test_mg1_against_simulation;
+          Alcotest.test_case "inflation factor" `Quick test_mg1_inflation_factor;
+          Alcotest.test_case "rejects unstable" `Quick test_mg1_rejects_unstable;
+        ] );
+      ( "jackson",
+        [
+          Alcotest.test_case "tandem" `Quick test_jackson_tandem;
+          Alcotest.test_case "three-tier visits" `Quick test_jackson_three_tier_visits;
+          Alcotest.test_case "bottleneck" `Quick test_jackson_bottleneck;
+          Alcotest.test_case "unstable queues" `Quick test_jackson_unstable_reported;
+          Alcotest.test_case "rejects non-exponential" `Quick
+            test_jackson_rejects_non_exponential;
+          Alcotest.test_case "feedback visit ratio" `Quick test_jackson_feedback_visits;
+          Alcotest.test_case "end-to-end vs simulation" `Slow
+            test_jackson_end_to_end_vs_simulation;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the probabilistic routing FSM. *)
+
+module Fsm = Qnet_fsm.Fsm
+module Rng = Qnet_prob.Rng
+
+let check_close ?(eps = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" name expected actual
+
+let simple_fsm () =
+  (* 0 -> 1 -> 2(final); state 0 emits q0, state 1 emits q1 or q2 *)
+  Fsm.create ~num_states:3 ~num_queues:3 ~initial:0 ~final:2
+    ~transitions:[ (0, [ (1, 1.0) ]); (1, [ (2, 1.0) ]) ]
+    ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (1, 0.25); (2, 0.75) ]) ]
+
+let test_create_and_accessors () =
+  let t = simple_fsm () in
+  Alcotest.(check int) "states" 3 (Fsm.num_states t);
+  Alcotest.(check int) "queues" 3 (Fsm.num_queues t);
+  Alcotest.(check int) "initial" 0 (Fsm.initial t);
+  Alcotest.(check int) "final" 2 (Fsm.final t);
+  check_close "transition" 1.0 (Fsm.transition_prob t 0 1);
+  check_close "missing transition" 0.0 (Fsm.transition_prob t 0 2);
+  check_close "emission" 0.25 (Fsm.emission_prob t 1 1);
+  check_close "emission" 0.75 (Fsm.emission_prob t 1 2)
+
+let test_normalization () =
+  (* rows are normalized internally *)
+  let t =
+    Fsm.create ~num_states:3 ~num_queues:2 ~initial:0 ~final:2
+      ~transitions:[ (0, [ (1, 2.0) ]); (1, [ (2, 8.0); (1, 2.0) ]) ]
+      ~emissions:[ (0, [ (0, 5.0) ]); (1, [ (1, 3.0) ]) ]
+  in
+  check_close "normalized transition" 0.8 (Fsm.transition_prob t 1 2);
+  check_close "normalized self-loop" 0.2 (Fsm.transition_prob t 1 1);
+  check_close "normalized emission" 1.0 (Fsm.emission_prob t 1 1)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_validation_errors () =
+  expect_invalid "too few states" (fun () ->
+      Fsm.create ~num_states:1 ~num_queues:1 ~initial:0 ~final:0 ~transitions:[]
+        ~emissions:[]);
+  expect_invalid "initial = final" (fun () ->
+      Fsm.create ~num_states:2 ~num_queues:1 ~initial:0 ~final:0 ~transitions:[]
+        ~emissions:[]);
+  expect_invalid "final with transitions" (fun () ->
+      Fsm.create ~num_states:2 ~num_queues:1 ~initial:0 ~final:1
+        ~transitions:[ (0, [ (1, 1.0) ]); (1, [ (0, 1.0) ]) ]
+        ~emissions:[ (0, [ (0, 1.0) ]) ]);
+  expect_invalid "state without transitions" (fun () ->
+      Fsm.create ~num_states:3 ~num_queues:1 ~initial:0 ~final:2
+        ~transitions:[ (0, [ (1, 1.0) ]) ]
+        ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (0, 1.0) ]) ]);
+  expect_invalid "unreachable final" (fun () ->
+      Fsm.create ~num_states:3 ~num_queues:1 ~initial:0 ~final:2
+        ~transitions:[ (0, [ (0, 1.0) ]); (1, [ (2, 1.0) ]) ]
+        ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (0, 1.0) ]) ]);
+  expect_invalid "negative probability" (fun () ->
+      Fsm.create ~num_states:2 ~num_queues:1 ~initial:0 ~final:1
+        ~transitions:[ (0, [ (1, -1.0) ]) ]
+        ~emissions:[ (0, [ (0, 1.0) ]) ]);
+  expect_invalid "queue out of range" (fun () ->
+      Fsm.create ~num_states:2 ~num_queues:1 ~initial:0 ~final:1
+        ~transitions:[ (0, [ (1, 1.0) ]) ]
+        ~emissions:[ (0, [ (5, 1.0) ]) ])
+
+let test_linear_constructor () =
+  let t = Fsm.linear ~queues:[ 0; 1; 2; 3 ] ~num_queues:4 in
+  Alcotest.(check int) "states" 5 (Fsm.num_states t);
+  let rng = Rng.create ~seed:1 () in
+  let path = Fsm.sample_path rng t in
+  Alcotest.(check (list (pair int int)))
+    "deterministic path"
+    [ (1, 1); (2, 2); (3, 3) ]
+    path
+
+let test_sample_path_terminates () =
+  let t = simple_fsm () in
+  let rng = Rng.create ~seed:2 () in
+  for _ = 1 to 100 do
+    let path = Fsm.sample_path rng t in
+    Alcotest.(check int) "path length" 1 (List.length path);
+    match path with
+    | [ (s, q) ] ->
+        Alcotest.(check int) "state" 1 s;
+        Alcotest.(check bool) "queue in support" true (q = 1 || q = 2)
+    | _ -> Alcotest.fail "unexpected path shape"
+  done
+
+let test_sample_path_emission_frequencies () =
+  let t = simple_fsm () in
+  let rng = Rng.create ~seed:3 () in
+  let n = 20_000 in
+  let count = ref 0 in
+  for _ = 1 to n do
+    match Fsm.sample_path rng t with
+    | [ (_, 2) ] -> incr count
+    | _ -> ()
+  done;
+  check_close ~eps:0.02 "emission frequency" 0.75 (float_of_int !count /. float_of_int n)
+
+let test_sample_path_max_len () =
+  (* a heavy self-loop FSM must hit the guard *)
+  let t =
+    Fsm.create ~num_states:3 ~num_queues:2 ~initial:0 ~final:2
+      ~transitions:[ (0, [ (1, 1.0) ]); (1, [ (1, 0.999999999); (2, 1e-9) ]) ]
+      ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (1, 1.0) ]) ]
+  in
+  let rng = Rng.create ~seed:4 () in
+  match Fsm.sample_path ~max_len:50 rng t with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected max_len failure"
+
+let test_log_prob_path () =
+  let t = simple_fsm () in
+  (* path [(1, 2)]: p = p(1|0) p(q2|1) p(2|1) = 1 * 0.75 * 1 *)
+  check_close "log prob" (log 0.75) (Fsm.log_prob_path t [ (1, 2) ]);
+  check_close "impossible path" neg_infinity (Fsm.log_prob_path t [ (1, 0) ])
+
+let test_log_prob_matches_sampling () =
+  let t =
+    Fsm.create ~num_states:4 ~num_queues:3 ~initial:0 ~final:3
+      ~transitions:
+        [ (0, [ (1, 0.6); (2, 0.4) ]); (1, [ (3, 1.0) ]); (2, [ (1, 0.5); (3, 0.5) ]) ]
+      ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (1, 1.0) ]); (2, [ (2, 1.0) ]) ]
+  in
+  (* frequency of the exact path 0 -> 2 -> 1 -> final *)
+  let target = [ (2, 2); (1, 1) ] in
+  let expected = exp (Fsm.log_prob_path t target) in
+  let rng = Rng.create ~seed:5 () in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Fsm.sample_path rng t = target then incr hits
+  done;
+  check_close ~eps:0.01 "path frequency matches log_prob" expected
+    (float_of_int !hits /. float_of_int n)
+
+let test_expected_visits_linear () =
+  let t = Fsm.linear ~queues:[ 0; 1; 2 ] ~num_queues:3 in
+  let v = Fsm.expected_visits t in
+  Array.iteri (fun q x -> check_close (Printf.sprintf "visits q%d" q) 1.0 x) v
+
+let test_expected_visits_branching () =
+  let t = simple_fsm () in
+  let v = Fsm.expected_visits t in
+  check_close "q0 visits" 1.0 v.(0);
+  check_close "q1 visits" 0.25 v.(1);
+  check_close "q2 visits" 0.75 v.(2)
+
+let test_expected_visits_feedback () =
+  (* geometric revisits: visits to the looping state = 1/(1-p) *)
+  let p = 0.3 in
+  let t =
+    Fsm.create ~num_states:3 ~num_queues:2 ~initial:0 ~final:2
+      ~transitions:[ (0, [ (1, 1.0) ]); (1, [ (1, p); (2, 1.0 -. p) ]) ]
+      ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (1, 1.0) ]) ]
+  in
+  let v = Fsm.expected_visits t in
+  check_close ~eps:1e-9 "geometric visits" (1.0 /. (1.0 -. p)) v.(1)
+
+let test_expected_visits_matches_simulation () =
+  let t =
+    Fsm.create ~num_states:4 ~num_queues:4 ~initial:0 ~final:3
+      ~transitions:
+        [ (0, [ (1, 0.7); (2, 0.3) ]); (1, [ (2, 0.5); (3, 0.5) ]); (2, [ (3, 1.0) ]) ]
+      ~emissions:[ (0, [ (0, 1.0) ]); (1, [ (1, 1.0) ]); (2, [ (2, 0.5); (3, 0.5) ]) ]
+  in
+  let v = Fsm.expected_visits t in
+  let rng = Rng.create ~seed:6 () in
+  let n = 100_000 in
+  let counts = Array.make 4 0.0 in
+  for _ = 1 to n do
+    List.iter (fun (_, q) -> counts.(q) <- counts.(q) +. 1.0) (Fsm.sample_path rng t)
+  done;
+  for q = 1 to 3 do
+    check_close ~eps:0.01
+      (Printf.sprintf "simulated visits q%d" q)
+      v.(q)
+      (counts.(q) /. float_of_int n)
+  done
+
+let qcheck_sampled_paths_have_positive_prob =
+  QCheck.Test.make ~name:"sampled paths have positive probability" ~count:100
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let t = simple_fsm () in
+      let rng = Rng.create ~seed () in
+      let path = Fsm.sample_path rng t in
+      Fsm.log_prob_path t path > neg_infinity)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qnet_fsm"
+    [
+      ( "fsm",
+        [
+          Alcotest.test_case "create and accessors" `Quick test_create_and_accessors;
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+          Alcotest.test_case "linear constructor" `Quick test_linear_constructor;
+          Alcotest.test_case "paths terminate" `Quick test_sample_path_terminates;
+          Alcotest.test_case "emission frequencies" `Slow
+            test_sample_path_emission_frequencies;
+          Alcotest.test_case "max_len guard" `Quick test_sample_path_max_len;
+          Alcotest.test_case "log_prob_path" `Quick test_log_prob_path;
+          Alcotest.test_case "log_prob vs sampling" `Slow test_log_prob_matches_sampling;
+          Alcotest.test_case "visits: linear" `Quick test_expected_visits_linear;
+          Alcotest.test_case "visits: branching" `Quick test_expected_visits_branching;
+          Alcotest.test_case "visits: feedback" `Quick test_expected_visits_feedback;
+          Alcotest.test_case "visits vs simulation" `Slow
+            test_expected_visits_matches_simulation;
+          qc qcheck_sampled_paths_have_positive_prob;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Integration tests: the full pipeline (simulate -> observe -> init ->
+   StEM -> waiting estimation -> localization) on realistic networks,
+   cross-checked against ground truth and the baseline. Mirrors the
+   paper's experiments at reduced scale. *)
+
+module Rng = Qnet_prob.Rng
+module Stats = Qnet_prob.Statistics
+module Trace = Qnet_trace.Trace
+module Topologies = Qnet_des.Topologies
+module Network = Qnet_des.Network
+module Webapp = Qnet_webapp.Webapp
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+module Params = Qnet_core.Params
+module Estimators = Qnet_core.Estimators
+module Localization = Qnet_core.Localization
+module D = Qnet_prob.Distributions
+
+
+let fast_config =
+  { Stem.default_config with Stem.iterations = 120; burn_in = 60 }
+
+let run_pipeline ?(config = fast_config) ~seed ~tasks ~frac net =
+  let rng = Rng.create ~seed () in
+  let trace = Network.simulate_poisson rng net ~num_tasks:tasks in
+  let mask = Obs.mask rng (Obs.Task_fraction frac) trace in
+  let store = Store.of_trace ~observed:mask trace in
+  let result = Stem.run ~config rng store in
+  (trace, mask, store, result, rng)
+
+(* Figure 4 in miniature: service errors across the five structures *)
+let test_fig4_miniature () =
+  let errors = ref [] in
+  List.iteri
+    (fun i (_, net) ->
+      let _, _, _, result, _ = run_pipeline ~seed:(500 + i) ~tasks:300 ~frac:0.1 net in
+      for q = 1 to Params.num_queues (Params.of_network net) - 1 do
+        errors := Float.abs (result.Stem.mean_service.(q) -. 0.2) :: !errors
+      done)
+    Topologies.paper_structures;
+  let med = Stats.median (Array.of_list !errors) in
+  (* the paper reports median |error| = 0.033 at 5%; at 10% and reduced
+     scale we ask for the same order of magnitude *)
+  Alcotest.(check bool)
+    (Printf.sprintf "median service error %.4f < 0.08" med)
+    true (med < 0.08)
+
+(* §5.1 baseline comparison: StEM error comparable to the unfairly
+   advantaged mean-observed-service baseline *)
+let test_baseline_comparison () =
+  let net = Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(4, 2, 1) ~service_rate:5.0 () in
+  let stem_errs = ref [] and base_errs = ref [] in
+  for rep = 0 to 2 do
+    let trace, mask, _, result, _ = run_pipeline ~seed:(520 + rep) ~tasks:300 ~frac:0.1 net in
+    let observed = Obs.observed_tasks trace mask in
+    let baseline = Estimators.mean_observed_service trace ~observed_tasks:observed in
+    for q = 1 to 7 do
+      stem_errs := Float.abs (result.Stem.mean_service.(q) -. 0.2) :: !stem_errs;
+      if not (Float.is_nan baseline.(q)) then
+        base_errs := Float.abs (baseline.(q) -. 0.2) :: !base_errs
+    done
+  done;
+  let stem_med = Stats.median (Array.of_list !stem_errs) in
+  let base_med = Stats.median (Array.of_list !base_errs) in
+  (* StEM shouldn't be more than ~3x worse than the cheating baseline *)
+  Alcotest.(check bool)
+    (Printf.sprintf "StEM median %.4f vs baseline %.4f" stem_med base_med)
+    true
+    (stem_med < Float.max (3.0 *. base_med) 0.06)
+
+(* localization finds the overloaded tier *)
+let test_localization_finds_bottleneck () =
+  (* structure 2-4-1: the single-server third tier is overloaded (rho=2) *)
+  let net = Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(2, 4, 1) ~service_rate:5.0 () in
+  let _, _, store, result, rng = run_pipeline ~seed:530 ~tasks:400 ~frac:0.1 net in
+  let waiting = Stem.estimate_waiting rng store result.Stem.params in
+  let reports =
+    Localization.analyze ~exclude:[ 0 ] ~mean_service:result.Stem.mean_service
+      ~mean_waiting:waiting ()
+  in
+  let top = Localization.bottleneck reports in
+  (* tier 3's queue is the last one (index 7 = 1 + 2 + 4) *)
+  Alcotest.(check int) "bottleneck is the single-server tier" 7 top.Localization.queue;
+  Alcotest.(check bool) "flagged as load" true
+    (top.Localization.verdict = Localization.Load_bottleneck)
+
+(* the webapp pipeline at reduced scale: recover service times of the
+   aggregate tiers within tolerance *)
+let test_webapp_miniature () =
+  let cfg =
+    { Webapp.default_config with Webapp.num_requests = 1200; duration = 400.0 }
+  in
+  let rng = Rng.create ~seed:540 () in
+  let trace = Webapp.generate rng cfg in
+  let mask = Obs.mask rng (Obs.Task_fraction 0.25) trace in
+  let store = Store.of_trace ~observed:mask trace in
+  let result = Stem.run ~config:fast_config rng store in
+  let truth = Webapp.ground_truth_mean_service cfg in
+  (* db and network are high-count queues: expect tight estimates *)
+  let rel q = Float.abs (result.Stem.mean_service.(q) -. truth.(q)) /. truth.(q) in
+  Alcotest.(check bool)
+    (Printf.sprintf "network rel err %.3f" (rel 1))
+    true (rel 1 < 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "db rel err %.3f" (rel 12))
+    true (rel 12 < 0.5);
+  (* web tier: average across the nine healthy servers *)
+  let healthy = List.init 9 (fun i -> 2 + i) in
+  let avg =
+    List.fold_left (fun acc q -> acc +. result.Stem.mean_service.(q)) 0.0 healthy
+    /. 9.0
+  in
+  let rel_web = Float.abs (avg -. truth.(2)) /. truth.(2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "web tier avg rel err %.3f" rel_web)
+    true (rel_web < 0.6)
+
+(* estimates should sharpen as observation grows (Figure 4's trend) *)
+let test_error_decreases_with_observation () =
+  let net = Topologies.tandem ~arrival_rate:10.0 ~service_rates:[ 15.0; 12.0 ] in
+  let avg_err frac seeds =
+    let total = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun seed ->
+        let _, _, _, result, _ = run_pipeline ~seed ~tasks:300 ~frac net in
+        for q = 1 to 2 do
+          let truth = if q = 1 then 1.0 /. 15.0 else 1.0 /. 12.0 in
+          total := !total +. Float.abs (result.Stem.mean_service.(q) -. truth);
+          incr n
+        done)
+      seeds;
+    !total /. float_of_int !n
+  in
+  let err_low = avg_err 0.02 [ 551; 552; 553; 554 ] in
+  let err_high = avg_err 0.5 [ 555; 556; 557; 558 ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "2%%: %.4f vs 50%%: %.4f" err_low err_high)
+    true (err_high < err_low +. 0.02)
+
+(* trace round-trips through CSV and inference still works *)
+let test_csv_pipeline () =
+  let net = Topologies.tandem ~arrival_rate:8.0 ~service_rates:[ 12.0 ] in
+  let rng = Rng.create ~seed:560 () in
+  let trace = Network.simulate_poisson rng net ~num_tasks:150 in
+  let path = Filename.temp_file "qnet_integration" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      match Trace.load ~num_queues:2 path with
+      | Error m -> Alcotest.fail m
+      | Ok trace' ->
+          let mask = Obs.mask rng (Obs.Task_fraction 0.3) trace' in
+          let store = Store.of_trace ~observed:mask trace' in
+          let result = Stem.run ~config:fast_config rng store in
+          Alcotest.(check bool) "sane estimate" true
+            (Float.abs (result.Stem.mean_service.(1) -. (1.0 /. 12.0)) < 0.05))
+
+(* misspecification: generator uses Erlang services, the exponential
+   model still localizes the mean reasonably *)
+let test_misspecified_services () =
+  let net = Topologies.tandem ~arrival_rate:6.0 ~service_rates:[ 10.0; 10.0 ] in
+  (* replace q1 with Erlang(3) of the same mean 0.1 *)
+  let net = Network.with_service net 1 (D.Erlang (3, 30.0)) in
+  let rng = Rng.create ~seed:570 () in
+  let trace = Network.simulate_poisson rng net ~num_tasks:400 in
+  let mask = Obs.mask rng (Obs.Task_fraction 0.2) trace in
+  let store = Store.of_trace ~observed:mask trace in
+  let result = Stem.run ~config:fast_config rng store in
+  (* Erlang(3, 30) has mean 0.1: the exponential fit should still land
+     within ~40% of the true mean *)
+  let est = result.Stem.mean_service.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "misspecified estimate %.4f near 0.1" est)
+    true
+    (est > 0.06 && est < 0.14)
+
+(* end-to-end determinism of the whole pipeline *)
+let test_pipeline_determinism () =
+  let run () =
+    let net = Topologies.tandem ~arrival_rate:5.0 ~service_rates:[ 9.0 ] in
+    let _, _, _, result, _ = run_pipeline ~seed:580 ~tasks:100 ~frac:0.2 net in
+    result.Stem.mean_service
+  in
+  Alcotest.(check bool) "reproducible" true (run () = run ())
+
+let () =
+  Alcotest.run "qnet_integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "fig4 miniature" `Slow test_fig4_miniature;
+          Alcotest.test_case "baseline comparison" `Slow test_baseline_comparison;
+          Alcotest.test_case "localization finds bottleneck" `Slow
+            test_localization_finds_bottleneck;
+          Alcotest.test_case "webapp miniature" `Slow test_webapp_miniature;
+          Alcotest.test_case "error decreases with data" `Slow
+            test_error_decreases_with_observation;
+          Alcotest.test_case "csv pipeline" `Slow test_csv_pipeline;
+          Alcotest.test_case "misspecified services" `Slow test_misspecified_services;
+          Alcotest.test_case "determinism" `Slow test_pipeline_determinism;
+        ] );
+    ]

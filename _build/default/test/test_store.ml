@@ -1,0 +1,210 @@
+(* Tests for the event store: pointer topology, latent arithmetic,
+   validation, likelihood. *)
+
+module Store = Qnet_core.Event_store
+module Params = Qnet_core.Params
+module Trace = Qnet_trace.Trace
+module Topologies = Qnet_des.Topologies
+module Rng = Qnet_prob.Rng
+
+let check_close ?(eps = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" name expected actual
+
+let ev task state queue arrival departure =
+  { Trace.task; state; queue; arrival; departure }
+
+(* tasks 0 and 1 through q0 -> q1 -> q2 with interleaving at q1 *)
+let two_task_trace () =
+  Trace.create ~num_queues:3
+    [
+      ev 0 0 0 0.0 1.0;
+      ev 0 1 1 1.0 2.0;
+      ev 0 2 2 2.0 2.5;
+      ev 1 0 0 0.0 1.5;
+      ev 1 1 1 1.5 3.0;
+      ev 1 2 2 3.0 3.4;
+    ]
+
+let test_pointer_topology () =
+  let store = Store.of_trace (two_task_trace ()) in
+  Alcotest.(check int) "events" 6 (Store.num_events store);
+  Alcotest.(check int) "tasks" 2 (Store.num_tasks store);
+  Alcotest.(check int) "queues" 3 (Store.num_queues store);
+  Alcotest.(check int) "arrival queue" 0 (Store.arrival_queue store);
+  (* canonical order: task 0 events 0,1,2; task 1 events 3,4,5 *)
+  Alcotest.(check int) "pi of initial" (-1) (Store.pi store 0);
+  Alcotest.(check int) "pi chain" 0 (Store.pi store 1);
+  Alcotest.(check int) "pi chain" 1 (Store.pi store 2);
+  Alcotest.(check int) "pi_inv chain" 1 (Store.pi_inv store 0);
+  Alcotest.(check int) "pi_inv last" (-1) (Store.pi_inv store 2);
+  (* rho at q1: task 0's q1 event (index 1) precedes task 1's (index 4) *)
+  Alcotest.(check int) "rho first at queue" (-1) (Store.rho store 1);
+  Alcotest.(check int) "rho second at queue" 1 (Store.rho store 4);
+  Alcotest.(check int) "rho_inv" 4 (Store.rho_inv store 1);
+  (* q0 initial events ordered by departure: index 0 then 3 *)
+  Alcotest.(check int) "rho q0" 0 (Store.rho store 3);
+  Alcotest.(check int) "rho_inv q0" 3 (Store.rho_inv store 0)
+
+let test_arrival_service_waiting () =
+  let store = Store.of_trace (two_task_trace ()) in
+  check_close "arrival of initial" 0.0 (Store.arrival store 0);
+  check_close "arrival = pi departure" 1.0 (Store.arrival store 1);
+  check_close "service event 1" 1.0 (Store.service store 1);
+  check_close "waiting event 1" 0.0 (Store.waiting store 1);
+  (* task 1 at q1: arrives 1.5, waits for task 0 until 2.0 *)
+  check_close "start of event 4" 2.0 (Store.start_service store 4);
+  check_close "service event 4" 1.0 (Store.service store 4);
+  check_close "waiting event 4" 0.5 (Store.waiting store 4)
+
+let test_set_departure_propagates_to_arrival () =
+  let mask = [| true; false; true; true; true; true |] in
+  let store = Store.of_trace ~observed:mask (two_task_trace ()) in
+  Store.set_departure store 1 1.8;
+  check_close "departure updated" 1.8 (Store.departure store 1);
+  (* the within-task successor's arrival follows automatically *)
+  check_close "successor arrival" 1.8 (Store.arrival store 2)
+
+let test_set_departure_rejects_observed () =
+  let store = Store.of_trace (two_task_trace ()) in
+  Alcotest.check_raises "observed"
+    (Invalid_argument "Event_store.set_departure: event is observed") (fun () ->
+      Store.set_departure store 0 5.0)
+
+let test_events_of_task_and_queue () =
+  let store = Store.of_trace (two_task_trace ()) in
+  Alcotest.(check (array int)) "task 0" [| 0; 1; 2 |] (Store.events_of_task store 0);
+  Alcotest.(check (array int)) "task 1" [| 3; 4; 5 |] (Store.events_of_task store 1);
+  Alcotest.(check (array int)) "queue 1 order" [| 1; 4 |] (Store.events_at_queue store 1);
+  Alcotest.(check (array int)) "queue 0 order" [| 0; 3 |] (Store.events_at_queue store 0)
+
+let test_unobserved_listing () =
+  let mask = [| true; false; true; false; true; false |] in
+  let store = Store.of_trace ~observed:mask (two_task_trace ()) in
+  Alcotest.(check (array int)) "unobserved" [| 1; 3; 5 |] (Store.unobserved_events store)
+
+let test_validate_ok_and_violation () =
+  let mask = [| true; false; true; true; true; true |] in
+  let store = Store.of_trace ~observed:mask (two_task_trace ()) in
+  (match Store.validate store with Ok () -> () | Error m -> Alcotest.fail m);
+  (* push event 1's departure past its successor's departure: negative
+     service downstream *)
+  Store.set_departure store 1 2.7;
+  match Store.validate store with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_to_trace_roundtrip () =
+  let trace = two_task_trace () in
+  let store = Store.of_trace trace in
+  let trace' = Store.to_trace store in
+  Alcotest.(check int) "events" 6 (Array.length trace'.Trace.events);
+  Array.iteri
+    (fun i e ->
+      let e' = trace'.Trace.events.(i) in
+      check_close "arrival" e.Trace.arrival e'.Trace.arrival;
+      check_close "departure" e.Trace.departure e'.Trace.departure)
+    trace.Trace.events
+
+let test_copy_isolation () =
+  let mask = [| true; false; true; true; true; true |] in
+  let store = Store.of_trace ~observed:mask (two_task_trace ()) in
+  let copy = Store.copy store in
+  Store.set_departure store 1 1.9;
+  check_close "copy untouched" 2.0 (Store.departure copy 1);
+  check_close "original changed" 1.9 (Store.departure store 1)
+
+let test_log_likelihood_matches_manual () =
+  let store = Store.of_trace (two_task_trace ()) in
+  let params = Params.create ~rates:[| 1.0; 2.0; 3.0 |] ~arrival_queue:0 in
+  (* services: q0: 1.0, 0.5; q1: 1.0, 1.0; q2: 0.5, 0.4 *)
+  let manual =
+    (log 1.0 -. 1.0) +. (log 1.0 -. 0.5)
+    +. (log 2.0 -. 2.0) +. (log 2.0 -. 2.0)
+    +. (log 3.0 -. 1.5) +. (log 3.0 -. 1.2)
+  in
+  check_close ~eps:1e-9 "log likelihood" manual (Store.log_likelihood store params)
+
+let test_sufficient_stats () =
+  let store = Store.of_trace (two_task_trace ()) in
+  let stats = Store.service_sufficient_stats store in
+  let c0, s0 = stats.(0) in
+  Alcotest.(check int) "q0 count" 2 c0;
+  check_close "q0 sum (telescopes to last entry)" 1.5 s0;
+  let c1, s1 = stats.(1) in
+  Alcotest.(check int) "q1 count" 2 c1;
+  check_close "q1 sum" 2.0 s1
+
+let test_mean_waiting_and_service_by_queue () =
+  let store = Store.of_trace (two_task_trace ()) in
+  let w = Store.mean_waiting_by_queue store in
+  check_close "q1 mean waiting" 0.25 w.(1);
+  check_close "q2 mean waiting" 0.0 w.(2);
+  let s = Store.mean_service_by_queue store in
+  check_close "q1 mean service" 1.0 s.(1);
+  check_close "q2 mean service" 0.45 s.(2)
+
+let test_rejects_queue_revisit_of_q0 () =
+  let bad =
+    [
+      ev 0 0 0 0.0 1.0;
+      ev 0 1 1 1.0 2.0;
+      ev 0 2 0 2.0 3.0;
+      (* returns to q0: forbidden *)
+    ]
+  in
+  let trace = Trace.create ~num_queues:2 bad in
+  match Store.of_trace trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of q0 revisit"
+
+let test_mask_length_checked () =
+  let trace = two_task_trace () in
+  match Store.of_trace ~observed:[| true |] trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected mask length check"
+
+let test_large_simulated_store_consistency () =
+  (* build from a simulated trace and check service/waiting agree with
+     the trace's own computation *)
+  let rng = Rng.create ~seed:42 () in
+  let net = Topologies.three_tier ~arrival_rate:8.0 ~tier_sizes:(2, 1, 2) ~service_rate:7.0 () in
+  let trace = Net_helpers.simulate_n rng net 400 in
+  let store = Store.of_trace trace in
+  (match Store.validate store with Ok () -> () | Error m -> Alcotest.fail m);
+  for q = 0 to Store.num_queues store - 1 do
+    let via_trace = Trace.service_times trace q in
+    let order = Store.events_at_queue store q in
+    Array.iteri
+      (fun k i ->
+        check_close ~eps:1e-9
+          (Printf.sprintf "service q%d event %d" q k)
+          via_trace.(k) (Store.service store i))
+      order
+  done
+
+let () =
+  Alcotest.run "qnet_core_store"
+    [
+      ( "event-store",
+        [
+          Alcotest.test_case "pointer topology" `Quick test_pointer_topology;
+          Alcotest.test_case "arrival/service/waiting" `Quick test_arrival_service_waiting;
+          Alcotest.test_case "set_departure propagates" `Quick
+            test_set_departure_propagates_to_arrival;
+          Alcotest.test_case "observed immutable" `Quick test_set_departure_rejects_observed;
+          Alcotest.test_case "task and queue listings" `Quick test_events_of_task_and_queue;
+          Alcotest.test_case "unobserved listing" `Quick test_unobserved_listing;
+          Alcotest.test_case "validate" `Quick test_validate_ok_and_violation;
+          Alcotest.test_case "to_trace roundtrip" `Quick test_to_trace_roundtrip;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+          Alcotest.test_case "log likelihood" `Quick test_log_likelihood_matches_manual;
+          Alcotest.test_case "sufficient stats" `Quick test_sufficient_stats;
+          Alcotest.test_case "mean waiting/service" `Quick
+            test_mean_waiting_and_service_by_queue;
+          Alcotest.test_case "q0 revisit rejected" `Quick test_rejects_queue_revisit_of_q0;
+          Alcotest.test_case "mask length" `Quick test_mask_length_checked;
+          Alcotest.test_case "simulated store consistency" `Quick
+            test_large_simulated_store_consistency;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for trace construction, statistics, and serialization. *)
+
+module Trace = Qnet_trace.Trace
+
+let check_close ?(eps = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" name expected actual
+
+let ev task state queue arrival departure =
+  { Trace.task; state; queue; arrival; departure }
+
+(* two tasks through q0 -> q1; handcrafted FIFO-consistent times *)
+let small_trace () =
+  Trace.create ~num_queues:2
+    [
+      ev 0 0 0 0.0 1.0;
+      (* task 0 enters at 1.0 *)
+      ev 0 1 1 1.0 2.0;
+      (* served 1.0 - 2.0 *)
+      ev 1 0 0 0.0 1.5;
+      ev 1 1 1 1.5 3.0;
+      (* waits behind task 0 until 2.0, serves 1.0 *)
+    ]
+
+let test_create_valid () =
+  let t = small_trace () in
+  Alcotest.(check int) "tasks" 2 t.Trace.num_tasks;
+  Alcotest.(check int) "events" 4 (Array.length t.Trace.events)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_create_rejects_bad_input () =
+  expect_invalid "queue out of range" (fun () ->
+      Trace.create ~num_queues:1 [ ev 0 0 1 0.0 1.0 ]);
+  expect_invalid "departure before arrival" (fun () ->
+      Trace.create ~num_queues:1 [ ev 0 0 0 1.0 0.5 ]);
+  expect_invalid "no initial event" (fun () ->
+      Trace.create ~num_queues:1 [ ev 0 0 0 1.0 2.0 ]);
+  expect_invalid "broken chain" (fun () ->
+      Trace.create ~num_queues:2 [ ev 0 0 0 0.0 1.0; ev 0 1 1 1.5 2.0 ]);
+  expect_invalid "negative arrival" (fun () ->
+      Trace.create ~num_queues:1 [ ev 0 0 0 (-1.0) 1.0 ]);
+  expect_invalid "NaN" (fun () -> Trace.create ~num_queues:1 [ ev 0 0 0 0.0 nan ])
+
+let test_tasks_and_grouping () =
+  let t = small_trace () in
+  Alcotest.(check (array int)) "task ids" [| 0; 1 |] (Trace.tasks t);
+  let e0 = Trace.events_of_task t 0 in
+  Alcotest.(check int) "task 0 events" 2 (Array.length e0);
+  check_close "first is initial" 0.0 e0.(0).Trace.arrival
+
+let test_queue_events_order () =
+  let t = small_trace () in
+  let q1 = Trace.queue_events t 1 in
+  Alcotest.(check int) "count" 2 (Array.length q1);
+  Alcotest.(check int) "first arrival first" 0 q1.(0).Trace.task;
+  Alcotest.(check int) "second arrival second" 1 q1.(1).Trace.task
+
+let test_service_and_waiting () =
+  let t = small_trace () in
+  let s = Trace.service_times t 1 in
+  let w = Trace.waiting_times t 1 in
+  check_close "task0 service" 1.0 s.(0);
+  check_close "task0 waiting" 0.0 w.(0);
+  check_close "task1 service" 1.0 s.(1);
+  check_close "task1 waits for task0" 0.5 w.(1)
+
+let test_q0_service_is_interarrival () =
+  let t = small_trace () in
+  let s = Trace.service_times t 0 in
+  (* all q0 arrivals are at 0; FIFO order by departure: gaps 1.0, 0.5 *)
+  check_close "first gap" 1.0 s.(0);
+  check_close "second gap" 0.5 s.(1)
+
+let test_response_times () =
+  let t = small_trace () in
+  let r = Trace.response_times t 1 in
+  check_close "task0 response" 1.0 r.(0);
+  check_close "task1 response" 1.5 r.(1)
+
+let test_end_to_end () =
+  let t = small_trace () in
+  let e2e = Trace.end_to_end_response t in
+  Alcotest.(check int) "entries" 2 (Array.length e2e);
+  let _, r0 = e2e.(0) and _, r1 = e2e.(1) in
+  check_close "task0 e2e" 1.0 r0;
+  (* task 1 enters at 1.5, leaves 3.0 *)
+  check_close "task1 e2e" 1.5 r1
+
+let test_span_and_utilization () =
+  let t = small_trace () in
+  let lo, hi = Trace.span t in
+  check_close "span lo" 0.0 lo;
+  check_close "span hi" 3.0 hi;
+  (* q1 busy 1.0-2.0 and 2.0-3.0 = 2.0 of 3.0 *)
+  check_close "utilization" (2.0 /. 3.0) (Trace.utilization t 1)
+
+let test_csv_roundtrip () =
+  let t = small_trace () in
+  let csv = Trace.to_csv t in
+  match Trace.of_csv ~num_queues:2 csv with
+  | Error m -> Alcotest.fail m
+  | Ok t' ->
+      Alcotest.(check int) "tasks" t.Trace.num_tasks t'.Trace.num_tasks;
+      Array.iteri
+        (fun i e ->
+          let e' = t'.Trace.events.(i) in
+          Alcotest.(check int) "task" e.Trace.task e'.Trace.task;
+          Alcotest.(check int) "queue" e.Trace.queue e'.Trace.queue;
+          check_close "arrival" e.Trace.arrival e'.Trace.arrival;
+          check_close "departure" e.Trace.departure e'.Trace.departure)
+        t.Trace.events
+
+let test_csv_rejects_garbage () =
+  (match Trace.of_csv ~num_queues:1 "task,state,queue,arrival,departure\n1,2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Trace.of_csv ~num_queues:1 "task,state,queue,arrival,departure\na,b,c,d,e\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_csv_file_roundtrip () =
+  let t = small_trace () in
+  let path = Filename.temp_file "qnet_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save t path;
+      match Trace.load ~num_queues:2 path with
+      | Error m -> Alcotest.fail m
+      | Ok t' -> Alcotest.(check int) "events" 4 (Array.length t'.Trace.events))
+
+let test_load_missing_file () =
+  match Trace.load ~num_queues:1 "/nonexistent/path.csv" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for missing file"
+
+let test_pp_summary_runs () =
+  let t = small_trace () in
+  let s = Format.asprintf "%a" Trace.pp_summary t in
+  Alcotest.(check bool) "mentions tasks" true
+    (String.length s > 0
+    && String.length s > 10)
+
+let () =
+  Alcotest.run "qnet_trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "create valid" `Quick test_create_valid;
+          Alcotest.test_case "create rejects bad input" `Quick test_create_rejects_bad_input;
+          Alcotest.test_case "tasks and grouping" `Quick test_tasks_and_grouping;
+          Alcotest.test_case "queue event order" `Quick test_queue_events_order;
+          Alcotest.test_case "service and waiting" `Quick test_service_and_waiting;
+          Alcotest.test_case "q0 interarrival" `Quick test_q0_service_is_interarrival;
+          Alcotest.test_case "response times" `Quick test_response_times;
+          Alcotest.test_case "end-to-end" `Quick test_end_to_end;
+          Alcotest.test_case "span and utilization" `Quick test_span_and_utilization;
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "csv rejects garbage" `Quick test_csv_rejects_garbage;
+          Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
+          Alcotest.test_case "load missing file" `Quick test_load_missing_file;
+          Alcotest.test_case "summary printer" `Quick test_pp_summary_runs;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the synthetic movie-voting web application (§5.2). *)
+
+module Webapp = Qnet_webapp.Webapp
+module Trace = Qnet_trace.Trace
+module Network = Qnet_des.Network
+module Rng = Qnet_prob.Rng
+
+let test_default_config_valid () =
+  match Webapp.validate Webapp.default_config with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_validation_catches_errors () =
+  let c = Webapp.default_config in
+  let cases =
+    [
+      { c with Webapp.num_web_servers = 0 };
+      { c with Webapp.num_requests = 0 };
+      { c with Webapp.duration = 0.0 };
+      { c with Webapp.peak_rate = -1.0 };
+      { c with Webapp.web_rate = 0.0 };
+      { c with Webapp.starved_server = Some 99 };
+      { c with Webapp.starved_weight = 0.0 };
+    ]
+  in
+  List.iter
+    (fun c ->
+      match Webapp.validate c with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "expected validation error")
+    cases
+
+let test_queue_layout () =
+  let c = Webapp.default_config in
+  Alcotest.(check bool) "q0" true (Webapp.queue_kind c 0 = `Arrival);
+  Alcotest.(check bool) "network" true (Webapp.queue_kind c 1 = `Network);
+  Alcotest.(check bool) "first web" true (Webapp.queue_kind c 2 = `Web 0);
+  Alcotest.(check bool) "last web" true (Webapp.queue_kind c 11 = `Web 9);
+  Alcotest.(check bool) "db" true (Webapp.queue_kind c 12 = `Database);
+  let names = Webapp.queue_names c in
+  Alcotest.(check string) "db name" "db" names.(12);
+  Alcotest.(check string) "web5 name" "web5" names.(7)
+
+let test_network_shape () =
+  let net = Webapp.network Webapp.default_config in
+  Alcotest.(check int) "13 queues" 13 (Network.num_queues net);
+  Alcotest.(check int) "arrival queue" 0 (Network.arrival_queue net)
+
+let test_paper_event_count () =
+  (* 5759 requests x 4 events = 23,036 — the paper's §5.2 numbers *)
+  let rng = Rng.create ~seed:401 () in
+  let trace = Webapp.generate rng Webapp.default_config in
+  Alcotest.(check int) "23036 events" 23_036 (Array.length trace.Trace.events);
+  Alcotest.(check int) "5759 tasks" 5_759 trace.Trace.num_tasks
+
+let test_starved_server_sees_few_requests () =
+  let rng = Rng.create ~seed:402 () in
+  let trace = Webapp.generate rng Webapp.default_config in
+  (* the starved server (web9 = queue 11) should get on the order of
+     the paper's 19 requests *)
+  let n = Array.length (Trace.queue_events trace 11) in
+  Alcotest.(check bool) (Printf.sprintf "starved server got %d" n) true (n >= 5 && n <= 45);
+  (* the others get roughly equal shares of the rest *)
+  for q = 2 to 10 do
+    let c = Array.length (Trace.queue_events trace q) in
+    Alcotest.(check bool)
+      (Printf.sprintf "server %d share %d" q c)
+      true
+      (c > 450 && c < 850)
+  done
+
+let test_every_request_visits_network_and_db () =
+  let rng = Rng.create ~seed:403 () in
+  let c = { Webapp.default_config with Webapp.num_requests = 500 } in
+  let trace = Webapp.generate rng c in
+  Alcotest.(check int) "network" 500 (Array.length (Trace.queue_events trace 1));
+  Alcotest.(check int) "db" 500 (Array.length (Trace.queue_events trace 12))
+
+let test_ramp_load_grows () =
+  (* waiting at the web tier must grow over the ramp: compare first and
+     last quarter of requests *)
+  let rng = Rng.create ~seed:404 () in
+  let trace = Webapp.generate rng Webapp.default_config in
+  let web_waits =
+    List.concat_map
+      (fun q -> Array.to_list (Trace.waiting_times trace q))
+      [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    |> Array.of_list
+  in
+  let n = Array.length web_waits in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let early = mean (Array.sub web_waits 0 (n / 4)) in
+  let late = mean (Array.sub web_waits (3 * n / 4) (n / 4)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "late load %.3f > early %.3f" late early)
+    true (late > early)
+
+let test_ground_truth_vector () =
+  let c = Webapp.default_config in
+  let g = Webapp.ground_truth_mean_service c in
+  Alcotest.(check int) "length" 13 (Array.length g);
+  Alcotest.(check (float 1e-9)) "network" (1.0 /. c.Webapp.network_rate) g.(1);
+  Alcotest.(check (float 1e-9)) "web" (1.0 /. c.Webapp.web_rate) g.(5);
+  Alcotest.(check (float 1e-9)) "db" (1.0 /. c.Webapp.db_rate) g.(12)
+
+let test_no_starved_server_option () =
+  let rng = Rng.create ~seed:405 () in
+  let c = { Webapp.default_config with Webapp.starved_server = None; num_requests = 2000 } in
+  let trace = Webapp.generate rng c in
+  for q = 2 to 11 do
+    let n = Array.length (Trace.queue_events trace q) in
+    Alcotest.(check bool)
+      (Printf.sprintf "balanced server %d got %d" q n)
+      true
+      (n > 120 && n < 280)
+  done
+
+let test_generation_deterministic () =
+  let t1 = Webapp.generate (Rng.create ~seed:406 ()) Webapp.default_config in
+  let t2 = Webapp.generate (Rng.create ~seed:406 ()) Webapp.default_config in
+  Alcotest.(check bool) "same seed same trace" true
+    (Array.for_all2
+       (fun a b -> a.Trace.departure = b.Trace.departure)
+       t1.Trace.events t2.Trace.events)
+
+let () =
+  Alcotest.run "qnet_webapp"
+    [
+      ( "webapp",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_config_valid;
+          Alcotest.test_case "validation" `Quick test_validation_catches_errors;
+          Alcotest.test_case "queue layout" `Quick test_queue_layout;
+          Alcotest.test_case "network shape" `Quick test_network_shape;
+          Alcotest.test_case "paper event count" `Slow test_paper_event_count;
+          Alcotest.test_case "starved server" `Slow test_starved_server_sees_few_requests;
+          Alcotest.test_case "all visit network+db" `Quick
+            test_every_request_visits_network_and_db;
+          Alcotest.test_case "ramp load grows" `Slow test_ramp_load_grows;
+          Alcotest.test_case "ground truth vector" `Quick test_ground_truth_vector;
+          Alcotest.test_case "no starved option" `Quick test_no_starved_server_option;
+          Alcotest.test_case "determinism" `Slow test_generation_deterministic;
+        ] );
+    ]
