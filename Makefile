@@ -1,0 +1,35 @@
+# Convenience targets; everything below is plain dune + the built
+# binaries, so `dune build` / `dune runtest` directly work too.
+
+.PHONY: all build test verify demo clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full verification: build, the whole test suite, then an end-to-end
+# fault-injection demo — simulate a tandem network, corrupt its trace
+# with every fault mode (duplicates, truncated lines, NaN fields,
+# clock skew, reversed intervals, reordering), run checkpointed
+# inference in lenient mode over the survivors, and resume from the
+# written checkpoint.
+verify: build test demo
+	@echo "verify: OK"
+
+demo:
+	rm -rf _demo
+	mkdir -p _demo
+	dune exec bin/qnet_sim.exe -- -t tandem --lambda 10 --mu 14 -n 300 --seed 5 -o _demo/trace.csv
+	dune exec bin/qnet_trace_tool.exe -- corrupt _demo/trace.csv --seed 7 -o _demo/corrupted.csv
+	dune exec bin/qnet_infer.exe -- _demo/corrupted.csv -q 3 -f 0.3 --lenient \
+	  --iterations 40 --checkpoint-every 10 --checkpoint _demo/demo.ckpt
+	dune exec bin/qnet_infer.exe -- _demo/corrupted.csv -q 3 -f 0.3 --lenient \
+	  --iterations 40 --resume _demo/demo.ckpt
+
+clean:
+	dune clean
+	rm -rf _demo

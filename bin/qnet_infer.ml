@@ -3,7 +3,14 @@
    Reads a trace produced by qnet_sim (or a real system's exporter),
    optionally re-masks it to a given observation fraction, estimates
    per-queue rates and waiting times, and prints a localization
-   report. *)
+   report.
+
+   Long runs are production runs: --checkpoint-every N periodically
+   persists the full sampler state (atomically), --resume CKPT picks a
+   killed run up bit-for-bit where it stopped, and --lenient ingests
+   dirty trace files (duplicates, truncated lines, NaN fields, clock
+   skew) by skipping and reporting the corrupt records instead of
+   refusing the file. *)
 
 open Cmdliner
 module Rng = Qnet_prob.Rng
@@ -13,10 +20,46 @@ module Store = Qnet_core.Event_store
 module Stem = Qnet_core.Stem
 module Bayes = Qnet_core.Bayes
 module Localization = Qnet_core.Localization
+module Runtime = Qnet_runtime.Runtime
 
-let run input num_queues fraction iterations seed bayes =
-  match Trace.load ~num_queues input with
-  | Error m -> Error (Printf.sprintf "cannot load %s: %s" input m)
+let load_trace ~lenient ~num_queues input =
+  if lenient then begin
+    match Trace.load_lenient ~num_queues input with
+    | Error m -> Error (Printf.sprintf "cannot load %s: %s" input m)
+    | Ok (Error report) ->
+        Format.printf "%a" Trace.pp_ingest_report report;
+        Error (Printf.sprintf "no usable events survive lenient ingestion of %s" input)
+    | Ok (Ok (trace, report)) ->
+        if report.Trace.errors <> [] then Format.printf "%a" Trace.pp_ingest_report report;
+        Ok trace
+  end
+  else
+    match Trace.load ~num_queues input with
+    | Error m ->
+        Error
+          (Printf.sprintf "cannot load %s: %s (try --lenient for dirty traces)" input m)
+    | Ok trace -> Ok trace
+
+let print_estimates ~num_queues ~mean_service ~waiting ~intervals =
+  match intervals with
+  | None ->
+      Printf.printf "\n%-8s %12s %12s\n" "queue" "mean-serv" "mean-wait";
+      for q = 0 to num_queues - 1 do
+        Printf.printf "%-8d %12.5f %12.5f\n" q mean_service.(q) waiting.(q)
+      done
+  | Some ci ->
+      Printf.printf "\n%-8s %12s %24s %12s\n" "queue" "mean-serv" "90%-credible"
+        "mean-wait";
+      for q = 0 to num_queues - 1 do
+        let lo, hi = ci.(q) in
+        Printf.printf "%-8d %12.5f [%10.5f,%10.5f] %12.5f\n" q mean_service.(q) lo hi
+          waiting.(q)
+      done
+
+let run input num_queues fraction iterations seed bayes lenient checkpoint_every
+    checkpoint resume max_retries budget_seconds =
+  match load_trace ~lenient ~num_queues input with
+  | Error m -> Error m
   | Ok trace ->
       let rng = Rng.create ~seed () in
       let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
@@ -24,14 +67,58 @@ let run input num_queues fraction iterations seed bayes =
       Printf.printf "loaded %d events (%d tasks, %d queues); observing %.1f%% of tasks\n%!"
         (Array.length trace.Trace.events)
         trace.Trace.num_tasks num_queues (100.0 *. fraction);
-      let mean_service, waiting, intervals =
+      let use_runtime = resume <> None || checkpoint_every > 0 in
+      let runtime_config () =
+        let ckpt_path =
+          match (checkpoint, resume) with
+          | Some p, _ -> Some p
+          | None, Some p -> Some p
+          | None, None ->
+              if checkpoint_every > 0 then Some (input ^ ".ckpt") else None
+        in
+        {
+          Runtime.stem =
+            { Stem.default_config with Stem.iterations; burn_in = iterations / 2 };
+          checkpoint_every = (if checkpoint_every > 0 then checkpoint_every else 25);
+          checkpoint_path = ckpt_path;
+          validate_every = Runtime.default_config.Runtime.validate_every;
+          max_retries;
+          max_seconds = budget_seconds;
+        }
+      in
+      let outcome =
         if bayes then begin
+          if use_runtime then
+            prerr_endline
+              "note: --checkpoint/--resume apply to StEM runs; --bayes runs un-checkpointed";
           let config =
             { Bayes.default_config with Bayes.sweeps = 2 * iterations; burn_in = iterations }
           in
           let result = Bayes.run ~config rng store in
-          (result.Bayes.mean_service, result.Bayes.mean_waiting,
-           Some result.Bayes.service_interval)
+          Ok
+            ( result.Bayes.mean_service,
+              result.Bayes.mean_waiting,
+              Some result.Bayes.service_interval )
+        end
+        else if use_runtime then begin
+          let config = runtime_config () in
+          let result =
+            match resume with
+            | Some path -> Runtime.resume_file ~config ~path rng store
+            | None -> Ok (Runtime.run ~config rng store)
+          in
+          match result with
+          | Error m -> Error m
+          | Ok r ->
+              Format.printf "%a" Runtime.pp_report r.Runtime.report;
+              (match r.Runtime.status with
+              | Runtime.Completed -> ()
+              | s -> Format.printf "status: %a@." Runtime.pp_status s);
+              (match config.Runtime.checkpoint_path with
+              | Some p -> Printf.printf "checkpoint: %s\n" p
+              | None -> ());
+              let waiting = Stem.estimate_waiting rng store r.Runtime.params in
+              Ok (r.Runtime.mean_service, waiting, None)
         end
         else begin
           let config =
@@ -39,29 +126,20 @@ let run input num_queues fraction iterations seed bayes =
           in
           let result = Stem.run ~config rng store in
           let waiting = Stem.estimate_waiting rng store result.Stem.params in
-          (result.Stem.mean_service, waiting, None)
+          Ok (result.Stem.mean_service, waiting, None)
         end
       in
-      (match intervals with
-      | None ->
-          Printf.printf "\n%-8s %12s %12s\n" "queue" "mean-serv" "mean-wait";
-          for q = 0 to num_queues - 1 do
-            Printf.printf "%-8d %12.5f %12.5f\n" q mean_service.(q) waiting.(q)
-          done
-      | Some ci ->
-          Printf.printf "\n%-8s %12s %24s %12s\n" "queue" "mean-serv" "90%-credible" "mean-wait";
-          for q = 0 to num_queues - 1 do
-            let lo, hi = ci.(q) in
-            Printf.printf "%-8d %12.5f [%10.5f,%10.5f] %12.5f\n" q mean_service.(q) lo hi
-              waiting.(q)
-          done);
-      let reports =
-        Localization.analyze
-          ~exclude:[ Store.arrival_queue store ]
-          ~mean_service ~mean_waiting:waiting ()
-      in
-      Format.printf "@.%a" Localization.pp_report reports;
-      Ok ()
+      (match outcome with
+      | Error m -> Error m
+      | Ok (mean_service, waiting, intervals) ->
+          print_estimates ~num_queues ~mean_service ~waiting ~intervals;
+          let reports =
+            Localization.analyze
+              ~exclude:[ Store.arrival_queue store ]
+              ~mean_service ~mean_waiting:waiting ()
+          in
+          Format.printf "@.%a" Localization.pp_report reports;
+          Ok ())
 
 let input =
   Arg.(
@@ -91,9 +169,60 @@ let bayes =
     & info [ "bayes" ]
         ~doc:"Full Bayesian inference (credible intervals) instead of StEM point estimates.")
 
+let lenient =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:
+          "Tolerate corrupt trace lines (duplicates, truncation, NaN fields, clock \
+           skew): skip and report them instead of rejecting the file.")
+
+let checkpoint_every =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Write an atomic checkpoint of the sampler state every $(docv) StEM \
+           iterations (0 disables checkpointing).")
+
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Checkpoint file path (default: TRACE.CSV.ckpt).")
+
+let resume =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"CKPT"
+        ~doc:
+          "Resume a killed run from its checkpoint; continues bit-for-bit where it \
+           stopped (same seed and flags required).")
+
+let max_retries =
+  Arg.(
+    value & opt int 3
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Rollback-and-retry attempts after a state-validation failure before \
+           aborting with partial results.")
+
+let budget_seconds =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-seconds" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget: end the run gracefully with the samples collected so \
+           far once $(docv) seconds have elapsed.")
+
 let cmd =
   let term =
-    Term.(const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes)
+    Term.(
+      const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes $ lenient
+      $ checkpoint_every $ checkpoint $ resume $ max_retries $ budget_seconds)
   in
   let info =
     Cmd.info "qnet_infer"

@@ -5,7 +5,9 @@
      validate  check every model constraint; exit 1 on violation
      window    per-queue report restricted to a wall-clock interval
      mask      write a partially-observed copy (unobserved departures
-               dropped to a placeholder column value of "nan")   *)
+               dropped to a placeholder column value of "nan")
+     corrupt   inject deterministic faults (duplicates, truncation,
+               NaN fields, clock skew, ...) for testing ingestion  *)
 
 open Cmdliner
 module Rng = Qnet_prob.Rng
@@ -13,6 +15,7 @@ module Trace = Qnet_trace.Trace
 module Store = Qnet_core.Event_store
 module Obs = Qnet_core.Observation
 module Interval_report = Qnet_core.Interval_report
+module Fault = Qnet_runtime.Fault
 
 let load input num_queues =
   match Trace.load ~num_queues input with
@@ -78,6 +81,29 @@ let mask input num_queues fraction seed output =
         output;
       Ok ()
 
+let corrupt input seed per_mode output =
+  match
+    try
+      let ic = open_in input in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error (Printf.sprintf "cannot read %s: %s" input m)
+  with
+  | Error m -> Error m
+  | Ok csv ->
+      let rng = Rng.create ~seed () in
+      let corrupted, applied = Fault.inject ?per_mode rng csv in
+      let oc = open_out output in
+      output_string oc corrupted;
+      close_out oc;
+      List.iter
+        (fun (m, n) -> Printf.printf "%-12s %d lines\n" (Fault.mode_label m) n)
+        applied;
+      Printf.printf "-> %s\n" output;
+      Ok ()
+
 let input =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.CSV")
 
@@ -120,9 +146,28 @@ let mask_cmd =
        ~doc:"Keep only a random fraction of tasks (a partially-observed trace)")
     (handle Term.(const mask $ input $ num_queues $ fraction $ seed $ output))
 
+let corrupt_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let per_mode =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "per-mode" ] ~docv:"N"
+          ~doc:"Corruptions per fault mode (default: lines/25, at least 1).")
+  in
+  let output =
+    Arg.(value & opt string "corrupted.csv" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "corrupt"
+       ~doc:
+         "Inject deterministic faults (duplicates, truncated lines, NaN fields, \
+          clock skew, reversed intervals, reordering) to exercise lenient ingestion")
+    (handle Term.(const corrupt $ input $ seed $ per_mode $ output))
+
 let cmd =
   Cmd.group
     (Cmd.info "qnet_trace_tool" ~doc:"Inspect and manipulate qnet trace CSVs")
-    [ summary_cmd; validate_cmd; window_cmd; mask_cmd ]
+    [ summary_cmd; validate_cmd; window_cmd; mask_cmd; corrupt_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -211,6 +211,38 @@ let copy t =
     heads = Array.copy t.heads;
   }
 
+type snapshot = {
+  s_departure : float array;
+  s_queue : int array;
+  s_rho : int array;
+  s_rho_inv : int array;
+  s_heads : int array;
+}
+
+let snapshot t =
+  {
+    s_departure = Array.copy t.departure;
+    s_queue = Array.copy t.queue;
+    s_rho = Array.copy t.rho;
+    s_rho_inv = Array.copy t.rho_inv;
+    s_heads = Array.copy t.heads;
+  }
+
+let restore t s =
+  let n = Array.length t.departure in
+  if
+    Array.length s.s_departure <> n
+    || Array.length s.s_queue <> n
+    || Array.length s.s_rho <> n
+    || Array.length s.s_rho_inv <> n
+    || Array.length s.s_heads <> t.num_queues
+  then invalid_arg "Event_store.restore: snapshot dimension mismatch";
+  Array.blit s.s_departure 0 t.departure 0 n;
+  Array.blit s.s_queue 0 t.queue 0 n;
+  Array.blit s.s_rho 0 t.rho 0 n;
+  Array.blit s.s_rho_inv 0 t.rho_inv 0 n;
+  Array.blit s.s_heads 0 t.heads 0 t.num_queues
+
 (* Re-home event [i] to [queue], unlinking it from its current rho
    chain and inserting it into the target chain at the position given
    by its (current) arrival time. The caller is responsible for

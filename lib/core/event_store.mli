@@ -105,6 +105,28 @@ val to_trace : t -> Qnet_trace.Trace.t
 val copy : t -> t
 (** Deep copy (shares immutable topology, copies departures). *)
 
+type snapshot = {
+  s_departure : float array;
+  s_queue : int array;
+  s_rho : int array;
+  s_rho_inv : int array;
+  s_heads : int array;
+}
+(** The complete mutable state of a store — departures plus the queue
+    assignment and within-queue chains that {!move_event} may have
+    rearranged. Fields are exposed so a checkpoint codec can
+    serialize them; treat them as read-only. *)
+
+val snapshot : t -> snapshot
+(** [snapshot t] captures the current mutable state (deep copy). *)
+
+val restore : t -> snapshot -> unit
+(** [restore t s] overwrites the mutable state of [t] with [s]. The
+    snapshot must come from a store with the same topology (same event
+    count and queue count); raises [Invalid_argument] on a dimension
+    mismatch. No other validation is performed — callers restoring
+    untrusted state should follow with {!validate}. *)
+
 val validate : t -> (unit, string) result
 (** Check every deterministic constraint of the model on the current
     state: non-negative services, per-queue arrival order consistent

@@ -62,9 +62,18 @@ let compile ld =
       (* Only the self term remains: an exponential tail with rate
          mu_f = -linear (no hinges can exist without e or g). *)
       assert (ld.hinges = []);
-      `Tail (ld.lower, -.ld.linear)
+      let rate = -.ld.linear in
+      if Float.is_finite ld.lower && rate > 0.0 && Float.is_finite rate then
+        `Tail (ld.lower, rate)
+      else `Point ld.lower
   | Some u ->
-      if u -. ld.lower <= degenerate_width then `Point ld.lower
+      (* [not (width > eps)] rather than [width <= eps]: a NaN bound
+         (corrupted latent state) must also collapse to a point rather
+         than reach Piecewise.compile or poison the sample. *)
+      if not (u -. ld.lower > degenerate_width) then
+        `Point (if Float.is_nan ld.lower then u else ld.lower)
+      else if not (Float.is_finite ld.lower && Float.is_finite u) then
+        `Point (if Float.is_finite ld.lower then ld.lower else u)
       else
         `Bounded
           (Piecewise.compile ~lower:ld.lower ~upper:u ~linear:ld.linear
@@ -98,8 +107,9 @@ let sweep ?(shuffle = false) rng store params =
   if shuffle then Rng.shuffle_in_place rng order;
   Array.iter (fun f -> resample_event rng store params f) order
 
-let run ?shuffle ~sweeps rng store params =
+let run ?shuffle ?(on_sweep = fun _ -> ()) ~sweeps rng store params =
   if sweeps < 0 then invalid_arg "Gibbs.run: negative sweep count";
-  for _ = 1 to sweeps do
-    sweep ?shuffle rng store params
+  for s = 1 to sweeps do
+    sweep ?shuffle rng store params;
+    on_sweep s
   done

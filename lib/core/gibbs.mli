@@ -41,7 +41,10 @@ val compile :
   local_density -> [ `Bounded of Qnet_prob.Piecewise.t | `Tail of float * float | `Point of float ]
 (** [`Bounded pw] for a finite window, [`Tail (origin, rate)] for an
     exponential right tail [origin + Exp rate], [`Point x] when the
-    window is degenerate (width below 1e-12). *)
+    window is degenerate: width below 1e-12, negative, or involving a
+    non-finite bound (a corrupted latent neighbourhood collapses to a
+    point instead of raising or emitting NaN — the runtime's health
+    checker is responsible for flagging the corruption itself). *)
 
 val log_conditional : local_density -> float -> float
 (** Unnormalized conditional log-density at a point (≡ the relevant
@@ -63,9 +66,14 @@ val sweep :
 
 val run :
   ?shuffle:bool ->
+  ?on_sweep:(int -> unit) ->
   sweeps:int ->
   Qnet_prob.Rng.t ->
   Event_store.t ->
   Params.t ->
   unit
-(** [run ~sweeps rng store params] applies {!sweep} [sweeps] times. *)
+(** [run ~sweeps rng store params] applies {!sweep} [sweeps] times.
+    [on_sweep] is called after each sweep with the 1-based sweep
+    number — the hook point used by the fault-tolerant runtime for
+    periodic validation and checkpointing. The hook must not consume
+    [rng] if reproducibility across checkpoint/resume matters. *)

@@ -21,7 +21,7 @@ let entry_times trace =
     trace.Trace.events;
   tbl
 
-let run ?(config = default_config) rng trace ~mask =
+let run ?(config = default_config) ?(on_window = fun _ -> ()) rng trace ~mask =
   if config.num_windows < 1 then invalid_arg "Online_stem.run: need >= 1 window";
   if Array.length mask <> Array.length trace.Trace.events then
     invalid_arg "Online_stem.run: mask length mismatch";
@@ -94,14 +94,16 @@ let run ?(config = default_config) rng trace ~mask =
         | Some p -> Stem.run ~config:stem_config ~init:p rng store
       in
       previous := Some result.Stem.params;
-      steps :=
+      let step =
         {
           window = (t0, t1);
           num_tasks;
           params = result.Stem.params;
           mean_service = result.Stem.mean_service;
         }
-        :: !steps
+      in
+      on_window step;
+      steps := step :: !steps
     end
   done;
   List.rev !steps

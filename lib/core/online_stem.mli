@@ -33,6 +33,7 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?on_window:(step -> unit) ->
   Qnet_prob.Rng.t ->
   Qnet_trace.Trace.t ->
   mask:bool array ->
@@ -40,7 +41,10 @@ val run :
 (** [run rng trace ~mask] splits the trace's tasks into
     [config.num_windows] equal wall-clock windows and fits each.
     [mask] is the observation mask over the full trace's canonical
-    event order (as produced by {!Observation.mask}). *)
+    event order (as produced by {!Observation.mask}). [on_window] is
+    called with each step as soon as its window is fitted, so a
+    long-running online analysis can persist partial trajectories
+    before the run completes. *)
 
 val arrival_rate_trajectory : step list -> (float * float) list
 (** [(window midpoint, λ̂)] per step — the series to plot against a

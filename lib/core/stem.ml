@@ -112,7 +112,8 @@ let mle_step ?prior store ~previous ~min_queue_events =
       end
       else prev)
 
-let run ?(config = default_config) ?init ?route_fsm rng store =
+let run ?(config = default_config) ?init ?route_fsm
+    ?(on_iteration = fun _ _ -> ()) rng store =
   if config.iterations < 1 then invalid_arg "Stem.run: need at least one iteration";
   if config.burn_in < 0 || config.burn_in >= config.iterations then
     invalid_arg "Stem.run: burn_in must be in [0, iterations)";
@@ -140,7 +141,8 @@ let run ?(config = default_config) ?init ?route_fsm rng store =
       mle_step ?prior store ~previous:!params
         ~min_queue_events:config.min_queue_events;
     history.(it) <- !params;
-    llh.(it) <- Store.log_likelihood store !params
+    llh.(it) <- Store.log_likelihood store !params;
+    on_iteration it !params
   done;
   (* Average post-burn-in iterates in mean-service space. *)
   let nq = Store.num_queues store in

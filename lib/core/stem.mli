@@ -63,6 +63,7 @@ val run :
   ?config:config ->
   ?init:Params.t ->
   ?route_fsm:Qnet_fsm.Fsm.t ->
+  ?on_iteration:(int -> Params.t -> unit) ->
   Qnet_prob.Rng.t ->
   Event_store.t ->
   result
@@ -73,7 +74,11 @@ val run :
     Metropolis–Hastings routing sweep ({!Path_move.sweep}) under that
     FSM — the paper's "outer Metropolis-Hastings step" for unknown
     paths. The store is left at the final imputed state. Raises
-    [Failure] if initialization fails (inconsistent observations). *)
+    [Failure] if initialization fails (inconsistent observations).
+    [on_iteration] is called after each M-step with the 0-based
+    iteration index and the fresh iterate — a progress/monitoring
+    hook (the fault-tolerant runtime in [Qnet_runtime] drives its own
+    loop to be able to roll back, but external monitors use this). *)
 
 val estimate_waiting :
   ?sweeps:int ->

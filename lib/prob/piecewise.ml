@@ -41,6 +41,14 @@ let compile ~lower ~upper ~linear ~hinges =
   if not (Float.is_finite lower && Float.is_finite upper) then
     invalid_arg "Piecewise.compile: interval must be finite";
   if not (lower < upper) then invalid_arg "Piecewise.compile: need lower < upper";
+  (* A hinge with a non-finite knee or slope comes from corrupted state
+     (NaN latents upstream); dropping it keeps the density well defined
+     instead of poisoning every piece mass downstream. *)
+  let hinges =
+    List.filter
+      (fun h -> Float.is_finite h.knee && Float.is_finite h.slope)
+      hinges
+  in
   (* Hinges left of the interval act on every point; hinges right of it
      never act. Interior knees become breakpoints. *)
   let base_slope =

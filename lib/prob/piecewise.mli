@@ -26,8 +26,11 @@ val compile :
     [exp (linear·x + Σ hinges)] restricted to [\[lower, upper\]].
     Requires [lower < upper], both finite. Knees outside the interval
     are folded into the global slope (left of [lower]) or dropped
-    (right of [upper]). Raises [Invalid_argument] on a degenerate or
-    reversed interval. *)
+    (right of [upper]); hinges with a non-finite knee or slope are
+    dropped entirely (they can only arise from corrupted upstream
+    state). Raises [Invalid_argument] on a degenerate or reversed
+    interval — callers with possibly-degenerate windows should collapse
+    them to a point first, as {!Qnet_core.Gibbs.compile} does. *)
 
 val lower : t -> float
 val upper : t -> float

@@ -25,6 +25,22 @@ let create ?(seed = default_seed) () = of_seed64 (Int64.of_int seed)
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let set_state t s =
+  if Array.length s <> 4 then invalid_arg "Rng.set_state: need 4 words";
+  if Array.for_all (fun w -> Int64.equal w 0L) s then
+    invalid_arg "Rng.set_state: all-zero state is invalid for xoshiro256++";
+  t.s0 <- s.(0);
+  t.s1 <- s.(1);
+  t.s2 <- s.(2);
+  t.s3 <- s.(3)
+
+let of_state s =
+  let t = { s0 = 0L; s1 = 0L; s2 = 0L; s3 = 1L } in
+  set_state t s;
+  t
+
 let bits64 t =
   let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
   let tmp = Int64.shift_left t.s1 17 in

@@ -18,6 +18,20 @@ val copy : t -> t
 (** [copy t] is an independent generator starting from the current
     state of [t]; advancing one does not affect the other. *)
 
+val state : t -> int64 array
+(** [state t] is the current 4-word xoshiro256++ state, for
+    checkpointing. Restoring it with {!set_state} reproduces the
+    stream bit for bit. *)
+
+val set_state : t -> int64 array -> unit
+(** [set_state t s] overwrites the generator state with the 4 words of
+    [s]. Raises [Invalid_argument] unless [s] has length 4 and is not
+    all zero (the one state xoshiro can never leave). *)
+
+val of_state : int64 array -> t
+(** [of_state s] is a fresh generator at state [s] (same validation as
+    {!set_state}). *)
+
 val split : t -> t
 (** [split t] returns a new generator seeded from the output of [t]
     (advancing [t]). Streams obtained by repeated splitting are

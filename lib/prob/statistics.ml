@@ -5,19 +5,25 @@ module Welford = struct
     mutable m2 : float;
     mutable lo : float;
     mutable hi : float;
+    mutable skipped : int;
   }
 
-  let create () = { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+  let create () =
+    { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity; skipped = 0 }
 
   let add t x =
-    t.n <- t.n + 1;
-    let delta = x -. t.mu in
-    t.mu <- t.mu +. (delta /. float_of_int t.n);
-    t.m2 <- t.m2 +. (delta *. (x -. t.mu));
-    if x < t.lo then t.lo <- x;
-    if x > t.hi then t.hi <- x
+    if Float.is_nan x then t.skipped <- t.skipped + 1
+    else begin
+      t.n <- t.n + 1;
+      let delta = x -. t.mu in
+      t.mu <- t.mu +. (delta /. float_of_int t.n);
+      t.m2 <- t.m2 +. (delta *. (x -. t.mu));
+      if x < t.lo then t.lo <- x;
+      if x > t.hi then t.hi <- x
+    end
 
   let count t = t.n
+  let skipped t = t.skipped
   let mean t = if t.n = 0 then nan else t.mu
   let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
@@ -25,15 +31,16 @@ module Welford = struct
   let max t = t.hi
 
   let merge a b =
-    if a.n = 0 then { b with n = b.n }
-    else if b.n = 0 then { a with n = a.n }
+    let skipped = a.skipped + b.skipped in
+    if a.n = 0 then { b with skipped }
+    else if b.n = 0 then { a with skipped }
     else begin
       let n = a.n + b.n in
       let fa = float_of_int a.n and fb = float_of_int b.n in
       let delta = b.mu -. a.mu in
       let mu = a.mu +. (delta *. fb /. float_of_int n) in
       let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
-      { n; mu; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+      { n; mu; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi; skipped }
     end
 end
 

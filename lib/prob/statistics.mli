@@ -7,8 +7,18 @@ module Welford : sig
   type t
 
   val create : unit -> t
+
   val add : t -> float -> unit
+  (** NaN inputs do not poison the accumulator: they are skipped and
+      counted (see {!skipped}), so one corrupted sample in a long
+      stream costs one observation, not the whole run's moments. *)
+
   val count : t -> int
+  (** Number of accumulated (non-NaN) samples. *)
+
+  val skipped : t -> int
+  (** Number of NaN inputs dropped by {!add} so far. *)
+
   val mean : t -> float
   (** [nan] when empty. *)
 

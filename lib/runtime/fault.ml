@@ -1,0 +1,148 @@
+module Rng = Qnet_prob.Rng
+
+type mode = Duplicate | Truncate | Nan_field | Clock_skew | Reversed | Reorder
+
+let all_modes = [ Duplicate; Truncate; Nan_field; Clock_skew; Reversed; Reorder ]
+
+let mode_label = function
+  | Duplicate -> "duplicate"
+  | Truncate -> "truncate"
+  | Nan_field -> "nan-field"
+  | Clock_skew -> "clock-skew"
+  | Reversed -> "reversed"
+  | Reorder -> "reorder"
+
+type fields = {
+  task : string;
+  state : string;
+  queue : string;
+  arrival : float;
+  departure : float;
+}
+
+let parse_fields line =
+  match String.split_on_char ',' line with
+  | [ task; state; queue; arrival; departure ] -> (
+      match (float_of_string_opt arrival, float_of_string_opt departure) with
+      | Some a, Some d when Float.is_finite a && Float.is_finite d ->
+          Some { task; state; queue; arrival = a; departure = d }
+      | _ -> None)
+  | _ -> None
+
+let unparse f =
+  Printf.sprintf "%s,%s,%s,%.17g,%.17g" f.task f.state f.queue f.arrival f.departure
+
+let inject ?(modes = all_modes) ?per_mode rng csv =
+  let lines =
+    String.split_on_char '\n' csv |> List.filter (fun l -> String.trim l <> "")
+  in
+  let header, data =
+    match lines with
+    | h :: rest when String.length h >= 4 && String.sub h 0 4 = "task" -> (Some h, rest)
+    | rest -> (None, rest)
+  in
+  let data = ref (Array.of_list data) in
+  let n0 = Array.length !data in
+  let per_mode = match per_mode with Some k -> k | None -> Stdlib.max 1 (n0 / 25) in
+  let applied = ref [] in
+  (* Pick a random data line satisfying [eligible]; a bounded number of
+     draws keeps injection total even when few lines qualify. *)
+  let pick eligible =
+    let a = !data in
+    let n = Array.length a in
+    if n = 0 then None
+    else begin
+      let rec try_ attempts =
+        if attempts = 0 then None
+        else
+          let i = Rng.int rng n in
+          match parse_fields a.(i) with
+          | Some f when eligible f -> Some (i, f)
+          | _ -> try_ (attempts - 1)
+      in
+      try_ (4 * n)
+    end
+  in
+  let apply mode =
+    let count = ref 0 in
+    (match mode with
+    | Reorder ->
+        Rng.shuffle_in_place rng !data;
+        count := Array.length !data
+    | Duplicate ->
+        for _ = 1 to per_mode do
+          match pick (fun _ -> true) with
+          | Some (i, _) ->
+              let a = !data in
+              data :=
+                Array.concat
+                  [ Array.sub a 0 (i + 1); [| a.(i) |];
+                    Array.sub a (i + 1) (Array.length a - i - 1) ];
+              incr count
+          | None -> ()
+        done
+    | Truncate ->
+        for _ = 1 to per_mode do
+          match pick (fun _ -> true) with
+          | Some (i, _) ->
+              let line = !data.(i) in
+              (* cut at a comma so the line loses whole fields *)
+              let commas =
+                String.fold_left
+                  (fun (j, acc) c -> (j + 1, if c = ',' then j :: acc else acc))
+                  (0, []) line
+                |> snd
+              in
+              (match commas with
+              | [] -> ()
+              | cs ->
+                  let cut = List.nth cs (Rng.int rng (List.length cs)) in
+                  !data.(i) <- String.sub line 0 cut;
+                  incr count)
+          | None -> ()
+        done
+    | Nan_field ->
+        for _ = 1 to per_mode do
+          match pick (fun _ -> true) with
+          | Some (i, f) ->
+              !data.(i) <- Printf.sprintf "%s,%s,%s,%.17g,nan" f.task f.state f.queue f.arrival;
+              incr count
+          | None -> ()
+        done
+    | Clock_skew ->
+        for _ = 1 to per_mode do
+          (* only non-initial events: skewing an arrival of 0 would
+             read as a missing initial event, a different mode *)
+          match pick (fun f -> f.arrival > 0.0) with
+          | Some (i, f) ->
+              let skew = 0.1 +. Rng.float_unit rng in
+              !data.(i) <- unparse { f with arrival = f.arrival +. skew; departure = f.departure +. skew };
+              incr count
+          | None -> ()
+        done
+    | Reversed ->
+        for _ = 1 to per_mode do
+          match pick (fun f -> f.departure > f.arrival && f.arrival > 0.0) with
+          | Some (i, f) ->
+              !data.(i) <- unparse { f with arrival = f.departure; departure = f.arrival };
+              incr count
+          | None -> ()
+        done);
+    applied := (mode, !count) :: !applied
+  in
+  (* Apply Reorder last so it scrambles the corrupted lines too. *)
+  let reorder, others = List.partition (fun m -> m = Reorder) modes in
+  List.iter apply others;
+  List.iter apply reorder;
+  let buf = Buffer.create (String.length csv + 256) in
+  (match header with
+  | Some h ->
+      Buffer.add_string buf h;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    !data;
+  (Buffer.contents buf, List.rev !applied)

@@ -1,0 +1,33 @@
+(** Deterministic fault injection for trace CSVs.
+
+    Reproduces the corruption modes real trace pipelines exhibit —
+    at-least-once duplication, truncated writes, NaN fields from broken
+    exporters, cross-host clock skew, reversed intervals, and arbitrary
+    reordering — so lenient ingestion ({!Qnet_trace.Trace.of_csv_lenient})
+    can be exercised by tests and demos against a known-good file.
+    Injection is a pure function of the input text and the RNG state:
+    the same seed always produces the same corrupted file. *)
+
+type mode =
+  | Duplicate  (** re-emit records (at-least-once delivery) *)
+  | Truncate  (** cut lines short mid-field (torn writes) *)
+  | Nan_field  (** replace a departure with ["nan"] *)
+  | Clock_skew  (** shift one arrival off its predecessor's departure *)
+  | Reversed  (** swap arrival/departure, departure < arrival *)
+  | Reorder  (** shuffle the line order of the whole file *)
+
+val all_modes : mode list
+val mode_label : mode -> string
+
+val inject :
+  ?modes:mode list ->
+  ?per_mode:int ->
+  Qnet_prob.Rng.t ->
+  string ->
+  string * (mode * int) list
+(** [inject rng csv] corrupts [per_mode] (default [max 1 (lines/25)])
+    randomly chosen data lines per requested mode (default
+    {!all_modes}) and returns the corrupted text together with the
+    number of corruptions actually applied per mode (a mode can fall
+    short when no line is eligible — e.g. no non-initial line for
+    [Clock_skew]). The header line is never touched. *)

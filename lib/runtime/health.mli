@@ -1,0 +1,45 @@
+(** State validation for long inference runs.
+
+    A Gibbs/StEM run over hours of samples is only as good as its
+    invariants: one NaN latent or one collapsed rate silently poisons
+    every subsequent sweep. [Health.check] asserts the deterministic
+    constraints of the paper's model (Section 2) plus numerical
+    sanity on the current sampler state, and returns every violation
+    found so the runtime can decide to roll back. *)
+
+type violation =
+  | Nan_latent of int  (** event index with a NaN/±inf departure *)
+  | Negative_service of int * float  (** event index, service value *)
+  | Departure_before_arrival of int
+  | Fifo_violation of int * int
+      (** (queue, event): within-queue arrival order broken *)
+  | Chain_leak of int * int
+      (** (expected, walked): the per-queue ρ chains do not cover every
+          event exactly once — corrupted chain pointers *)
+  | Nonfinite_log_likelihood of float
+      (** total complete-data log-likelihood is NaN/±inf *)
+  | Degenerate_rate of int * float
+      (** (queue, rate): non-positive, non-finite, or collapsed beyond
+          [max_rate] — the runaway-MLE failure mode *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val describe : violation list -> string
+(** One-line summary ("3 violations: nan-latent(17), ...") for logs
+    and abort messages. *)
+
+val check :
+  ?tol:float ->
+  ?max_rate:float ->
+  Qnet_core.Event_store.t ->
+  Qnet_core.Params.t ->
+  violation list
+(** [check store params] returns every invariant violation of the
+    current latent state and parameters, in event order; [[]] means
+    healthy. [tol] (default 1e-9) is the slack used for time
+    comparisons, matching [Event_store.validate]. [max_rate] (default
+    1e12) bounds plausible rates: the exponential M-step can ratchet
+    rates toward infinity under sparse observation, and a rate beyond
+    any physical service time is a collapse, not an estimate. The
+    check never raises and never consumes randomness, so it can run
+    inside a reproducible sampling loop. *)

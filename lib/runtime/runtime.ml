@@ -1,0 +1,255 @@
+module Rng = Qnet_prob.Rng
+module Store = Qnet_core.Event_store
+module Params = Qnet_core.Params
+module Stem = Qnet_core.Stem
+module Gibbs = Qnet_core.Gibbs
+module Init = Qnet_core.Init
+
+type config = {
+  stem : Stem.config;
+  checkpoint_every : int;
+  checkpoint_path : string option;
+  validate_every : int;
+  max_retries : int;
+  max_seconds : float option;
+}
+
+let default_config =
+  {
+    stem = Stem.default_config;
+    checkpoint_every = 25;
+    checkpoint_path = None;
+    validate_every = 10;
+    max_retries = 3;
+    max_seconds = None;
+  }
+
+type status = Completed | Budget_exhausted | Aborted of string
+
+type incident = { at_iteration : int; cause : string }
+
+type report = {
+  iterations_done : int;
+  retries : int;
+  incidents : incident list;
+  checkpoints_written : int;
+  resumed_at : int option;
+  wall_seconds : float;
+}
+
+type result = {
+  params : Params.t;
+  params_last : Params.t;
+  history : Params.t array;
+  mean_service : float array;
+  log_likelihood_history : float array;
+  status : status;
+  report : report;
+}
+
+let pp_status ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Budget_exhausted -> Format.pp_print_string ppf "budget-exhausted"
+  | Aborted m -> Format.fprintf ppf "aborted (%s)" m
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "runtime: %d iterations in %.2fs, %d retries, %d checkpoints written%a@."
+    r.iterations_done r.wall_seconds r.retries r.checkpoints_written
+    (fun ppf -> function
+      | Some it -> Format.fprintf ppf ", resumed at iteration %d" it
+      | None -> ())
+    r.resumed_at;
+  List.iter
+    (fun i -> Format.fprintf ppf "  incident at iteration %d: %s@." i.at_iteration i.cause)
+    r.incidents
+
+let now () = Unix.gettimeofday ()
+
+let run ?(config = default_config) ?init ?resume ?chaos rng store =
+  let c = config.stem in
+  if c.Stem.iterations < 1 then invalid_arg "Runtime.run: need at least one iteration";
+  if c.Stem.burn_in < 0 || c.Stem.burn_in >= c.Stem.iterations then
+    invalid_arg "Runtime.run: burn_in must be in [0, iterations)";
+  if config.validate_every < 1 then
+    invalid_arg "Runtime.run: validate_every must be >= 1";
+  if config.checkpoint_every < 0 then
+    invalid_arg "Runtime.run: checkpoint_every must be >= 0";
+  if config.max_retries < 0 then invalid_arg "Runtime.run: max_retries must be >= 0";
+  let t0 = now () in
+  let nq = Store.num_queues store in
+  let iterations = c.Stem.iterations in
+  let anchor, start_it, history, llh =
+    match resume with
+    | Some ck ->
+        if Array.length ck.Checkpoint.snapshot.Store.s_departure <> Store.num_events store
+        then invalid_arg "Runtime.run: checkpoint event count does not match store";
+        if Params.num_queues ck.Checkpoint.params <> nq then
+          invalid_arg "Runtime.run: checkpoint queue count does not match store";
+        if ck.Checkpoint.iteration > iterations then
+          invalid_arg "Runtime.run: checkpoint is beyond the configured iteration count";
+        Store.restore store ck.Checkpoint.snapshot;
+        Rng.set_state rng ck.Checkpoint.rng_state;
+        let history = Array.make iterations ck.Checkpoint.params in
+        let llh = Array.make iterations nan in
+        Array.blit ck.Checkpoint.history 0 history 0 ck.Checkpoint.iteration;
+        Array.blit ck.Checkpoint.llh 0 llh 0 ck.Checkpoint.iteration;
+        (ck.Checkpoint.anchor, ck.Checkpoint.iteration, history, llh)
+    | None ->
+        let params0 = match init with Some p -> p | None -> Stem.initial_guess store in
+        (match Init.feasible ~strategy:c.Stem.init_strategy ~target:params0 store with
+        | Ok () -> ()
+        | Error msg -> failwith ("Runtime.run: initialization failed: " ^ msg));
+        Gibbs.run ~shuffle:c.Stem.shuffle ~sweeps:c.Stem.warmup_sweeps rng store params0;
+        (params0, 0, Array.make iterations params0, Array.make iterations nan)
+  in
+  let params = ref (match resume with Some ck -> ck.Checkpoint.params | None -> anchor) in
+  let make_ck it =
+    {
+      Checkpoint.iteration = it;
+      rng_state = Rng.state rng;
+      params = !params;
+      anchor;
+      snapshot = Store.snapshot store;
+      history = Array.sub history 0 it;
+      llh = Array.sub llh 0 it;
+    }
+  in
+  let checkpoints_written = ref 0 in
+  let persist ck =
+    match config.checkpoint_path with
+    | Some path ->
+        Checkpoint.save ~path ck;
+        incr checkpoints_written
+    | None -> ()
+  in
+  (* The rollback point. Even with checkpointing disabled we keep the
+     initial state so the first recovery has somewhere to go. *)
+  let last_good = ref (make_ck start_it) in
+  let incidents = ref [] in
+  let retries = ref 0 in
+  let validate_every = ref config.validate_every in
+  let it = ref start_it in
+  let stop = ref None in
+  let prior =
+    if c.Stem.prior_strength > 0.0 then Some (c.Stem.prior_strength, anchor) else None
+  in
+  while !stop = None && !it < iterations do
+    let outcome =
+      try
+        Gibbs.sweep ~shuffle:c.Stem.shuffle rng store !params;
+        let p =
+          Stem.mle_step ?prior store ~previous:!params
+            ~min_queue_events:c.Stem.min_queue_events
+        in
+        (match chaos with Some f -> f !it store | None -> ());
+        let next = !it + 1 in
+        let at_validation = next mod !validate_every = 0 || next = iterations in
+        let at_checkpoint =
+          config.checkpoint_every > 0 && next mod config.checkpoint_every = 0
+        in
+        (* Always validate what is about to become a rollback point: a
+           poisoned "last good" state would make recovery a no-op. *)
+        if at_validation || at_checkpoint then begin
+          match Health.check store p with
+          | [] -> Ok p
+          | vs -> Error (Health.describe vs)
+        end
+        else Ok p
+      with exn -> Error ("exception: " ^ Printexc.to_string exn)
+    in
+    (match outcome with
+    | Ok p ->
+        params := p;
+        history.(!it) <- p;
+        llh.(!it) <- Store.log_likelihood store p;
+        incr it;
+        if config.checkpoint_every > 0 && !it mod config.checkpoint_every = 0 then begin
+          let ck = make_ck !it in
+          last_good := ck;
+          persist ck
+        end
+    | Error cause ->
+        incidents := { at_iteration = !it; cause } :: !incidents;
+        if !retries >= config.max_retries then
+          stop :=
+            Some
+              (Aborted
+                 (Printf.sprintf "%d retries exhausted; last incident: %s"
+                    config.max_retries cause))
+        else begin
+          incr retries;
+          (* Roll back to the last state that passed validation... *)
+          let ck = !last_good in
+          Store.restore store ck.Checkpoint.snapshot;
+          params := ck.Checkpoint.params;
+          it := ck.Checkpoint.iteration;
+          (* ...re-jitter the latents (Init restores feasibility even
+             if the rollback state was somehow damaged in memory), and
+             take one fresh sweep: the RNG has advanced past the state
+             that led into the fault, so the retry follows a different
+             sampling path instead of replaying the crash. *)
+          (match Init.feasible ~strategy:c.Stem.init_strategy ~target:anchor store with
+          | Ok () -> ()
+          | Error msg ->
+              stop := Some (Aborted ("re-initialization failed: " ^ msg)));
+          if !stop = None then begin
+            Gibbs.sweep ~shuffle:c.Stem.shuffle rng store !params;
+            (* Exponential backoff on the validation cadence: repeated
+               transient violations should not thrash rollback. *)
+            validate_every := Stdlib.min (2 * !validate_every) iterations
+          end
+        end);
+    match config.max_seconds with
+    | Some budget when !stop = None && !it < iterations && now () -. t0 >= budget ->
+        stop := Some Budget_exhausted
+    | _ -> ()
+  done;
+  let done_ = !it in
+  (* Persist the final state when it is not already on disk, so a
+     budget-exhausted or completed run can be extended later. *)
+  if config.checkpoint_every > 0 && done_ > 0 && done_ mod config.checkpoint_every <> 0
+  then persist (make_ck done_);
+  let mean_service =
+    if done_ = 0 then Array.init nq (fun q -> Params.mean_service !params q)
+    else begin
+      let burn = if done_ > c.Stem.burn_in then c.Stem.burn_in else 0 in
+      let kept = done_ - burn in
+      let acc = Array.make nq 0.0 in
+      for i = burn to done_ - 1 do
+        for q = 0 to nq - 1 do
+          acc.(q) <- acc.(q) +. (Params.mean_service history.(i) q /. float_of_int kept)
+        done
+      done;
+      acc
+    end
+  in
+  let averaged =
+    Params.create
+      ~rates:(Array.map (fun s -> 1.0 /. s) mean_service)
+      ~arrival_queue:(Store.arrival_queue store)
+  in
+  {
+    params = averaged;
+    params_last = !params;
+    history = Array.sub history 0 done_;
+    mean_service;
+    log_likelihood_history = Array.sub llh 0 done_;
+    status = (match !stop with Some s -> s | None -> Completed);
+    report =
+      {
+        iterations_done = done_;
+        retries = !retries;
+        incidents = List.rev !incidents;
+        checkpoints_written = !checkpoints_written;
+        resumed_at = Option.map (fun ck -> ck.Checkpoint.iteration) resume;
+        wall_seconds = now () -. t0;
+      };
+  }
+
+let resume_file ?config ?chaos ~path rng store =
+  match Checkpoint.load ~path with
+  | Error m -> Error m
+  | Ok ck -> (
+      try Ok (run ?config ~resume:ck ?chaos rng store)
+      with Invalid_argument m -> Error m)

@@ -192,6 +192,293 @@ let of_csv ~num_queues text =
   | Ok events -> (
       try Ok (create ~num_queues events) with Invalid_argument msg -> Error msg)
 
+(* ------------------------------------------------------------------ *)
+(* Lenient ingestion: real-world trace files arrive with truncated
+   lines, NaN fields, duplicated records, clock skew and reordering.
+   Strict mode ([of_csv]) rejects the whole file; lenient mode
+   classifies and skips the corrupt records, keeps every task whose
+   event chain survives intact, and reports exactly what was dropped
+   and why. *)
+
+type corruption =
+  | Malformed_line  (** truncated line / wrong field count / unparseable *)
+  | Nan_field
+  | Negative_time
+  | Out_of_order  (** departure earlier than arrival *)
+  | Bad_queue
+  | Duplicate_event
+  | Broken_chain  (** clock skew: arrival disagrees with predecessor departure *)
+  | Missing_initial  (** task has no entry event at time 0 *)
+  | Inconsistent_route
+      (** task enters at a minority arrival queue, or revisits it *)
+
+let corruption_label = function
+  | Malformed_line -> "malformed-line"
+  | Nan_field -> "nan-field"
+  | Negative_time -> "negative-time"
+  | Out_of_order -> "out-of-order"
+  | Bad_queue -> "bad-queue"
+  | Duplicate_event -> "duplicate-event"
+  | Broken_chain -> "broken-chain"
+  | Missing_initial -> "missing-initial"
+  | Inconsistent_route -> "inconsistent-route"
+
+type line_error = {
+  line : int option;  (** 1-based source line; [None] for task-level drops *)
+  task_id : int option;
+  reason : corruption;
+  detail : string;
+}
+
+type ingest_report = {
+  errors : line_error list;
+  lines_read : int;
+  events_kept : int;
+  events_dropped : int;
+  tasks_dropped : int;
+}
+
+let pp_ingest_report ppf r =
+  Format.fprintf ppf
+    "ingest: %d lines read, %d events kept, %d events dropped, %d tasks dropped@."
+    r.lines_read r.events_kept r.events_dropped r.tasks_dropped;
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = corruption_label e.reason in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    r.errors;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort compare
+  |> List.iter (fun (k, v) -> Format.fprintf ppf "  %-18s %d@." k v);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  [%s]%s%s %s@."
+        (corruption_label e.reason)
+        (match e.line with Some l -> Printf.sprintf " line %d:" l | None -> "")
+        (match e.task_id with Some t -> Printf.sprintf " task %d:" t | None -> "")
+        e.detail)
+    (List.rev r.errors)
+
+let of_csv_lenient ~num_queues text =
+  if num_queues <= 0 then invalid_arg "Trace.of_csv_lenient: num_queues must be positive";
+  let errors = ref [] in
+  let record ?line ?task reason detail =
+    errors := { line; task_id = task; reason; detail } :: !errors
+  in
+  let lines = String.split_on_char '\n' text in
+  let lines_read = ref 0 in
+  let data_lines = ref 0 in
+  (* Pass 1: per-line parsing and per-field sanity. *)
+  let parsed = ref [] (* (line number, event), newest first *) in
+  let lineno = ref 0 in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let line = String.trim raw in
+      if line <> "" then begin
+        incr lines_read;
+        let is_header =
+          !lineno = 1 && String.length line >= 4 && String.sub line 0 4 = "task"
+        in
+        if not is_header then begin
+          incr data_lines;
+          match String.split_on_char ',' line with
+          | [ task; state; queue; arrival; departure ] -> (
+              match
+                ( int_of_string_opt (String.trim task),
+                  int_of_string_opt (String.trim state),
+                  int_of_string_opt (String.trim queue),
+                  float_of_string_opt (String.trim arrival),
+                  float_of_string_opt (String.trim departure) )
+              with
+              | Some task, Some state, Some queue, Some arrival, Some departure ->
+                  let e = { task; state; queue; arrival; departure } in
+                  if Float.is_nan arrival || Float.is_nan departure then
+                    record ~line:!lineno ~task:e.task Nan_field
+                      "NaN arrival or departure"
+                  else if queue < 0 || queue >= num_queues then
+                    record ~line:!lineno ~task:e.task Bad_queue
+                      (Printf.sprintf "queue %d outside [0,%d)" queue num_queues)
+                  else if arrival < 0.0 || departure < 0.0 then
+                    record ~line:!lineno ~task:e.task Negative_time
+                      (Printf.sprintf "negative time (arrival %g, departure %g)"
+                         arrival departure)
+                  else if departure < arrival -. chain_tolerance then
+                    record ~line:!lineno ~task:e.task Out_of_order
+                      (Printf.sprintf "departure %g before arrival %g" departure
+                         arrival)
+                  else parsed := (!lineno, e) :: !parsed
+              | _ ->
+                  record ~line:!lineno Malformed_line "unparseable numeric field")
+          | fields ->
+              record ~line:!lineno Malformed_line
+                (Printf.sprintf "expected 5 comma-separated fields, got %d"
+                   (List.length fields))
+        end
+      end)
+    lines;
+  let parsed = List.rev !parsed in
+  (* Pass 2: drop exact duplicates (keep the first occurrence). *)
+  let seen = Hashtbl.create 256 in
+  let deduped =
+    List.filter
+      (fun (line, e) ->
+        let key = (e.task, e.state, e.queue, e.arrival, e.departure) in
+        if Hashtbl.mem seen key then begin
+          record ~line ~task:e.task Duplicate_event "exact duplicate record";
+          false
+        end
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      parsed
+  in
+  (* Pass 3: per-task chain repair. Sort each task's events by arrival
+     and keep the longest valid prefix of the chain; a clock-skewed or
+     missing record invalidates everything after it (the later arrivals
+     can no longer be tied to a departure), not the whole task. *)
+  let by_task = Hashtbl.create 64 in
+  let task_order = ref [] in
+  List.iter
+    (fun (_line, e) ->
+      match Hashtbl.find_opt by_task e.task with
+      | None ->
+          Hashtbl.add by_task e.task (ref [ e ]);
+          task_order := e.task :: !task_order
+      | Some l -> l := e :: !l)
+    deduped;
+  let task_order = List.rev !task_order in
+  let tasks_dropped = ref 0 in
+  let chains =
+    List.filter_map
+      (fun task ->
+        let events = List.rev !(Hashtbl.find by_task task) in
+        let events =
+          List.sort
+            (fun a b ->
+              match compare a.arrival b.arrival with
+              | 0 -> compare a.departure b.departure
+              | c -> c)
+            events
+        in
+        match events with
+        | [] -> None
+        | first :: _ when first.arrival <> 0.0 ->
+            record ~task Missing_initial
+              (Printf.sprintf "first event arrives at %g, not 0" first.arrival);
+            incr tasks_dropped;
+            None
+        | first :: rest ->
+            let kept = ref [ first ] in
+            let prev = ref first in
+            let broken = ref false in
+            List.iter
+              (fun e ->
+                if not !broken then begin
+                  if Float.abs (e.arrival -. !prev.departure) > chain_tolerance
+                  then begin
+                    record ~task Broken_chain
+                      (Printf.sprintf
+                         "arrival %g disagrees with predecessor departure %g; \
+                          dropping the task's remaining events"
+                         e.arrival !prev.departure);
+                    broken := true
+                  end
+                  else begin
+                    kept := e :: !kept;
+                    prev := e
+                  end
+                end)
+              rest;
+            Some (task, List.rev !kept))
+      task_order
+  in
+  (* Pass 4: route consistency — every surviving task must enter at the
+     same (majority) arrival queue and never revisit it, or
+     [Event_store.of_trace] would reject the whole trace later. *)
+  let entry_counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_task, events) ->
+      let q = (List.hd events).queue in
+      Hashtbl.replace entry_counts q
+        (1 + Option.value ~default:0 (Hashtbl.find_opt entry_counts q)))
+    chains;
+  let arrival_queue =
+    Hashtbl.fold
+      (fun q c best ->
+        match best with
+        | Some (_, c') when c' >= c -> best
+        | _ -> Some (q, c))
+      entry_counts None
+  in
+  let chains =
+    match arrival_queue with
+    | None -> []
+    | Some (q0, _) ->
+        List.filter_map
+          (fun (task, events) ->
+            let entry = List.hd events in
+            if entry.queue <> q0 then begin
+              record ~task Inconsistent_route
+                (Printf.sprintf "task enters at queue %d, not the arrival queue %d"
+                   entry.queue q0);
+              incr tasks_dropped;
+              None
+            end
+            else begin
+              (* truncate at the first revisit of q0 *)
+              let kept = ref [ entry ] in
+              let ok = ref true in
+              List.iter
+                (fun e ->
+                  if !ok then
+                    if e.queue = q0 then begin
+                      record ~task Inconsistent_route
+                        "task revisits the arrival queue; dropping its remaining \
+                         events";
+                      ok := false
+                    end
+                    else kept := e :: !kept)
+                (List.tl events);
+              Some (task, List.rev !kept)
+            end)
+          chains
+  in
+  let events = List.concat_map snd chains in
+  let report kept =
+    {
+      errors = !errors;
+      lines_read = !lines_read;
+      events_kept = kept;
+      (* every non-header data line was a candidate record *)
+      events_dropped = !data_lines - kept;
+      tasks_dropped = !tasks_dropped;
+    }
+  in
+  match events with
+  | [] -> Error (report 0)
+  | events -> (
+      try Ok (create ~num_queues events, report (List.length events))
+      with Invalid_argument msg ->
+        (* The repair passes above should make this unreachable, but a
+           residual inconsistency must degrade into a report, not an
+           exception — that is the lenient contract. *)
+        record Malformed_line ("residual inconsistency: " ^ msg);
+        Error (report 0))
+
+let load_lenient ~num_queues path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        Ok (of_csv_lenient ~num_queues text))
+  with Sys_error msg -> Error msg
+
 let save t path =
   let oc = open_out path in
   Fun.protect

@@ -67,7 +67,64 @@ val to_csv : t -> string
     (times printed with 17 significant digits, round-trippable). *)
 
 val of_csv : num_queues:int -> string -> (t, string) result
-(** Parse the format written by {!to_csv}. *)
+(** Parse the format written by {!to_csv}. Strict: the first corrupt
+    line rejects the whole file. *)
+
+(** {1 Lenient ingestion}
+
+    Production trace files are dirty: truncated writes, NaN fields
+    from broken exporters, duplicated records from at-least-once
+    shippers, clock skew between hosts. Lenient mode classifies and
+    skips corrupt records instead of rejecting the file, then repairs
+    the task chains so the surviving events still satisfy every model
+    constraint ({!create} and [Event_store.of_trace] both succeed on
+    the result). *)
+
+type corruption =
+  | Malformed_line  (** truncated line / wrong field count / unparseable *)
+  | Nan_field
+  | Negative_time
+  | Out_of_order  (** departure earlier than arrival *)
+  | Bad_queue
+  | Duplicate_event
+  | Broken_chain  (** clock skew: arrival disagrees with predecessor departure *)
+  | Missing_initial  (** task has no entry event at time 0 *)
+  | Inconsistent_route
+      (** task enters at a minority arrival queue, or revisits it *)
+
+val corruption_label : corruption -> string
+
+type line_error = {
+  line : int option;  (** 1-based source line; [None] for task-level drops *)
+  task_id : int option;
+  reason : corruption;
+  detail : string;
+}
+
+type ingest_report = {
+  errors : line_error list;  (** newest first *)
+  lines_read : int;  (** non-empty lines, header included *)
+  events_kept : int;
+  events_dropped : int;
+  tasks_dropped : int;  (** tasks dropped wholesale (partial drops are events) *)
+}
+
+val pp_ingest_report : Format.formatter -> ingest_report -> unit
+
+val of_csv_lenient :
+  num_queues:int -> string -> (t * ingest_report, ingest_report) result
+(** [of_csv_lenient ~num_queues text] parses as much of [text] as
+    possible: corrupt lines are classified and skipped, exact
+    duplicates dropped, each task's chain truncated at the first
+    skew/gap, and tasks that enter away from the (majority) arrival
+    queue removed. [Error report] only when {e no} event survives. *)
+
+val load_lenient :
+  num_queues:int ->
+  string ->
+  ((t * ingest_report, ingest_report) result, string) result
+(** File variant of {!of_csv_lenient}; the outer [Error] is an I/O
+    failure. *)
 
 val save : t -> string -> unit
 (** [save t path] writes {!to_csv} output to [path]. *)

@@ -1,0 +1,506 @@
+(* Tests for the fault-tolerant runtime: checkpoint codec and
+   atomicity, kill/resume bit-identity, health checking, rollback
+   recovery, budgets, fault-injected lenient ingestion, and the
+   numeric guards the runtime relies on (Gibbs compile, Welford). *)
+
+module Rng = Qnet_prob.Rng
+module Piecewise = Qnet_prob.Piecewise
+module Statistics = Qnet_prob.Statistics
+module Trace = Qnet_trace.Trace
+module Store = Qnet_core.Event_store
+module Params = Qnet_core.Params
+module Stem = Qnet_core.Stem
+module Gibbs = Qnet_core.Gibbs
+module Obs = Qnet_core.Observation
+module Topologies = Qnet_des.Topologies
+module Checkpoint = Qnet_runtime.Checkpoint
+module Health = Qnet_runtime.Health
+module Fault = Qnet_runtime.Fault
+module Runtime = Qnet_runtime.Runtime
+
+let tandem_net () = Topologies.tandem ~arrival_rate:10.0 ~service_rates:[ 15.0; 12.0 ]
+
+(* A reproducible masked store: same seeds, same store, every call. *)
+let fresh_store ?(sim_seed = 41) ?(tasks = 120) () =
+  let rng = Rng.create ~seed:sim_seed () in
+  Net_helpers.masked_store ~scheme:(Obs.Task_fraction 0.3) rng (tandem_net ()) tasks
+
+let check_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_params name a b =
+  Alcotest.(check int) (name ^ " dims") (Params.num_queues a) (Params.num_queues b);
+  for q = 0 to Params.num_queues a - 1 do
+    check_bits (Printf.sprintf "%s rate q%d" name q) (Params.rate a q) (Params.rate b q)
+  done
+
+let runtime_config ?(checkpoint_path = None) ?(checkpoint_every = 8)
+    ?(validate_every = 6) ?(max_retries = 3) ?max_seconds ~iterations () =
+  {
+    Runtime.stem =
+      { Stem.default_config with Stem.iterations; burn_in = Stdlib.min 8 (iterations / 2) };
+    checkpoint_every;
+    checkpoint_path;
+    validate_every;
+    max_retries;
+    max_seconds;
+  }
+
+(* Poison one unobserved latent. Event_store.set_departure refuses
+   NaN, so go through snapshot/restore like real memory corruption
+   would: no API politely asks permission. *)
+let poison_store store =
+  let s = Store.snapshot store in
+  let u = Store.unobserved_events store in
+  s.Store.s_departure.(u.(Array.length u / 2)) <- nan;
+  Store.restore store s
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint codec *)
+
+let make_checkpoint () =
+  let _, _, store = fresh_store () in
+  let rng = Rng.create ~seed:7 () in
+  let p0 = Stem.initial_guess store in
+  let p1 = Params.create ~rates:[| 9.5; 14.2; 11.9 |] ~arrival_queue:0 in
+  {
+    Checkpoint.iteration = 2;
+    rng_state = Rng.state rng;
+    params = p1;
+    anchor = p0;
+    snapshot = Store.snapshot store;
+    history = [| p0; p1 |];
+    llh = [| -1.5; -1.25 |];
+  }
+
+let test_codec_round_trip () =
+  let ck = make_checkpoint () in
+  match Checkpoint.of_bytes (Checkpoint.to_bytes ck) with
+  | Error m -> Alcotest.failf "decode failed: %s" m
+  | Ok ck' ->
+      Alcotest.(check int) "iteration" ck.Checkpoint.iteration ck'.Checkpoint.iteration;
+      Alcotest.(check (array int64)) "rng state" ck.Checkpoint.rng_state
+        ck'.Checkpoint.rng_state;
+      check_params "params" ck.Checkpoint.params ck'.Checkpoint.params;
+      check_params "anchor" ck.Checkpoint.anchor ck'.Checkpoint.anchor;
+      let s = ck.Checkpoint.snapshot and s' = ck'.Checkpoint.snapshot in
+      Alcotest.(check int) "snapshot size" (Array.length s.Store.s_departure)
+        (Array.length s'.Store.s_departure);
+      Array.iteri
+        (fun i d -> check_bits (Printf.sprintf "departure %d" i) d s'.Store.s_departure.(i))
+        s.Store.s_departure;
+      Alcotest.(check (array int)) "rho" s.Store.s_rho s'.Store.s_rho;
+      Alcotest.(check (array int)) "rho_inv" s.Store.s_rho_inv s'.Store.s_rho_inv;
+      Alcotest.(check (array int)) "queue" s.Store.s_queue s'.Store.s_queue;
+      Alcotest.(check (array int)) "heads" s.Store.s_heads s'.Store.s_heads;
+      Alcotest.(check int) "history" 2 (Array.length ck'.Checkpoint.history);
+      check_params "history.0" ck.Checkpoint.history.(0) ck'.Checkpoint.history.(0);
+      check_bits "llh.1" ck.Checkpoint.llh.(1) ck'.Checkpoint.llh.(1)
+
+let test_codec_rejects_corruption () =
+  let ck = make_checkpoint () in
+  let good = Checkpoint.to_bytes ck in
+  let expect_error what bytes =
+    match Checkpoint.of_bytes bytes with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  (* single flipped byte in the middle of the payload *)
+  let flipped = Bytes.of_string good in
+  let mid = Bytes.length flipped / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0xFF));
+  expect_error "bit flip" (Bytes.to_string flipped);
+  expect_error "truncation" (String.sub good 0 (String.length good / 2));
+  expect_error "empty" "";
+  let bad_magic = Bytes.of_string good in
+  Bytes.set bad_magic 0 'X';
+  expect_error "bad magic" (Bytes.to_string bad_magic)
+
+let test_save_load_file () =
+  let ck = make_checkpoint () in
+  let path = Filename.temp_file "qnet_test" ".ckpt" in
+  Checkpoint.save ~path ck;
+  (match Checkpoint.load ~path with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok ck' ->
+      Alcotest.(check int) "iteration survives disk" ck.Checkpoint.iteration
+        ck'.Checkpoint.iteration;
+      Alcotest.(check (array int64)) "rng survives disk" ck.Checkpoint.rng_state
+        ck'.Checkpoint.rng_state);
+  Alcotest.(check bool) "no tmp file left" false (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path;
+  match Checkpoint.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load of missing file must be Error"
+
+(* ------------------------------------------------------------------ *)
+(* Kill / resume bit-identity *)
+
+let test_kill_resume_bit_identical () =
+  let iters = 24 and kill_at = 16 in
+  let ckpt = Filename.temp_file "qnet_test_resume" ".ckpt" in
+  let ckpt2 = Filename.temp_file "qnet_test_resume2" ".ckpt" in
+  (* Run A: uninterrupted. *)
+  let _, _, store_a = fresh_store () in
+  let full =
+    Runtime.run
+      ~config:(runtime_config ~iterations:iters ())
+      (Rng.create ~seed:99 ()) store_a
+  in
+  (* Run B: killed at [kill_at] (simulated by configuring a shorter
+     run; the checkpoint written at iteration 16 is exactly what a
+     SIGKILL at that point would leave behind)... *)
+  let _, _, store_b = fresh_store () in
+  let _ =
+    Runtime.run
+      ~config:(runtime_config ~iterations:kill_at ~checkpoint_path:(Some ckpt) ())
+      (Rng.create ~seed:99 ()) store_b
+  in
+  (* ...then resumed in a fresh process: new store, new RNG (both are
+     overwritten wholesale from the checkpoint). *)
+  let _, _, store_c = fresh_store () in
+  let resumed =
+    match
+      Runtime.resume_file
+        ~config:(runtime_config ~iterations:iters ~checkpoint_path:(Some ckpt2) ())
+        ~path:ckpt
+        (Rng.create ~seed:31337 ())
+        store_c
+    with
+    | Error m -> Alcotest.failf "resume failed: %s" m
+    | Ok r -> r
+  in
+  Alcotest.(check (option int))
+    "resumed at the kill point" (Some kill_at) resumed.Runtime.report.Runtime.resumed_at;
+  (* latent state: every departure bit-identical *)
+  let da = (Store.snapshot store_a).Store.s_departure in
+  let dc = (Store.snapshot store_c).Store.s_departure in
+  Alcotest.(check int) "event count" (Array.length da) (Array.length dc);
+  Array.iteri (fun i d -> check_bits (Printf.sprintf "latent %d" i) d dc.(i)) da;
+  (* parameters and posterior summaries *)
+  check_params "final iterate" full.Runtime.params_last resumed.Runtime.params_last;
+  check_params "posterior mean" full.Runtime.params resumed.Runtime.params;
+  Alcotest.(check int) "history length" iters (Array.length resumed.Runtime.history);
+  Array.iteri
+    (fun i p -> check_params (Printf.sprintf "history %d" i) p resumed.Runtime.history.(i))
+    full.Runtime.history;
+  Array.iteri
+    (fun q s -> check_bits (Printf.sprintf "mean service q%d" q) s resumed.Runtime.mean_service.(q))
+    full.Runtime.mean_service;
+  Array.iteri
+    (fun i l -> check_bits (Printf.sprintf "llh %d" i) l resumed.Runtime.log_likelihood_history.(i))
+    full.Runtime.log_likelihood_history;
+  Sys.remove ckpt;
+  if Sys.file_exists ckpt2 then Sys.remove ckpt2
+
+let test_resume_rejects_wrong_store () =
+  let ckpt = Filename.temp_file "qnet_test_mismatch" ".ckpt" in
+  let _, _, store = fresh_store () in
+  let _ =
+    Runtime.run
+      ~config:(runtime_config ~iterations:8 ~checkpoint_path:(Some ckpt) ())
+      (Rng.create ~seed:5 ()) store
+  in
+  let _, _, other = fresh_store ~tasks:60 () in
+  (match
+     Runtime.resume_file
+       ~config:(runtime_config ~iterations:8 ())
+       ~path:ckpt (Rng.create ()) other
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "checkpoint for a different store must be rejected");
+  Sys.remove ckpt
+
+(* ------------------------------------------------------------------ *)
+(* Health checking *)
+
+let test_health_clean () =
+  let _, _, store = fresh_store () in
+  let p = Stem.initial_guess store in
+  Alcotest.(check int) "no violations on a fresh store" 0
+    (List.length (Health.check store p))
+
+let test_health_detects_nan_latent () =
+  let _, _, store = fresh_store () in
+  let p = Stem.initial_guess store in
+  poison_store store;
+  let vs = Health.check store p in
+  Alcotest.(check bool) "violations found" true (vs <> []);
+  Alcotest.(check bool) "includes nan-latent" true
+    (List.exists (function Health.Nan_latent _ -> true | _ -> false) vs);
+  Alcotest.(check bool) "describe is non-empty" true
+    (String.length (Health.describe vs) > 0)
+
+let test_health_detects_degenerate_rate () =
+  let _, _, store = fresh_store () in
+  (* Params.create refuses non-positive rates outright, so the
+     reachable collapse mode is the runaway MLE: rates beyond any
+     physical service time. *)
+  let bad = Params.create ~rates:[| 10.0; 1e13; 1e15 |] ~arrival_queue:0 in
+  let vs = Health.check store bad in
+  let degen = List.filter (function Health.Degenerate_rate _ -> true | _ -> false) vs in
+  Alcotest.(check int) "both degenerate rates flagged" 2 (List.length degen)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery, abort, budget *)
+
+let test_recovers_from_one_fault () =
+  let _, _, store = fresh_store () in
+  let fired = ref false in
+  let chaos it store =
+    if it = 9 && not !fired then begin
+      fired := true;
+      poison_store store
+    end
+  in
+  let r =
+    Runtime.run
+      ~config:(runtime_config ~iterations:20 ~checkpoint_every:5 ~validate_every:5 ())
+      ~chaos (Rng.create ~seed:11 ()) store
+  in
+  Alcotest.(check bool) "completed" true (r.Runtime.status = Runtime.Completed);
+  Alcotest.(check int) "all iterations done" 20 r.Runtime.report.Runtime.iterations_done;
+  Alcotest.(check int) "one retry" 1 r.Runtime.report.Runtime.retries;
+  Alcotest.(check int) "one incident" 1 (List.length r.Runtime.report.Runtime.incidents);
+  (* the run recovered into a healthy state *)
+  Alcotest.(check int) "final state healthy" 0
+    (List.length (Health.check store r.Runtime.params_last));
+  Array.iter
+    (fun s -> Alcotest.(check bool) "finite estimate" true (Float.is_finite s))
+    r.Runtime.mean_service
+
+let test_aborts_after_max_retries () =
+  let _, _, store = fresh_store () in
+  let chaos _ store = poison_store store in
+  let r =
+    Runtime.run
+      ~config:
+        (runtime_config ~iterations:20 ~checkpoint_every:5 ~validate_every:1
+           ~max_retries:2 ())
+      ~chaos (Rng.create ~seed:12 ()) store
+  in
+  (match r.Runtime.status with
+  | Runtime.Aborted _ -> ()
+  | _ -> Alcotest.fail "persistent faults must abort");
+  Alcotest.(check int) "retries exhausted" 2 r.Runtime.report.Runtime.retries;
+  Alcotest.(check int) "every attempt recorded" 3
+    (List.length r.Runtime.report.Runtime.incidents);
+  Alcotest.(check bool) "partial run" true
+    (r.Runtime.report.Runtime.iterations_done < 20)
+
+let test_budget_exhaustion () =
+  let _, _, store = fresh_store () in
+  let r =
+    Runtime.run
+      ~config:(runtime_config ~iterations:500 ~max_seconds:0.0 ())
+      (Rng.create ~seed:13 ()) store
+  in
+  Alcotest.(check bool) "budget status" true
+    (r.Runtime.status = Runtime.Budget_exhausted);
+  Alcotest.(check bool) "stopped early with partial results" true
+    (r.Runtime.report.Runtime.iterations_done >= 1
+    && r.Runtime.report.Runtime.iterations_done < 500);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "partial estimate finite" true (Float.is_finite s))
+    r.Runtime.mean_service
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection + lenient ingestion *)
+
+let test_lenient_survives_injected_faults () =
+  let rng = Rng.create ~seed:21 () in
+  let trace = Net_helpers.simulate_n rng (tandem_net ()) 80 in
+  let csv = Trace.to_csv trace in
+  let corrupted, applied = Fault.inject (Rng.create ~seed:22 ()) csv in
+  Alcotest.(check int) "every mode applied" (List.length Fault.all_modes)
+    (List.length applied);
+  List.iter
+    (fun (m, n) ->
+      Alcotest.(check bool) (Fault.mode_label m ^ " applied at least once") true (n > 0))
+    applied;
+  (* strict ingestion must still refuse the file *)
+  (match Trace.of_csv ~num_queues:3 corrupted with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict parser accepted a corrupted trace");
+  (* lenient ingestion returns survivors plus a structured report *)
+  match Trace.of_csv_lenient ~num_queues:3 corrupted with
+  | Error _ -> Alcotest.fail "lenient ingestion lost every event"
+  | Ok (t, report) ->
+      Alcotest.(check bool) "errors reported" true (report.Trace.errors <> []);
+      let distinct =
+        List.sort_uniq compare
+          (List.map (fun e -> e.Trace.reason) report.Trace.errors)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "≥4 distinct corruption kinds (got %d)" (List.length distinct))
+        true
+        (List.length distinct >= 4);
+      Alcotest.(check bool) "events survive" true (report.Trace.events_kept > 0);
+      Alcotest.(check int) "kept matches trace" report.Trace.events_kept
+        (Array.length t.Trace.events);
+      Alcotest.(check bool) "drops accounted" true (report.Trace.events_dropped > 0);
+      let s = Format.asprintf "%a" Trace.pp_ingest_report report in
+      Alcotest.(check bool) "report printer" true (String.length s > 0);
+      (* survivors support inference end to end *)
+      let store = Store.of_trace t in
+      (match Store.validate store with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "survivors violate model constraints: %s" m);
+      let rng = Rng.create ~seed:23 () in
+      let mask = Obs.mask rng (Obs.Task_fraction 0.5) t in
+      let store = Store.of_trace ~observed:mask t in
+      let result =
+        Stem.run
+          ~config:{ Stem.default_config with Stem.iterations = 5; burn_in = 2 }
+          rng store
+      in
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "inference on survivors finite" true
+            (Float.is_finite s && s > 0.0))
+        result.Stem.mean_service
+
+let test_lenient_clean_trace_no_errors () =
+  let rng = Rng.create ~seed:24 () in
+  let trace = Net_helpers.simulate_n rng (tandem_net ()) 40 in
+  match Trace.of_csv_lenient ~num_queues:3 (Trace.to_csv trace) with
+  | Error _ -> Alcotest.fail "clean trace must parse"
+  | Ok (t, report) ->
+      Alcotest.(check (list reject)) "no errors" []
+        (List.map (fun _ -> ()) report.Trace.errors);
+      Alcotest.(check int) "all events kept" (Array.length trace.Trace.events)
+        (Array.length t.Trace.events)
+
+(* ------------------------------------------------------------------ *)
+(* Gibbs compile guards (degenerate windows never raise / emit NaN) *)
+
+let mk ?(lower = 0.0) ?upper ?(linear = 0.0) ?(hinges = []) () =
+  { Gibbs.event = 0; lower; upper; linear; hinges }
+
+let test_compile_degenerate_windows () =
+  let point what ld expected =
+    match Gibbs.compile ld with
+    | `Point x -> check_bits what expected x
+    | _ -> Alcotest.failf "%s: expected `Point" what
+  in
+  point "zero width" (mk ~lower:2.0 ~upper:2.0 ()) 2.0;
+  point "negative width" (mk ~lower:3.0 ~upper:1.0 ()) 3.0;
+  point "width below resolution" (mk ~lower:1.0 ~upper:(1.0 +. 1e-15) ()) 1.0;
+  point "nan lower, finite upper" (mk ~lower:nan ~upper:4.0 ()) 4.0;
+  point "infinite upper" (mk ~lower:1.5 ~upper:infinity ()) 1.5;
+  point "tail with non-contracting slope" (mk ~lower:1.0 ~linear:1.0 ()) 1.0;
+  point "tail with nan slope" (mk ~lower:1.0 ~linear:nan ()) 1.0;
+  match Gibbs.compile (mk ~lower:1.0 ~linear:(-2.0) ()) with
+  | `Tail (origin, rate) ->
+      check_bits "tail origin" 1.0 origin;
+      check_bits "tail rate" 2.0 rate
+  | _ -> Alcotest.fail "healthy tail must stay a tail"
+
+let test_compile_filters_nan_hinges () =
+  let ld =
+    mk ~lower:0.0 ~upper:1.0 ~linear:(-0.5)
+      ~hinges:
+        [
+          { Piecewise.knee = nan; slope = 5.0 };
+          { Piecewise.knee = 0.5; slope = infinity };
+          { Piecewise.knee = 0.5; slope = -1.0 };
+        ]
+      ()
+  in
+  match Gibbs.compile ld with
+  | `Bounded pw ->
+      let rng = Rng.create ~seed:25 () in
+      for _ = 1 to 100 do
+        let x = Piecewise.sample rng pw in
+        Alcotest.(check bool) "sample finite and in window" true
+          (Float.is_finite x && x >= 0.0 && x <= 1.0)
+      done
+  | _ -> Alcotest.fail "finite window with salvageable hinges must stay bounded"
+
+(* An adversarial sweep: corrupt one latent to -inf via snapshot (NaN
+   neighbourhoods collapse to points) and check a full sweep neither
+   raises nor writes NaN. *)
+let test_sweep_survives_corrupt_neighbourhood () =
+  let _, _, store = fresh_store ~tasks:40 () in
+  let p = Stem.initial_guess store in
+  let s = Store.snapshot store in
+  let u = Store.unobserved_events store in
+  s.Store.s_departure.(u.(0)) <- neg_infinity;
+  Store.restore store s;
+  let rng = Rng.create ~seed:26 () in
+  Gibbs.sweep rng store p;
+  let d = (Store.snapshot store).Store.s_departure in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "no NaN written" true (not (Float.is_nan x)))
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Welford NaN robustness *)
+
+let test_welford_skips_nan () =
+  let w = Statistics.Welford.create () in
+  List.iter (Statistics.Welford.add w) [ 1.0; nan; 2.0; nan; 3.0 ];
+  Alcotest.(check int) "count excludes nan" 3 (Statistics.Welford.count w);
+  Alcotest.(check int) "skipped counted" 2 (Statistics.Welford.skipped w);
+  check_bits "mean unpoisoned" 2.0 (Statistics.Welford.mean w);
+  Alcotest.(check bool) "variance finite" true
+    (Float.is_finite (Statistics.Welford.variance w))
+
+let test_welford_merge_combines_skipped () =
+  let a = Statistics.Welford.create () and b = Statistics.Welford.create () in
+  List.iter (Statistics.Welford.add a) [ 1.0; nan ];
+  List.iter (Statistics.Welford.add b) [ 3.0; nan; nan ];
+  let m = Statistics.Welford.merge a b in
+  Alcotest.(check int) "merged count" 2 (Statistics.Welford.count m);
+  Alcotest.(check int) "merged skipped" 3 (Statistics.Welford.skipped m);
+  check_bits "merged mean" 2.0 (Statistics.Welford.mean m)
+
+let () =
+  Alcotest.run "qnet_runtime"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "codec round trip" `Quick test_codec_round_trip;
+          Alcotest.test_case "rejects corruption" `Quick test_codec_rejects_corruption;
+          Alcotest.test_case "save/load file" `Quick test_save_load_file;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "kill/resume bit-identical" `Slow
+            test_kill_resume_bit_identical;
+          Alcotest.test_case "wrong store rejected" `Quick test_resume_rejects_wrong_store;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "clean store" `Quick test_health_clean;
+          Alcotest.test_case "nan latent" `Quick test_health_detects_nan_latent;
+          Alcotest.test_case "degenerate rate" `Quick test_health_detects_degenerate_rate;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recovers from one fault" `Slow test_recovers_from_one_fault;
+          Alcotest.test_case "aborts after max retries" `Quick
+            test_aborts_after_max_retries;
+          Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+        ] );
+      ( "lenient ingestion",
+        [
+          Alcotest.test_case "survives injected faults" `Slow
+            test_lenient_survives_injected_faults;
+          Alcotest.test_case "clean trace clean report" `Quick
+            test_lenient_clean_trace_no_errors;
+        ] );
+      ( "gibbs guards",
+        [
+          Alcotest.test_case "degenerate windows" `Quick test_compile_degenerate_windows;
+          Alcotest.test_case "nan hinges filtered" `Quick test_compile_filters_nan_hinges;
+          Alcotest.test_case "sweep survives corruption" `Quick
+            test_sweep_survives_corrupt_neighbourhood;
+        ] );
+      ( "welford",
+        [
+          Alcotest.test_case "skips nan" `Quick test_welford_skips_nan;
+          Alcotest.test_case "merge combines skipped" `Quick
+            test_welford_merge_combines_skipped;
+        ] );
+    ]
