@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test verify demo clean
+.PHONY: all build test verify verify-supervised demo supervised-demo clean
 
 all: build
 
@@ -17,8 +17,14 @@ test:
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build test demo
+verify: build test demo supervised-demo
 	@echo "verify: OK"
+
+# Supervised-runtime verification: the test suite plus a live
+# multi-chain run under injected chain faults (one stalled, one
+# crashed); the run must still converge to a quorum verdict.
+verify-supervised: build test supervised-demo
+	@echo "verify-supervised: OK"
 
 demo:
 	rm -rf _demo
@@ -30,6 +36,21 @@ demo:
 	dune exec bin/qnet_infer.exe -- _demo/corrupted.csv -q 3 -f 0.3 --lenient \
 	  --iterations 40 --resume _demo/demo.ckpt
 
+# Kill-one-chain drill: four supervised chains, chain 1 stalled past
+# the watchdog deadline and chain 2 crashed mid-sweep. The supervisor
+# must detect both, restart them from their last good checkpoints, and
+# still pool a quorum estimate.
+supervised-demo:
+	rm -rf _demo_supervised
+	mkdir -p _demo_supervised
+	dune exec bin/qnet_sim.exe -- -t tandem --lambda 10 --mu 14 -n 300 --seed 5 -o _demo_supervised/trace.csv
+	dune exec bin/qnet_infer.exe -- _demo_supervised/trace.csv -q 3 -f 0.4 \
+	  --iterations 80 --chains 4 --min-chains 2 --sweep-deadline-ms 200 \
+	  --chain-fault 1:stall=0.5@5 --chain-fault 2:crash@8 \
+	  | tee _demo_supervised/report.txt
+	grep -q "status: quorum" _demo_supervised/report.txt
+	@echo "supervised-demo: quorum reached under injected stall+crash"
+
 clean:
 	dune clean
-	rm -rf _demo
+	rm -rf _demo _demo_supervised

@@ -21,6 +21,8 @@ module Stem = Qnet_core.Stem
 module Bayes = Qnet_core.Bayes
 module Localization = Qnet_core.Localization
 module Runtime = Qnet_runtime.Runtime
+module Fault = Qnet_runtime.Fault
+module Supervisor = Qnet_runtime.Supervisor
 
 let load_trace ~lenient ~num_queues input =
   if lenient then begin
@@ -56,8 +58,16 @@ let print_estimates ~num_queues ~mean_service ~waiting ~intervals =
           waiting.(q)
       done
 
+let rec parse_chain_faults = function
+  | [] -> Ok []
+  | s :: rest -> (
+      match Fault.parse_chain_fault s with
+      | Error m -> Error (Printf.sprintf "bad --chain-fault %S: %s" s m)
+      | Ok f -> Result.map (fun fs -> f :: fs) (parse_chain_faults rest))
+
 let run input num_queues fraction iterations seed bayes lenient checkpoint_every
-    checkpoint resume max_retries budget_seconds =
+    checkpoint resume max_retries budget_seconds chains min_chains
+    sweep_deadline_ms chain_faults =
   match load_trace ~lenient ~num_queues input with
   | Error m -> Error m
   | Ok trace ->
@@ -99,6 +109,44 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
             ( result.Bayes.mean_service,
               result.Bayes.mean_waiting,
               Some result.Bayes.service_interval )
+        end
+        else if chains > 1 then begin
+          if use_runtime then
+            prerr_endline
+              "note: --checkpoint/--resume apply to single-chain runs; supervised \
+               chains checkpoint in memory at every round barrier";
+          if sweep_deadline_ms <= 0.0 then Error "--sweep-deadline-ms must be positive"
+          else
+            match parse_chain_faults chain_faults with
+            | Error m -> Error m
+            | Ok faults ->
+                let config =
+                  {
+                    Supervisor.default_config with
+                    Supervisor.chains;
+                    min_chains = Stdlib.min (Stdlib.max 1 min_chains) chains;
+                    stem =
+                      {
+                        Stem.default_config with
+                        Stem.iterations;
+                        burn_in = iterations / 2;
+                      };
+                    sweep_deadline = sweep_deadline_ms /. 1000.0;
+                  }
+                in
+                let make_store () = Store.of_trace ~observed:mask trace in
+                match Supervisor.run ~config ~faults ~seed make_store with
+                | exception Invalid_argument m -> Error m
+                | r ->
+                    Format.printf "%a@." Supervisor.pp_result r;
+                    if r.Supervisor.status = Supervisor.Failed then
+                      Error "supervised run failed: no healthy chains"
+                    else begin
+                      let waiting =
+                        Stem.estimate_waiting rng store r.Supervisor.params
+                      in
+                      Ok (r.Supervisor.mean_service, waiting, None)
+                    end
         end
         else if use_runtime then begin
           let config = runtime_config () in
@@ -218,11 +266,54 @@ let budget_seconds =
           "Wall-clock budget: end the run gracefully with the samples collected so \
            far once $(docv) seconds have elapsed.")
 
+let chains =
+  Arg.(
+    value & opt int 1
+    & info [ "chains" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) independent supervised StEM chains on separate cores: \
+           per-sweep watchdog heartbeats, divergence quarantine, restart from the \
+           last good in-memory checkpoint, and a pooled estimate with \
+           split-Rhat/ESS diagnostics and per-chain health verdicts. 1 (the \
+           default) runs the classic single-chain path.")
+
+let min_chains =
+  Arg.(
+    value & opt int 2
+    & info [ "min-chains" ] ~docv:"K"
+        ~doc:
+          "Quorum for supervised runs: at least $(docv) chains must finish healthy \
+           for a full-confidence pooled estimate; fewer (but at least one) degrades \
+           the verdict instead of failing.")
+
+let sweep_deadline_ms =
+  Arg.(
+    value & opt float 5000.0
+    & info [ "sweep-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Watchdog deadline between a supervised chain's Gibbs-sweep heartbeats, \
+           in milliseconds. A chain quieter than this is declared stalled, \
+           cancelled cooperatively, and restarted from its last good checkpoint; \
+           one that ignores cancellation is abandoned and the run degrades to the \
+           surviving chains.")
+
+let chain_faults =
+  Arg.(
+    value & opt_all string []
+    & info [ "chain-fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a deterministic fault into a supervised chain (testing and \
+           drills; repeatable). $(docv) is CHAIN:stall[=SECONDS]\\@ITERATION, \
+           CHAIN:crash\\@ITERATION, or CHAIN:corrupt\\@ITERATION — e.g. \
+           1:stall=0.5\\@5 sleeps chain 1 for 500ms at iteration 5. Each fault \
+           fires at most once.")
+
 let cmd =
   let term =
     Term.(
       const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes $ lenient
-      $ checkpoint_every $ checkpoint $ resume $ max_retries $ budget_seconds)
+      $ checkpoint_every $ checkpoint $ resume $ max_retries $ budget_seconds
+      $ chains $ min_chains $ sweep_deadline_ms $ chain_faults)
   in
   let info =
     Cmd.info "qnet_infer"

@@ -16,6 +16,10 @@ type t = {
   by_task : int array array;
   arrival_queue : int;
   task_ids : int array; (* dense task index -> original task id *)
+  mutable generation : int;
+      (* bumped whenever the queue/ρ-chain structure changes, so
+         structure-dependent caches (Parallel_gibbs plans) can detect
+         staleness instead of silently corrupting the chain *)
 }
 
 let of_trace ?observed trace =
@@ -137,6 +141,7 @@ let of_trace ?observed trace =
     by_task;
     arrival_queue;
     task_ids;
+    generation = 0;
   }
 
 let num_events t = Array.length t.departure
@@ -184,6 +189,7 @@ let unobserved_events t =
   Array.of_list !acc
 
 let arrival_queue t = t.arrival_queue
+let generation t = t.generation
 
 let to_trace t =
   let events = ref [] in
@@ -237,11 +243,19 @@ let restore t s =
     || Array.length s.s_rho_inv <> n
     || Array.length s.s_heads <> t.num_queues
   then invalid_arg "Event_store.restore: snapshot dimension mismatch";
+  (* Restoring departures alone never invalidates a structural cache,
+     but overwriting the chain pointers might: bump the generation only
+     when the restored structure actually differs. *)
+  let structure_changed =
+    t.queue <> s.s_queue || t.rho <> s.s_rho || t.rho_inv <> s.s_rho_inv
+    || t.heads <> s.s_heads
+  in
   Array.blit s.s_departure 0 t.departure 0 n;
   Array.blit s.s_queue 0 t.queue 0 n;
   Array.blit s.s_rho 0 t.rho 0 n;
   Array.blit s.s_rho_inv 0 t.rho_inv 0 n;
-  Array.blit s.s_heads 0 t.heads 0 t.num_queues
+  Array.blit s.s_heads 0 t.heads 0 t.num_queues;
+  if structure_changed then t.generation <- t.generation + 1
 
 (* Re-home event [i] to [queue], unlinking it from its current rho
    chain and inserting it into the target chain at the position given
@@ -276,7 +290,8 @@ let move_event t i ~queue:q' =
     t.rho_inv.(i) <- succ;
     if pred >= 0 then t.rho_inv.(pred) <- i else t.heads.(q') <- i;
     if succ >= 0 then t.rho.(succ) <- i;
-    t.queue.(i) <- q'
+    t.queue.(i) <- q';
+    t.generation <- t.generation + 1
   end
 
 let validate t =

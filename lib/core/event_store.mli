@@ -97,6 +97,16 @@ val unobserved_events : t -> int array
 val arrival_queue : t -> int
 (** The queue of the initial events (q0). *)
 
+val generation : t -> int
+(** Structure-generation counter: starts at 0 and increments every
+    time the queue assignment or within-queue ρ chains change —
+    {!move_event}, and {!restore} when the restored snapshot carries a
+    different structure. Departure-only updates ({!set_departure},
+    Gibbs sweeps, departure-only restores) never change it. Caches
+    keyed on the event topology (e.g. a {!Parallel_gibbs} plan) record
+    the generation at build time and compare it to detect staleness
+    instead of silently operating on a rearranged store. *)
+
 (** {1 Whole-state operations} *)
 
 val to_trace : t -> Qnet_trace.Trace.t

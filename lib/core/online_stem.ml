@@ -21,22 +21,80 @@ let entry_times trace =
     trace.Trace.events;
   tbl
 
-let run ?(config = default_config) ?(on_window = fun _ -> ()) rng trace ~mask =
+let run ?(config = default_config) ?(on_window = fun _ -> ())
+    ?(on_warning = fun _ -> ()) rng trace ~mask =
   if config.num_windows < 1 then invalid_arg "Online_stem.run: need >= 1 window";
   if Array.length mask <> Array.length trace.Trace.events then
     invalid_arg "Online_stem.run: mask length mismatch";
   let entries = entry_times trace in
-  let lo =
-    Hashtbl.fold (fun _ t acc -> Float.min acc t) entries infinity
+  (* A corrupted logger field must cost one task, not the whole
+     trajectory: drop tasks whose entry timestamp is NaN/±inf. *)
+  let corrupt =
+    Hashtbl.fold
+      (fun task t acc -> if Float.is_finite t then acc else task :: acc)
+      entries []
   in
+  if corrupt <> [] then begin
+    List.iter (Hashtbl.remove entries) corrupt;
+    on_warning
+      (Printf.sprintf "dropped %d task(s) with non-finite entry timestamps"
+         (List.length corrupt))
+  end;
+  (* Tasks with no entry event at all (malformed ingestion) cannot be
+     assigned to a window. *)
+  let missing = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      if not (Hashtbl.mem entries e.Trace.task) then
+        Hashtbl.replace missing e.Trace.task ())
+    trace.Trace.events;
+  if Hashtbl.length missing > 0 then
+    on_warning
+      (Printf.sprintf "dropped %d task(s) with no usable entry event"
+         (Hashtbl.length missing));
+  if Hashtbl.length entries = 0 then
+    invalid_arg "Online_stem.run: no task has a finite entry timestamp";
+  (* Windows are assigned by timestamp value, so out-of-order arrival
+     of entries is harmless (equivalent to sorting first) — but it
+     usually means the ingestion pipeline reordered the log, which is
+     worth flagging. *)
+  let by_task =
+    Hashtbl.fold (fun task t acc -> (task, t) :: acc) entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let ordered =
+    fst
+      (List.fold_left
+         (fun (ok, prev) (_, t) -> (ok && t >= prev, Float.max prev t))
+         (true, neg_infinity) by_task)
+  in
+  if not ordered then
+    on_warning
+      "entry timestamps out of task order; windows assigned by timestamp \
+       value (equivalent to sorting)";
+  let lo = List.fold_left (fun acc (_, t) -> Float.min acc t) infinity by_task in
   let hi =
-    Hashtbl.fold (fun _ t acc -> Float.max acc t) entries neg_infinity
+    List.fold_left (fun acc (_, t) -> Float.max acc t) neg_infinity by_task
   in
-  let width = (hi -. lo) /. float_of_int config.num_windows in
-  if not (width > 0.0) then invalid_arg "Online_stem.run: degenerate time span";
+  let width =
+    let w = (hi -. lo) /. float_of_int config.num_windows in
+    if w > 0.0 then w
+    else begin
+      (* every surviving task entered at the same instant: fall back to
+         unit-width windows so [t0 < t1] always holds and window 0
+         takes all tasks, instead of producing an empty or inverted
+         window *)
+      on_warning
+        "degenerate time span: all entry timestamps coincide; using \
+         unit-width windows";
+      1.0
+    end
+  in
   let window_of task =
-    let t = Hashtbl.find entries task in
-    Stdlib.min (config.num_windows - 1) (int_of_float ((t -. lo) /. width))
+    match Hashtbl.find_opt entries task with
+    | None -> -1 (* dropped task: matches no window *)
+    | Some t ->
+        Stdlib.min (config.num_windows - 1) (int_of_float ((t -. lo) /. width))
   in
   let steps = ref [] in
   let previous = ref None in

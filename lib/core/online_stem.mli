@@ -34,6 +34,7 @@ val default_config : config
 val run :
   ?config:config ->
   ?on_window:(step -> unit) ->
+  ?on_warning:(string -> unit) ->
   Qnet_prob.Rng.t ->
   Qnet_trace.Trace.t ->
   mask:bool array ->
@@ -44,7 +45,19 @@ val run :
     event order (as produced by {!Observation.mask}). [on_window] is
     called with each step as soon as its window is fitted, so a
     long-running online analysis can persist partial trajectories
-    before the run completes. *)
+    before the run completes.
+
+    Windowing is tolerant of messy ingestion, reporting each
+    degradation through [on_warning] (default: silently ignored)
+    rather than failing the whole trajectory: tasks whose entry
+    timestamp is NaN/±inf, and tasks with no entry event at all, are
+    dropped with a warning; out-of-order entry timestamps are flagged
+    but cost nothing (windows are assigned by timestamp value, which
+    is equivalent to sorting first); and when every surviving entry
+    coincides, unit-width windows are used so a window can never be
+    empty or inverted. Raises [Invalid_argument] only when no task has
+    a finite entry timestamp, the mask length mismatches, or
+    [num_windows < 1]. *)
 
 val arrival_rate_trajectory : step list -> (float * float) list
 (** [(window midpoint, λ̂)] per step — the series to plot against a

@@ -4,6 +4,7 @@ module Store = Event_store
 type t = {
   classes : int array array; (* per colour: the latent events of that colour *)
   num_domains : int;
+  generation : int; (* Store.generation at plan time; staleness guard *)
 }
 
 (* Everything a move on [f] reads (beyond its own departure): the
@@ -82,10 +83,24 @@ let plan ?num_domains store =
     let c = Hashtbl.find color f in
     classes.(c) <- f :: classes.(c)
   done;
-  { classes = Array.map Array.of_list classes; num_domains }
+  {
+    classes = Array.map Array.of_list classes;
+    num_domains;
+    generation = Store.generation store;
+  }
 
 let num_colors t = Array.length t.classes
 let num_domains t = t.num_domains
+let is_stale t store = Store.generation store <> t.generation
+let refresh t store = if is_stale t store then plan ~num_domains:t.num_domains store else t
+
+let check_fresh who t store =
+  if is_stale t store then
+    invalid_arg
+      (Printf.sprintf
+         "%s: stale plan (event-store structure changed: plan generation %d, store \
+          generation %d); rebuild with Parallel_gibbs.plan or Parallel_gibbs.refresh"
+         who t.generation (Store.generation store))
 
 let process_slice rng store params events lo hi =
   for k = lo to hi - 1 do
@@ -93,6 +108,7 @@ let process_slice rng store params events lo hi =
   done
 
 let sweep rng t store params =
+  check_fresh "Parallel_gibbs.sweep" t store;
   Array.iter
     (fun events ->
       let n = Array.length events in
@@ -122,6 +138,7 @@ let sweep rng t store params =
 
 let run ~sweeps rng t store params =
   if sweeps < 0 then invalid_arg "Parallel_gibbs.run: negative sweep count";
+  check_fresh "Parallel_gibbs.run" t store;
   for _ = 1 to sweeps do
     sweep rng t store params
   done

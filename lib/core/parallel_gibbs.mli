@@ -25,16 +25,33 @@ type t
 val plan : ?num_domains:int -> Event_store.t -> t
 (** [plan store] colours the store's unobserved events.
     [num_domains] defaults to [Domain.recommended_domain_count - 1],
-    at least 1. The plan is invalidated by {!Event_store.move_event}
-    (the conflict graph changes); build a fresh plan after routing
-    moves. *)
+    at least 1. The plan records the store's structure generation
+    ({!Event_store.generation}): it is invalidated by
+    {!Event_store.move_event} and by structure-changing
+    {!Event_store.restore} (the conflict graph changes), and
+    {!sweep}/{!run} refuse to use it afterwards. Rebuild with [plan]
+    or {!refresh} after routing moves. *)
 
 val num_colors : t -> int
 val num_domains : t -> int
 
+val is_stale : t -> Event_store.t -> bool
+(** [is_stale t store] is true when the store's structure has changed
+    since [t] was planned, so the colouring no longer matches the
+    conflict graph. *)
+
+val refresh : t -> Event_store.t -> t
+(** [refresh t store] is [t] when still valid, or a fresh
+    [plan ~num_domains:(num_domains t) store] when stale — the
+    auto-replan idiom for samplers that interleave routing moves with
+    parallel sweeps. *)
+
 val sweep : Qnet_prob.Rng.t -> t -> Event_store.t -> Params.t -> unit
 (** One full parallel sweep: every unobserved event is resampled
     exactly once. [rng] seeds the per-domain streams for this sweep
-    (it is advanced once per domain). *)
+    (it is advanced once per domain). Raises [Invalid_argument] if the
+    plan is stale for [store] ({!is_stale}) — failing fast beats
+    corrupting the chain with a colouring that no longer guarantees
+    disjoint Markov blankets. *)
 
 val run : sweeps:int -> Qnet_prob.Rng.t -> t -> Event_store.t -> Params.t -> unit

@@ -208,3 +208,30 @@ let gelman_rubin chains =
   else
     let var_plus = (((fn -. 1.0) /. fn) *. w) +. (b /. fn) in
     sqrt (var_plus /. w)
+
+let split_gelman_rubin chains =
+  let m = Array.length chains in
+  if m < 1 then invalid_arg "Statistics.split_gelman_rubin: need >= 1 chain";
+  let n = Array.fold_left (fun acc c -> Stdlib.min acc (Array.length c)) max_int chains in
+  let half = n / 2 in
+  if half < 2 then invalid_arg "Statistics.split_gelman_rubin: chains too short";
+  (* Use the most recent [2*half] samples of each chain (chains may
+     have unequal lengths after restarts), split each in half, and run
+     classic R̂ over the 2m half-chains. Splitting detects within-chain
+     drift — a single wandering chain — that whole-chain R̂ misses, and
+     makes the statistic well-defined even for a single chain. *)
+  let halves =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun c ->
+              let len = Array.length c in
+              [| Array.sub c (len - (2 * half)) half; Array.sub c (len - half) half |])
+            chains))
+  in
+  gelman_rubin halves
+
+let pooled_effective_sample_size chains =
+  if Array.length chains = 0 then
+    invalid_arg "Statistics.pooled_effective_sample_size: need >= 1 chain";
+  Array.fold_left (fun acc c -> acc +. effective_sample_size c) 0.0 chains

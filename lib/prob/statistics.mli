@@ -79,3 +79,18 @@ val effective_sample_size : float array -> float
 val gelman_rubin : float array array -> float
 (** [gelman_rubin chains] is the potential-scale-reduction statistic
     R̂ over two or more equal-length chains. *)
+
+val split_gelman_rubin : float array array -> float
+(** [split_gelman_rubin chains] is split-R̂: each chain's most recent
+    [2⌊n/2⌋] samples are split in half and classic {!gelman_rubin} is
+    computed over the 2m half-chains. Splitting additionally detects
+    within-chain drift (a chain still wandering toward the mode shows
+    R̂ ≫ 1 even if chain means agree) and is well-defined for a single
+    chain. Chains may have unequal lengths — the shortest decides the
+    window, and each chain contributes its most recent samples. Raises
+    [Invalid_argument] on an empty chain list or when the shortest
+    chain has fewer than 4 samples. *)
+
+val pooled_effective_sample_size : float array array -> float
+(** Sum of {!effective_sample_size} over independently-run chains —
+    the ensemble's total budget of effectively independent draws. *)

@@ -146,3 +146,86 @@ let inject ?(modes = all_modes) ?per_mode rng csv =
       Buffer.add_char buf '\n')
     !data;
   (Buffer.contents buf, List.rev !applied)
+
+(* --- chain-level fault injection ---------------------------------- *)
+
+module Store = Qnet_core.Event_store
+
+type chain_fault_kind =
+  | Chain_stall of float
+  | Chain_crash
+  | Chain_corrupt_latent
+
+type chain_fault = { chain : int; at_iteration : int; kind : chain_fault_kind }
+
+exception Injected_crash of { chain : int; iteration : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash { chain; iteration } ->
+        Some
+          (Printf.sprintf "Fault.Injected_crash(chain %d, iteration %d)" chain
+             iteration)
+    | _ -> None)
+
+let chain_fault_label f =
+  let kind =
+    match f.kind with
+    | Chain_stall s -> Printf.sprintf "stall(%.3gs)" s
+    | Chain_crash -> "crash"
+    | Chain_corrupt_latent -> "corrupt-latent"
+  in
+  Printf.sprintf "chain %d: %s @ iteration %d" f.chain kind f.at_iteration
+
+let corrupt_one_latent store =
+  let u = Store.unobserved_events store in
+  if Array.length u = 0 then false
+  else begin
+    (* Event_store.set_departure refuses NaN by design, so corrupt the
+       state the way real memory corruption would: through a snapshot,
+       which asks no one's permission. *)
+    let s = Store.snapshot store in
+    s.Store.s_departure.(u.(Array.length u / 2)) <- nan;
+    Store.restore store s;
+    true
+  end
+
+let parse_chain_fault spec =
+  (* CHAIN:KIND[=ARG]@ITERATION, e.g. "1:stall@5", "2:crash@8",
+     "0:stall=0.4@3", "3:corrupt@6" *)
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad chain-fault spec %S (want CHAIN:KIND[=ARG]@ITER with KIND one of \
+          stall, crash, corrupt)"
+         spec)
+  in
+  match String.index_opt spec ':' with
+  | None -> fail ()
+  | Some colon -> (
+      let chain_s = String.sub spec 0 colon in
+      let rest = String.sub spec (colon + 1) (String.length spec - colon - 1) in
+      match String.index_opt rest '@' with
+      | None -> fail ()
+      | Some at -> (
+          let kind_s = String.sub rest 0 at in
+          let iter_s = String.sub rest (at + 1) (String.length rest - at - 1) in
+          let kind_s, arg =
+            match String.index_opt kind_s '=' with
+            | None -> (kind_s, None)
+            | Some eq ->
+                ( String.sub kind_s 0 eq,
+                  float_of_string_opt
+                    (String.sub kind_s (eq + 1) (String.length kind_s - eq - 1)) )
+          in
+          match (int_of_string_opt chain_s, int_of_string_opt iter_s) with
+          | Some chain, Some at_iteration when chain >= 0 && at_iteration >= 0 -> (
+              match (kind_s, arg) with
+              | "stall", None -> Ok { chain; at_iteration; kind = Chain_stall 0.25 }
+              | "stall", Some s when s > 0.0 && Float.is_finite s ->
+                  Ok { chain; at_iteration; kind = Chain_stall s }
+              | "crash", None -> Ok { chain; at_iteration; kind = Chain_crash }
+              | "corrupt", None ->
+                  Ok { chain; at_iteration; kind = Chain_corrupt_latent }
+              | _ -> fail ())
+          | _ -> fail ()))

@@ -31,3 +31,40 @@ val inject :
     number of corruptions actually applied per mode (a mode can fall
     short when no line is eligible — e.g. no non-initial line for
     [Clock_skew]). The header line is never touched. *)
+
+(** {1 Chain-level fault injection}
+
+    Deterministic injections for the multi-chain supervisor
+    ({!Supervisor}): instead of corrupting the {e input} trace, these
+    faults hit a {e running} chain at a chosen iteration, exercising
+    the watchdog (stall), crash recovery (crash), and divergence
+    quarantine (latent corruption) paths. Each fault fires at most
+    once: a chain restarted from its last good checkpoint re-runs the
+    faulted iteration cleanly, which is exactly the recovery being
+    tested. *)
+
+type chain_fault_kind =
+  | Chain_stall of float
+      (** the chain sleeps this many seconds mid-iteration — a stuck
+          sweep from the watchdog's point of view *)
+  | Chain_crash  (** raises {!Injected_crash} mid-iteration *)
+  | Chain_corrupt_latent
+      (** overwrites one unobserved departure with NaN after the
+          M-step, the way real memory corruption would — caught by
+          {!Health.check} at the next barrier *)
+
+type chain_fault = { chain : int; at_iteration : int; kind : chain_fault_kind }
+
+exception Injected_crash of { chain : int; iteration : int }
+
+val chain_fault_label : chain_fault -> string
+
+val corrupt_one_latent : Qnet_core.Event_store.t -> bool
+(** Set the middle unobserved departure to NaN (via snapshot/restore,
+    bypassing [set_departure]'s NaN guard the way real corruption
+    does). Returns [false] when the store has no latent events. *)
+
+val parse_chain_fault : string -> (chain_fault, string) result
+(** Parse a [CHAIN:KIND[=ARG]@ITER] spec as accepted by
+    [qnet_infer --chain-fault]: ["1:stall@5"] (default 0.25 s),
+    ["1:stall=0.4@5"], ["2:crash@8"], ["3:corrupt@6"]. *)

@@ -9,9 +9,12 @@ type violation =
   | Chain_leak of int * int
   | Nonfinite_log_likelihood of float
   | Degenerate_rate of int * float
+  | Sample_loss of int * int
 
 let pp_violation ppf = function
   | Nan_latent i -> Format.fprintf ppf "nan-latent(%d)" i
+  | Sample_loss (skipped, kept) ->
+      Format.fprintf ppf "sample-loss(%d skipped / %d kept)" skipped kept
   | Negative_service (i, s) -> Format.fprintf ppf "negative-service(%d: %.3g)" i s
   | Departure_before_arrival i ->
       Format.fprintf ppf "departure-before-arrival(%d)" i
@@ -77,3 +80,8 @@ let check ?(tol = 1e-9) ?(max_rate = 1e12) store params =
     if not (Float.is_finite llh) then push (Nonfinite_log_likelihood llh)
   end;
   List.rev !acc
+
+let of_accumulator w =
+  let skipped = Qnet_prob.Statistics.Welford.skipped w in
+  if skipped > 0 then [ Sample_loss (skipped, Qnet_prob.Statistics.Welford.count w) ]
+  else []

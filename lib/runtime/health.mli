@@ -21,6 +21,14 @@ type violation =
   | Degenerate_rate of int * float
       (** (queue, rate): non-positive, non-finite, or collapsed beyond
           [max_rate] — the runaway-MLE failure mode *)
+  | Sample_loss of int * int
+      (** (skipped, kept): a streaming accumulator silently dropped
+          NaN samples. {!Qnet_prob.Statistics.Welford} skips NaN
+          inputs so one corrupt draw does not poison a long run's
+          moments — but each skip is data loss, and a chain that loses
+          samples without anyone noticing reports moments over a
+          different (censored) sample than it claims. Produced by
+          {!of_accumulator}, not by {!check}. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -43,3 +51,10 @@ val check :
     any physical service time is a collapse, not an estimate. The
     check never raises and never consumes randomness, so it can run
     inside a reproducible sampling loop. *)
+
+val of_accumulator : Qnet_prob.Statistics.Welford.t -> violation list
+(** [of_accumulator w] is [[Sample_loss (skipped, kept)]] when the
+    accumulator has dropped NaN inputs, [[]] otherwise — the bridge
+    that makes {!Qnet_prob.Statistics.Welford}'s silent NaN-skip
+    accounting visible in health verdicts (the multi-chain supervisor
+    attaches it to each chain's report). *)

@@ -1,0 +1,143 @@
+(** Supervised multi-chain stochastic-EM inference.
+
+    {!run} executes N independent StEM chains on OCaml 5 domains and
+    babysits them from the main domain: every chain beats a
+    {!Watchdog.Heartbeat} once per sweep, a watchdog enforces a
+    per-sweep deadline, a cross-chain monitor computes split-R̂ /
+    effective sample size over the pooled iterates, and chains that
+    crash, stall, fail a {!Health} check, or diverge from the ensemble
+    are quarantined and restarted from their last good {!Checkpoint}
+    with re-jittered latents. When a chain exhausts its restart budget
+    the supervisor degrades gracefully to the surviving chains; the
+    final estimate pools whatever quorum remains and reports a
+    per-chain verdict either way.
+
+    {b Execution model.} Chains advance in {e rounds} of
+    [round_iterations] StEM iterations. Each round the supervisor
+    spawns one domain per active chain, polls heartbeats while they
+    run, and joins them at a barrier where all control decisions
+    happen: health checks, checkpoint capture, crash/stall recovery,
+    divergence quarantine. Putting every decision at a deterministic
+    barrier (rather than in racing signal handlers) means a run with a
+    fixed seed and no faults makes identical decisions every time, and
+    unfaulted chains are bit-for-bit reproducible even when sibling
+    chains are being killed and restarted around them — each chain
+    owns a private store and a private RNG stream derived from
+    [seed + 7919·chain] (the {!Qnet_core.Stem.run_chains} convention).
+
+    {b Stalls.} An OCaml domain cannot be preempted. A stalled chain
+    is cancelled cooperatively (a flag it checks at each iteration
+    boundary); one that never reaches a boundary is abandoned after
+    [stall_grace] seconds and its domain deliberately leaked — the
+    price of never blocking the healthy majority on a zombie. *)
+
+type config = {
+  chains : int;  (** number of independent chains (default 4) *)
+  min_chains : int;
+      (** quorum: healthy chains required for a {!Quorum} verdict
+          (default 2) *)
+  stem : Qnet_core.Stem.config;  (** per-chain StEM configuration *)
+  round_iterations : int;
+      (** iterations per supervision round — the granularity of
+          checkpoints, health checks and divergence tests (default 10) *)
+  sweep_deadline : float;
+      (** watchdog deadline in seconds between heartbeats; a chain
+          quieter than this is stalled (default 5.0) *)
+  poll_interval : float;
+      (** supervisor heartbeat-polling period in seconds
+          (default 0.005) *)
+  stall_grace : float;
+      (** seconds a stalled chain may ignore cancellation before its
+          domain is abandoned (default 2.0) *)
+  max_restarts : int;
+      (** per-chain restart budget; the next failure is terminal
+          (default 2) *)
+  rhat_threshold : float;
+      (** divergence gate: the outlier hunt only runs when the maximal
+          split-R̂ over service queues exceeds this (default 1.2) *)
+  ks_threshold : float;
+      (** a chain is quarantined as the outlier only when its KS
+          distance against the pooled rest exceeds this (default 0.7) *)
+}
+
+val default_config : config
+
+type chain_status =
+  | Healthy
+  | Quarantined of string
+      (** excluded from the pooled estimate (diverged or failed a
+          health check) after exhausting its restart budget *)
+  | Dead of string
+      (** crashed or stalled beyond recovery; the string is the cause *)
+
+type chain_verdict = {
+  chain : int;
+  status : chain_status;
+  iterations_done : int;
+  restarts : int;
+  heartbeats : int;  (** total sweeps the watchdog saw from this chain *)
+  violations : Health.violation list;
+      (** residual accumulator violations — notably
+          [Health.Sample_loss] when the chain's Welford moments
+          silently dropped NaN samples that survived to the end *)
+  incidents : (int * string) list;
+      (** (iteration, cause) log of everything that went wrong, oldest
+          first — including incidents later repaired by a restart *)
+}
+
+type ensemble_status =
+  | Quorum  (** at least [min_chains] chains finished healthy *)
+  | Degraded
+      (** fewer than [min_chains] but at least one healthy chain; the
+          estimate stands on thinner evidence *)
+  | Failed  (** no healthy chain; the result is a best-effort salvage *)
+
+type result = {
+  params : Qnet_core.Params.t;
+      (** pooled post-burn-in estimate over contributing chains *)
+  mean_service : float array;  (** pooled [1/μ̂_q] per queue *)
+  rhat : float array;
+      (** per-queue split-R̂ across healthy chains ([nan] when fewer
+          than one usable chain). The arrival queue's entry inherits
+          the {!Qnet_core.Stem.run_chains} caveat: its within-chain
+          variance is nearly zero, so its R̂ is inflated and not used
+          for divergence decisions. *)
+  ess : float array;
+      (** pooled effective sample size per queue ([nan] when unusable) *)
+  healthy_chains : int;
+  status : ensemble_status;
+  verdicts : chain_verdict array;  (** indexed by chain *)
+  wall_seconds : float;
+}
+
+val pp_chain_status : Format.formatter -> chain_status -> unit
+val pp_ensemble_status : Format.formatter -> ensemble_status -> unit
+val pp_verdict : Format.formatter -> chain_verdict -> unit
+
+val pp_result : Format.formatter -> result -> unit
+(** Multi-line report: ensemble status line, one verdict line per
+    chain, pooled diagnostics. *)
+
+val ks_outlier_scores : float array array -> float array
+(** [ks_outlier_scores chains] scores each chain's draws by their
+    two-sample KS distance against the concatenation of every other
+    chain — the statistic the divergence monitor thresholds with
+    [ks_threshold]. Raises [Invalid_argument] with fewer than two
+    chains. Exposed for testing and external monitors. *)
+
+val run :
+  ?config:config ->
+  ?init:Qnet_core.Params.t ->
+  ?faults:Fault.chain_fault list ->
+  seed:int ->
+  (unit -> Qnet_core.Event_store.t) ->
+  result
+(** [run ~seed make_store] supervises [config.chains] StEM chains,
+    each on a fresh store from [make_store] (stores must be
+    independent values — they are mutated concurrently). [init]
+    overrides the data-driven {!Qnet_core.Stem.initial_guess} anchor.
+    [faults] injects deterministic chain-level faults (each fires at
+    most once, so a restarted chain re-runs the faulted iteration
+    cleanly). Never raises on chain failure — failures are reported in
+    the verdicts; raises [Invalid_argument] only for a malformed
+    config or a fault naming a chain out of range. *)

@@ -1,0 +1,70 @@
+(** Heartbeat monitoring for inference chains running on OCaml 5
+    domains.
+
+    Each chain owns a {!Heartbeat.t} and beats it once per Gibbs sweep
+    (and once per warmup sweep); the supervisor's watchdog polls all
+    heartbeats against a per-sweep deadline from the main domain. A
+    chain whose last beat is older than the deadline is {e stalled}:
+    the watchdog cannot preempt an OCaml domain, so the verdict's job
+    is to (a) flag the chain so its samples are excluded from the
+    pooled estimate, and (b) trigger the supervisor's cooperative
+    cancellation, which a chain honours at its next iteration
+    boundary. A chain stuck {e inside} a single Gibbs move never
+    reaches that boundary — the supervisor abandons it after a grace
+    period and degrades to fewer chains.
+
+    Heartbeats are single-writer (the chain) / single-reader (the
+    supervisor) atomics; beating and polling are lock-free, never
+    raise, and consume no randomness. *)
+
+module Heartbeat : sig
+  type t
+
+  val create : unit -> t
+
+  val arm : t -> now:float -> unit
+  (** Start (or restart) the deadline clock — called by the supervisor
+      just before the chain's domain is spawned, so a chain that never
+      manages a single beat still times out. Also clears the done
+      flag. *)
+
+  val beat : t -> now:float -> sweep:int -> unit
+  (** Record liveness at sweep [sweep]. *)
+
+  val mark_done : t -> unit
+  (** The chain finished its round (normally or by catching its own
+      crash); the watchdog stops judging it. *)
+
+  val is_done : t -> bool
+
+  val last : t -> float * int
+  (** Time and sweep index of the most recent beat (arm time and the
+      armed sweep if the chain has not beaten since {!arm}). *)
+
+  val beats : t -> int
+  (** Total beats over the heartbeat's lifetime (survives {!arm}). *)
+end
+
+type verdict =
+  | Done  (** round finished; not subject to the deadline *)
+  | Alive of float  (** seconds since the last beat, within deadline *)
+  | Stalled of float  (** seconds since the last beat, beyond deadline *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type t
+
+val create : deadline:float -> Heartbeat.t array -> t
+(** [create ~deadline hbs] watches [hbs] with a per-sweep deadline of
+    [deadline] seconds. Raises [Invalid_argument] unless [deadline] is
+    finite and positive. *)
+
+val deadline : t -> float
+
+val poll : now:float -> t -> verdict array
+(** Judge every heartbeat at time [now]: done chains are [Done], the
+    rest [Alive age] or [Stalled age] by comparing the age of their
+    last beat against the deadline. *)
+
+val stalled : now:float -> t -> int list
+(** Indices of chains currently [Stalled], ascending. *)

@@ -509,6 +509,78 @@ let test_parallel_single_domain () =
   | Ok () -> ()
   | Error m -> Alcotest.fail m
 
+(* a non-initial event that can legally be re-homed to another queue *)
+let movable_event store =
+  let q0 = Store.arrival_queue store in
+  let nq = Store.num_queues store in
+  let found = ref None in
+  for i = 0 to Store.num_events store - 1 do
+    if !found = None && Store.queue store i <> q0 then begin
+      let target = ref (-1) in
+      for q = 0 to nq - 1 do
+        if !target < 0 && q <> q0 && q <> Store.queue store i then target := q
+      done;
+      if !target >= 0 then found := Some (i, !target)
+    end
+  done;
+  match !found with Some x -> x | None -> Alcotest.fail "no movable event"
+
+let test_stale_plan_fails_fast () =
+  let store, params = parallel_fixture ~seed:638 ~tasks:120 ~frac:0.2 in
+  let t = Parallel_gibbs.plan ~num_domains:2 store in
+  Alcotest.(check bool) "fresh plan" false (Parallel_gibbs.is_stale t store);
+  let gen0 = Store.generation store in
+  let i, q' = movable_event store in
+  Store.move_event store i ~queue:q';
+  Alcotest.(check bool) "move bumps generation" true (Store.generation store > gen0);
+  Alcotest.(check bool) "plan now stale" true (Parallel_gibbs.is_stale t store);
+  let rng = Rng.create ~seed:639 () in
+  (match Parallel_gibbs.sweep rng t store params with
+  | () -> Alcotest.fail "sweep on a stale plan must raise"
+  | exception Invalid_argument _ -> ());
+  (match Parallel_gibbs.run ~sweeps:1 rng t store params with
+  | () -> Alcotest.fail "run on a stale plan must raise"
+  | exception Invalid_argument _ -> ());
+  (* refresh replans against the rearranged structure *)
+  let t' = Parallel_gibbs.refresh t store in
+  Alcotest.(check bool) "refreshed plan valid" false (Parallel_gibbs.is_stale t' store);
+  Alcotest.(check int) "domains preserved" (Parallel_gibbs.num_domains t)
+    (Parallel_gibbs.num_domains t');
+  Alcotest.(check bool) "refresh of a fresh plan is the identity" true
+    (Parallel_gibbs.refresh t' store == t')
+
+let test_departure_only_restore_keeps_plan () =
+  let store, params = parallel_fixture ~seed:640 ~tasks:120 ~frac:0.2 in
+  let t = Parallel_gibbs.plan ~num_domains:2 store in
+  let snap = Store.snapshot store in
+  let rng = Rng.create ~seed:641 () in
+  Parallel_gibbs.sweep rng t store params;
+  (* rollback that only rewinds departures must not invalidate *)
+  Store.restore store snap;
+  Alcotest.(check bool) "plan survives departure-only restore" false
+    (Parallel_gibbs.is_stale t store);
+  Parallel_gibbs.sweep rng t store params
+
+let test_structural_restore_invalidates_plan () =
+  let store, params = parallel_fixture ~seed:642 ~tasks:120 ~frac:0.2 in
+  let snap = Store.snapshot store in
+  let i, q' = movable_event store in
+  Store.move_event store i ~queue:q';
+  let t = Parallel_gibbs.plan ~num_domains:2 store in
+  (* restoring the pre-move structure rearranges the chains again *)
+  Store.restore store snap;
+  Alcotest.(check bool) "plan stale after structural restore" true
+    (Parallel_gibbs.is_stale t store);
+  let rng = Rng.create ~seed:643 () in
+  (match Parallel_gibbs.sweep rng t store params with
+  | () -> Alcotest.fail "sweep must refuse the stale plan"
+  | exception Invalid_argument _ -> ());
+  let t' = Parallel_gibbs.refresh t store in
+  Parallel_gibbs.sweep rng t' store params;
+  match Store.validate store with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "refreshed sweep broke feasibility: %s" m
+
 let () =
   Alcotest.run "qnet_extensions"
     [
@@ -552,6 +624,11 @@ let () =
           Alcotest.test_case "matches serial statistics" `Slow
             test_parallel_matches_serial_statistics;
           Alcotest.test_case "single domain" `Quick test_parallel_single_domain;
+          Alcotest.test_case "stale plan fails fast" `Quick test_stale_plan_fails_fast;
+          Alcotest.test_case "departure-only restore keeps plan" `Quick
+            test_departure_only_restore_keeps_plan;
+          Alcotest.test_case "structural restore invalidates" `Quick
+            test_structural_restore_invalidates_plan;
         ] );
       ( "bayes",
         [

@@ -116,6 +116,67 @@ let test_codec_rejects_corruption () =
   Bytes.set bad_magic 0 'X';
   expect_error "bad magic" (Bytes.to_string bad_magic)
 
+(* Patch the version word of an encoded checkpoint and recompute the
+   trailing FNV-1a checksum, so the reader's version check — not the
+   checksum — must reject it. *)
+let patch_version delta good =
+  let payload = Bytes.of_string (String.sub good 0 (String.length good - 8)) in
+  let v = Bytes.get_int64_le payload 8 in
+  Bytes.set_int64_le payload 8 (Int64.add v (Int64.of_int delta));
+  let h = ref 0xCBF29CE484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    payload;
+  let out = Buffer.create (String.length good) in
+  Buffer.add_bytes out payload;
+  Buffer.add_int64_le out !h;
+  Buffer.contents out
+
+let test_codec_rejects_future_version () =
+  let good = Checkpoint.to_bytes (make_checkpoint ()) in
+  match Checkpoint.of_bytes (patch_version 1 good) with
+  | Error m ->
+      let mentions_version =
+        let nh = String.length m and needle = "version" in
+        let nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub m i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the version" true mentions_version
+  | Ok _ -> Alcotest.fail "checkpoint from the future accepted"
+
+let test_load_truncated_file () =
+  let ck = make_checkpoint () in
+  let path = Filename.temp_file "qnet_test_trunc" ".ckpt" in
+  Checkpoint.save ~path ck;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  List.iter
+    (fun keep ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 keep));
+      match Checkpoint.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "file truncated to %d bytes accepted" keep)
+    [ 0; 4; String.length full / 3; String.length full - 1 ];
+  Sys.remove path
+
+(* Decoding must be total: garbage and mutated checkpoints produce
+   [Error], never an exception (or worse). *)
+let test_codec_never_raises () =
+  let rng = Rng.create ~seed:99 () in
+  let good = Checkpoint.to_bytes (make_checkpoint ()) in
+  for _ = 1 to 200 do
+    let len = Rng.int rng 200 in
+    let garbage = String.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    (match Checkpoint.of_bytes garbage with Ok _ | Error _ -> ());
+    let mutated = Bytes.of_string good in
+    let pos = Rng.int rng (Bytes.length mutated) in
+    Bytes.set mutated pos (Char.chr (Rng.int rng 256));
+    match Checkpoint.of_bytes (Bytes.to_string mutated) with
+    | Ok _ | Error _ -> ()
+  done
+
 let test_save_load_file () =
   let ck = make_checkpoint () in
   let path = Filename.temp_file "qnet_test" ".ckpt" in
@@ -462,6 +523,10 @@ let () =
         [
           Alcotest.test_case "codec round trip" `Quick test_codec_round_trip;
           Alcotest.test_case "rejects corruption" `Quick test_codec_rejects_corruption;
+          Alcotest.test_case "rejects future version" `Quick
+            test_codec_rejects_future_version;
+          Alcotest.test_case "rejects truncated file" `Quick test_load_truncated_file;
+          Alcotest.test_case "decode is total" `Quick test_codec_never_raises;
           Alcotest.test_case "save/load file" `Quick test_save_load_file;
         ] );
       ( "resume",
