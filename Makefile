@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test verify verify-supervised demo supervised-demo clean
+.PHONY: all build test verify verify-supervised verify-obs demo supervised-demo bench-obs clean
 
 all: build
 
@@ -51,6 +51,51 @@ supervised-demo:
 	grep -q "status: quorum" _demo_supervised/report.txt
 	@echo "supervised-demo: quorum reached under injected stall+crash"
 
+# Observability verification: an instrumented supervised run with an
+# injected stall, scraped live over HTTP while it executes. Checks
+# that (1) the final metrics snapshot carries the sampler, supervisor
+# and watchdog families with nonzero restart/stall counters, (2) a
+# mid-run curl of /metrics succeeds, and (3) summarize-trace accounts
+# for >=90% of the run's wall time.
+verify-obs: build test
+	rm -rf _demo_obs
+	mkdir -p _demo_obs
+	dune exec bin/qnet_sim.exe -- -t tandem --lambda 10 --mu 14 -n 300 --seed 5 -o _demo_obs/trace.csv
+	dune exec bin/qnet_infer.exe -- _demo_obs/trace.csv -q 3 -f 0.4 \
+	  --iterations 60 --chains 4 --min-chains 2 --sweep-deadline-ms 200 \
+	  --chain-fault 1:stall=0.5@5 \
+	  --metrics-out _demo_obs/metrics.prom --trace-out _demo_obs/spans.jsonl \
+	  --log-level info --serve-metrics 0 --serve-metrics-linger 6 \
+	  > _demo_obs/report.txt 2> _demo_obs/stderr.log & \
+	INFER_PID=$$!; \
+	PORT=; for i in $$(seq 1 100); do \
+	  PORT=$$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' _demo_obs/stderr.log 2>/dev/null | head -1); \
+	  [ -n "$$PORT" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$PORT" ] || { echo "verify-obs: FAIL (metrics endpoint never announced)"; kill $$INFER_PID 2>/dev/null; exit 1; }; \
+	SCRAPED=; for i in $$(seq 1 100); do \
+	  if curl -sf "http://127.0.0.1:$$PORT/metrics" -o _demo_obs/live_scrape.prom; then SCRAPED=1; break; fi; \
+	  sleep 0.1; \
+	done; \
+	curl -sf "http://127.0.0.1:$$PORT/healthz" > _demo_obs/healthz.txt || true; \
+	wait $$INFER_PID; \
+	[ -n "$$SCRAPED" ] || { echo "verify-obs: FAIL (could not scrape /metrics)"; exit 1; }
+	grep -q '^qnet_' _demo_obs/live_scrape.prom
+	grep -q '# TYPE qnet_gibbs_sweep_seconds histogram' _demo_obs/metrics.prom
+	grep -q '# TYPE qnet_supervisor_checkpoint_seconds histogram' _demo_obs/metrics.prom
+	grep -q '# TYPE qnet_supervisor_quarantines_total counter' _demo_obs/metrics.prom
+	grep -q 'qnet_chain_heartbeat_age_seconds{chain="1"}' _demo_obs/metrics.prom
+	grep -Eq '^qnet_supervisor_restarts_total [1-9]' _demo_obs/metrics.prom
+	grep -Eq '^qnet_supervisor_watchdog_stalls_total [1-9]' _demo_obs/metrics.prom
+	dune exec bin/qnet_trace_tool.exe -- summarize-trace _demo_obs/spans.jsonl \
+	  | tee _demo_obs/trace_summary.txt
+	grep -Eq 'root coverage (9[0-9]|100)' _demo_obs/trace_summary.txt
+	@echo "verify-obs: live scrape, metric families and trace coverage all check out"
+
+# Telemetry overhead benchmark; writes BENCH_obs.json at the repo root.
+bench-obs:
+	dune exec bench/obs_overhead.exe
+
 clean:
 	dune clean
-	rm -rf _demo _demo_supervised
+	rm -rf _demo _demo_supervised _demo_obs

@@ -1,0 +1,93 @@
+(* Telemetry overhead benchmark: Gibbs sweep throughput with the
+   instrumentation (a) compiled in but disabled — the default for
+   every run that passes no telemetry flag, contractually within 5% of
+   the uninstrumented seed because the disabled path is the seed path
+   behind one atomic load — (b) with the metrics registry enabled, and
+   (c) with metrics and span tracing enabled.
+
+   Writes BENCH_obs.json at the repo root (or the path given as
+   argv(1)) and prints the same numbers as a table.
+
+   Run with: dune exec bench/obs_overhead.exe *)
+
+module Rng = Qnet_prob.Rng
+module Topologies = Qnet_des.Topologies
+module Network = Qnet_des.Network
+module Obs = Qnet_core.Observation
+module Store = Qnet_core.Event_store
+module Params = Qnet_core.Params
+module Gibbs = Qnet_core.Gibbs
+module Init = Qnet_core.Init
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+
+let fixture () =
+  let net =
+    Topologies.three_tier ~arrival_rate:10.0 ~tier_sizes:(1, 2, 4)
+      ~service_rate:5.0 ()
+  in
+  let trace =
+    Network.simulate_poisson (Rng.create ~seed:1001 ()) net ~num_tasks:300
+  in
+  let mask = Obs.mask (Rng.create ~seed:1002 ()) (Obs.Task_fraction 0.05) trace in
+  let store = Store.of_trace ~observed:mask trace in
+  let params = Params.of_network net in
+  (match Init.feasible ~target:params store with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  (store, params)
+
+(* Median-of-repeats sweep rate, so one noisy repeat (GC, scheduler)
+   cannot fake an overhead regression either way. *)
+let sweep_rate ~repeats ~sweeps store params =
+  let rng = Rng.create ~seed:42 () in
+  let rates =
+    Array.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to sweeps do
+          Gibbs.sweep ~shuffle:false rng store params
+        done;
+        float_of_int sweeps /. (Unix.gettimeofday () -. t0))
+  in
+  Array.sort compare rates;
+  rates.(repeats / 2)
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_obs.json" in
+  let store, params = fixture () in
+  let events = Array.length (Store.unobserved_events store) in
+  let repeats = 7 and sweeps = 60 in
+  (* warmup: fault in code paths, warm the allocator *)
+  ignore (sweep_rate ~repeats:1 ~sweeps:20 store params);
+
+  Metrics.set_enabled false;
+  Span.disable ();
+  let disabled = sweep_rate ~repeats ~sweeps store params in
+
+  Metrics.set_enabled true;
+  let metrics_on = sweep_rate ~repeats ~sweeps store params in
+
+  Span.enable ~capacity:(1 lsl 16) ();
+  let tracing_on = sweep_rate ~repeats ~sweeps store params in
+  ignore (Span.drain ());
+  Span.disable ();
+  Metrics.set_enabled false;
+
+  let pct base x = 100.0 *. (base -. x) /. base in
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"obs_overhead\",\"store_events\":%d,\"sweeps_per_repeat\":%d,\"repeats\":%d,\"sweep_rate_per_s\":{\"telemetry_disabled\":%.2f,\"metrics_enabled\":%.2f,\"metrics_and_tracing\":%.2f},\"overhead_pct_vs_disabled\":{\"metrics_enabled\":%.2f,\"metrics_and_tracing\":%.2f},\"budget\":{\"disabled_vs_seed_pct_max\":5.0,\"note\":\"the disabled path is the seed code behind one atomic load per sweep/event site\"}}\n"
+      events sweeps repeats disabled metrics_on tracing_on
+      (pct disabled metrics_on) (pct disabled tracing_on)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "gibbs sweep throughput (%d unobserved events, median of %d):\n"
+    events repeats;
+  Printf.printf "  telemetry disabled   %8.1f sweeps/s\n" disabled;
+  Printf.printf "  metrics enabled      %8.1f sweeps/s  (%+.1f%% vs disabled)\n"
+    metrics_on (-.pct disabled metrics_on);
+  Printf.printf "  metrics + tracing    %8.1f sweeps/s  (%+.1f%% vs disabled)\n"
+    tracing_on (-.pct disabled tracing_on);
+  Printf.printf "-> %s\n" out

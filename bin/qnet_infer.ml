@@ -10,7 +10,17 @@
    killed run up bit-for-bit where it stopped, and --lenient ingests
    dirty trace files (duplicates, truncated lines, NaN fields, clock
    skew) by skipping and reporting the corrupt records instead of
-   refusing the file. *)
+   refusing the file.
+
+   Production runs are also observable runs: --metrics-out snapshots
+   the telemetry registry (Prometheus text, or JSONL for *.json[l] and
+   "-"), --trace-out writes the span log as JSONL (feed it to
+   `qnet_trace_tool summarize-trace`), --serve-metrics exposes
+   /metrics over HTTP while the run executes, and --log-level turns on
+   the supervisor's lifecycle log. All progress chatter goes to
+   stderr; --quiet silences it (and the report tables) so stdout can
+   carry piped JSONL unpolluted. Every failure exits through one path
+   with a `qnet-infer: error:` prefix. *)
 
 open Cmdliner
 module Rng = Qnet_prob.Rng
@@ -23,16 +33,32 @@ module Localization = Qnet_core.Localization
 module Runtime = Qnet_runtime.Runtime
 module Fault = Qnet_runtime.Fault
 module Supervisor = Qnet_runtime.Supervisor
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+module Metrics_server = Qnet_webapp.Metrics_server
+
+(* Progress chatter goes to stderr (never corrupts piped stdout);
+   report tables go to stdout. --quiet silences both, leaving stdout
+   to --metrics-out/--trace-out "-" streams and stderr to errors. *)
+let quiet_flag = ref false
+
+let chat fmt =
+  if !quiet_flag then Format.ifprintf Format.err_formatter fmt
+  else Format.eprintf fmt
+
+let say fmt =
+  if !quiet_flag then Format.ifprintf Format.std_formatter fmt
+  else Format.printf fmt
 
 let load_trace ~lenient ~num_queues input =
   if lenient then begin
     match Trace.load_lenient ~num_queues input with
     | Error m -> Error (Printf.sprintf "cannot load %s: %s" input m)
     | Ok (Error report) ->
-        Format.printf "%a" Trace.pp_ingest_report report;
+        chat "%a" Trace.pp_ingest_report report;
         Error (Printf.sprintf "no usable events survive lenient ingestion of %s" input)
     | Ok (Ok (trace, report)) ->
-        if report.Trace.errors <> [] then Format.printf "%a" Trace.pp_ingest_report report;
+        if report.Trace.errors <> [] then chat "%a" Trace.pp_ingest_report report;
         Ok trace
   end
   else
@@ -45,16 +71,16 @@ let load_trace ~lenient ~num_queues input =
 let print_estimates ~num_queues ~mean_service ~waiting ~intervals =
   match intervals with
   | None ->
-      Printf.printf "\n%-8s %12s %12s\n" "queue" "mean-serv" "mean-wait";
+      say "@\n%-8s %12s %12s@\n" "queue" "mean-serv" "mean-wait";
       for q = 0 to num_queues - 1 do
-        Printf.printf "%-8d %12.5f %12.5f\n" q mean_service.(q) waiting.(q)
+        say "%-8d %12.5f %12.5f@\n" q mean_service.(q) waiting.(q)
       done
   | Some ci ->
-      Printf.printf "\n%-8s %12s %24s %12s\n" "queue" "mean-serv" "90%-credible"
+      say "@\n%-8s %12s %24s %12s@\n" "queue" "mean-serv" "90%%-credible"
         "mean-wait";
       for q = 0 to num_queues - 1 do
         let lo, hi = ci.(q) in
-        Printf.printf "%-8d %12.5f [%10.5f,%10.5f] %12.5f\n" q mean_service.(q) lo hi
+        say "%-8d %12.5f [%10.5f,%10.5f] %12.5f@\n" q mean_service.(q) lo hi
           waiting.(q)
       done
 
@@ -65,7 +91,102 @@ let rec parse_chain_faults = function
       | Error m -> Error (Printf.sprintf "bad --chain-fault %S: %s" s m)
       | Ok f -> Result.map (fun fs -> f :: fs) (parse_chain_faults rest))
 
-let run input num_queues fraction iterations seed bayes lenient checkpoint_every
+let parse_log_level = function
+  | "quiet" | "none" -> Ok None
+  | "error" -> Ok (Some Logs.Error)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | s ->
+      Error
+        (Printf.sprintf
+           "bad --log-level %S: expected quiet, error, warning, info or debug" s)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing around the inference itself.                     *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path data =
+  try
+    if path = "-" then (print_string data; flush stdout; Ok ())
+    else begin
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
+      Ok ()
+    end
+  with Sys_error m -> Error (Printf.sprintf "cannot write %s: %s" path m)
+
+let write_metrics_snapshot path =
+  let data =
+    if
+      path = "-"
+      || Filename.check_suffix path ".json"
+      || Filename.check_suffix path ".jsonl"
+    then Metrics.to_jsonl ~ts:(Unix.gettimeofday ()) Metrics.default
+    else Metrics.to_prometheus Metrics.default
+  in
+  write_file path data
+
+let write_span_log path =
+  let spans = Span.drain () in
+  let dropped = Span.dropped () in
+  if dropped > 0 then
+    chat "note: span ring overflowed; %d oldest span(s) dropped@." dropped;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Span.to_json s);
+      Buffer.add_char buf '\n')
+    spans;
+  write_file path (Buffer.contents buf)
+
+(* Combine the inference outcome with the telemetry writes: telemetry
+   is flushed even when inference fails (a failed run is exactly the
+   one you want a trace of), and a telemetry write failure surfaces as
+   the run's error rather than vanishing. *)
+let with_telemetry ~metrics_out ~trace_out ~serve_metrics ~serve_linger f =
+  if metrics_out <> None || serve_metrics <> None then Metrics.set_enabled true;
+  if trace_out <> None then Span.enable ();
+  let server =
+    match serve_metrics with
+    | None -> Ok None
+    | Some port -> (
+        match Metrics_server.start ~port () with
+        | Ok srv ->
+            chat "serving metrics on http://127.0.0.1:%d/metrics@."
+              (Metrics_server.port srv);
+            Ok (Some srv)
+        | Error m -> Error m)
+  in
+  match server with
+  | Error m -> Error m
+  | Ok server ->
+      let outcome = f () in
+      let flush_errors =
+        List.filter_map
+          (fun (path, write) -> match path with
+            | None -> None
+            | Some p -> (match write p with Ok () -> None | Error m -> Some m))
+          [ (metrics_out, write_metrics_snapshot); (trace_out, write_span_log) ]
+      in
+      (match server with
+      | Some srv ->
+          if serve_linger > 0.0 then begin
+            chat "metrics endpoint lingers %.1fs for scrapes@." serve_linger;
+            Unix.sleepf serve_linger
+          end;
+          Metrics_server.stop srv
+      | None -> ());
+      (match (outcome, flush_errors) with
+      | Error m, _ -> Error m
+      | Ok v, [] -> Ok v
+      | Ok _, m :: _ -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* The inference run.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let infer input num_queues fraction iterations seed bayes lenient checkpoint_every
     checkpoint resume max_retries budget_seconds chains min_chains
     sweep_deadline_ms chain_faults =
   match load_trace ~lenient ~num_queues input with
@@ -74,7 +195,7 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
       let rng = Rng.create ~seed () in
       let mask = Obs.mask rng (Obs.Task_fraction fraction) trace in
       let store = Store.of_trace ~observed:mask trace in
-      Printf.printf "loaded %d events (%d tasks, %d queues); observing %.1f%% of tasks\n%!"
+      chat "loaded %d events (%d tasks, %d queues); observing %.1f%% of tasks@."
         (Array.length trace.Trace.events)
         trace.Trace.num_tasks num_queues (100.0 *. fraction);
       let use_runtime = resume <> None || checkpoint_every > 0 in
@@ -99,8 +220,9 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
       let outcome =
         if bayes then begin
           if use_runtime then
-            prerr_endline
-              "note: --checkpoint/--resume apply to StEM runs; --bayes runs un-checkpointed";
+            chat
+              "note: --checkpoint/--resume apply to StEM runs; --bayes runs \
+               un-checkpointed@.";
           let config =
             { Bayes.default_config with Bayes.sweeps = 2 * iterations; burn_in = iterations }
           in
@@ -112,9 +234,9 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
         end
         else if chains > 1 then begin
           if use_runtime then
-            prerr_endline
+            chat
               "note: --checkpoint/--resume apply to single-chain runs; supervised \
-               chains checkpoint in memory at every round barrier";
+               chains checkpoint in memory at every round barrier@.";
           if sweep_deadline_ms <= 0.0 then Error "--sweep-deadline-ms must be positive"
           else
             match parse_chain_faults chain_faults with
@@ -138,7 +260,7 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
                 match Supervisor.run ~config ~faults ~seed make_store with
                 | exception Invalid_argument m -> Error m
                 | r ->
-                    Format.printf "%a@." Supervisor.pp_result r;
+                    say "%a@." Supervisor.pp_result r;
                     if r.Supervisor.status = Supervisor.Failed then
                       Error "supervised run failed: no healthy chains"
                     else begin
@@ -158,12 +280,12 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
           match result with
           | Error m -> Error m
           | Ok r ->
-              Format.printf "%a" Runtime.pp_report r.Runtime.report;
+              say "%a" Runtime.pp_report r.Runtime.report;
               (match r.Runtime.status with
               | Runtime.Completed -> ()
-              | s -> Format.printf "status: %a@." Runtime.pp_status s);
+              | s -> say "status: %a@." Runtime.pp_status s);
               (match config.Runtime.checkpoint_path with
-              | Some p -> Printf.printf "checkpoint: %s\n" p
+              | Some p -> chat "checkpoint: %s@." p
               | None -> ());
               let waiting = Stem.estimate_waiting rng store r.Runtime.params in
               Ok (r.Runtime.mean_service, waiting, None)
@@ -186,8 +308,33 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
               ~exclude:[ Store.arrival_queue store ]
               ~mean_service ~mean_waiting:waiting ()
           in
-          Format.printf "@.%a" Localization.pp_report reports;
+          say "@.%a" Localization.pp_report reports;
           Ok ())
+
+let run input num_queues fraction iterations seed bayes lenient checkpoint_every
+    checkpoint resume max_retries budget_seconds chains min_chains
+    sweep_deadline_ms chain_faults quiet metrics_out trace_out log_level
+    serve_metrics serve_linger =
+  quiet_flag := quiet;
+  match
+    match log_level with
+    | None -> Ok ()
+    | Some s -> (
+        match parse_log_level s with
+        | Error m -> Error m
+        | Ok level ->
+            Logs.set_reporter (Logs_fmt.reporter ());
+            Logs.set_level level;
+            Ok ())
+  with
+  | Error m -> Error m
+  | Ok () ->
+      with_telemetry ~metrics_out ~trace_out ~serve_metrics ~serve_linger
+        (fun () ->
+          Span.with_span "infer.run" (fun () ->
+              infer input num_queues fraction iterations seed bayes lenient
+                checkpoint_every checkpoint resume max_retries budget_seconds
+                chains min_chains sweep_deadline_ms chain_faults))
 
 let input =
   Arg.(
@@ -308,17 +455,83 @@ let chain_faults =
            1:stall=0.5\\@5 sleeps chain 1 for 500ms at iteration 5. Each fault \
            fires at most once.")
 
+let quiet =
+  Arg.(
+    value & flag
+    & info [ "quiet" ]
+        ~doc:
+          "Suppress progress chatter and report tables; stdout then carries only \
+           machine output ($(b,--metrics-out -) / $(b,--trace-out -)), stderr only \
+           errors. Exit status still reports success or failure.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the metrics registry and snapshot it to $(docv) when the run \
+           ends (also after a failed run). Prometheus text format by default; \
+           JSONL when $(docv) ends in .json/.jsonl or is - (stdout).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write the span log to $(docv) as JSONL when \
+           the run ends (- for stdout). Summarize it with \
+           $(b,qnet_trace_tool summarize-trace).")
+
+let log_level =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Runtime log verbosity on stderr: quiet, error, warning, info or debug. \
+           Default: logging disabled.")
+
+let serve_metrics =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve-metrics" ] ~docv:"PORT"
+        ~doc:
+          "Serve GET /metrics (Prometheus), /metrics.json (JSONL) and /healthz on \
+           127.0.0.1:$(docv) for the duration of the run (0 picks an ephemeral \
+           port). Implies the metrics registry is enabled.")
+
+let serve_linger =
+  Arg.(
+    value & opt float 0.0
+    & info [ "serve-metrics-linger" ] ~docv:"SECONDS"
+        ~doc:
+          "Keep the /metrics endpoint alive $(docv) seconds after the run \
+           finishes, so external scrapers can collect the final snapshot.")
+
 let cmd =
   let term =
     Term.(
       const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes $ lenient
       $ checkpoint_every $ checkpoint $ resume $ max_retries $ budget_seconds
-      $ chains $ min_chains $ sweep_deadline_ms $ chain_faults)
+      $ chains $ min_chains $ sweep_deadline_ms $ chain_faults $ quiet $ metrics_out
+      $ trace_out $ log_level $ serve_metrics $ serve_linger)
   in
   let info =
     Cmd.info "qnet_infer"
       ~doc:"Estimate queueing-network parameters from an incomplete trace"
   in
-  Cmd.v info (Term.map (function Ok () -> 0 | Error m -> prerr_endline m; 1) term)
+  Cmd.v info
+    (Term.map
+       (function
+         | Ok () -> 0
+         | Error m ->
+             (* the one error path: every config, CLI, ingestion,
+                inference or telemetry failure exits here *)
+             prerr_endline ("qnet-infer: error: " ^ m);
+             1)
+       term)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,10 @@
      mask      write a partially-observed copy (unobserved departures
                dropped to a placeholder column value of "nan")
      corrupt   inject deterministic faults (duplicates, truncation,
-               NaN fields, clock skew, ...) for testing ingestion  *)
+               NaN fields, clock skew, ...) for testing ingestion
+     summarize-trace
+               aggregate a span log (qnet_infer --trace-out) into a
+               per-phase wall-time breakdown                        *)
 
 open Cmdliner
 module Rng = Qnet_prob.Rng
@@ -16,6 +19,7 @@ module Store = Qnet_core.Event_store
 module Obs = Qnet_core.Observation
 module Interval_report = Qnet_core.Interval_report
 module Fault = Qnet_runtime.Fault
+module Span = Qnet_obs.Span
 
 let load input num_queues =
   match Trace.load ~num_queues input with
@@ -104,6 +108,17 @@ let corrupt input seed per_mode output =
       Printf.printf "-> %s\n" output;
       Ok ()
 
+let summarize_trace input =
+  match Span.read_jsonl input with
+  | Error m -> Error m
+  | Ok ([], _) -> Error (Printf.sprintf "%s: no parseable spans" input)
+  | Ok (spans, malformed) ->
+      if malformed > 0 then
+        Printf.eprintf "warning: %s: skipped %d malformed line(s)\n%!" input
+          malformed;
+      Format.printf "%a" Span.Summary.pp (Span.Summary.of_spans spans);
+      Ok ()
+
 let input =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.CSV")
 
@@ -165,9 +180,23 @@ let corrupt_cmd =
           clock skew, reversed intervals, reordering) to exercise lenient ingestion")
     (handle Term.(const corrupt $ input $ seed $ per_mode $ output))
 
+let summarize_trace_cmd =
+  let spans =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPANS.JSONL")
+  in
+  Cmd.v
+    (Cmd.info "summarize-trace"
+       ~doc:
+         "Aggregate a span log (from qnet_infer --trace-out) into a per-phase \
+          breakdown of wall time: calls, total and self time, share of the run")
+    (handle Term.(const summarize_trace $ spans))
+
 let cmd =
   Cmd.group
     (Cmd.info "qnet_trace_tool" ~doc:"Inspect and manipulate qnet trace CSVs")
-    [ summary_cmd; validate_cmd; window_cmd; mask_cmd; corrupt_cmd ]
+    [
+      summary_cmd; validate_cmd; window_cmd; mask_cmd; corrupt_cmd;
+      summarize_trace_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

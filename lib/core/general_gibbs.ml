@@ -2,6 +2,21 @@ module Rng = Qnet_prob.Rng
 module D = Qnet_prob.Distributions
 module Slice = Qnet_prob.Slice
 module Store = Event_store
+module Metrics = Qnet_obs.Metrics
+module Clock = Qnet_obs.Clock
+
+let m_sweep_seconds =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+       ~help:"Wall time of one slice-sampling sweep (general service models)"
+       "qnet_general_sweep_seconds")
+
+let m_events =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Events resampled by general-service slice sweeps"
+       "qnet_general_events_resampled_total")
 
 (* Feasibility window: identical bounds to the exponential kernel
    (Gibbs.local_density); a test asserts they agree. *)
@@ -89,7 +104,14 @@ let resample_event rng store model f =
 let sweep ?(shuffle = false) rng store model =
   let order = Store.unobserved_events store in
   if shuffle then Rng.shuffle_in_place rng order;
-  Array.iter (fun f -> resample_event rng store model f) order
+  if not (Metrics.enabled ()) then
+    Array.iter (fun f -> resample_event rng store model f) order
+  else begin
+    let t0 = Clock.now () in
+    Array.iter (fun f -> resample_event rng store model f) order;
+    Metrics.Histogram.observe (Lazy.force m_sweep_seconds) (Clock.now () -. t0);
+    Metrics.Counter.inc ~by:(float_of_int (Array.length order)) (Lazy.force m_events)
+  end
 
 let run ?shuffle ~sweeps rng store model =
   if sweeps < 0 then invalid_arg "General_gibbs.run: negative sweep count";

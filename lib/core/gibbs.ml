@@ -1,6 +1,40 @@
 module Rng = Qnet_prob.Rng
 module Piecewise = Qnet_prob.Piecewise
 module Store = Event_store
+module Metrics = Qnet_obs.Metrics
+module Clock = Qnet_obs.Clock
+
+(* Telemetry handles, created on first use. Hot-path sites are gated
+   on [Metrics.enabled] — one atomic load when instrumentation is off. *)
+let sweep_buckets = [| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+let m_sweep_seconds =
+  lazy
+    (Metrics.Histogram.create ~buckets:sweep_buckets
+       ~help:"Wall time of one Gibbs sweep over the unobserved events"
+       "qnet_gibbs_sweep_seconds")
+
+let m_event_seconds =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2 |]
+       ~help:"Wall time to rebuild and resample one event's conditional"
+       "qnet_gibbs_event_seconds")
+
+let m_events =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Unobserved events resampled by Gibbs sweeps"
+       "qnet_gibbs_events_resampled_total")
+
+let m_kernel kind =
+  Metrics.Counter.create ~labels:[ ("kind", kind) ]
+    ~help:"Compiled conditional kind drawn from (point/tail/bounded)"
+    "qnet_gibbs_kernel_total"
+
+let m_kernel_point = lazy (m_kernel "point")
+let m_kernel_tail = lazy (m_kernel "tail")
+let m_kernel_bounded = lazy (m_kernel "bounded")
 
 type local_density = {
   event : int;
@@ -91,7 +125,15 @@ let log_conditional ld x =
       (ld.linear *. x) ld.hinges
 
 let sample_local rng ld =
-  match compile ld with
+  let compiled = compile ld in
+  if Metrics.enabled () then
+    Metrics.Counter.inc
+      (Lazy.force
+         (match compiled with
+         | `Point _ -> m_kernel_point
+         | `Tail _ -> m_kernel_tail
+         | `Bounded _ -> m_kernel_bounded));
+  match compiled with
   | `Point x -> x
   | `Tail (origin, rate) -> origin +. (-.log (Rng.float_pos rng) /. rate)
   | `Bounded pw -> Piecewise.sample rng pw
@@ -105,7 +147,22 @@ let resample_event rng store params f =
 let sweep ?(shuffle = false) rng store params =
   let order = Store.unobserved_events store in
   if shuffle then Rng.shuffle_in_place rng order;
-  Array.iter (fun f -> resample_event rng store params f) order
+  if not (Metrics.enabled ()) then
+    Array.iter (fun f -> resample_event rng store params f) order
+  else begin
+    let t0 = Clock.now () in
+    let per_event = Lazy.force m_event_seconds in
+    let last = ref t0 in
+    Array.iter
+      (fun f ->
+        resample_event rng store params f;
+        let t = Clock.now () in
+        Metrics.Histogram.observe per_event (t -. !last);
+        last := t)
+      order;
+    Metrics.Histogram.observe (Lazy.force m_sweep_seconds) (Clock.now () -. t0);
+    Metrics.Counter.inc ~by:(float_of_int (Array.length order)) (Lazy.force m_events)
+  end
 
 let run ?shuffle ?(on_sweep = fun _ -> ()) ~sweeps rng store params =
   if sweeps < 0 then invalid_arg "Gibbs.run: negative sweep count";

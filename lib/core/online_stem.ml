@@ -1,5 +1,28 @@
 module Trace = Qnet_trace.Trace
 module Store = Event_store
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+module Clock = Qnet_obs.Clock
+
+let m_window_seconds =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+       ~help:"Wall time to fit one online window" "qnet_online_window_seconds")
+
+let m_windows kind =
+  Metrics.Counter.create ~labels:[ ("status", kind) ]
+    ~help:"Online windows fitted vs. skipped for lack of tasks"
+    "qnet_online_windows_total"
+
+let m_windows_run = lazy (m_windows "run")
+let m_windows_skipped = lazy (m_windows "skipped")
+
+let m_tasks_dropped =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Tasks dropped during online windowing (corrupt or missing entry events)"
+       "qnet_online_tasks_dropped_total")
 
 type step = {
   window : float * float;
@@ -36,6 +59,10 @@ let run ?(config = default_config) ?(on_window = fun _ -> ())
   in
   if corrupt <> [] then begin
     List.iter (Hashtbl.remove entries) corrupt;
+    if Metrics.enabled () then
+      Metrics.Counter.inc
+        ~by:(float_of_int (List.length corrupt))
+        (Lazy.force m_tasks_dropped);
     on_warning
       (Printf.sprintf "dropped %d task(s) with non-finite entry timestamps"
          (List.length corrupt))
@@ -48,10 +75,15 @@ let run ?(config = default_config) ?(on_window = fun _ -> ())
       if not (Hashtbl.mem entries e.Trace.task) then
         Hashtbl.replace missing e.Trace.task ())
     trace.Trace.events;
-  if Hashtbl.length missing > 0 then
+  if Hashtbl.length missing > 0 then begin
+    if Metrics.enabled () then
+      Metrics.Counter.inc
+        ~by:(float_of_int (Hashtbl.length missing))
+        (Lazy.force m_tasks_dropped);
     on_warning
       (Printf.sprintf "dropped %d task(s) with no usable entry event"
-         (Hashtbl.length missing));
+         (Hashtbl.length missing))
+  end;
   if Hashtbl.length entries = 0 then
     invalid_arg "Online_stem.run: no task has a finite entry timestamp";
   (* Windows are assigned by timestamp value, so out-of-order arrival
@@ -127,6 +159,11 @@ let run ?(config = default_config) ?(on_window = fun _ -> ())
       List.sort_uniq compare (List.map (fun e -> e.Trace.task) events) |> List.length
     in
     if num_tasks >= config.min_tasks then begin
+      let t_start = if Metrics.enabled () then Clock.now () else 0.0 in
+      Span.with_span "online.window"
+        ~attrs:
+          [ ("window", string_of_int w); ("tasks", string_of_int num_tasks) ]
+      @@ fun () ->
       let sub_trace = Trace.create ~num_queues:trace.Trace.num_queues events in
       (* Trace.create sorts by (task, arrival): rebuild the mask in that
          order by matching (task, departure) keys *)
@@ -161,8 +198,15 @@ let run ?(config = default_config) ?(on_window = fun _ -> ())
         }
       in
       on_window step;
-      steps := step :: !steps
+      steps := step :: !steps;
+      if Metrics.enabled () then begin
+        Metrics.Histogram.observe (Lazy.force m_window_seconds)
+          (Clock.now () -. t_start);
+        Metrics.Counter.inc (Lazy.force m_windows_run)
+      end
     end
+    else if Metrics.enabled () then
+      Metrics.Counter.inc (Lazy.force m_windows_skipped)
   done;
   List.rev !steps
 

@@ -1,4 +1,33 @@
 module Store = Event_store
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+module Clock = Qnet_obs.Clock
+
+let m_iteration_seconds =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+       ~help:"Wall time of one StEM iteration (E-step sweep + M-step)"
+       "qnet_stem_iteration_seconds")
+
+let m_iterations =
+  lazy
+    (Metrics.Counter.create ~help:"StEM iterations completed"
+       "qnet_stem_iterations_total")
+
+(* M-step acceptance: a queue's rate is updated only when enough
+   imputed services support it; held queues keep their previous rate. *)
+let m_mstep_updates =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Per-queue M-step rate updates accepted (enough imputed services)"
+       "qnet_stem_mstep_updates_total")
+
+let m_mstep_holds =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Per-queue M-step rate updates held back (too few imputed services)"
+       "qnet_stem_mstep_holds_total")
 
 type config = {
   iterations : int;
@@ -94,9 +123,11 @@ let initial_guess store =
 
 let mle_step ?prior store ~previous ~min_queue_events =
   let stats = Store.service_sufficient_stats store in
+  let instrumented = Metrics.enabled () in
   Params.map_rates previous (fun q prev ->
       let count, total = stats.(q) in
       if count >= min_queue_events && total > 0.0 then begin
+        if instrumented then Metrics.Counter.inc (Lazy.force m_mstep_updates);
         match prior with
         | None -> float_of_int count /. total
         | Some (strength, anchor) ->
@@ -110,10 +141,12 @@ let mle_step ?prior store ~previous ~min_queue_events =
             let pseudo = strength *. float_of_int count *. Params.mean_service anchor q in
             (float_of_int count +. 1.0) /. (total +. pseudo)
       end
-      else prev)
+      else begin
+        if instrumented then Metrics.Counter.inc (Lazy.force m_mstep_holds);
+        prev
+      end)
 
-let run ?(config = default_config) ?init ?route_fsm
-    ?(on_iteration = fun _ _ -> ()) rng store =
+let run_impl ~config ?init ?route_fsm ~on_iteration rng store =
   if config.iterations < 1 then invalid_arg "Stem.run: need at least one iteration";
   if config.burn_in < 0 || config.burn_in >= config.iterations then
     invalid_arg "Stem.run: burn_in must be in [0, iterations)";
@@ -121,11 +154,14 @@ let run ?(config = default_config) ?init ?route_fsm
   (match Init.feasible ~strategy:config.init_strategy ~target:params0 store with
   | Ok () -> ()
   | Error msg -> failwith ("Stem.run: initialization failed: " ^ msg));
-  Gibbs.run ~shuffle:config.shuffle ~sweeps:config.warmup_sweeps rng store params0;
+  Span.with_span "stem.warmup" (fun () ->
+      Gibbs.run ~shuffle:config.shuffle ~sweeps:config.warmup_sweeps rng store params0);
   let history = Array.make config.iterations params0 in
   let llh = Array.make config.iterations nan in
   let params = ref params0 in
+  let instrumented = Metrics.enabled () in
   for it = 0 to config.iterations - 1 do
+    let t0 = if instrumented then Clock.now () else 0.0 in
     (* Stochastic E-step: one sweep under the current parameters, plus
        a routing sweep when paths are uncertain. *)
     Gibbs.sweep ~shuffle:config.shuffle rng store !params;
@@ -142,6 +178,10 @@ let run ?(config = default_config) ?init ?route_fsm
         ~min_queue_events:config.min_queue_events;
     history.(it) <- !params;
     llh.(it) <- Store.log_likelihood store !params;
+    if instrumented then begin
+      Metrics.Histogram.observe (Lazy.force m_iteration_seconds) (Clock.now () -. t0);
+      Metrics.Counter.inc (Lazy.force m_iterations)
+    end;
     on_iteration it !params
   done;
   (* Average post-burn-in iterates in mean-service space. *)
@@ -167,22 +207,28 @@ let run ?(config = default_config) ?init ?route_fsm
     log_likelihood_history = llh;
   }
 
+let run ?(config = default_config) ?init ?route_fsm
+    ?(on_iteration = fun _ _ -> ()) rng store =
+  Span.with_span "stem.run" (fun () ->
+      run_impl ~config ?init ?route_fsm ~on_iteration rng store)
+
 let estimate_waiting ?(sweeps = 100) ?(burn_in = 50) rng store params =
   if burn_in < 0 || burn_in >= sweeps then
     invalid_arg "Stem.estimate_waiting: burn_in must be in [0, sweeps)";
-  let nq = Store.num_queues store in
-  let acc = Array.make nq 0.0 in
-  let kept = sweeps - burn_in in
-  for sweep = 0 to sweeps - 1 do
-    Gibbs.sweep ~shuffle:true rng store params;
-    if sweep >= burn_in then begin
-      let w = Store.mean_waiting_by_queue store in
-      for q = 0 to nq - 1 do
-        acc.(q) <- acc.(q) +. (w.(q) /. float_of_int kept)
-      done
-    end
-  done;
-  acc
+  Span.with_span "stem.estimate_waiting" (fun () ->
+      let nq = Store.num_queues store in
+      let acc = Array.make nq 0.0 in
+      let kept = sweeps - burn_in in
+      for sweep = 0 to sweeps - 1 do
+        Gibbs.sweep ~shuffle:true rng store params;
+        if sweep >= burn_in then begin
+          let w = Store.mean_waiting_by_queue store in
+          for q = 0 to nq - 1 do
+            acc.(q) <- acc.(q) +. (w.(q) /. float_of_int kept)
+          done
+        end
+      done;
+      acc)
 
 let run_chains ?(config = default_config) ?(chains = 4) ~seed make_store =
   if chains < 2 then invalid_arg "Stem.run_chains: need at least two chains";

@@ -1,0 +1,24 @@
+let high_water = Atomic.make neg_infinity
+
+let rec clamp t =
+  let seen = Atomic.get high_water in
+  if t <= seen then seen
+  else if Atomic.compare_and_set high_water seen t then t
+  else clamp t
+
+let now () = clamp (Unix.gettimeofday ())
+
+let origin =
+  let cell = Atomic.make nan in
+  fun () ->
+    let v = Atomic.get cell in
+    if Float.is_nan v then begin
+      let t = now () in
+      (* first caller wins; losers adopt the winner's origin *)
+      if Atomic.compare_and_set cell nan t then t else Atomic.get cell
+    end
+    else v
+
+let elapsed () =
+  let o = origin () in
+  now () -. o

@@ -1,0 +1,15 @@
+(** Monotonic-enough timestamps for telemetry.
+
+    The stdlib exposes no monotonic clock and we cannot add
+    dependencies, so [now] is [Unix.gettimeofday] clamped through a
+    global atomic high-water mark: successive calls never go
+    backwards, even across domains, even if NTP steps the wall clock
+    under us. Span durations and heartbeat ages therefore stay
+    non-negative; absolute values remain wall-clock seconds. *)
+
+val now : unit -> float
+(** Current time in seconds, non-decreasing across all domains. *)
+
+val elapsed : unit -> float
+(** Seconds since this process first touched the clock — a compact
+    origin for span logs ([Span] records [start] on this scale). *)

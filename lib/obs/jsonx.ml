@@ -1,0 +1,153 @@
+(* Just enough JSON for the telemetry formats we emit ourselves: flat
+   objects whose values are strings, numbers, null, or one level of
+   string->string nesting (span attrs). Not a general JSON library —
+   the writers in this library are the only intended producers, but
+   the parser is total: malformed input yields [Error], never an
+   exception. *)
+
+type value =
+  | Str of string
+  | Num of float
+  | Null
+  | Obj of (string * value) list
+  | Arr of value list
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Bad of string
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do advance () done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = line.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          (if !pos >= n then fail "dangling escape";
+           let e = line.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub line !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+               in
+               (* we only ever emit control characters this way *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+           | _ -> fail "unknown escape");
+          go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do advance () done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value depth =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        if depth > 2 then fail "object nested too deep";
+        Obj (parse_obj depth)
+    | Some '[' ->
+        if depth > 3 then fail "array nested too deep";
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elems []
+        end
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
+          pos := !pos + 4; Null
+        end
+        else fail "expected null"
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  and parse_obj depth =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin advance (); [] end
+    else begin
+      let rec fields acc =
+        let k = (skip_ws (); parse_string ()) in
+        expect ':';
+        let v = parse_value (depth + 1) in
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); fields ((k, v) :: acc)
+        | Some '}' -> advance (); List.rev ((k, v) :: acc)
+        | _ -> fail "expected , or }"
+      in
+      fields []
+    end
+  in
+  try
+    let fields = parse_obj 0 in
+    skip_ws ();
+    if !pos <> n then Error "trailing garbage after object"
+    else Ok fields
+  with Bad m -> Error m

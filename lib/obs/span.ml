@@ -1,0 +1,263 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start : float;
+  duration : float;
+  attrs : (string * string) list;
+}
+
+type tracer = {
+  ring : span option array;
+  mutable write : int; (* next slot *)
+  mutable stored : int; (* valid entries, <= capacity *)
+  mutable dropped : int;
+  lock : Mutex.t;
+}
+
+let state : tracer option Atomic.t = Atomic.make None
+let next_id = Atomic.make 0
+
+(* Current span chain of the calling domain; a fresh domain starts
+   with an empty stack, so its first span is a root. *)
+let stack_key : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let enable ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Span.enable: capacity must be >= 1";
+  Atomic.set state
+    (Some
+       {
+         ring = Array.make capacity None;
+         write = 0;
+         stored = 0;
+         dropped = 0;
+         lock = Mutex.create ();
+       })
+
+let disable () = Atomic.set state None
+
+let enabled () = Atomic.get state <> None
+
+let record tr s =
+  Mutex.lock tr.lock;
+  tr.ring.(tr.write) <- Some s;
+  tr.write <- (tr.write + 1) mod Array.length tr.ring;
+  if tr.stored = Array.length tr.ring then tr.dropped <- tr.dropped + 1
+  else tr.stored <- tr.stored + 1;
+  Mutex.unlock tr.lock
+
+let with_span ?(attrs = []) name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some tr ->
+      let id = 1 + Atomic.fetch_and_add next_id 1 in
+      let stack = Domain.DLS.get stack_key in
+      let parent = match !stack with [] -> None | p :: _ -> Some p in
+      stack := id :: !stack;
+      let t0 = Clock.elapsed () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.elapsed () in
+          (match !stack with
+          | x :: rest when x = id -> stack := rest
+          | other -> stack := List.filter (fun x -> x <> id) other);
+          record tr { id; parent; name; start = t0; duration = t1 -. t0; attrs })
+        f
+
+let drain () =
+  match Atomic.get state with
+  | None -> []
+  | Some tr ->
+      Mutex.lock tr.lock;
+      let cap = Array.length tr.ring in
+      let first = (tr.write - tr.stored + cap) mod cap in
+      let out = ref [] in
+      for k = tr.stored - 1 downto 0 do
+        match tr.ring.((first + k) mod cap) with
+        | Some s -> out := s :: !out
+        | None -> ()
+      done;
+      Array.fill tr.ring 0 cap None;
+      tr.stored <- 0;
+      tr.write <- 0;
+      Mutex.unlock tr.lock;
+      !out
+
+let dropped () =
+  match Atomic.get state with None -> 0 | Some tr -> tr.dropped
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_json s =
+  let attrs =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (Jsonx.escape k) (Jsonx.escape v))
+         s.attrs)
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%s,\"name\":\"%s\",\"start\":%.9f,\"dur\":%.9f,\"attrs\":{%s}}"
+    s.id
+    (match s.parent with None -> "null" | Some p -> string_of_int p)
+    (Jsonx.escape s.name) s.start s.duration attrs
+
+let of_json line =
+  match Jsonx.parse_object line with
+  | Error m -> Error m
+  | Ok fields -> (
+      let find k = List.assoc_opt k fields in
+      let num k =
+        match find k with
+        | Some (Jsonx.Num v) -> Ok v
+        | _ -> Error (Printf.sprintf "missing or non-numeric field %S" k)
+      in
+      let str k =
+        match find k with
+        | Some (Jsonx.Str v) -> Ok v
+        | _ -> Error (Printf.sprintf "missing or non-string field %S" k)
+      in
+      match (num "id", str "name", num "start", num "dur") with
+      | Ok id, Ok name, Ok start, Ok dur ->
+          let parent =
+            match find "parent" with
+            | Some (Jsonx.Num p) -> Some (int_of_float p)
+            | _ -> None
+          in
+          let attrs =
+            match find "attrs" with
+            | Some (Jsonx.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Jsonx.Str s -> Some (k, s) | _ -> None)
+                  kvs
+            | _ -> []
+          in
+          if Float.is_nan start || Float.is_nan dur || dur < 0.0 then
+            Error "non-finite or negative span times"
+          else
+            Ok { id = int_of_float id; parent; name; start; duration = dur; attrs }
+      | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _ | _, _, _, Error m ->
+          Error m)
+
+let write_jsonl oc spans =
+  List.iter
+    (fun s ->
+      output_string oc (to_json s);
+      output_char oc '\n')
+    spans
+
+let read_jsonl path =
+  match
+    try
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok (List.rev !lines)
+    with Sys_error m -> Error m
+  with
+  | Error m -> Error m
+  | Ok lines ->
+      let spans, bad =
+        List.fold_left
+          (fun (spans, bad) line ->
+            if String.trim line = "" then (spans, bad)
+            else
+              match of_json line with
+              | Ok s -> (s :: spans, bad)
+              | Error _ -> (spans, bad + 1))
+          ([], 0) lines
+      in
+      Ok (List.rev spans, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Summarization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = struct
+  type phase = {
+    name : string;
+    count : int;
+    total : float;
+    self : float;
+    max_duration : float;
+  }
+
+  type t = { wall : float; spans : int; phases : phase list; coverage : float }
+
+  let of_spans spans =
+    match spans with
+    | [] -> { wall = 0.0; spans = 0; phases = []; coverage = 0.0 }
+    | _ ->
+        let t_min =
+          List.fold_left (fun acc s -> Float.min acc s.start) infinity spans
+        in
+        let t_max =
+          List.fold_left
+            (fun acc s -> Float.max acc (s.start +. s.duration))
+            neg_infinity spans
+        in
+        let wall = Float.max 0.0 (t_max -. t_min) in
+        (* time spent in direct children, per parent id *)
+        let child_time = Hashtbl.create 256 in
+        List.iter
+          (fun s ->
+            match s.parent with
+            | None -> ()
+            | Some p ->
+                Hashtbl.replace child_time p
+                  (s.duration
+                  +. (try Hashtbl.find child_time p with Not_found -> 0.0)))
+          spans;
+        let by_name = Hashtbl.create 64 in
+        let root_total = ref 0.0 in
+        List.iter
+          (fun s ->
+            if s.parent = None then root_total := !root_total +. s.duration;
+            let self =
+              Float.max 0.0
+                (s.duration
+                -. (try Hashtbl.find child_time s.id with Not_found -> 0.0))
+            in
+            let count, total, self0, mx =
+              try Hashtbl.find by_name s.name with Not_found -> (0, 0.0, 0.0, 0.0)
+            in
+            Hashtbl.replace by_name s.name
+              ( count + 1,
+                total +. s.duration,
+                self0 +. self,
+                Float.max mx s.duration ))
+          spans;
+        let phases =
+          Hashtbl.fold
+            (fun name (count, total, self, max_duration) acc ->
+              { name; count; total; self; max_duration } :: acc)
+            by_name []
+          |> List.sort (fun a b -> compare b.self a.self)
+        in
+        {
+          wall;
+          spans = List.length spans;
+          phases;
+          coverage = (if wall > 0.0 then Float.min 1.0 (!root_total /. wall) else 1.0);
+        }
+
+  let pp ppf t =
+    Format.fprintf ppf "wall %.3fs over %d spans; root coverage %.1f%%@\n" t.wall
+      t.spans (100.0 *. t.coverage);
+    Format.fprintf ppf "%-28s %8s %12s %12s %12s %7s@\n" "phase" "count" "total-s"
+      "self-s" "max-s" "%wall";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "%-28s %8d %12.4f %12.4f %12.4f %6.1f%%@\n" p.name
+          p.count p.total p.self p.max_duration
+          (if t.wall > 0.0 then 100.0 *. p.self /. t.wall else 0.0))
+      t.phases
+end

@@ -1,0 +1,78 @@
+(** Nestable timed spans with a bounded ring buffer and a JSONL trace
+    format — the self-applied analogue of the paper's trace analysis:
+    instrument the inference runtime the way we'd want the measured
+    services instrumented.
+
+    Tracing is off by default: {!with_span} then costs one atomic load
+    and a direct call of the thunk. When enabled, a finished span is
+    pushed into a fixed-capacity ring buffer (oldest spans overwritten,
+    overwrites counted in {!dropped}), so a run that never drains the
+    tracer still has bounded memory. Parent links are tracked through a
+    per-domain span stack: spans nested on the same domain get parent
+    ids; a span opened on a freshly spawned domain is a root. *)
+
+type span = {
+  id : int;  (** unique within the process, dense from 1 *)
+  parent : int option;
+  name : string;
+  start : float;  (** seconds since the process clock origin, monotonic *)
+  duration : float;
+  attrs : (string * string) list;
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** Start tracing into a ring of [capacity] spans (default 65536).
+    Clears any previously buffered spans. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording a span covering it. The
+    span is recorded (and the parent stack unwound) even when [f]
+    raises. When tracing is disabled this is [f ()] plus one atomic
+    load. *)
+
+val drain : unit -> span list
+(** Buffered spans in completion order; empties the buffer. *)
+
+val dropped : unit -> int
+(** Spans overwritten before being drained since {!enable}. *)
+
+val to_json : span -> string
+
+val of_json : string -> (span, string) result
+(** Parse one line as written by {!to_json}. *)
+
+val write_jsonl : out_channel -> span list -> unit
+
+val read_jsonl : string -> (span list * int, string) result
+(** [Ok (spans, bad_lines)]: parseable spans plus the count of
+    malformed lines skipped; [Error] if the file cannot be read. *)
+
+(** Aggregate a span log into a per-phase wall-time breakdown. *)
+module Summary : sig
+  type phase = {
+    name : string;
+    count : int;
+    total : float;  (** summed span durations *)
+    self : float;  (** total minus time spent in direct child spans *)
+    max_duration : float;
+  }
+
+  type t = {
+    wall : float;  (** earliest start to latest end over the whole log *)
+    spans : int;
+    phases : phase list;  (** sorted by self time, descending *)
+    coverage : float;
+        (** fraction of [wall] covered by root spans — how much of the
+            run the instrumentation accounts for *)
+  }
+
+  val of_spans : span list -> t
+
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable table: one row per phase with count, total, self
+      and percent-of-wall columns. *)
+end

@@ -1,5 +1,26 @@
 module Store = Qnet_core.Event_store
 module Params = Qnet_core.Params
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+module Clock = Qnet_obs.Clock
+
+let m_bytes =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 |]
+       ~help:"Encoded size of persisted checkpoints, bytes" "qnet_checkpoint_bytes")
+
+let m_write_seconds =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+       ~help:"Wall time to encode, write and atomically rename one checkpoint"
+       "qnet_checkpoint_write_seconds")
+
+let m_written =
+  lazy
+    (Metrics.Counter.create ~help:"Checkpoints persisted to disk"
+       "qnet_checkpoints_written_total")
 
 type t = {
   iteration : int;
@@ -159,12 +180,20 @@ let of_bytes s =
 (* --- file I/O ----------------------------------------------------- *)
 
 let save ~path ck =
+  Span.with_span "checkpoint.save" @@ fun () ->
+  let instrumented = Metrics.enabled () in
+  let t0 = if instrumented then Clock.now () else 0.0 in
+  let bytes = to_bytes ck in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_bytes ck));
-  Sys.rename tmp path
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes);
+  Sys.rename tmp path;
+  if instrumented then begin
+    Metrics.Histogram.observe (Lazy.force m_bytes)
+      (float_of_int (String.length bytes));
+    Metrics.Histogram.observe (Lazy.force m_write_seconds) (Clock.now () -. t0);
+    Metrics.Counter.inc (Lazy.force m_written)
+  end
 
 let load ~path =
   try

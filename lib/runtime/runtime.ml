@@ -4,6 +4,19 @@ module Params = Qnet_core.Params
 module Stem = Qnet_core.Stem
 module Gibbs = Qnet_core.Gibbs
 module Init = Qnet_core.Init
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+
+let m_incidents =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Validation failures and exceptions recovered by rollback-and-retry"
+       "qnet_runtime_incidents_total")
+
+let m_iterations =
+  lazy
+    (Metrics.Counter.create ~help:"Checkpointed-runtime iterations committed"
+       "qnet_runtime_iterations_total")
 
 type config = {
   stem : Stem.config;
@@ -67,6 +80,7 @@ let pp_report ppf r =
 let now () = Unix.gettimeofday ()
 
 let run ?(config = default_config) ?init ?resume ?chaos rng store =
+  Span.with_span "runtime.run" @@ fun () ->
   let c = config.stem in
   if c.Stem.iterations < 1 then invalid_arg "Runtime.run: need at least one iteration";
   if c.Stem.burn_in < 0 || c.Stem.burn_in >= c.Stem.iterations then
@@ -164,6 +178,7 @@ let run ?(config = default_config) ?init ?resume ?chaos rng store =
         history.(!it) <- p;
         llh.(!it) <- Store.log_likelihood store p;
         incr it;
+        if Metrics.enabled () then Metrics.Counter.inc (Lazy.force m_iterations);
         if config.checkpoint_every > 0 && !it mod config.checkpoint_every = 0 then begin
           let ck = make_ck !it in
           last_good := ck;
@@ -171,6 +186,7 @@ let run ?(config = default_config) ?init ?resume ?chaos rng store =
         end
     | Error cause ->
         incidents := { at_iteration = !it; cause } :: !incidents;
+        if Metrics.enabled () then Metrics.Counter.inc (Lazy.force m_incidents);
         if !retries >= config.max_retries then
           stop :=
             Some

@@ -6,6 +6,83 @@ module Init = Qnet_core.Init
 module Rng = Qnet_prob.Rng
 module Statistics = Qnet_prob.Statistics
 module Welford = Statistics.Welford
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+module Clock = Qnet_obs.Clock
+
+let log_src = Logs.Src.create "qnet.supervisor" ~doc:"Supervised multi-chain inference"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Supervisor lifecycle telemetry: every decision the supervisor makes
+   about a chain (restart, quarantine, death, abandonment) leaves a
+   durable counter, so a metrics snapshot explains *why* a run ended
+   with the chains it did — the gap this subsystem exists to close. *)
+let sup_counter name help = lazy (Metrics.Counter.create ~help name)
+
+let m_rounds = sup_counter "qnet_supervisor_rounds_total" "Round barriers completed"
+
+let m_restarts =
+  sup_counter "qnet_supervisor_restarts_total"
+    "Chain restarts from the last good checkpoint"
+
+let m_quarantines =
+  sup_counter "qnet_supervisor_quarantines_total"
+    "Chains quarantined (health or divergence) after exhausting restarts"
+
+let m_deaths =
+  sup_counter "qnet_supervisor_deaths_total"
+    "Chains declared dead (crash/stall exhaustion or abandonment)"
+
+let m_stalls =
+  sup_counter "qnet_supervisor_watchdog_stalls_total"
+    "Stall events: first Stalled verdict for a chain in a round"
+
+let m_abandoned =
+  sup_counter "qnet_supervisor_abandoned_total"
+    "Chains whose domain ignored cancellation and was abandoned"
+
+let m_watchdog_misses =
+  sup_counter "qnet_supervisor_watchdog_misses_total"
+    "Deadline misses observed by watchdog polls"
+
+let m_checkpoints =
+  sup_counter "qnet_supervisor_checkpoints_total"
+    "In-memory chain checkpoints captured at round barriers"
+
+let m_samples_ok =
+  sup_counter "qnet_supervisor_samples_accepted_total"
+    "Finite per-queue mean-service samples accepted into chain accumulators"
+
+let m_samples_bad =
+  sup_counter "qnet_supervisor_samples_rejected_total"
+    "Non-finite per-queue mean-service samples rejected from chain accumulators"
+
+let m_checkpoint_seconds =
+  lazy
+    (Metrics.Histogram.create
+       ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
+       ~help:"Wall time to capture one in-memory chain checkpoint"
+       "qnet_supervisor_checkpoint_seconds")
+
+(* Force every lazy family at run entry so a scrape (or the final
+   snapshot) exports them all at 0 even when nothing bad happened —
+   an absent quarantine counter is indistinguishable from a broken
+   exporter, a present zero is evidence of health. *)
+let register_metrics () =
+  List.iter
+    (fun m -> ignore (Lazy.force m : Metrics.Counter.t))
+    [
+      m_rounds; m_restarts; m_quarantines; m_deaths; m_stalls; m_abandoned;
+      m_watchdog_misses; m_checkpoints; m_samples_ok; m_samples_bad;
+    ];
+  ignore (Lazy.force m_checkpoint_seconds : Metrics.Histogram.t)
+
+let m_heartbeat_age chain =
+  Metrics.Gauge.create
+    ~labels:[ ("chain", string_of_int chain) ]
+    ~help:"Seconds since the chain's last heartbeat, updated at each watchdog poll"
+    "qnet_chain_heartbeat_age_seconds"
 
 type config = {
   chains : int;
@@ -123,6 +200,7 @@ type chain_state = {
          surviving prefix after a rollback, preserving NaN-skip
          accounting over exactly the samples that still count *)
   hb : Watchdog.Heartbeat.t;
+  age_gauge : Metrics.Gauge.t;
   cancel : bool Atomic.t;
   faults : armed_fault array;
   mutable params : Params.t;
@@ -160,6 +238,7 @@ let init_chain cfg ~seed ~init make_store faults id =
       llh = Array.make iterations Float.nan;
       samples = Array.init iterations (fun _ -> Array.make nq Float.nan);
       hb = Watchdog.Heartbeat.create ();
+      age_gauge = m_heartbeat_age id;
       cancel = Atomic.make false;
       faults =
         List.filter (fun f -> f.Fault.chain = id) faults
@@ -215,6 +294,10 @@ let fire_post_step_faults st =
     st.faults
 
 let run_round cfg st ~stop_at =
+  Span.with_span "chain.round"
+    ~attrs:
+      [ ("chain", string_of_int st.id); ("stop_at", string_of_int stop_at) ]
+  @@ fun () ->
   let c = cfg.stem in
   (try
      if not st.warmed then begin
@@ -250,6 +333,16 @@ let run_round cfg st ~stop_at =
        let realized = Store.mean_service_by_queue st.store in
        Array.blit realized 0 st.samples.(st.it) 0 (Array.length realized);
        Array.iteri (fun q v -> Welford.add st.welford.(q) v) realized;
+       if Metrics.enabled () then begin
+         let ok = ref 0 and bad = ref 0 in
+         Array.iter
+           (fun v -> if Float.is_finite v then incr ok else incr bad)
+           realized;
+         if !ok > 0 then
+           Metrics.Counter.inc ~by:(float_of_int !ok) (Lazy.force m_samples_ok);
+         if !bad > 0 then
+           Metrics.Counter.inc ~by:(float_of_int !bad) (Lazy.force m_samples_bad)
+       end;
        st.it <- st.it + 1
      done
    with exn -> st.outcome <- Round_crashed (Printexc.to_string exn));
@@ -260,15 +353,24 @@ let run_round cfg st ~stop_at =
 (* ------------------------------------------------------------------ *)
 
 let capture st =
-  {
-    Checkpoint.iteration = st.it;
-    rng_state = Rng.state st.rng;
-    params = st.params;
-    anchor = st.anchor;
-    snapshot = Store.snapshot st.store;
-    history = Array.sub st.history 0 st.it;
-    llh = Array.sub st.llh 0 st.it;
-  }
+  let instrumented = Metrics.enabled () in
+  let t0 = if instrumented then Clock.now () else 0.0 in
+  let ck =
+    {
+      Checkpoint.iteration = st.it;
+      rng_state = Rng.state st.rng;
+      params = st.params;
+      anchor = st.anchor;
+      snapshot = Store.snapshot st.store;
+      history = Array.sub st.history 0 st.it;
+      llh = Array.sub st.llh 0 st.it;
+    }
+  in
+  if instrumented then begin
+    Metrics.Histogram.observe (Lazy.force m_checkpoint_seconds) (Clock.now () -. t0);
+    Metrics.Counter.inc (Lazy.force m_checkpoints)
+  end;
+  ck
 
 let rebuild_accumulators st =
   let nq = Array.length st.welford in
@@ -286,10 +388,23 @@ let rebuild_accumulators st =
    one that just died. [fatal] failures (crash/stall) exhaust into
    [Dead]; recoverable ones (health/divergence) into [Quarantined]. *)
 let recover cfg st ~fatal ~cause =
-  if st.restarts >= cfg.max_restarts then
-    st.status <- (if fatal then Dead cause else Quarantined cause)
+  if st.restarts >= cfg.max_restarts then begin
+    st.status <- (if fatal then Dead cause else Quarantined cause);
+    Log.warn (fun m ->
+        m "chain %d %s after %d restarts: %s" st.id
+          (if fatal then "dead" else "quarantined")
+          st.restarts cause);
+    if Metrics.enabled () then
+      Metrics.Counter.inc
+        (Lazy.force (if fatal then m_deaths else m_quarantines))
+  end
   else begin
     st.restarts <- st.restarts + 1;
+    Log.info (fun m ->
+        m "chain %d restart %d/%d (%s): rolling back to iteration %d" st.id
+          st.restarts cfg.max_restarts cause
+          (match st.last_good with Some ck -> ck.Checkpoint.iteration | None -> 0));
+    if Metrics.enabled () then Metrics.Counter.inc (Lazy.force m_restarts);
     (match st.last_good with
     | Some ck ->
         Store.restore st.store ck.Checkpoint.snapshot;
@@ -418,9 +533,17 @@ let watch cfg runnable =
     Watchdog.Heartbeat.is_done st.hb || List.memq st !abandoned
   in
   let all_settled () = Array.for_all settled arr in
+  let instrumented = Metrics.enabled () in
   while not (all_settled ()) do
     let t = now () in
     let verdicts = Watchdog.poll ~now:t wd in
+    if instrumented then
+      Array.iter
+        (fun st ->
+          Metrics.Gauge.set st.age_gauge
+            (if Watchdog.Heartbeat.is_done st.hb then 0.0
+             else Watchdog.Heartbeat.age st.hb ~now:t))
+        arr;
     Array.iteri
       (fun i v ->
         let st = arr.(i) in
@@ -428,6 +551,10 @@ let watch cfg runnable =
         | Watchdog.Stalled age when not (List.memq st !abandoned) ->
             if not st.stall_flagged then begin
               st.stall_flagged <- true;
+              Log.warn (fun m ->
+                  m "chain %d stalled: no heartbeat for %.3fs (deadline %.3gs)"
+                    st.id age cfg.sweep_deadline);
+              if instrumented then Metrics.Counter.inc (Lazy.force m_stalls);
               let _, sweep = Watchdog.Heartbeat.last st.hb in
               st.incidents <-
                 ( sweep,
@@ -445,12 +572,25 @@ let watch cfg runnable =
                 -. (try Hashtbl.find first_stalled st.id
                     with Not_found -> t)
               in
-              if since > cfg.stall_grace then abandoned := st :: !abandoned
+              if since > cfg.stall_grace then begin
+                Log.err (fun m ->
+                    m "chain %d unresponsive %.3fs past cancellation; abandoning"
+                      st.id since);
+                abandoned := st :: !abandoned
+              end
             end
         | _ -> ())
       verdicts;
     if not (all_settled ()) then Unix.sleepf cfg.poll_interval
   done;
+  if instrumented then begin
+    let n = Watchdog.misses wd in
+    if n > 0 then
+      Metrics.Counter.inc ~by:(float_of_int n) (Lazy.force m_watchdog_misses);
+    List.iter
+      (fun _ -> Metrics.Counter.inc (Lazy.force m_abandoned))
+      !abandoned
+  end;
   !abandoned
 
 (* ------------------------------------------------------------------ *)
@@ -578,12 +718,17 @@ let validate cfg faults =
 
 let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
   validate config faults;
+  if Metrics.enabled () then register_metrics ();
+  Span.with_span "supervisor.run"
+    ~attrs:[ ("chains", string_of_int config.chains) ]
+  @@ fun () ->
   let t0 = now () in
   let chains =
     Array.init config.chains (init_chain config ~seed ~init make_store faults)
   in
   let iterations = config.stem.Stem.iterations in
   let continue_ = ref true in
+  let round = ref 0 in
   while !continue_ do
     let runnable =
       Array.to_list chains
@@ -591,6 +736,10 @@ let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
     in
     if runnable = [] then continue_ := false
     else begin
+      Span.with_span "supervisor.round"
+        ~attrs:[ ("round", string_of_int !round) ]
+      @@ fun () ->
+      incr round;
       let t = now () in
       List.iter
         (fun st ->
@@ -618,6 +767,7 @@ let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
         (fun st ->
           if List.memq st abandoned then begin
             st.abandoned <- true;
+            if Metrics.enabled () then Metrics.Counter.inc (Lazy.force m_deaths);
             st.status <-
               Dead
                 (Printf.sprintf
@@ -627,7 +777,12 @@ let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
           end
           else barrier_check config st)
         runnable;
-      divergence_pass config chains
+      divergence_pass config chains;
+      if Metrics.enabled () then Metrics.Counter.inc (Lazy.force m_rounds)
     end
   done;
-  finalize config chains t0
+  let r = finalize config chains t0 in
+  Log.info (fun m ->
+      m "run finished: %a, %d/%d chains healthy in %.2fs" pp_ensemble_status
+        r.status r.healthy_chains (Array.length r.verdicts) r.wall_seconds);
+  r

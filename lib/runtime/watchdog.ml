@@ -26,6 +26,10 @@ module Heartbeat = struct
     (c.at, c.sweep)
 
   let beats t = (Atomic.get t).beats
+
+  let age t ~now =
+    let c = Atomic.get t in
+    Float.max 0.0 (now -. c.at)
 end
 
 type verdict = Done | Alive of float | Stalled of float
@@ -35,12 +39,12 @@ let pp_verdict ppf = function
   | Alive age -> Format.fprintf ppf "alive (%.3fs since last beat)" age
   | Stalled age -> Format.fprintf ppf "STALLED (%.3fs since last beat)" age
 
-type t = { deadline : float; hbs : Heartbeat.t array }
+type t = { deadline : float; hbs : Heartbeat.t array; misses : int Atomic.t }
 
 let create ~deadline hbs =
   if not (Float.is_finite deadline && deadline > 0.0) then
     invalid_arg "Watchdog.create: deadline must be finite and positive";
-  { deadline; hbs }
+  { deadline; hbs; misses = Atomic.make 0 }
 
 let deadline t = t.deadline
 
@@ -52,7 +56,17 @@ let judge t ~now hb =
     if age > t.deadline then Stalled age else Alive age
   end
 
-let poll ~now t = Array.map (judge t ~now) t.hbs
+let misses t = Atomic.get t.misses
+
+let poll ~now t =
+  Array.map
+    (fun hb ->
+      let v = judge t ~now hb in
+      (match v with
+      | Stalled _ -> Atomic.incr t.misses
+      | Done | Alive _ -> ());
+      v)
+    t.hbs
 
 let stalled ~now t =
   let acc = ref [] in

@@ -6,16 +6,23 @@
     heartbeats against a per-sweep deadline from the main domain. A
     chain whose last beat is older than the deadline is {e stalled}:
     the watchdog cannot preempt an OCaml domain, so the verdict's job
-    is to (a) flag the chain so its samples are excluded from the
-    pooled estimate, and (b) trigger the supervisor's cooperative
-    cancellation, which a chain honours at its next iteration
-    boundary. A chain stuck {e inside} a single Gibbs move never
-    reaches that boundary — the supervisor abandons it after a grace
-    period and degrades to fewer chains.
+    is to trigger the supervisor's cooperative cancellation, which a
+    chain honours at its next iteration boundary; at the round barrier
+    the supervisor rolls the chain back to its last good checkpoint
+    and restarts it with re-jittered latents, exhausting the restart
+    budget into a [Dead] verdict. A chain stuck {e inside} a single
+    Gibbs move never reaches the cancellation point — the supervisor
+    abandons its domain after a grace period and the run degrades to
+    the surviving chains. (Divergence {e quarantine} is a separate
+    mechanism, driven by cross-chain statistics in the supervisor, not
+    by this watchdog.)
 
     Heartbeats are single-writer (the chain) / single-reader (the
     supervisor) atomics; beating and polling are lock-free, never
-    raise, and consume no randomness. *)
+    raise, and consume no randomness. The watchdog additionally keeps
+    a deadline-miss count ({!misses}) and exposes per-heartbeat ages
+    ({!Heartbeat.age}) so the telemetry layer can export supervision
+    health as metrics. *)
 
 module Heartbeat : sig
   type t
@@ -43,6 +50,10 @@ module Heartbeat : sig
 
   val beats : t -> int
   (** Total beats over the heartbeat's lifetime (survives {!arm}). *)
+
+  val age : t -> now:float -> float
+  (** Seconds since the last beat (or since {!arm} if the chain has
+      not beaten yet), clamped to be non-negative. *)
 end
 
 type verdict =
@@ -64,7 +75,14 @@ val deadline : t -> float
 val poll : now:float -> t -> verdict array
 (** Judge every heartbeat at time [now]: done chains are [Done], the
     rest [Alive age] or [Stalled age] by comparing the age of their
-    last beat against the deadline. *)
+    last beat against the deadline. Every [Stalled] verdict also
+    increments the deadline-miss count. *)
+
+val misses : t -> int
+(** Cumulative count of [Stalled] verdicts returned by {!poll} over
+    this watchdog's lifetime — the metrics hooks export it as the
+    deadline-miss counter. ({!stalled} is a read-only probe and does
+    not count.) *)
 
 val stalled : now:float -> t -> int list
 (** Indices of chains currently [Stalled], ascending. *)

@@ -1,0 +1,129 @@
+module Metrics = Qnet_obs.Metrics
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  mutable acceptor : Thread.t option;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let read_request_line fd =
+  (* Read through the end of the headers (blank line, 8 KiB cap) but
+     return only the request line — headers are ignored, yet must be
+     consumed: closing a socket with unread data makes the kernel send
+     RST and the client sees ECONNRESET instead of our response. *)
+  let line = Buffer.create 256 in
+  let chunk = Bytes.create 1 in
+  let rec go n ~in_line ~blank =
+    if n >= 8192 then ()
+    else
+      match Unix.read fd chunk 0 1 with
+      | 0 -> ()
+      | _ -> (
+          match Bytes.get chunk 0 with
+          | '\n' -> if not blank then go (n + 1) ~in_line:false ~blank:true
+          | '\r' -> go (n + 1) ~in_line ~blank
+          | c ->
+              if in_line then Buffer.add_char line c;
+              go (n + 1) ~in_line ~blank:false)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0 ~in_line:true ~blank:false;
+  Buffer.contents line
+
+let route registry line =
+  match String.split_on_char ' ' line with
+  | [ "GET"; path; _ ] | [ "GET"; path ] -> (
+      let path =
+        match String.index_opt path '?' with
+        | Some i -> String.sub path 0 i
+        | None -> path
+      in
+      match path with
+      | "/metrics" ->
+          http_response ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (Metrics.to_prometheus registry)
+      | "/metrics.json" ->
+          http_response ~status:"200 OK" ~content_type:"application/x-ndjson"
+            (Metrics.to_jsonl ~ts:(Unix.gettimeofday ()) registry)
+      | "/healthz" ->
+          http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+      | _ ->
+          http_response ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found\n")
+  | _ ->
+      http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+        "only GET is served\n"
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> ()
+      | k -> go (off + k)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let serve_client registry fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let line = read_request_line fd in
+      write_all fd (route registry line))
+
+let accept_loop t registry =
+  let continue_ = ref true in
+  while !continue_ && not (Atomic.get t.stopping) do
+    match Unix.accept t.sock with
+    | client, _ ->
+        ignore (Thread.create (fun () -> serve_client registry client) ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* listening socket closed by [stop] *)
+        continue_ := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> Thread.yield ()
+  done
+
+let start ?(registry = Metrics.default) ?(host = "127.0.0.1") ~port () =
+  match
+    let addr = Unix.inet_addr_of_string host in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt sock Unix.SO_REUSEADDR true;
+       Unix.bind sock (Unix.ADDR_INET (addr, port));
+       Unix.listen sock 16
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    let bound_port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    { sock; bound_port; stopping = Atomic.make false; acceptor = None }
+  with
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "cannot bind %s:%d: %s (%s)" host port
+               (Unix.error_message err) fn)
+  | exception Failure _ -> Error (Printf.sprintf "invalid host %S" host)
+  | t ->
+      t.acceptor <- Some (Thread.create (fun () -> accept_loop t registry) ());
+      Ok t
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    match t.acceptor with None -> () | Some th -> Thread.join th
+  end

@@ -1,0 +1,30 @@
+(** A minimal, dependency-free HTTP endpoint exposing the telemetry
+    registry — the same discipline the paper assumes of the services
+    being modeled, applied to our own inference runtime.
+
+    Routes:
+    - [GET /metrics] — Prometheus text exposition format;
+    - [GET /metrics.json] — JSONL snapshot (one sample per line);
+    - [GET /healthz] — liveness probe, returns [ok].
+
+    The server is a single accept-loop thread plus one short-lived
+    thread per connection, listening on the loopback interface only.
+    It serves scrapes concurrently with a running inference: the
+    registry's shard design makes reads lock-free and always
+    consistent per-cell. This is an operational endpoint for scrapers
+    and smoke tests, not a hardened public server. *)
+
+type t
+
+val start :
+  ?registry:Qnet_obs.Metrics.registry -> ?host:string -> port:int -> unit -> (t, string) result
+(** [start ~port ()] binds [host] (default ["127.0.0.1"]) on [port]
+    ([0] picks an ephemeral port — see {!port}) and serves until
+    {!stop}. [Error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0]). *)
+
+val stop : t -> unit
+(** Close the listening socket and join the accept loop. Connections
+    already accepted finish serving; idempotent. *)

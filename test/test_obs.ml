@@ -1,0 +1,413 @@
+(* Tests for qnet_obs: metrics registry exactness under domain
+   parallelism, Prometheus/JSONL export, span tracing, the trace
+   summary, and the /metrics HTTP endpoint. *)
+
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+module Jsonx = Qnet_obs.Jsonx
+module Metrics_server = Qnet_webapp.Metrics_server
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* --- metrics: exact totals under hammering domains ----------------- *)
+
+let test_counter_domains () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.Counter.create ~registry:reg "hammer_total" in
+  let domains = 4 and per_domain = 25_000 in
+  let workers =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.Counter.inc c
+            done))
+  in
+  Array.iter Domain.join workers;
+  check_float "every increment counted exactly"
+    (float_of_int (domains * per_domain))
+    (Metrics.Counter.value c)
+
+let test_counter_by_domains () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.Counter.create ~registry:reg "weighted_total" in
+  let workers =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            (* 0.25 sums exactly in binary floating point *)
+            for _ = 1 to 10_000 do
+              Metrics.Counter.inc ~by:(0.25 *. float_of_int (d + 1)) c
+            done))
+  in
+  Array.iter Domain.join workers;
+  (* 10_000 * 0.25 * (1+2+3+4) = 25_000 *)
+  check_float "weighted increments exact" 25_000.0 (Metrics.Counter.value c)
+
+let test_histogram_domains () =
+  let reg = Metrics.create_registry () in
+  let h =
+    Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0; 2.0; 4.0 |]
+      "hammer_seconds"
+  in
+  let values = [| 0.5; 1.5; 3.0; 5.0 |] in
+  let per_domain = 10_000 in
+  let workers =
+    Array.init (Array.length values) (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.Histogram.observe h values.(d)
+            done))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "count" 40_000 (Metrics.Histogram.count h);
+  (* all values are multiples of 0.5, so the sum is exact *)
+  check_float "sum" 100_000.0 (Metrics.Histogram.sum h);
+  let cum = Metrics.Histogram.cumulative_buckets h in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "cumulative buckets"
+    [ (1.0, 10_000); (2.0, 20_000); (4.0, 30_000); (infinity, 40_000) ]
+    (Array.to_list cum)
+
+(* --- metrics: registration and cell semantics ---------------------- *)
+
+let test_idempotent_handles () =
+  let reg = Metrics.create_registry () in
+  let a = Metrics.Counter.create ~registry:reg ~labels:[ ("k", "v") ] "idem_total" in
+  let b = Metrics.Counter.create ~registry:reg ~labels:[ ("k", "v") ] "idem_total" in
+  Metrics.Counter.inc a;
+  Metrics.Counter.inc b;
+  check_float "same (name, labels) is the same cell" 2.0 (Metrics.Counter.value a);
+  let other = Metrics.Counter.create ~registry:reg ~labels:[ ("k", "w") ] "idem_total" in
+  check_float "different labels are a different cell" 0.0
+    (Metrics.Counter.value other)
+
+let test_kind_conflict () =
+  let reg = Metrics.create_registry () in
+  let _ = Metrics.Counter.create ~registry:reg "conflict_total" in
+  Alcotest.check_raises "same name, different kind"
+    (Invalid_argument
+       "Metrics: \"conflict_total\" already registered as a counter, not a gauge")
+    (fun () -> ignore (Metrics.Gauge.create ~registry:reg "conflict_total"))
+
+let test_validation () =
+  let reg = Metrics.create_registry () in
+  (try
+     ignore (Metrics.Counter.create ~registry:reg "bad name");
+     Alcotest.fail "metric name with a space accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Metrics.Counter.create ~registry:reg ~labels:[ ("0bad", "v") ] "ok_total");
+     Alcotest.fail "label name starting with a digit accepted"
+   with Invalid_argument _ -> ());
+  let c = Metrics.Counter.create ~registry:reg "mono_total" in
+  (try
+     Metrics.Counter.inc ~by:(-1.0) c;
+     Alcotest.fail "negative increment accepted"
+   with Invalid_argument _ -> ());
+  check_float "counter untouched by rejected increment" 0.0
+    (Metrics.Counter.value c)
+
+let test_gauge () =
+  let reg = Metrics.create_registry () in
+  let g = Metrics.Gauge.create ~registry:reg "level" in
+  Metrics.Gauge.set g 36.5;
+  Metrics.Gauge.add g 1.0;
+  check_float "set then add" 37.5 (Metrics.Gauge.value g)
+
+let test_histogram_nan () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0 |] "nan_seconds" in
+  Metrics.Histogram.observe h 0.5;
+  Metrics.Histogram.observe h Float.nan;
+  Alcotest.(check int) "NaN excluded from count" 1 (Metrics.Histogram.count h);
+  Alcotest.(check int) "NaN tallied separately" 1 (Metrics.Histogram.nan_count h);
+  check_float "NaN excluded from sum" 0.5 (Metrics.Histogram.sum h)
+
+(* --- export formats ------------------------------------------------ *)
+
+let golden_registry () =
+  let reg = Metrics.create_registry () in
+  let h =
+    Metrics.Histogram.create ~registry:reg ~buckets:[| 0.1; 1.0 |]
+      ~help:"Observed latency" "golden_latency_seconds"
+  in
+  Metrics.Histogram.observe h 0.05;
+  Metrics.Histogram.observe h 0.5;
+  Metrics.Histogram.observe h 5.0;
+  let c =
+    Metrics.Counter.create ~registry:reg ~help:"Requests served"
+      "golden_requests_total"
+  in
+  Metrics.Counter.inc ~by:3.0 c;
+  let lc =
+    Metrics.Counter.create ~registry:reg ~help:"Requests served"
+      ~labels:[ ("method", "get"); ("code", "200") ]
+      "golden_requests_total"
+  in
+  Metrics.Counter.inc ~by:2.0 lc;
+  let esc =
+    Metrics.Counter.create ~registry:reg ~help:"Label escaping probe"
+      ~labels:[ ("path", "/a\"b\\c\nd") ]
+      "golden_tricky_total"
+  in
+  Metrics.Counter.inc esc;
+  let g = Metrics.Gauge.create ~registry:reg ~help:"A temperature" "golden_temperature" in
+  Metrics.Gauge.set g 36.5;
+  reg
+
+let test_prometheus_golden () =
+  let actual = Metrics.to_prometheus (golden_registry ()) in
+  let golden =
+    let ic = open_in "golden_metrics.prom" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if actual <> golden then
+    Alcotest.failf
+      "Prometheus text drifted from golden_metrics.prom.@\nActual:@\n%s" actual
+
+let test_jsonl_parses () =
+  let out = Metrics.to_jsonl ~ts:1234.5 (golden_registry ()) in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "one line per sample" 5 (List.length lines);
+  List.iter
+    (fun line ->
+      match Jsonx.parse_object line with
+      | Error m -> Alcotest.failf "unparseable JSONL line %S: %s" line m
+      | Ok fields ->
+          (match List.assoc_opt "ts" fields with
+          | Some (Jsonx.Num 1234.5) -> ()
+          | _ -> Alcotest.failf "missing/wrong ts in %S" line);
+          if not (List.mem_assoc "name" fields) then
+            Alcotest.failf "missing name in %S" line)
+    lines
+
+(* --- spans --------------------------------------------------------- *)
+
+let test_span_nesting () =
+  Span.enable ();
+  Fun.protect ~finally:Span.disable @@ fun () ->
+  let r =
+    Span.with_span "outer" (fun () ->
+        Span.with_span ~attrs:[ ("k", "v") ] "inner" (fun () -> 7) + 1)
+  in
+  Alcotest.(check int) "value threaded through" 8 r;
+  match Span.drain () with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner name" "inner" inner.Span.name;
+      Alcotest.(check string) "outer name" "outer" outer.Span.name;
+      Alcotest.(check (option int)) "inner parented to outer" (Some outer.Span.id)
+        inner.Span.parent;
+      Alcotest.(check (option int)) "outer is a root" None outer.Span.parent;
+      Alcotest.(check (list (pair string string)))
+        "attrs kept" [ ("k", "v") ] inner.Span.attrs;
+      if inner.Span.duration > outer.Span.duration then
+        Alcotest.fail "child outlives parent"
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_safe () =
+  Span.enable ();
+  Fun.protect ~finally:Span.disable @@ fun () ->
+  (try Span.with_span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  Span.with_span "after" (fun () -> ());
+  match Span.drain () with
+  | [ boom; after ] ->
+      Alcotest.(check string) "raising span recorded" "boom" boom.Span.name;
+      Alcotest.(check (option int)) "stack unwound: next span is a root" None
+        after.Span.parent
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_ring_overflow () =
+  Span.enable ~capacity:8 ();
+  Fun.protect ~finally:Span.disable @@ fun () ->
+  for i = 1 to 20 do
+    Span.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let spans = Span.drain () in
+  Alcotest.(check int) "ring keeps newest [capacity]" 8 (List.length spans);
+  Alcotest.(check int) "overwrites counted" 12 (Span.dropped ());
+  Alcotest.(check (list string))
+    "newest survive, in completion order"
+    [ "s13"; "s14"; "s15"; "s16"; "s17"; "s18"; "s19"; "s20" ]
+    (List.map (fun s -> s.Span.name) spans)
+
+let test_span_disabled_is_free () =
+  Span.disable ();
+  let r = Span.with_span "ghost" (fun () -> 42) in
+  Alcotest.(check int) "thunk still runs" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.drain ()))
+
+let test_span_json_roundtrip () =
+  let s =
+    {
+      Span.id = 17;
+      parent = Some 3;
+      name = "gibbs.sweep";
+      start = 1.25;
+      duration = 0.0625;
+      attrs = [ ("chain", "2"); ("note", "a\"b\\c") ];
+    }
+  in
+  (match Span.of_json (Span.to_json s) with
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+  | Ok s' ->
+      Alcotest.(check int) "id" s.Span.id s'.Span.id;
+      Alcotest.(check (option int)) "parent" s.Span.parent s'.Span.parent;
+      Alcotest.(check string) "name" s.Span.name s'.Span.name;
+      check_float "start" s.Span.start s'.Span.start;
+      check_float "duration" s.Span.duration s'.Span.duration;
+      Alcotest.(check (list (pair string string))) "attrs" s.Span.attrs s'.Span.attrs);
+  let root = { s with Span.parent = None } in
+  match Span.of_json (Span.to_json root) with
+  | Error m -> Alcotest.failf "null-parent roundtrip failed: %s" m
+  | Ok r -> Alcotest.(check (option int)) "null parent" None r.Span.parent
+
+let test_read_jsonl_malformed () =
+  let path = Filename.temp_file "qnet_obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let good1 =
+    Span.to_json
+      { Span.id = 1; parent = None; name = "a"; start = 0.0; duration = 1.0; attrs = [] }
+  in
+  let good2 =
+    Span.to_json
+      { Span.id = 2; parent = Some 1; name = "b"; start = 0.1; duration = 0.5; attrs = [] }
+  in
+  let oc = open_out path in
+  output_string oc (good1 ^ "\n{not json}\n" ^ good2 ^ "\n\n");
+  close_out oc;
+  match Span.read_jsonl path with
+  | Error m -> Alcotest.failf "read failed: %s" m
+  | Ok (spans, bad) ->
+      Alcotest.(check int) "good spans kept" 2 (List.length spans);
+      Alcotest.(check int) "malformed lines counted, blanks ignored" 1 bad
+
+let test_summary () =
+  let mk id parent name start duration =
+    { Span.id; parent; name; start; duration; attrs = [] }
+  in
+  (* root [0,10] with children [0,4] and [5,8]; a second root [10,12] *)
+  let spans =
+    [
+      mk 2 (Some 1) "child" 0.0 4.0;
+      mk 3 (Some 1) "child" 5.0 3.0;
+      mk 1 None "root" 0.0 10.0;
+      mk 4 None "tail" 10.0 2.0;
+    ]
+  in
+  let s = Span.Summary.of_spans spans in
+  check_float "wall spans earliest start to latest end" 12.0 s.Span.Summary.wall;
+  check_float "roots cover everything" 1.0 s.Span.Summary.coverage;
+  let phase name =
+    List.find (fun p -> p.Span.Summary.name = name) s.Span.Summary.phases
+  in
+  check_float "root self excludes direct children" 3.0 (phase "root").Span.Summary.self;
+  Alcotest.(check int) "phases aggregate by name" 2 (phase "child").Span.Summary.count;
+  check_float "child total" 7.0 (phase "child").Span.Summary.total;
+  check_float "child max" 4.0 (phase "child").Span.Summary.max_duration
+
+(* --- /metrics endpoint --------------------------------------------- *)
+
+let http_get port target =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "%s HTTP/1.1\r\nHost: localhost\r\n\r\n" target in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read sock chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+  ln = 0 || at 0
+
+let test_metrics_server () =
+  let reg = golden_registry () in
+  match Metrics_server.start ~registry:reg ~port:0 () with
+  | Error m -> Alcotest.failf "cannot start server: %s" m
+  | Ok srv ->
+      Fun.protect ~finally:(fun () -> Metrics_server.stop srv) @@ fun () ->
+      let port = Metrics_server.port srv in
+      let metrics = http_get port "GET /metrics" in
+      if not (contains metrics "200 OK") then Alcotest.fail "/metrics not 200";
+      if not (contains metrics "golden_requests_total 3") then
+        Alcotest.failf "scrape missing counter:@\n%s" metrics;
+      if not (contains metrics "# TYPE golden_latency_seconds histogram") then
+        Alcotest.fail "scrape missing histogram family";
+      let health = http_get port "GET /healthz" in
+      if not (contains health "ok") then Alcotest.fail "/healthz not ok";
+      if not (contains (http_get port "GET /nope") "404") then
+        Alcotest.fail "unknown path should 404";
+      if not (contains (http_get port "POST /metrics") "405") then
+        Alcotest.fail "non-GET should 405"
+
+let test_metrics_server_stop_idempotent () =
+  match Metrics_server.start ~port:0 () with
+  | Error m -> Alcotest.failf "cannot start server: %s" m
+  | Ok srv ->
+      Metrics_server.stop srv;
+      Metrics_server.stop srv;
+      (* the port is released: a new server can bind an ephemeral port
+         and serve again *)
+      (match Metrics_server.start ~port:0 () with
+      | Error m -> Alcotest.failf "restart failed: %s" m
+      | Ok srv2 -> Metrics_server.stop srv2)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics-concurrency",
+        [
+          Alcotest.test_case "counter: N domains, exact total" `Quick
+            test_counter_domains;
+          Alcotest.test_case "counter: weighted increments exact" `Quick
+            test_counter_by_domains;
+          Alcotest.test_case "histogram: N domains, exact buckets" `Quick
+            test_histogram_domains;
+        ] );
+      ( "metrics-registry",
+        [
+          Alcotest.test_case "idempotent handles" `Quick test_idempotent_handles;
+          Alcotest.test_case "kind conflict rejected" `Quick test_kind_conflict;
+          Alcotest.test_case "name/label/increment validation" `Quick test_validation;
+          Alcotest.test_case "gauge set/add" `Quick test_gauge;
+          Alcotest.test_case "histogram NaN quarantine" `Quick test_histogram_nan;
+        ] );
+      ( "metrics-export",
+        [
+          Alcotest.test_case "Prometheus text matches golden file" `Quick
+            test_prometheus_golden;
+          Alcotest.test_case "JSONL lines parse" `Quick test_jsonl_parses;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and parent ids" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on exception" `Quick test_span_exception_safe;
+          Alcotest.test_case "ring overflow drops oldest" `Quick
+            test_span_ring_overflow;
+          Alcotest.test_case "disabled tracer records nothing" `Quick
+            test_span_disabled_is_free;
+          Alcotest.test_case "JSON roundtrip" `Quick test_span_json_roundtrip;
+          Alcotest.test_case "read_jsonl skips malformed lines" `Quick
+            test_read_jsonl_malformed;
+          Alcotest.test_case "summary: self time and coverage" `Quick test_summary;
+        ] );
+      ( "metrics-server",
+        [
+          Alcotest.test_case "scrape /metrics, /healthz, 404, 405" `Quick
+            test_metrics_server;
+          Alcotest.test_case "stop is idempotent and releases the port" `Quick
+            test_metrics_server_stop_idempotent;
+        ] );
+    ]

@@ -105,6 +105,32 @@ let test_watchdog_rearm_preserves_beats () =
   let at, _ = Watchdog.Heartbeat.last hb in
   Alcotest.(check (float 0.0)) "clock restarted" 10.0 at
 
+let test_watchdog_age_and_misses () =
+  let hb = Watchdog.Heartbeat.create () in
+  Watchdog.Heartbeat.arm hb ~now:100.0;
+  Alcotest.(check (float 1e-9))
+    "age from arm time before any beat" 0.5
+    (Watchdog.Heartbeat.age hb ~now:100.5);
+  Watchdog.Heartbeat.beat hb ~now:101.0 ~sweep:0;
+  Alcotest.(check (float 1e-9))
+    "age from last beat" 2.0
+    (Watchdog.Heartbeat.age hb ~now:103.0);
+  Alcotest.(check (float 1e-9))
+    "age clamped non-negative under clock skew" 0.0
+    (Watchdog.Heartbeat.age hb ~now:100.9);
+  let wd = Watchdog.create ~deadline:1.0 [| hb |] in
+  Alcotest.(check int) "no misses yet" 0 (Watchdog.misses wd);
+  ignore (Watchdog.poll ~now:101.5 wd);
+  Alcotest.(check int) "alive poll does not count" 0 (Watchdog.misses wd);
+  ignore (Watchdog.poll ~now:102.5 wd);
+  ignore (Watchdog.poll ~now:103.0 wd);
+  Alcotest.(check int) "each stalled verdict counts" 2 (Watchdog.misses wd);
+  ignore (Watchdog.stalled ~now:104.0 wd);
+  Alcotest.(check int) "stalled probe is read-only" 2 (Watchdog.misses wd);
+  Watchdog.Heartbeat.mark_done hb;
+  ignore (Watchdog.poll ~now:200.0 wd);
+  Alcotest.(check int) "done chains stop counting" 2 (Watchdog.misses wd)
+
 (* ------------------------------------------------------------------ *)
 (* Divergence statistics *)
 (* ------------------------------------------------------------------ *)
@@ -390,6 +416,8 @@ let () =
           Alcotest.test_case "heartbeat lifecycle" `Quick test_watchdog_heartbeat;
           Alcotest.test_case "re-arm preserves beats" `Quick
             test_watchdog_rearm_preserves_beats;
+          Alcotest.test_case "age and deadline-miss telemetry" `Quick
+            test_watchdog_age_and_misses;
         ] );
       ( "diagnostics",
         [
