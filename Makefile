@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test verify verify-supervised verify-obs demo supervised-demo bench-obs clean
+.PHONY: all build test lint verify-lint verify verify-supervised verify-obs demo supervised-demo bench-obs clean
 
 all: build
 
@@ -11,13 +11,23 @@ build:
 test:
 	dune runtest
 
+# Static analysis: parse every .ml/.mli under lib/ and bin/ with the
+# compiler's own parser and enforce the determinism, domain-safety and
+# exception-hygiene rules in DESIGN.md section 10. Non-zero exit on
+# any finding that is neither suppressed in-source nor baselined.
+lint: build
+	dune exec qnet_lint -- --root .
+
+verify-lint: lint
+	@echo "verify-lint: OK"
+
 # Full verification: build, the whole test suite, then an end-to-end
 # fault-injection demo — simulate a tandem network, corrupt its trace
 # with every fault mode (duplicates, truncated lines, NaN fields,
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build test demo supervised-demo
+verify: build lint test demo supervised-demo
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live

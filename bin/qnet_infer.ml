@@ -122,7 +122,7 @@ let write_metrics_snapshot path =
       path = "-"
       || Filename.check_suffix path ".json"
       || Filename.check_suffix path ".jsonl"
-    then Metrics.to_jsonl ~ts:(Unix.gettimeofday ()) Metrics.default
+    then Metrics.to_jsonl ~ts:(Qnet_obs.Clock.now ()) Metrics.default
     else Metrics.to_prometheus Metrics.default
   in
   write_file path data

@@ -1,0 +1,90 @@
+(* qnet_lint: the project's static-analysis gate.
+
+   Parses every .ml/.mli under lib/ and bin/ with the compiler's own
+   parser and enforces the determinism, domain-safety and
+   exception-hygiene invariants catalogued in DESIGN.md §10. Exit 0
+   means no unsuppressed, unbaselined findings; 1 means findings; 2
+   means usage or I/O failure. *)
+
+module Driver = Qnet_lint_lib.Driver
+module Reporter = Qnet_lint_lib.Reporter
+module Baseline = Qnet_lint_lib.Baseline
+module Rules = Qnet_lint_lib.Rules
+
+let usage = "qnet_lint [--root DIR] [options]\n\nOptions:"
+
+let () =
+  let root = ref "." in
+  let dirs = ref [] in
+  let baseline = ref "" in
+  let only = ref "" in
+  let json = ref false in
+  let verbose = ref false in
+  let write_baseline = ref false in
+  let list_rules = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default: .)");
+      ( "--dir",
+        Arg.String (fun d -> dirs := d :: !dirs),
+        "DIR directory under the root to scan (repeatable; default: lib bin)"
+      );
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE baseline file (default: ROOT/lint-baseline.txt)" );
+      ( "--rules",
+        Arg.Set_string only,
+        "CODES comma-separated rule codes to run (default: all)" );
+      ("--json", Arg.Set json, " emit the report as one JSON object");
+      ( "--verbose",
+        Arg.Set verbose,
+        " also list suppressed and baselined findings" );
+      ( "--write-baseline",
+        Arg.Set write_baseline,
+        " write current findings to the baseline file and exit 0" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue");
+    ]
+  in
+  Arg.parse spec
+    (fun anon ->
+      raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    usage;
+  if !list_rules then begin
+    List.iter
+      (fun (code, title, doc) ->
+        print_string (Printf.sprintf "%s  %s\n      %s\n" code title doc))
+      Rules.catalogue;
+    exit 0
+  end;
+  let options =
+    {
+      Driver.root = !root;
+      dirs = (if !dirs = [] then Driver.default_dirs else List.rev !dirs);
+      baseline_path = (if !baseline = "" then None else Some !baseline);
+      only =
+        (if !only = "" then None
+         else Some (String.split_on_char ',' !only |> List.map String.trim));
+    }
+  in
+  match Driver.run options with
+  | exception Sys_error msg ->
+      prerr_endline ("qnet_lint: error: " ^ msg);
+      exit 2
+  | outcome ->
+      if !write_baseline then begin
+        let path =
+          match options.Driver.baseline_path with
+          | Some p -> p
+          | None -> Filename.concat !root Driver.default_baseline
+        in
+        Baseline.save path outcome.Driver.findings;
+        print_string
+          (Printf.sprintf "qnet_lint: wrote %d entr%s to %s\n"
+             (List.length outcome.Driver.findings)
+             (if List.length outcome.Driver.findings = 1 then "y" else "ies")
+             path);
+        exit 0
+      end;
+      if !json then print_string (Reporter.json outcome ^ "\n")
+      else print_string (Reporter.text ~verbose:!verbose outcome);
+      exit (Driver.exit_code outcome)

@@ -32,7 +32,7 @@ let analyze ~arrival_rate net =
       let lam = arrival_rate *. v in
       let rho = lam /. service_rate in
       let wq, w =
-        if v = 0.0 then (0.0, 0.0)
+        if Float.equal v 0.0 then (0.0, 0.0)
         else if rho >= 1.0 then (infinity, infinity)
         else
           ( rho /. (service_rate -. lam),

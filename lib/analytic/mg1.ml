@@ -3,7 +3,7 @@ module D = Qnet_prob.Distributions
 let second_moment service =
   let m = D.mean service in
   let v = D.variance service in
-  if Float.is_nan m || Float.is_nan v || v = infinity then
+  if Float.is_nan m || Float.is_nan v || Float.equal v infinity then
     invalid_arg "Mg1: service distribution needs finite first two moments";
   v +. (m *. m)
 

@@ -79,7 +79,7 @@ let of_trace ?observed trace =
     (fun evs ->
       if Array.length evs = 0 then invalid_arg "Event_store.of_trace: empty task";
       let first = evs.(0) in
-      if arrival0.(first) <> 0.0 then
+      if not (Float.equal arrival0.(first) 0.0) then
         invalid_arg "Event_store.of_trace: task without initial event";
       if queue.(first) <> arrival_queue then
         invalid_arg "Event_store.of_trace: inconsistent arrival queue";

@@ -40,7 +40,7 @@ let entry_times trace =
   let tbl = Hashtbl.create 64 in
   Array.iter
     (fun e ->
-      if e.Trace.arrival = 0.0 then Hashtbl.replace tbl e.Trace.task e.Trace.departure)
+      if Float.equal e.Trace.arrival 0.0 then Hashtbl.replace tbl e.Trace.task e.Trace.departure)
     trace.Trace.events;
   tbl
 
@@ -141,7 +141,7 @@ let run ?(config = default_config) ?(on_window = fun _ -> ())
     let shift e =
       {
         e with
-        Trace.arrival = (if e.Trace.arrival = 0.0 then 0.0 else e.Trace.arrival -. t0);
+        Trace.arrival = (if Float.equal e.Trace.arrival 0.0 then 0.0 else e.Trace.arrival -. t0);
         departure = e.Trace.departure -. t0;
       }
     in

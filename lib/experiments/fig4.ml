@@ -111,7 +111,7 @@ let print_report observations =
   (* the paper's headline: at 5% the median service error is 0.033 and
      the median waiting error 1.35; overloaded queues dominate the
      waiting error *)
-  (match List.find_opt (fun (f, _, _, _, _) -> f = 0.05) (summarize observations) with
+  (match List.find_opt (fun (f, _, _, _, _) -> Float.equal f 0.05) (summarize observations) with
   | Some (_, sm, _, wm, _) ->
       Printf.printf
         "paper (5%%): serv-med 0.0330, wait-med 1.3500 | ours: serv-med %.4f, wait-med %.4f\n"

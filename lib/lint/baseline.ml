@@ -1,0 +1,73 @@
+(* Grandfathered findings. The committed baseline is empty — the whole
+   point of the PR that introduced qnet_lint was to fix every true
+   positive — but the mechanism stays so a future rule can land before
+   its last fix does, without loosening the exit code for new code. *)
+
+type entry = { code : string; file : string; line : int }
+
+let header =
+  "# qnet_lint baseline: grandfathered findings, one per line as\n\
+   # CODE<TAB>file<TAB>line. Regenerate with `qnet_lint --write-baseline`.\n\
+   # An empty baseline is the healthy state.\n"
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.split_on_char '\t' line with
+    | [ code; file; ln ] -> (
+        match int_of_string_opt ln with
+        | Some n -> Ok (Some { code; file; line = n })
+        | None -> Error (Printf.sprintf "baseline line %d: bad line number" lineno))
+    | _ ->
+        Error
+          (Printf.sprintf
+             "baseline line %d: expected CODE<TAB>file<TAB>line" lineno)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_line lineno l with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some e) -> go (lineno + 1) (e :: acc) rest
+        | Error _ as err -> err)
+  in
+  go 1 [] lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          of_string (really_input_string ic len))
+    with Sys_error msg -> Error msg
+
+let to_string findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  List.iter
+    (fun (f : Finding.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%s\t%d\n" f.Finding.code f.Finding.file
+           f.Finding.line))
+    (List.sort Finding.compare_by_pos findings);
+  Buffer.contents buf
+
+let save path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string findings))
+
+let covers entries (f : Finding.t) =
+  List.exists
+    (fun e ->
+      e.code = f.Finding.code && e.file = f.Finding.file
+      && e.line = f.Finding.line)
+    entries

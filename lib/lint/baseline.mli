@@ -1,0 +1,17 @@
+(** The committed-findings baseline: grandfathered violations that do
+    not fail the build. Format: one [CODE<TAB>file<TAB>line] per line;
+    ['#'] comments and blank lines are ignored. *)
+
+type entry = { code : string; file : string; line : int }
+
+val of_string : string -> (entry list, string) result
+
+val load : string -> (entry list, string) result
+(** A missing file is an empty baseline, not an error. *)
+
+val to_string : Finding.t list -> string
+(** Render findings as baseline text (sorted, with the header). *)
+
+val save : string -> Finding.t list -> unit
+
+val covers : entry list -> Finding.t -> bool

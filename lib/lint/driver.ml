@@ -1,0 +1,196 @@
+(* Walk the tree, parse every .ml/.mli with the compiler's own parser,
+   run the rule registry, then subtract in-source suppressions and the
+   committed baseline. The driver is a pure library (no printing, no
+   exit): bin/qnet_lint.ml owns the process boundary. *)
+
+type options = {
+  root : string;
+  dirs : string list;
+  baseline_path : string option;
+  only : string list option;  (* restrict to these rule codes *)
+}
+
+let default_dirs = [ "lib"; "bin" ]
+let default_baseline = "lint-baseline.txt"
+
+let default_options root =
+  { root; dirs = default_dirs; baseline_path = None; only = None }
+
+type outcome = {
+  findings : Finding.t list;  (* unsuppressed, unbaselined: these fail *)
+  suppressed : (Finding.t * string) list;  (* finding, reason *)
+  baselined : Finding.t list;
+  files_scanned : int;
+}
+
+let exit_code outcome = if outcome.findings = [] then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                      *)
+
+let hidden name = name = "" || name.[0] = '.' || name.[0] = '_'
+
+let walk root dirs =
+  let files = ref [] in
+  let rec go rel abs =
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | true ->
+        let entries = Sys.readdir abs in
+        Array.sort compare entries;
+        Array.iter
+          (fun name ->
+            if not (hidden name) then
+              go (if rel = "" then name else rel ^ "/" ^ name)
+                (Filename.concat abs name))
+          entries
+    | false ->
+        if
+          Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli"
+        then files := rel :: !files
+  in
+  List.iter
+    (fun dir -> if dir <> "" then go dir (Filename.concat root dir))
+    dirs;
+  List.rev !files
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis                                                   *)
+
+let parse_error_finding ~path exn =
+  let from_loc (loc : Location.t) msg =
+    Finding.of_location ~code:"X001" ~file:path loc msg
+  in
+  match exn with
+  | Syntaxerr.Error err ->
+      from_loc (Syntaxerr.location_of_error err) "syntax error"
+  | Lexer.Error (_, loc) -> from_loc loc "lexer error"
+  | exn ->
+      Finding.v ~code:"X001" ~file:path ~line:1 ~col:0
+        ("cannot parse: " ^ Printexc.to_string exn)
+
+let active_rules only =
+  match only with
+  | None -> Rules.all
+  | Some codes -> List.filter (fun r -> List.mem r.Rules.code codes) Rules.all
+
+let wants only code =
+  match only with None -> true | Some codes -> List.mem code codes
+
+(* Raw findings for one source text: AST rules, parse failures and
+   malformed suppression directives — before suppression/baseline
+   filtering. Also returns the scanned directives. *)
+let raw_findings ?only ~path source =
+  let acc = ref [] in
+  let report f = acc := f :: !acc in
+  let scan = Suppress.scan source in
+  if wants only "S001" then
+    List.iter
+      (fun (line, what) ->
+        report (Finding.v ~code:"S001" ~file:path ~line ~col:0 what))
+      scan.Suppress.malformed;
+  (if Filename.check_suffix path ".ml" then begin
+     let lexbuf = Lexing.from_string source in
+     Lexing.set_filename lexbuf path;
+     match Parse.implementation lexbuf with
+     | str ->
+         List.iter
+           (fun r ->
+             if r.Rules.applies path then
+               r.Rules.check { Rules.path; report } str)
+           (active_rules only)
+     | exception exn ->
+         if wants only "X001" then report (parse_error_finding ~path exn)
+   end
+   else
+     let lexbuf = Lexing.from_string source in
+     Lexing.set_filename lexbuf path;
+     match Parse.interface lexbuf with
+     | (_ : Parsetree.signature) -> ()
+     | exception exn ->
+         if wants only "X001" then report (parse_error_finding ~path exn));
+  (List.sort Finding.compare_by_pos !acc, scan.Suppress.directives)
+
+let split_suppressed directives findings =
+  List.partition_map
+    (fun (f : Finding.t) ->
+      match
+        Suppress.find directives ~code:f.Finding.code ~line:f.Finding.line
+      with
+      | Some d -> Right (f, d.Suppress.reason)
+      | None -> Left f)
+    findings
+
+let lint_source ?only ~path source =
+  let findings, directives = raw_findings ?only ~path source in
+  split_suppressed directives findings
+
+(* ------------------------------------------------------------------ *)
+(* Whole-tree run                                                      *)
+
+let missing_mli_findings ~only files =
+  if not (wants only "M001") then []
+  else
+    let have_mli = Hashtbl.create 64 in
+    List.iter
+      (fun f ->
+        if Filename.check_suffix f ".mli" then
+          Hashtbl.replace have_mli (Filename.remove_extension f) ())
+      files;
+    List.filter_map
+      (fun f ->
+        if
+          Filename.check_suffix f ".ml"
+          && Rules.has_prefix "lib/" f
+          && not (Hashtbl.mem have_mli (Filename.remove_extension f))
+        then
+          Some
+            (Finding.v ~code:"M001" ~file:f ~line:1 ~col:0
+               "library module has no .mli; write one so its contract is \
+                explicit")
+        else None)
+      files
+
+let run options =
+  let files = walk options.root options.dirs in
+  let baseline_path =
+    match options.baseline_path with
+    | Some p -> p
+    | None -> Filename.concat options.root default_baseline
+  in
+  let baseline =
+    match Baseline.load baseline_path with Ok e -> e | Error _ -> []
+  in
+  let all_findings = ref [] and all_suppressed = ref [] in
+  List.iter
+    (fun rel ->
+      match read_file (Filename.concat options.root rel) with
+      | exception Sys_error _ -> ()
+      | source ->
+          let active, suppressed =
+            lint_source ?only:options.only ~path:rel source
+          in
+          all_findings := List.rev_append active !all_findings;
+          all_suppressed := List.rev_append suppressed !all_suppressed)
+    files;
+  all_findings :=
+    List.rev_append (missing_mli_findings ~only:options.only files)
+      !all_findings;
+  let baselined, findings =
+    List.partition (Baseline.covers baseline) !all_findings
+  in
+  {
+    findings = List.sort Finding.compare_by_pos findings;
+    suppressed =
+      List.sort
+        (fun (a, _) (b, _) -> Finding.compare_by_pos a b)
+        !all_suppressed;
+    baselined = List.sort Finding.compare_by_pos baselined;
+    files_scanned = List.length files;
+  }

@@ -1,0 +1,42 @@
+(** Orchestration: file discovery, parsing, rule dispatch, and
+    suppression / baseline filtering. Pure — printing and process exit
+    belong to bin/qnet_lint.ml. *)
+
+type options = {
+  root : string;  (** repo root; [dirs] are resolved against it *)
+  dirs : string list;  (** default [["lib"; "bin"]] *)
+  baseline_path : string option;
+      (** default [root/lint-baseline.txt]; missing file = empty *)
+  only : string list option;  (** restrict to these rule codes *)
+}
+
+val default_dirs : string list
+val default_baseline : string
+val default_options : string -> options
+
+type outcome = {
+  findings : Finding.t list;  (** unsuppressed, unbaselined — these fail *)
+  suppressed : (Finding.t * string) list;  (** finding, suppression reason *)
+  baselined : Finding.t list;
+  files_scanned : int;
+}
+
+val exit_code : outcome -> int
+(** 0 iff [findings] is empty. *)
+
+val lint_source :
+  ?only:string list ->
+  path:string ->
+  string ->
+  Finding.t list * (Finding.t * string) list
+(** Lint one source text as if it lived at [path] (relative,
+    '/'-separated — rules use it for their allowlists). Returns
+    (active findings, suppressed findings with reasons). The file-set
+    rule M001 does not apply here. *)
+
+val walk : string -> string list -> string list
+(** [walk root dirs]: every .ml/.mli under [root]/[dirs], as sorted
+    root-relative paths; directories starting with '.' or '_' are
+    skipped. *)
+
+val run : options -> outcome

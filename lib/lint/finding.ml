@@ -1,0 +1,34 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let v ?(severity = Error) ~code ~file ~line ~col message =
+  { code; severity; file; line; col; message }
+
+let of_location ?severity ~code ~file (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  v ?severity ~code ~file ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    message
+
+let compare_by_pos a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> (
+          match compare a.col b.col with 0 -> compare a.code b.code | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: %s %s: %s" f.file f.line f.col
+    (severity_label f.severity) f.code f.message

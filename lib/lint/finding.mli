@@ -1,0 +1,33 @@
+(** A single diagnostic produced by a lint rule. *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;  (** rule code, e.g. ["D001"] *)
+  severity : severity;
+  file : string;  (** path relative to the lint root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column, as compilers report *)
+  message : string;
+}
+
+val severity_label : severity -> string
+
+val v :
+  ?severity:severity ->
+  code:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+val of_location :
+  ?severity:severity -> code:string -> file:string -> Location.t -> string -> t
+(** Build a finding from a compiler-libs location (its start position). *)
+
+val compare_by_pos : t -> t -> int
+(** Order by file, then line, then column, then code. *)
+
+val to_string : t -> string
+(** [file:line:col: severity CODE: message] — the text-reporter line. *)

@@ -1,0 +1,69 @@
+(* Text and JSON rendering of a driver outcome. Pure string builders:
+   the lint library never touches stdout itself (P001 applies to us
+   too). *)
+
+module Jsonx = Qnet_obs.Jsonx
+
+let summary_line (o : Driver.outcome) =
+  Printf.sprintf
+    "qnet_lint: %d finding(s), %d suppressed, %d baselined, %d files scanned"
+    (List.length o.Driver.findings)
+    (List.length o.Driver.suppressed)
+    (List.length o.Driver.baselined)
+    o.Driver.files_scanned
+
+let text ?(verbose = false) (o : Driver.outcome) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_string f);
+      Buffer.add_char buf '\n')
+    o.Driver.findings;
+  if verbose then begin
+    List.iter
+      (fun (f, reason) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s (suppressed: %s)\n" (Finding.to_string f) reason))
+      o.Driver.suppressed;
+    List.iter
+      (fun f ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s (baselined)\n" (Finding.to_string f)))
+      o.Driver.baselined
+  end;
+  Buffer.add_string buf (summary_line o);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let finding_fields (f : Finding.t) =
+  [
+    ("code", Jsonx.Str f.Finding.code);
+    ("severity", Jsonx.Str (Finding.severity_label f.Finding.severity));
+    ("file", Jsonx.Str f.Finding.file);
+    ("line", Jsonx.Num (float_of_int f.Finding.line));
+    ("col", Jsonx.Num (float_of_int f.Finding.col));
+    ("message", Jsonx.Str f.Finding.message);
+  ]
+
+let json (o : Driver.outcome) =
+  Jsonx.render
+    (Jsonx.Obj
+       [
+         ( "findings",
+           Jsonx.Arr
+             (List.map (fun f -> Jsonx.Obj (finding_fields f)) o.Driver.findings)
+         );
+         ( "suppressed",
+           Jsonx.Arr
+             (List.map
+                (fun (f, reason) ->
+                  Jsonx.Obj (finding_fields f @ [ ("reason", Jsonx.Str reason) ]))
+                o.Driver.suppressed) );
+         ( "baselined",
+           Jsonx.Arr
+             (List.map
+                (fun f -> Jsonx.Obj (finding_fields f))
+                o.Driver.baselined) );
+         ("files_scanned", Jsonx.Num (float_of_int o.Driver.files_scanned));
+         ("ok", Jsonx.Bool (o.Driver.findings = []));
+       ])

@@ -1,0 +1,13 @@
+(** Render a {!Driver.outcome} for humans (text) or tooling (JSON).
+    Pure string builders — the caller owns the channels. *)
+
+val summary_line : Driver.outcome -> string
+
+val text : ?verbose:bool -> Driver.outcome -> string
+(** One [file:line:col: severity CODE: message] line per finding plus
+    the summary; [verbose] also lists suppressed and baselined
+    findings. *)
+
+val json : Driver.outcome -> string
+(** Single JSON object: findings / suppressed / baselined arrays,
+    [files_scanned], and an ["ok"] flag. *)

@@ -1,0 +1,421 @@
+(* The rule registry. Every rule is a purely syntactic check over the
+   Parsetree: we deliberately stop before the typer, so rules are
+   conservative approximations of the invariants in DESIGN.md §10 —
+   cheap to run on every build, precise enough that each firing is
+   either a real hazard or worth an explicit, reasoned suppression. *)
+
+open Parsetree
+module I = Ast_iterator
+
+type ctx = { path : string; report : Finding.t -> unit }
+
+type rule = {
+  code : string;
+  title : string;
+  doc : string;
+  applies : string -> bool;
+  check : ctx -> Parsetree.structure -> unit;
+}
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let in_lib path = has_prefix "lib/" path
+let in_experiments path = has_prefix "lib/experiments/" path
+let in_analytic path = has_prefix "lib/analytic/" path
+
+(* Longident.flatten raises on functor applications; we never need
+   those, so flatten defensively. *)
+let ident_name lid =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> acc
+  in
+  String.concat "." (go [] lid)
+
+let report ctx ~code ~loc message =
+  ctx.report (Finding.of_location ~code ~file:ctx.path loc message)
+
+(* Visit every expression of a structure, including those nested in
+   submodules, classes and functors. *)
+let iter_exprs f str =
+  let it =
+    {
+      I.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          I.default_iterator.expr self e);
+    }
+  in
+  it.structure it str
+
+(* ------------------------------------------------------------------ *)
+(* D001: nondeterminism sources.                                       *)
+
+let d001_banned name =
+  name = "Unix.gettimeofday" || name = "Unix.time" || name = "Random"
+  || has_prefix "Random." name
+
+let d001 =
+  {
+    code = "D001";
+    title = "nondeterminism source";
+    doc =
+      "stdlib Random or wall-clock reads (Unix.gettimeofday / Unix.time) \
+       outside lib/obs/clock.ml. Samplers must draw all randomness from \
+       Qnet_prob.Rng and all time from Qnet_obs.Clock, or checkpoint/resume \
+       and multi-chain replay stop being bit-identical.";
+    applies = (fun path -> path <> "lib/obs/clock.ml");
+    check =
+      (fun ctx str ->
+        let it =
+          {
+            I.default_iterator with
+            expr =
+              (fun self e ->
+                (match e.pexp_desc with
+                | Pexp_ident { txt; loc } when d001_banned (ident_name txt) ->
+                    report ctx ~code:"D001" ~loc
+                      (Printf.sprintf
+                         "%s is a nondeterminism source; use Qnet_prob.Rng \
+                          for randomness and Qnet_obs.Clock.now for time"
+                         (ident_name txt))
+                | _ -> ());
+                I.default_iterator.expr self e);
+            module_expr =
+              (fun self m ->
+                (match m.pmod_desc with
+                | Pmod_ident { txt; loc }
+                  when ident_name txt = "Random" ->
+                    report ctx ~code:"D001" ~loc
+                      "aliasing the stdlib Random module; use Qnet_prob.Rng"
+                | _ -> ());
+                I.default_iterator.module_expr self m);
+          }
+        in
+        it.structure it str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D002: top-level mutable state in multi-domain libraries.            *)
+
+let d002_ctors =
+  [ "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
+    "Weak.create" ]
+
+(* Scan a top-level binding's right-hand side without descending into
+   function bodies or lazy thunks: state created per call or on forced
+   demand is not shared at module init. *)
+let d002_scan ctx e0 =
+  let it =
+    {
+      I.default_iterator with
+      expr =
+        (fun self e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ | Pexp_object _ -> ()
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+            when List.mem (ident_name txt) d002_ctors ->
+              report ctx ~code:"D002" ~loc
+                (Printf.sprintf
+                   "top-level %s is mutable state shared across domains; use \
+                    Atomic, guard it with a mutex, or suppress with a reason"
+                   (ident_name txt));
+              I.default_iterator.expr self e
+          | _ -> I.default_iterator.expr self e);
+    }
+  in
+  it.expr it e0
+
+let d002 =
+  {
+    code = "D002";
+    title = "top-level mutable state";
+    doc =
+      "a module-level ref / Hashtbl / Queue / Stack / Buffer in a library \
+       linked into the multi-domain Supervisor. Unsynchronised shared state \
+       races under Domain.spawn; use Atomic, a mutex-guarded structure, or \
+       Domain.DLS.";
+    applies =
+      (fun path ->
+        in_lib path && (not (in_experiments path)) && not (in_analytic path));
+    check =
+      (fun ctx str ->
+        let rec items its = List.iter item its
+        and item si =
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter (fun vb -> d002_scan ctx vb.pvb_expr) vbs
+          | Pstr_module { pmb_expr; _ } -> module_expr pmb_expr
+          | Pstr_recmodule mbs ->
+              List.iter (fun mb -> module_expr mb.pmb_expr) mbs
+          | Pstr_include { pincl_mod; _ } -> module_expr pincl_mod
+          | _ -> ()
+        and module_expr m =
+          match m.pmod_desc with
+          | Pmod_structure s -> items s
+          | Pmod_functor (_, body) -> module_expr body
+          | Pmod_constraint (m, _) -> module_expr m
+          | _ -> ()
+        in
+        items str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E001: catch-all exception handlers that swallow everything.         *)
+
+let rec catch_all_binding p =
+  match p.ppat_desc with
+  | Ppat_any -> Some None
+  | Ppat_var { txt; _ } -> Some (Some txt)
+  | Ppat_alias (inner, { txt; _ }) -> (
+      match catch_all_binding inner with
+      | Some _ -> Some (Some txt)
+      | None -> None)
+  | Ppat_constraint (inner, _) -> catch_all_binding inner
+  | _ -> None
+
+let reraise_idents =
+  [ "raise"; "raise_notrace"; "reraise"; "Printexc.raise_with_backtrace" ]
+
+let handler_reraises_or_inspects bound body =
+  let found = ref false in
+  let check e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        let n = ident_name txt in
+        if List.mem n reraise_idents then found := true;
+        (match bound with Some v when n = v -> found := true | _ -> ())
+    | _ -> ()
+  in
+  let it =
+    {
+      I.default_iterator with
+      expr =
+        (fun self e ->
+          check e;
+          I.default_iterator.expr self e);
+    }
+  in
+  it.expr it body;
+  !found
+
+let e001 =
+  {
+    code = "E001";
+    title = "catch-all exception handler";
+    doc =
+      "a [try ... with _ ->] (or an unused catch-all variable) that neither \
+       re-raises nor inspects the exception. It silently swallows \
+       Out_of_memory, Stack_overflow and assertion failures; match the \
+       specific exceptions the expression can raise.";
+    applies = (fun _ -> true);
+    check =
+      (fun ctx str ->
+        iter_exprs
+          (fun e ->
+            match e.pexp_desc with
+            | Pexp_try (_, cases) ->
+                List.iter
+                  (fun c ->
+                    match catch_all_binding c.pc_lhs with
+                    | Some bound
+                      when not (handler_reraises_or_inspects bound c.pc_rhs)
+                      ->
+                        report ctx ~code:"E001" ~loc:c.pc_lhs.ppat_loc
+                          "catch-all handler swallows every exception \
+                           (including Out_of_memory / Stack_overflow); match \
+                           the specific exceptions or re-raise"
+                    | _ -> ())
+                  cases
+            | _ -> ())
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E002: unbalanced mutex discipline.                                  *)
+
+let e002 =
+  {
+    code = "E002";
+    title = "unprotected Mutex.lock";
+    doc =
+      "a function that calls Mutex.lock without a matching Mutex.unlock in \
+       the same top-level binding and without Fun.protect / Mutex.protect. \
+       An exception between lock and unlock deadlocks every other domain.";
+    applies = (fun _ -> true);
+    check =
+      (fun ctx str ->
+        let check_binding vb =
+          let locks = ref [] and unlocks = ref 0 and guarded = ref false in
+          iter_exprs
+            (fun e ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                  match ident_name txt with
+                  | "Mutex.lock" -> locks := loc :: !locks
+                  | "Mutex.unlock" -> incr unlocks
+                  | "Fun.protect" | "Mutex.protect" -> guarded := true
+                  | _ -> ())
+              | _ -> ())
+            [
+              {
+                pstr_desc = Pstr_value (Asttypes.Nonrecursive, [ vb ]);
+                pstr_loc = vb.pvb_loc;
+              };
+            ];
+          let locks = List.rev !locks in
+          if
+            (not !guarded)
+            && List.length locks > !unlocks
+            && locks <> []
+          then
+            report ctx ~code:"E002" ~loc:(List.hd locks)
+              "Mutex.lock without a matching unlock in this binding; wrap \
+               the critical section in Fun.protect (or Mutex.protect)"
+        in
+        let it =
+          {
+            I.default_iterator with
+            structure_item =
+              (fun self si ->
+                (match si.pstr_desc with
+                | Pstr_value (_, vbs) -> List.iter check_binding vbs
+                | _ -> ());
+                I.default_iterator.structure_item self si);
+          }
+        in
+        it.structure it str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* P001: raw stdout/stderr printing inside libraries.                  *)
+
+let p001_banned =
+  [ "Printf.printf"; "Printf.eprintf"; "print_endline"; "print_string";
+    "print_newline"; "prerr_endline"; "prerr_string"; "prerr_newline";
+    "Format.printf"; "Format.eprintf" ]
+
+let p001 =
+  {
+    code = "P001";
+    title = "raw printing in library code";
+    doc =
+      "Printf.printf / print_endline / prerr_endline (and friends) inside \
+       lib/. Library code must report through Logs or the telemetry \
+       registry so the CLI owns stdout; lib/experiments is allowlisted \
+       (its tables are its output).";
+    applies = (fun path -> in_lib path && not (in_experiments path));
+    check =
+      (fun ctx str ->
+        iter_exprs
+          (fun e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc } when List.mem (ident_name txt) p001_banned
+              ->
+                report ctx ~code:"P001" ~loc
+                  (Printf.sprintf
+                     "%s writes to the process's std channels from library \
+                      code; use Logs or the telemetry registry"
+                     (ident_name txt))
+            | _ -> ())
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* O001: Obj escape hatches.                                           *)
+
+let o001 =
+  {
+    code = "O001";
+    title = "Obj escape hatch";
+    doc =
+      "Obj.magic / Obj.repr (any Obj.* use). Undefined behaviour under the \
+       OCaml 5 runtime's flat-float and mixed-block rules; there is no \
+       sanctioned use in this codebase.";
+    applies = (fun _ -> true);
+    check =
+      (fun ctx str ->
+        iter_exprs
+          (fun e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc }
+              when has_prefix "Obj." (ident_name txt) ->
+                report ctx ~code:"O001" ~loc
+                  (ident_name txt ^ " defeats the type system; remove it")
+            | _ -> ())
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F001: structural equality on float literals.                        *)
+
+let f001_float_ish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("~-." | "-."); _ }; _ },
+        [ (_, { pexp_desc = Pexp_constant (Pconst_float _); _ }) ] ) ->
+      true
+  | Pexp_ident { txt; _ } -> (
+      match ident_name txt with
+      | "nan" | "Float.nan" | "infinity" | "neg_infinity" -> true
+      | _ -> false)
+  | _ -> false
+
+let f001 =
+  {
+    code = "F001";
+    title = "structural equality on a float literal";
+    doc =
+      "polymorphic = / <> with a float literal (or nan / infinity) operand. \
+       Polymorphic compare on floats is slow, [x = nan] is always false, \
+       and the intent is invisible; use Float.equal or an explicit \
+       tolerance.";
+    applies = (fun _ -> true);
+    check =
+      (fun ctx str ->
+        iter_exprs
+          (fun e ->
+            match e.pexp_desc with
+            | Pexp_apply
+                ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc }; _ },
+                  [ (_, a); (_, b) ] )
+              when f001_float_ish a || f001_float_ish b ->
+                report ctx ~code:"F001" ~loc
+                  (Printf.sprintf
+                     "structural %s on a float literal; use Float.equal (or \
+                      an explicit tolerance)"
+                     op)
+            | _ -> ())
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all = [ d001; d002; e001; e002; p001; o001; f001 ]
+
+let find code = List.find_opt (fun r -> r.code = code) all
+
+(* Codes produced outside the Parsetree rules, listed here so
+   [--list-rules] documents the full catalogue. *)
+let extra_catalogue =
+  [
+    ( "M001",
+      "missing interface",
+      "a lib/ module without a sibling .mli; every library module must \
+       state its contract" );
+    ( "X001",
+      "unparseable source",
+      "the file does not parse with the OCaml 5.1 grammar; nothing else \
+       can be checked" );
+    ( "S001",
+      "malformed suppression",
+      "a (* qnet-lint: ... *) directive with an unknown verb, a missing \
+       rule code, or no reason" );
+  ]
+
+let catalogue =
+  List.map (fun r -> (r.code, r.title, r.doc)) all @ extra_catalogue

@@ -1,0 +1,31 @@
+(** The syntactic rule registry. Rules are conservative Parsetree
+    approximations of the determinism / domain-safety / exception-
+    hygiene invariants documented in DESIGN.md §10. *)
+
+type ctx = {
+  path : string;  (** root-relative, '/'-separated *)
+  report : Finding.t -> unit;
+}
+
+type rule = {
+  code : string;
+  title : string;
+  doc : string;
+  applies : string -> bool;  (** path filter (allowlists live here) *)
+  check : ctx -> Parsetree.structure -> unit;
+}
+
+val all : rule list
+(** D001 nondeterminism, D002 top-level mutable state, E001 catch-all
+    handlers, E002 unprotected Mutex.lock, P001 raw printing in lib/,
+    O001 Obj escape hatches, F001 structural float-literal equality. *)
+
+val find : string -> rule option
+
+val catalogue : (string * string * string) list
+(** (code, title, doc) for every code the tool can emit, including the
+    non-Parsetree codes M001 (missing .mli), X001 (parse failure) and
+    S001 (malformed suppression directive). *)
+
+val has_prefix : string -> string -> bool
+(** [has_prefix p s]: [s] starts with [p]. Shared with the driver. *)

@@ -1,0 +1,176 @@
+(* In-source suppression of lint findings.
+
+   A comment of the form
+
+     (* qnet-lint: allow D001 sampler seeds the demo rng on purpose *)
+
+   silences findings with that code. A trailing comment (code earlier
+   on the same line) covers its own line; a standalone comment covers
+   the first line after the comment ends. The reason is mandatory —
+   a directive without one is itself reported (S001) so that
+   suppressions stay auditable. *)
+
+type directive = {
+  code : string;
+  reason : string;
+  covers : int;  (* line whose findings this directive silences *)
+  at : int;  (* line the comment starts on *)
+}
+
+type scan_result = {
+  directives : directive list;
+  malformed : (int * string) list;
+}
+
+let prefix = "qnet-lint:"
+
+let is_code_token s =
+  String.length s >= 2
+  && (match s.[0] with 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
+       s
+
+(* Split on runs of blanks, at most once: (first word, rest). *)
+let split_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s i (String.length s - i)))
+
+let parse_directive ~start_line ~end_line ~standalone content acc =
+  let body = String.trim content in
+  let n = String.length prefix in
+  if String.length body < n || String.sub body 0 n <> prefix then acc
+  else begin
+    let rest = String.trim (String.sub body n (String.length body - n)) in
+    let verb, rest = split_word rest in
+    let directives, malformed = acc in
+    if verb <> "allow" then
+      (directives, (start_line, "unknown qnet-lint verb " ^ verb) :: malformed)
+    else begin
+      let code, reason = split_word rest in
+      if not (is_code_token code) then
+        ( directives,
+          (start_line, "qnet-lint: allow needs a rule code (e.g. D001)")
+          :: malformed )
+      else if reason = "" then
+        ( directives,
+          ( start_line,
+            Printf.sprintf "suppression of %s needs a reason" code )
+          :: malformed )
+      else
+        let covers = if standalone then end_line + 1 else start_line in
+        ({ code; reason; covers; at = start_line } :: directives, malformed)
+    end
+  end
+
+(* A small lexer over the raw source: tracks strings, char literals
+   and nested comments well enough to find comment bodies and to know
+   whether a comment shares its first line with code. *)
+let scan src =
+  let n = String.length src in
+  let line = ref 1 in
+  let seen_code = ref false in
+  let acc = ref ([], []) in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      seen_code := false;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let standalone = not !seen_code in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      let in_str = ref false in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if !in_str then begin
+          if c = '\\' && !i + 1 < n then begin
+            Buffer.add_char buf c;
+            incr i;
+            bump src.[!i];
+            Buffer.add_char buf src.[!i]
+          end
+          else begin
+            if c = '"' then in_str := false;
+            Buffer.add_char buf c
+          end;
+          incr i
+        end
+        else if c = '"' then begin
+          in_str := true;
+          Buffer.add_char buf c;
+          incr i
+        end
+        else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      acc :=
+        parse_directive ~start_line ~end_line:!line ~standalone
+          (Buffer.contents buf) !acc
+    end
+    else if c = '"' then begin
+      seen_code := true;
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if c = '\\' && !i + 1 < n then begin
+          incr i;
+          bump src.[!i];
+          incr i
+        end
+        else begin
+          if c = '"' then fin := true;
+          incr i
+        end
+      done
+    end
+    else if c = '\'' then begin
+      seen_code := true;
+      (* 'x' and '\n'-style literals; a lone quote is a type variable
+         or primed identifier and consumes just itself *)
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        i := !i + 2;
+        while !i < n && src.[!i] <> '\'' do
+          bump src.[!i];
+          incr i
+        done;
+        incr i
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' && src.[!i + 1] <> '\n' then
+        i := !i + 3
+      else incr i
+    end
+    else begin
+      if c <> ' ' && c <> '\t' && c <> '\r' then seen_code := true;
+      incr i
+    end
+  done;
+  let directives, malformed = !acc in
+  { directives = List.rev directives; malformed = List.rev malformed }
+
+let find directives ~code ~line =
+  List.find_opt (fun d -> d.code = code && d.covers = line) directives

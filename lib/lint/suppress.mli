@@ -1,0 +1,26 @@
+(** [(* qnet-lint: allow CODE reason *)] suppression comments.
+
+    A trailing comment covers the line it starts on; a standalone
+    comment covers the first line after it ends. Directives without a
+    mandatory reason are reported as malformed (surfaced by the driver
+    as S001 findings). *)
+
+type directive = {
+  code : string;
+  reason : string;
+  covers : int;  (** line whose findings this directive silences *)
+  at : int;  (** line the comment starts on *)
+}
+
+type scan_result = {
+  directives : directive list;
+  malformed : (int * string) list;  (** line, what is wrong *)
+}
+
+val scan : string -> scan_result
+(** Scan raw OCaml source text. String and character literals and
+    nested comments are tracked so directive-shaped text inside them
+    is ignored. *)
+
+val find : directive list -> code:string -> line:int -> directive option
+(** The directive (if any) that suppresses [code] on [line]. *)

@@ -56,7 +56,7 @@ let pivot t ~row ~col =
   for i = 0 to t.m - 1 do
     if i <> row then begin
       let factor = a.(i).(col) in
-      if factor <> 0.0 then begin
+      if not (Float.equal factor 0.0) then begin
         let irow = a.(i) in
         for j = 0 to width - 1 do
           irow.(j) <- irow.(j) -. (factor *. prow.(j))
@@ -72,7 +72,7 @@ let reduced_costs t cost =
   let red = Array.copy cost in
   for r = 0 to t.m - 1 do
     let cb = cost.(t.basis.(r)) in
-    if cb <> 0.0 then
+    if not (Float.equal cb 0.0) then
       for j = 0 to t.n - 1 do
         red.(j) <- red.(j) -. (cb *. t.a.(r).(j))
       done

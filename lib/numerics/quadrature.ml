@@ -44,7 +44,7 @@ let log_integral_exp ?(n = 4096) log_f a b =
        of the sampled log values. *)
     let logs = Array.init (n + 1) (fun i -> log_f (a +. (float_of_int i *. h))) in
     let m = Array.fold_left Float.max neg_infinity logs in
-    if m = neg_infinity then neg_infinity
+    if Float.equal m neg_infinity then neg_infinity
     else begin
       let acc = ref 0.0 in
       for i = 0 to n do

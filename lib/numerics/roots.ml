@@ -1,7 +1,7 @@
 let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then invalid_arg "Roots.bisect: root not bracketed"
   else begin
     let rec loop a b fa n =
@@ -9,7 +9,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
       if n = 0 || b -. a <= tol then m
       else
         let fm = f m in
-        if fm = 0.0 then m
+        if Float.equal fm 0.0 then m
         else if fa *. fm < 0.0 then loop a m fa (n - 1)
         else loop m b fm (n - 1)
     in
@@ -18,8 +18,8 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
 
 let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then invalid_arg "Roots.brent: root not bracketed"
   else begin
     (* Standard Brent: keep the bracket [a, b] with |f b| <= |f a|. *)

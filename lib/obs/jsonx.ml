@@ -8,6 +8,7 @@
 type value =
   | Str of string
   | Num of float
+  | Bool of bool
   | Null
   | Obj of (string * value) list
   | Arr of value list
@@ -26,6 +27,49 @@ let escape s =
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
+  Buffer.contents buf
+
+let render_num v =
+  if not (Float.is_finite v) then "null" (* JSON has no NaN/inf *)
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else
+    (* shortest representation that round-trips *)
+    let shortest = Printf.sprintf "%.12g" v in
+    if Float.equal (float_of_string shortest) v then shortest
+    else Printf.sprintf "%.17g" v
+
+let render v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Num v -> Buffer.add_string buf (render_num v)
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Null -> Buffer.add_string buf "null"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+    | Arr vs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            go v)
+          vs;
+        Buffer.add_char buf ']'
+  in
+  go v;
   Buffer.contents buf
 
 exception Bad of string
@@ -73,7 +117,10 @@ let parse_object line =
                let hex = String.sub line !pos 4 in
                pos := !pos + 4;
                let code =
-                 try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                 (* int_of_string rejects bad hex with Failure; anything
+                    else (OOM-class) must propagate *)
+                 try int_of_string ("0x" ^ hex)
+                 with Failure _ -> fail "bad \\u escape"
                in
                (* we only ever emit control characters this way *)
                if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -125,6 +172,16 @@ let parse_object line =
           pos := !pos + 4; Null
         end
         else fail "expected null"
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4; Bool true
+        end
+        else fail "expected true"
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5; Bool false
+        end
+        else fail "expected false"
     | Some _ -> Num (parse_number ())
     | None -> fail "unexpected end of input"
   and parse_obj depth =

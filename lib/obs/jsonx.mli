@@ -1,0 +1,28 @@
+(** Just enough JSON for the telemetry formats this repository emits
+    itself: flat objects whose values are strings, numbers, booleans,
+    null, shallowly nested objects (span attrs) and small arrays. Not
+    a general JSON library — the writers in this repo are the only
+    intended producers — but the parser is total: malformed input
+    yields [Error], never an exception. *)
+
+type value =
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+  | Obj of (string * value) list
+  | Arr of value list
+
+val escape : string -> string
+(** Body of a JSON string literal (no surrounding quotes): quotes,
+    backslashes and control characters escaped. *)
+
+val render : value -> string
+(** Serialize compactly. Non-finite numbers render as [null] (JSON has
+    no NaN/inf); integral values print without a fractional part;
+    other floats use the shortest round-tripping representation. *)
+
+val parse_object : string -> ((string * value) list, string) result
+(** Parse one JSON object from exactly one line of text. Nesting depth
+    is capped (objects two deep, arrays three) because our own writers
+    never exceed it; anything else is an [Error] with a byte offset. *)

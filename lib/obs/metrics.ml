@@ -352,7 +352,7 @@ let to_prometheus reg =
           in
           Array.iter
             (fun (ub, c) ->
-              let le = if ub = infinity then "+Inf" else float_repr ub in
+              let le = if Float.equal ub infinity then "+Inf" else float_repr ub in
               Buffer.add_string buf
                 (Printf.sprintf "%s_bucket%s %d\n" m.name (with_le le) c))
             (Histogram.cumulative_buckets h);
@@ -381,8 +381,8 @@ let json_escape s =
 
 let json_float v =
   if Float.is_nan v then "\"nan\""
-  else if v = infinity then "\"inf\""
-  else if v = neg_infinity then "\"-inf\""
+  else if Float.equal v infinity then "\"inf\""
+  else if Float.equal v neg_infinity then "\"-inf\""
   else float_repr v
 
 let labels_json labels =
@@ -418,7 +418,7 @@ let to_jsonl ?ts reg =
             Histogram.cumulative_buckets h |> Array.to_list
             |> List.map (fun (ub, c) ->
                    Printf.sprintf "[%s,%d]"
-                     (if ub = infinity then "\"inf\"" else json_float ub)
+                     (if Float.equal ub infinity then "\"inf\"" else json_float ub)
                      c)
             |> String.concat ","
           in

@@ -27,7 +27,7 @@ let validate d =
       if Array.length branches = 0 then Error "Hyperexponential: empty mixture"
       else if Array.exists (fun (p, r) -> p < 0.0 || r <= 0.0) branches then
         Error "Hyperexponential: weights must be >= 0 and rates > 0"
-      else if Array.for_all (fun (p, _) -> p = 0.0) branches then
+      else if Array.for_all (fun (p, _) -> Float.equal p 0.0) branches then
         Error "Hyperexponential: all weights zero"
       else Ok ()
   | Truncated_exponential (_, width) ->
@@ -44,7 +44,7 @@ let rec sample_std_normal rng =
   let u = Rng.float_range rng (-1.0) 1.0 in
   let v = Rng.float_range rng (-1.0) 1.0 in
   let s = (u *. u) +. (v *. v) in
-  if s >= 1.0 || s = 0.0 then sample_std_normal rng
+  if s >= 1.0 || Float.equal s 0.0 then sample_std_normal rng
   else u *. sqrt (-2.0 *. log s /. s)
 
 (* Marsaglia–Tsang for Gamma(shape >= 1, 1); boosted for shape < 1. *)
@@ -196,33 +196,33 @@ let quantile d p =
     invalid_arg "Distributions.quantile: p outside [0,1]";
   match d with
   | Exponential rate ->
-      if p = 1.0 then infinity else -.Float.log1p (-.p) /. rate
+      if Float.equal p 1.0 then infinity else -.Float.log1p (-.p) /. rate
   | Uniform (lo, hi) -> lo +. (p *. (hi -. lo))
   | Deterministic c -> c
   | Normal (mu, sd) ->
-      if p = 0.0 then neg_infinity
-      else if p = 1.0 then infinity
+      if Float.equal p 0.0 then neg_infinity
+      else if Float.equal p 1.0 then infinity
       else mu +. (sd *. Special.std_normal_quantile p)
   | Lognormal (mu, sigma) ->
-      if p = 0.0 then 0.0
-      else if p = 1.0 then infinity
+      if Float.equal p 0.0 then 0.0
+      else if Float.equal p 1.0 then infinity
       else exp (mu +. (sigma *. Special.std_normal_quantile p))
   | Pareto (scale, shape) ->
-      if p = 1.0 then infinity else scale /. ((1.0 -. p) ** (1.0 /. shape))
+      if Float.equal p 1.0 then infinity else scale /. ((1.0 -. p) ** (1.0 /. shape))
   | Truncated_exponential (rate, width) ->
       if Float.abs rate *. width < 1e-12 then p *. width
       else -.Float.log1p (p *. Float.expm1 (-.rate *. width)) /. rate
   | Gamma (shape, rate) ->
-      if p = 0.0 then 0.0
-      else if p = 1.0 then infinity
+      if Float.equal p 0.0 then 0.0
+      else if Float.equal p 1.0 then infinity
       else quantile_bisect d p 0.0 (2.0 *. (shape +. 4.0) /. rate)
   | Erlang (k, rate) ->
-      if p = 0.0 then 0.0
-      else if p = 1.0 then infinity
+      if Float.equal p 0.0 then 0.0
+      else if Float.equal p 1.0 then infinity
       else quantile_bisect d p 0.0 (2.0 *. (float_of_int k +. 4.0) /. rate)
   | Hyperexponential branches ->
-      if p = 0.0 then 0.0
-      else if p = 1.0 then infinity
+      if Float.equal p 0.0 then 0.0
+      else if Float.equal p 1.0 then infinity
       else
         let slowest =
           Array.fold_left (fun acc (_, r) -> Float.min acc r) infinity branches

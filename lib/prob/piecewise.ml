@@ -57,7 +57,7 @@ let compile ~lower ~upper ~linear ~hinges =
       linear hinges
   in
   let interior =
-    List.filter (fun h -> h.knee > lower && h.knee < upper && h.slope <> 0.0) hinges
+    List.filter (fun h -> h.knee > lower && h.knee < upper && not (Float.equal h.slope 0.0)) hinges
   in
   let knees =
     List.sort_uniq compare (List.map (fun h -> h.knee) interior)
@@ -133,8 +133,8 @@ let cdf t x =
 let quantile t p =
   if p < 0.0 || p > 1.0 || Float.is_nan p then
     invalid_arg "Piecewise.quantile: p outside [0,1]";
-  if p = 0.0 then t.lower
-  else if p = 1.0 then t.upper
+  if Float.equal p 0.0 then t.lower
+  else if Float.equal p 1.0 then t.upper
   else begin
     let n = Array.length t.rates in
     (* Walk pieces accumulating normalized mass until we bracket p. *)

@@ -1,13 +1,13 @@
 let log_sum_exp2 a b =
-  if a = neg_infinity then b
-  else if b = neg_infinity then a
+  if Float.equal a neg_infinity then b
+  else if Float.equal b neg_infinity then a
   else if a >= b then a +. Float.log1p (exp (b -. a))
   else b +. Float.log1p (exp (a -. b))
 
 let log_sum_exp xs =
   let m = Array.fold_left max neg_infinity xs in
-  if m = neg_infinity then neg_infinity
-  else if m = infinity then infinity
+  if Float.equal m neg_infinity then neg_infinity
+  else if Float.equal m infinity then infinity
   else begin
     let acc = ref 0.0 in
     Array.iter (fun x -> acc := !acc +. exp (x -. m)) xs;
@@ -18,7 +18,7 @@ let log_half = -0.6931471805599453
 
 let log1mexp x =
   if x > 0.0 then invalid_arg "Special.log1mexp: positive argument"
-  else if x = 0.0 then neg_infinity
+  else if Float.equal x 0.0 then neg_infinity
   else if x > log_half then log (-.Float.expm1 x)
   else Float.log1p (-.exp x)
 
@@ -147,7 +147,7 @@ let std_normal_quantile p =
 let lower_incomplete_gamma_regularized a x =
   if a <= 0.0 then invalid_arg "Special.lower_incomplete_gamma: a <= 0";
   if x < 0.0 then invalid_arg "Special.lower_incomplete_gamma: x < 0";
-  if x = 0.0 then 0.0
+  if Float.equal x 0.0 then 0.0
   else if x < a +. 1.0 then begin
     (* Series representation. *)
     let rec loop ap sum del n =

@@ -156,7 +156,7 @@ let autocorrelation xs k =
   if k < 0 || k >= n then invalid_arg "Statistics.autocorrelation: bad lag";
   let m = mean xs in
   let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
-  if denom = 0.0 then 0.0
+  if Float.equal denom 0.0 then 0.0
   else begin
     let num = ref 0.0 in
     for i = 0 to n - k - 1 do
@@ -204,7 +204,7 @@ let gelman_rubin chains =
          0.0 chain_means
   in
   let w = mean (Array.map variance chains) in
-  if w = 0.0 then 1.0
+  if Float.equal w 0.0 then 1.0
   else
     let var_plus = (((fn -. 1.0) /. fn) *. w) +. (b /. fn) in
     sqrt (var_plus /. w)

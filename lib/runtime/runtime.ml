@@ -77,7 +77,9 @@ let pp_report ppf r =
     (fun i -> Format.fprintf ppf "  incident at iteration %d: %s@." i.at_iteration i.cause)
     r.incidents
 
-let now () = Unix.gettimeofday ()
+(* Single clamped time source for the whole runtime (D001): wall time
+   only ever flows through the high-water-marked telemetry clock. *)
+let now () = Qnet_obs.Clock.now ()
 
 let run ?(config = default_config) ?init ?resume ?chaos rng store =
   Span.with_span "runtime.run" @@ fun () ->

@@ -216,7 +216,9 @@ type chain_state = {
   mutable welford : Welford.t array;  (* one accumulator per queue *)
 }
 
-let now () = Unix.gettimeofday ()
+(* Same clamped time source as Runtime.now: watchdog deadlines and
+   heartbeat ages must agree with telemetry timestamps across domains. *)
+let now () = Qnet_obs.Clock.now ()
 
 let fresh_welford nq = Array.init nq (fun _ -> Welford.create ())
 

@@ -45,7 +45,7 @@ let create ~num_queues events =
     let task = events.(!i).task in
     incr num_tasks;
     let first = events.(!i) in
-    if first.arrival <> 0.0 then
+    if not (Float.equal first.arrival 0.0) then
       invalid_arg
         (Printf.sprintf "Trace.create: task %d has no initial event at time 0" task);
     let j = ref (!i + 1) in
@@ -172,7 +172,10 @@ let of_csv ~num_queues text =
               arrival = float_of_string arrival;
               departure = float_of_string departure;
             }
-        with _ -> Error (Printf.sprintf "line %d: malformed fields" lineno))
+        with Failure _ ->
+          (* int_of_string / float_of_string reject with Failure;
+             anything else (OOM-class) must propagate *)
+          Error (Printf.sprintf "line %d: malformed fields" lineno))
     | _ -> Error (Printf.sprintf "line %d: expected 5 comma-separated fields" lineno)
   in
   let rec go lineno acc = function
@@ -365,7 +368,7 @@ let of_csv_lenient ~num_queues text =
         in
         match events with
         | [] -> None
-        | first :: _ when first.arrival <> 0.0 ->
+        | first :: _ when not (Float.equal first.arrival 0.0) ->
             record ~task Missing_initial
               (Printf.sprintf "first event arrives at %g, not 0" first.arrival);
             incr tasks_dropped;

@@ -51,7 +51,7 @@ let route registry line =
             (Metrics.to_prometheus registry)
       | "/metrics.json" ->
           http_response ~status:"200 OK" ~content_type:"application/x-ndjson"
-            (Metrics.to_jsonl ~ts:(Unix.gettimeofday ()) registry)
+            (Metrics.to_jsonl ~ts:(Qnet_obs.Clock.now ()) registry)
       | "/healthz" ->
           http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
       | _ ->

@@ -1,0 +1,416 @@
+(* qnet_lint: every rule against small inline sources (positive,
+   negative, suppressed), the suppression/baseline machinery, the
+   reporters, and a whole-repo smoke test asserting the tree is
+   lint-clean. *)
+
+module Finding = Qnet_lint_lib.Finding
+module Driver = Qnet_lint_lib.Driver
+module Rules = Qnet_lint_lib.Rules
+module Baseline = Qnet_lint_lib.Baseline
+module Suppress = Qnet_lint_lib.Suppress
+module Reporter = Qnet_lint_lib.Reporter
+module Jsonx = Qnet_obs.Jsonx
+
+let default_path = "lib/core/sample.ml"
+
+let active ?only ?(path = default_path) src =
+  fst (Driver.lint_source ?only ~path src)
+
+let suppressed ?only ?(path = default_path) src =
+  snd (Driver.lint_source ?only ~path src)
+
+let codes findings = List.map (fun f -> f.Finding.code) findings
+
+let check_codes what expected findings =
+  Alcotest.(check (list string)) what expected (codes findings)
+
+(* --------------------------------------------------------------- *)
+(* D001                                                             *)
+
+let test_d001_positive () =
+  let fs = active "let t = Unix.gettimeofday ()" in
+  check_codes "gettimeofday flagged" [ "D001" ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "line" 1 f.Finding.line;
+  check_codes "Unix.time flagged" [ "D001" ] (active "let t = Unix.time ()");
+  check_codes "Random flagged" [ "D001" ] (active "let r = Random.int 10");
+  check_codes "Random alias flagged" [ "D001" ] (active "module R = Random");
+  check_codes "bin/ is linted too" [ "D001" ]
+    (active ~path:"bin/tool.ml" "let t = Unix.gettimeofday ()")
+
+let test_d001_negative () =
+  check_codes "clock.ml allowlisted" []
+    (active ~path:"lib/obs/clock.ml" "let now () = Unix.gettimeofday ()");
+  check_codes "Rng is fine" [] (active "let x r = Rng.float_unit r");
+  check_codes "other Unix fine" [] (active "let p () = Unix.getpid ()")
+
+(* --------------------------------------------------------------- *)
+(* D002                                                             *)
+
+let test_d002_positive () =
+  check_codes "top-level Hashtbl" [ "D002" ]
+    (active "let table = Hashtbl.create 16");
+  check_codes "top-level ref" [ "D002" ] (active "let cache = ref None");
+  check_codes "inside a submodule" [ "D002" ]
+    (active "module M = struct let t = Hashtbl.create 4 end")
+
+let test_d002_negative () =
+  check_codes "created per call" [] (active "let make () = Hashtbl.create 16");
+  check_codes "Atomic is the sanctioned form" []
+    (active "let state = Atomic.make 0");
+  check_codes "domain-local state is per-domain" []
+    (active "let key = Domain.DLS.new_key (fun () -> ref [])");
+  check_codes "lazy is forced under its own lock" []
+    (active "let t = lazy (Hashtbl.create 4)");
+  check_codes "experiments are single-domain drivers" []
+    (active ~path:"lib/experiments/foo.ml" "let table = Hashtbl.create 16");
+  check_codes "bin executables out of scope" []
+    (active ~path:"bin/tool.ml" "let table = Hashtbl.create 16")
+
+(* --------------------------------------------------------------- *)
+(* E001                                                             *)
+
+let test_e001_positive () =
+  check_codes "wildcard swallow" [ "E001" ]
+    (active "let f g = try g () with _ -> 0");
+  check_codes "unused variable swallow" [ "E001" ]
+    (active "let f g = try g () with _e -> 0");
+  check_codes "catch-all branch of a multi-case handler" [ "E001" ]
+    (active "let f g = try g () with Failure _ -> 1 | _ -> 0")
+
+let test_e001_negative () =
+  check_codes "specific exception" []
+    (active "let f g = try g () with Failure _ -> 0");
+  check_codes "re-raise is hygiene" []
+    (active "let f g = try g () with e -> cleanup (); raise e");
+  check_codes "inspected exception" []
+    (active "let f g = try g () with exn -> log (Printexc.to_string exn)")
+
+(* --------------------------------------------------------------- *)
+(* E002                                                             *)
+
+let test_e002_positive () =
+  check_codes "lock without unlock" [ "E002" ]
+    (active "let f m = Mutex.lock m; work ()");
+  check_codes "two locks one unlock" [ "E002" ]
+    (active "let f m n = Mutex.lock m; Mutex.lock n; Mutex.unlock m")
+
+let test_e002_negative () =
+  check_codes "balanced lock/unlock" []
+    (active "let f m = Mutex.lock m; let r = work () in Mutex.unlock m; r");
+  check_codes "Fun.protect guards the section" []
+    (active
+       "let f m = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock \
+        m) work");
+  check_codes "no locking at all" [] (active "let f () = work ()")
+
+(* --------------------------------------------------------------- *)
+(* P001                                                             *)
+
+let test_p001_positive () =
+  check_codes "print_endline in lib" [ "P001" ]
+    (active "let f () = print_endline \"x\"");
+  check_codes "Printf.printf in lib" [ "P001" ]
+    (active "let f () = Printf.printf \"%d\" 3")
+
+let test_p001_negative () =
+  check_codes "experiments own their tables" []
+    (active ~path:"lib/experiments/fig9.ml" "let f () = print_endline \"x\"");
+  check_codes "bin owns stdout" []
+    (active ~path:"bin/tool.ml" "let f () = print_endline \"x\"");
+  check_codes "Printf.sprintf is pure" []
+    (active "let f x = Printf.sprintf \"%d\" x")
+
+(* --------------------------------------------------------------- *)
+(* O001 / F001                                                      *)
+
+let test_o001 () =
+  check_codes "Obj.magic" [ "O001" ] (active "let f x = Obj.magic x");
+  check_codes "Obj.repr" [ "O001" ] (active "let f x = Obj.repr x");
+  check_codes "no Obj" [] (active "let f x = x")
+
+let test_f001_positive () =
+  check_codes "= on 0.0" [ "F001" ] (active "let f x = x = 0.0");
+  check_codes "<> on 1.0" [ "F001" ] (active "let f x = x <> 1.0");
+  check_codes "= nan is always false" [ "F001" ] (active "let f x = x = nan");
+  check_codes "literal on the left" [ "F001" ] (active "let f x = 0.0 = x")
+
+let test_f001_negative () =
+  check_codes "ordering comparisons are fine" [] (active "let f x = x < 0.0");
+  check_codes "Float.equal is the fix" []
+    (active "let f x = Float.equal x 0.0");
+  check_codes "int literals out of scope" [] (active "let f x = x = 0")
+
+(* --------------------------------------------------------------- *)
+(* Suppressions                                                     *)
+
+let test_suppression_trailing () =
+  let src =
+    "let t = Unix.gettimeofday () (* qnet-lint: allow D001 test fixture *)"
+  in
+  check_codes "no active finding" [] (active src);
+  match suppressed src with
+  | [ (f, reason) ] ->
+      Alcotest.(check string) "code" "D001" f.Finding.code;
+      Alcotest.(check string) "reason" "test fixture" reason
+  | other ->
+      Alcotest.failf "expected one suppressed finding, got %d"
+        (List.length other)
+
+let test_suppression_standalone () =
+  let src =
+    "(* qnet-lint: allow D001 test fixture *)\nlet t = Unix.gettimeofday ()"
+  in
+  check_codes "no active finding" [] (active src);
+  Alcotest.(check int) "one suppressed" 1 (List.length (suppressed src))
+
+let test_suppression_wrong_code () =
+  let src =
+    "let t = Unix.gettimeofday () (* qnet-lint: allow F001 wrong code *)"
+  in
+  check_codes "D001 still fires" [ "D001" ] (active src);
+  Alcotest.(check int) "nothing suppressed" 0 (List.length (suppressed src))
+
+let test_suppression_needs_reason () =
+  let src = "(* qnet-lint: allow D001 *)\nlet x = 1" in
+  check_codes "reasonless directive is itself a finding" [ "S001" ]
+    (active src)
+
+let test_suppression_in_string_ignored () =
+  let src = "let s = \"(* qnet-lint: allow D001 nope *)\"" in
+  check_codes "directives inside string literals are text" [] (active src)
+
+(* --------------------------------------------------------------- *)
+(* Parse failures                                                   *)
+
+let test_parse_error () =
+  match active "let = junk (" with
+  | [ f ] -> Alcotest.(check string) "code" "X001" f.Finding.code
+  | other -> Alcotest.failf "expected one X001, got %d" (List.length other)
+
+(* --------------------------------------------------------------- *)
+(* Driver: temp trees, baseline, M001                               *)
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let with_temp_tree files f =
+  let root = Filename.temp_dir "qnet_lint_test" "" in
+  List.iter
+    (fun (rel, content) ->
+      let abs = Filename.concat root rel in
+      let rec ensure dir =
+        if not (Sys.file_exists dir) then begin
+          ensure (Filename.dirname dir);
+          Sys.mkdir dir 0o755
+        end
+      in
+      ensure (Filename.dirname abs);
+      write_file abs content)
+    files;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      rm root)
+    (fun () -> f root)
+
+let test_driver_m001 () =
+  with_temp_tree
+    [
+      ("lib/a.ml", "let answer = 42\n");
+      ("lib/a.mli", "val answer : int\n");
+      ("lib/b.ml", "let broken = 43\n");
+    ]
+    (fun root ->
+      let o = Driver.run (Driver.default_options root) in
+      check_codes "only the module without an mli" [ "M001" ] o.Driver.findings;
+      Alcotest.(check string)
+        "finding names the file" "lib/b.ml"
+        (List.hd o.Driver.findings).Finding.file;
+      Alcotest.(check int) "exit nonzero" 1 (Driver.exit_code o))
+
+let test_driver_baseline () =
+  with_temp_tree
+    [
+      ("lib/a.ml", "let t = Unix.gettimeofday ()\n");
+      ("lib/a.mli", "val t : float\n");
+    ]
+    (fun root ->
+      let o1 = Driver.run (Driver.default_options root) in
+      check_codes "fresh finding" [ "D001" ] o1.Driver.findings;
+      Baseline.save
+        (Filename.concat root Driver.default_baseline)
+        o1.Driver.findings;
+      let o2 = Driver.run (Driver.default_options root) in
+      check_codes "baselined away" [] o2.Driver.findings;
+      check_codes "still visible as baselined" [ "D001" ] o2.Driver.baselined;
+      Alcotest.(check int) "exit clean" 0 (Driver.exit_code o2))
+
+let test_baseline_round_trip () =
+  let f =
+    Finding.v ~code:"D001" ~file:"lib/x.ml" ~line:7 ~col:3 "irrelevant"
+  in
+  match Baseline.of_string (Baseline.to_string [ f ]) with
+  | Ok [ e ] ->
+      Alcotest.(check string) "code" "D001" e.Baseline.code;
+      Alcotest.(check string) "file" "lib/x.ml" e.Baseline.file;
+      Alcotest.(check int) "line" 7 e.Baseline.line;
+      Alcotest.(check bool) "covers" true (Baseline.covers [ e ] f)
+  | Ok other -> Alcotest.failf "expected one entry, got %d" (List.length other)
+  | Error m -> Alcotest.fail m
+
+(* --------------------------------------------------------------- *)
+(* Reporters                                                        *)
+
+let outcome_of findings =
+  {
+    Driver.findings;
+    suppressed = [];
+    baselined = [];
+    files_scanned = List.length findings;
+  }
+
+let test_reporter_text () =
+  let o =
+    outcome_of
+      [ Finding.v ~code:"D001" ~file:"lib/x.ml" ~line:7 ~col:3 "boom" ]
+  in
+  let text = Reporter.text o in
+  let contains hay needle =
+    let rec go i =
+      i + String.length needle <= String.length hay
+      && (String.sub hay i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "compiler-style prefix" true
+    (contains text "lib/x.ml:7:3: error D001: boom");
+  Alcotest.(check bool)
+    "summary counts findings" true
+    (contains text "1 finding(s)")
+
+let test_reporter_json () =
+  let o =
+    outcome_of
+      [ Finding.v ~code:"F001" ~file:"lib/x.ml" ~line:2 ~col:0 "msg" ]
+  in
+  match Jsonx.parse_object (Reporter.json o) with
+  | Error m -> Alcotest.fail ("reporter JSON does not parse: " ^ m)
+  | Ok fields -> (
+      (match List.assoc_opt "ok" fields with
+      | Some (Jsonx.Bool b) -> Alcotest.(check bool) "ok is false" false b
+      | _ -> Alcotest.fail "missing ok field");
+      match List.assoc_opt "findings" fields with
+      | Some (Jsonx.Arr [ Jsonx.Obj f ]) ->
+          Alcotest.(check bool)
+            "code serialized" true
+            (List.assoc_opt "code" f = Some (Jsonx.Str "F001"))
+      | _ -> Alcotest.fail "findings array malformed")
+
+let test_rule_catalogue () =
+  let codes = List.map (fun (c, _, _) -> c) Rules.catalogue in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " catalogued") true (List.mem c codes))
+    [ "D001"; "D002"; "E001"; "E002"; "P001"; "O001"; "F001"; "M001"; "X001";
+      "S001" ]
+
+(* --------------------------------------------------------------- *)
+(* Whole-repo smoke test                                            *)
+
+let find_repo_root () =
+  let rec go dir depth =
+    if depth > 8 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+      && Sys.file_exists (Filename.concat dir "bin")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else go parent (depth + 1)
+  in
+  go (Sys.getcwd ()) 0
+
+let test_repo_is_clean () =
+  match find_repo_root () with
+  | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+  | Some root ->
+      let o = Driver.run (Driver.default_options root) in
+      Alcotest.(check bool)
+        "scanned a real tree" true
+        (o.Driver.files_scanned > 50);
+      if o.Driver.findings <> [] then
+        Alcotest.failf "repo has unsuppressed lint findings:\n%s"
+          (Reporter.text o)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "d001",
+        [
+          Alcotest.test_case "positive" `Quick test_d001_positive;
+          Alcotest.test_case "negative" `Quick test_d001_negative;
+        ] );
+      ( "d002",
+        [
+          Alcotest.test_case "positive" `Quick test_d002_positive;
+          Alcotest.test_case "negative" `Quick test_d002_negative;
+        ] );
+      ( "e001",
+        [
+          Alcotest.test_case "positive" `Quick test_e001_positive;
+          Alcotest.test_case "negative" `Quick test_e001_negative;
+        ] );
+      ( "e002",
+        [
+          Alcotest.test_case "positive" `Quick test_e002_positive;
+          Alcotest.test_case "negative" `Quick test_e002_negative;
+        ] );
+      ( "p001",
+        [
+          Alcotest.test_case "positive" `Quick test_p001_positive;
+          Alcotest.test_case "negative" `Quick test_p001_negative;
+        ] );
+      ( "o001-f001",
+        [
+          Alcotest.test_case "o001" `Quick test_o001;
+          Alcotest.test_case "f001 positive" `Quick test_f001_positive;
+          Alcotest.test_case "f001 negative" `Quick test_f001_negative;
+        ] );
+      ( "suppress",
+        [
+          Alcotest.test_case "trailing" `Quick test_suppression_trailing;
+          Alcotest.test_case "standalone" `Quick test_suppression_standalone;
+          Alcotest.test_case "wrong code" `Quick test_suppression_wrong_code;
+          Alcotest.test_case "needs reason" `Quick test_suppression_needs_reason;
+          Alcotest.test_case "string literal" `Quick
+            test_suppression_in_string_ignored;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "m001" `Quick test_driver_m001;
+          Alcotest.test_case "baseline" `Quick test_driver_baseline;
+          Alcotest.test_case "baseline round-trip" `Quick
+            test_baseline_round_trip;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "text" `Quick test_reporter_text;
+          Alcotest.test_case "json" `Quick test_reporter_json;
+          Alcotest.test_case "catalogue" `Quick test_rule_catalogue;
+        ] );
+      ( "smoke",
+        [ Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_clean ] );
+    ]
