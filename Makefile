@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test lint verify-lint verify verify-supervised verify-obs demo supervised-demo bench-obs clean
+.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics demo supervised-demo bench bench-obs clean
 
 all: build
 
@@ -27,7 +27,7 @@ verify-lint: lint
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build lint test demo supervised-demo
+verify: build lint test demo supervised-demo verify-diagnostics
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live
@@ -102,10 +102,58 @@ verify-obs: build test
 	grep -Eq 'root coverage (9[0-9]|100)' _demo_obs/trace_summary.txt
 	@echo "verify-obs: live scrape, metric families and trace coverage all check out"
 
+# Convergence-diagnostics verification: a short live 2-chain run,
+# /diagnostics.json curled mid-run, and the snapshot checked for a
+# present, finite split-Rhat plus the per-queue posterior summaries
+# and GC gauges. Also exercises /dashboard and the flamegraph export.
+verify-diagnostics: build
+	rm -rf _demo_diag
+	mkdir -p _demo_diag
+	dune exec bin/qnet_sim.exe -- -t tandem --lambda 10 --mu 14 -n 300 --seed 5 -o _demo_diag/trace.csv
+	dune exec bin/qnet_infer.exe -- _demo_diag/trace.csv -q 3 -f 0.4 \
+	  --iterations 60 --chains 2 --min-chains 1 --sweep-deadline-ms 2000 \
+	  --diagnostics-out _demo_diag/diag.jsonl --trace-out _demo_diag/spans.jsonl \
+	  --serve-metrics 0 --serve-metrics-linger 6 \
+	  > _demo_diag/report.txt 2> _demo_diag/stderr.log & \
+	INFER_PID=$$!; \
+	PORT=; for i in $$(seq 1 100); do \
+	  PORT=$$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' _demo_diag/stderr.log 2>/dev/null | head -1); \
+	  [ -n "$$PORT" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$PORT" ] || { echo "verify-diagnostics: FAIL (metrics endpoint never announced)"; kill $$INFER_PID 2>/dev/null; exit 1; }; \
+	GOT=; for i in $$(seq 1 100); do \
+	  if curl -sf "http://127.0.0.1:$$PORT/diagnostics.json" -o _demo_diag/diag.json \
+	     && grep -q '"rhat":[0-9]' _demo_diag/diag.json; then GOT=1; break; fi; \
+	  sleep 0.1; \
+	done; \
+	[ -n "$$GOT" ] || { echo "verify-diagnostics: FAIL (R-hat never became numeric)"; kill $$INFER_PID 2>/dev/null; }; \
+	curl -sf "http://127.0.0.1:$$PORT/dashboard" -o _demo_diag/dashboard.html || true; \
+	wait $$INFER_PID; \
+	[ -n "$$GOT" ] || exit 1
+	grep -q '"rhat":[0-9]' _demo_diag/diag.json
+	grep -q '"max_rhat":[0-9]' _demo_diag/diag.json
+	grep -q '"ess_per_sec":' _demo_diag/diag.json
+	grep -q '"mean_service":[0-9]' _demo_diag/diag.json
+	grep -q '"wait_fraction":' _demo_diag/diag.json
+	grep -q '"minor_words":[0-9]' _demo_diag/diag.json
+	grep -q '<title>qnet inference dashboard</title>' _demo_diag/dashboard.html
+	tail -1 _demo_diag/diag.jsonl | grep -q '"max_rhat":[0-9]'
+	dune exec bin/qnet_trace_tool.exe -- flamegraph _demo_diag/spans.jsonl -o _demo_diag/qnet.folded
+	grep -Eq '^[A-Za-z_.;:()-]+ [0-9]+$$' _demo_diag/qnet.folded
+	@echo "verify-diagnostics: live R-hat, posterior summaries, GC gauges, dashboard and flamegraph all check out"
+
+# Core-throughput regression gate: time the hot paths directly and
+# compare against the committed BENCH_core.json baseline; fails on a
+# >20% regression. Refresh the baseline with:
+#   dune exec bench/main.exe -- --core-json BENCH_core.json
+bench: build
+	dune exec bench/main.exe -- --core-json _bench_core_current.json
+	scripts/bench_compare BENCH_core.json _bench_core_current.json
+
 # Telemetry overhead benchmark; writes BENCH_obs.json at the repo root.
 bench-obs:
 	dune exec bench/obs_overhead.exe
 
 clean:
 	dune clean
-	rm -rf _demo _demo_supervised _demo_obs
+	rm -rf _demo _demo_supervised _demo_obs _demo_diag _bench_core_current.json

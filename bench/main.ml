@@ -15,7 +15,15 @@
    rows/series the paper's tables and figures report (full-scale runs:
    bin/qnet_experiments).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+
+   Regression mode: `dune exec bench/main.exe -- --core-json [PATH]`
+   skips Bechamel and the experiments and instead times the three
+   core-throughput numbers directly (median of repeats) — Gibbs
+   sweeps/s, StEM iterations/s, piecewise conditional draws/s — and
+   writes them to PATH (default BENCH_core.json). `make bench`
+   compares that file against the committed baseline and fails on a
+   >20% regression (scripts/bench_compare). *)
 
 open Bechamel
 open Toolkit
@@ -152,6 +160,62 @@ let tests =
         ];
     ]
 
+(* ------------------------------------------------------------------ *)
+(* --core-json: direct-timed core throughput for regression gating.
+   Bechamel's OLS output is great for humans but awkward to diff in a
+   script; these loops measure the same three hot paths as plain
+   work-per-second, median over repeats so one noisy repeat (GC,
+   scheduler) cannot fake a regression either way. *)
+
+let median_rate ~repeats ~work ~per_repeat =
+  let rates =
+    Array.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to per_repeat do
+          work ()
+        done;
+        float_of_int per_repeat /. (Unix.gettimeofday () -. t0))
+  in
+  Array.sort compare rates;
+  rates.(repeats / 2)
+
+let core_json out =
+  let repeats = 7 in
+  let rng = Rng.create ~seed:42 () in
+  let events = Array.length (Store.unobserved_events fig4_store) in
+  (* warmup: fault in code paths, warm the allocator *)
+  for _ = 1 to 20 do
+    Gibbs.sweep ~shuffle:false rng fig4_store fig4_params
+  done;
+  let gibbs_sweeps =
+    median_rate ~repeats ~per_repeat:60 ~work:(fun () ->
+        Gibbs.sweep ~shuffle:false rng fig4_store fig4_params)
+  in
+  let stem_iterations =
+    median_rate ~repeats ~per_repeat:40 ~work:(fun () ->
+        Gibbs.sweep ~shuffle:false rng fig4_store fig4_params;
+        ignore
+          (Stem.mle_step fig4_store ~previous:fig4_params ~min_queue_events:1))
+  in
+  let piecewise_draws =
+    median_rate ~repeats ~per_repeat:60_000 ~work:(fun () ->
+        ignore (Gibbs.sample_event rng fig4_store fig4_params kernel_event))
+  in
+  let json =
+    Printf.sprintf
+      "{\"benchmark\":\"core\",\"store_events\":%d,\"repeats\":%d,\"gibbs_sweeps_per_s\":%.2f,\"stem_iterations_per_s\":%.2f,\"piecewise_draws_per_s\":%.2f}\n"
+      events repeats gibbs_sweeps stem_iterations piecewise_draws
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "core throughput (%d unobserved events, median of %d):\n" events
+    repeats;
+  Printf.printf "  gibbs sweeps        %10.1f /s\n" gibbs_sweeps;
+  Printf.printf "  stem iterations     %10.1f /s\n" stem_iterations;
+  Printf.printf "  piecewise draws     %10.1f /s\n" piecewise_draws;
+  Printf.printf "-> %s\n" out
+
 let benchmark () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ minor_allocated; monotonic_clock ] in
@@ -161,6 +225,11 @@ let benchmark () =
   Analyze.merge ols instances results
 
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--core-json" :: rest ->
+      core_json (match rest with path :: _ -> path | [] -> "BENCH_core.json");
+      exit 0
+  | _ -> ());
   Bechamel_notty.Unit.add Instance.monotonic_clock "ns";
   Bechamel_notty.Unit.add Instance.minor_allocated "w";
   let results = benchmark () in

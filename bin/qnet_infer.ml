@@ -35,6 +35,7 @@ module Fault = Qnet_runtime.Fault
 module Supervisor = Qnet_runtime.Supervisor
 module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
+module Diagnostics = Qnet_obs.Diagnostics
 module Metrics_server = Qnet_webapp.Metrics_server
 
 (* Progress chatter goes to stderr (never corrupts piped stdout);
@@ -144,24 +145,61 @@ let write_span_log path =
    is flushed even when inference fails (a failed run is exactly the
    one you want a trace of), and a telemetry write failure surfaces as
    the run's error rather than vanishing. *)
-let with_telemetry ~metrics_out ~trace_out ~serve_metrics ~serve_linger f =
-  if metrics_out <> None || serve_metrics <> None then Metrics.set_enabled true;
+let with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
+    ~serve_linger f =
+  if metrics_out <> None || serve_metrics <> None || diagnostics_out <> None
+  then begin
+    Metrics.set_enabled true;
+    (* Present-zeros convention: every diagnostics family is visible
+       from the first scrape, before any sample lands. *)
+    Diagnostics.register_metrics ()
+  end;
   if trace_out <> None then Span.enable ();
-  let server =
-    match serve_metrics with
+  let diag_sink =
+    match diagnostics_out with
     | None -> Ok None
-    | Some port -> (
-        match Metrics_server.start ~port () with
-        | Ok srv ->
-            chat "serving metrics on http://127.0.0.1:%d/metrics@."
-              (Metrics_server.port srv);
-            Ok (Some srv)
-        | Error m -> Error m)
+    | Some path -> (
+        match
+          if path = "-" then Ok stdout else try Ok (open_out path) with Sys_error m -> Error m
+        with
+        | Error m -> Error (Printf.sprintf "cannot write %s: %s" path m)
+        | Ok oc ->
+            Diagnostics.set_sink Diagnostics.default
+              (Some
+                 (fun line ->
+                   output_string oc line;
+                   output_char oc '\n';
+                   flush oc));
+            Ok (Some (path, oc)))
+  in
+  let server =
+    match diag_sink with
+    | Error m -> Error m
+    | Ok _ -> (
+        match serve_metrics with
+        | None -> Ok None
+        | Some port -> (
+            match Metrics_server.start ~port () with
+            | Ok srv ->
+                chat
+                  "serving metrics on http://127.0.0.1:%d/metrics (dashboard: \
+                   /dashboard)@."
+                  (Metrics_server.port srv);
+                Ok (Some srv)
+            | Error m -> Error m))
   in
   match server with
   | Error m -> Error m
   | Ok server ->
       let outcome = f () in
+      (* Final diagnostics snapshot: exports end-of-run gauges and the
+         last JSONL line before the sink channel goes away. *)
+      if Metrics.enabled () then Diagnostics.publish Diagnostics.default;
+      (match diag_sink with
+      | Ok (Some (path, oc)) ->
+          Diagnostics.set_sink Diagnostics.default None;
+          if path <> "-" then close_out oc else flush oc
+      | _ -> ());
       let flush_errors =
         List.filter_map
           (fun (path, write) -> match path with
@@ -313,8 +351,8 @@ let infer input num_queues fraction iterations seed bayes lenient checkpoint_eve
 
 let run input num_queues fraction iterations seed bayes lenient checkpoint_every
     checkpoint resume max_retries budget_seconds chains min_chains
-    sweep_deadline_ms chain_faults quiet metrics_out trace_out log_level
-    serve_metrics serve_linger =
+    sweep_deadline_ms chain_faults quiet metrics_out trace_out diagnostics_out
+    log_level serve_metrics serve_linger =
   quiet_flag := quiet;
   match
     match log_level with
@@ -329,8 +367,8 @@ let run input num_queues fraction iterations seed bayes lenient checkpoint_every
   with
   | Error m -> Error m
   | Ok () ->
-      with_telemetry ~metrics_out ~trace_out ~serve_metrics ~serve_linger
-        (fun () ->
+      with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
+        ~serve_linger (fun () ->
           Span.with_span "infer.run" (fun () ->
               infer input num_queues fraction iterations seed bayes lenient
                 checkpoint_every checkpoint resume max_retries budget_seconds
@@ -484,6 +522,18 @@ let trace_out =
            the run ends (- for stdout). Summarize it with \
            $(b,qnet_trace_tool summarize-trace).")
 
+let diagnostics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diagnostics-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream convergence diagnostics to $(docv) as JSONL (- for stdout): \
+           one snapshot line per publication interval with split-Rhat, ESS/sec, \
+           per-queue posterior summaries, GC and kernel statistics — the same \
+           document GET /diagnostics.json serves. Implies the metrics registry \
+           is enabled.")
+
 let log_level =
   Arg.(
     value
@@ -499,9 +549,10 @@ let serve_metrics =
     & opt (some int) None
     & info [ "serve-metrics" ] ~docv:"PORT"
         ~doc:
-          "Serve GET /metrics (Prometheus), /metrics.json (JSONL) and /healthz on \
-           127.0.0.1:$(docv) for the duration of the run (0 picks an ephemeral \
-           port). Implies the metrics registry is enabled.")
+          "Serve GET /metrics (Prometheus), /metrics.json (JSONL), \
+           /diagnostics.json (convergence diagnostics), /dashboard (live HTML) \
+           and /healthz on 127.0.0.1:$(docv) for the duration of the run (0 \
+           picks an ephemeral port). Implies the metrics registry is enabled.")
 
 let serve_linger =
   Arg.(
@@ -517,7 +568,7 @@ let cmd =
       const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes $ lenient
       $ checkpoint_every $ checkpoint $ resume $ max_retries $ budget_seconds
       $ chains $ min_chains $ sweep_deadline_ms $ chain_faults $ quiet $ metrics_out
-      $ trace_out $ log_level $ serve_metrics $ serve_linger)
+      $ trace_out $ diagnostics_out $ log_level $ serve_metrics $ serve_linger)
   in
   let info =
     Cmd.info "qnet_infer"

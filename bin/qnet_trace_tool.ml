@@ -10,7 +10,10 @@
                NaN fields, clock skew, ...) for testing ingestion
      summarize-trace
                aggregate a span log (qnet_infer --trace-out) into a
-               per-phase wall-time breakdown                        *)
+               per-phase wall-time breakdown
+     flamegraph
+               collapse a span log into folded-stack lines for
+               flamegraph.pl / speedscope / inferno                 *)
 
 open Cmdliner
 module Rng = Qnet_prob.Rng
@@ -119,6 +122,32 @@ let summarize_trace input =
       Format.printf "%a" Span.Summary.pp (Span.Summary.of_spans spans);
       Ok ()
 
+let flamegraph input output =
+  match Span.read_jsonl input with
+  | Error m -> Error m
+  | Ok ([], _) -> Error (Printf.sprintf "%s: no parseable spans" input)
+  | Ok (spans, malformed) ->
+      if malformed > 0 then
+        Printf.eprintf "warning: %s: skipped %d malformed line(s)\n%!" input
+          malformed;
+      let folded = Span.to_folded spans in
+      if folded = [] then
+        Error
+          (Printf.sprintf
+             "%s: no folded stacks (every span rounds to zero self time)" input)
+      else begin
+        let emit oc =
+          List.iter (fun (stack, us) -> Printf.fprintf oc "%s %d\n" stack us) folded
+        in
+        (match output with
+        | "-" -> emit stdout
+        | path ->
+            let oc = open_out path in
+            Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+            Printf.eprintf "%d stack(s) -> %s\n%!" (List.length folded) path);
+        Ok ()
+      end
+
 let input =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.CSV")
 
@@ -191,12 +220,30 @@ let summarize_trace_cmd =
           breakdown of wall time: calls, total and self time, share of the run")
     (handle Term.(const summarize_trace $ spans))
 
+let flamegraph_cmd =
+  let spans =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPANS.JSONL")
+  in
+  let output =
+    Arg.(
+      value & opt string "qnet.folded"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file for the folded stacks (- for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "flamegraph"
+       ~doc:
+         "Collapse a span log (from qnet_infer --trace-out) into folded-stack \
+          lines — 'root;child;leaf microseconds' — ready for flamegraph.pl, \
+          inferno-flamegraph or speedscope")
+    (handle Term.(const flamegraph $ spans $ output))
+
 let cmd =
   Cmd.group
     (Cmd.info "qnet_trace_tool" ~doc:"Inspect and manipulate qnet trace CSVs")
     [
       summary_cmd; validate_cmd; window_cmd; mask_cmd; corrupt_cmd;
-      summarize_trace_cmd;
+      summarize_trace_cmd; flamegraph_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

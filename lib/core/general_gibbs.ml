@@ -18,6 +18,21 @@ let m_events =
        ~help:"Events resampled by general-service slice sweeps"
        "qnet_general_events_resampled_total")
 
+(* Shrink-rate telemetry: the diagnostics hub reads these back by name
+   (Diagnostics.register_metrics force-registers the same families), so
+   a rising shrinks/steps ratio is visible on the dashboard as the
+   slice conditionals getting peaky relative to their windows. *)
+let m_slice_steps =
+  lazy
+    (Metrics.Counter.create ~help:"Slice-sampler transitions attempted"
+       "qnet_slice_steps_total")
+
+let m_slice_shrinks =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Shrink rejections inside slice transitions"
+       "qnet_slice_shrinks_total")
+
 (* Feasibility window: identical bounds to the exponential kernel
    (Gibbs.local_density); a test asserts they agree. *)
 let window store f =
@@ -95,9 +110,18 @@ let resample_event rng store model f =
           if Float.is_finite (density current) then current
           else 0.5 *. (lower +. u)
         in
-        if Float.is_finite (density current) then
-          Store.set_departure store f
-            (Slice.step rng ~log_density:density ~lower ~upper:u ~current)
+        if Float.is_finite (density current) then begin
+          let x, shrinks =
+            Slice.step_stats rng ~log_density:density ~lower ~upper:u ~current
+          in
+          if Metrics.enabled () then begin
+            Metrics.Counter.inc (Lazy.force m_slice_steps);
+            if shrinks > 0 then
+              Metrics.Counter.inc ~by:(float_of_int shrinks)
+                (Lazy.force m_slice_shrinks)
+          end;
+          Store.set_departure store f x
+        end
         (* else: pathological corner (measure zero) — keep the state *)
       end
 

@@ -2,6 +2,7 @@ module Store = Event_store
 module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
 module Clock = Qnet_obs.Clock
+module Diagnostics = Qnet_obs.Diagnostics
 
 let m_iteration_seconds =
   lazy
@@ -146,7 +147,7 @@ let mle_step ?prior store ~previous ~min_queue_events =
         prev
       end)
 
-let run_impl ~config ?init ?route_fsm ~on_iteration rng store =
+let run_impl ~config ?init ?route_fsm ~diag_chain ~on_iteration rng store =
   if config.iterations < 1 then invalid_arg "Stem.run: need at least one iteration";
   if config.burn_in < 0 || config.burn_in >= config.iterations then
     invalid_arg "Stem.run: burn_in must be in [0, iterations)";
@@ -160,6 +161,8 @@ let run_impl ~config ?init ?route_fsm ~on_iteration rng store =
   let llh = Array.make config.iterations nan in
   let params = ref params0 in
   let instrumented = Metrics.enabled () in
+  if instrumented then
+    Diagnostics.set_arrival_queue Diagnostics.default (Store.arrival_queue store);
   for it = 0 to config.iterations - 1 do
     let t0 = if instrumented then Clock.now () else 0.0 in
     (* Stochastic E-step: one sweep under the current parameters, plus
@@ -180,7 +183,14 @@ let run_impl ~config ?init ?route_fsm ~on_iteration rng store =
     llh.(it) <- Store.log_likelihood store !params;
     if instrumented then begin
       Metrics.Histogram.observe (Lazy.force m_iteration_seconds) (Clock.now () -. t0);
-      Metrics.Counter.inc (Lazy.force m_iterations)
+      Metrics.Counter.inc (Lazy.force m_iterations);
+      (* Convergence diagnostics track the realized (imputed) per-queue
+         means of this iterate — the same stochastic quantity the
+         supervisor samples — not the smoothed parameter estimate. *)
+      Diagnostics.observe_iteration Diagnostics.default ~chain:diag_chain
+        ~waiting:(Store.mean_waiting_by_queue store)
+        (Store.mean_service_by_queue store);
+      Diagnostics.gc_tick Diagnostics.default
     end;
     on_iteration it !params
   done;
@@ -207,10 +217,10 @@ let run_impl ~config ?init ?route_fsm ~on_iteration rng store =
     log_likelihood_history = llh;
   }
 
-let run ?(config = default_config) ?init ?route_fsm
+let run ?(config = default_config) ?init ?route_fsm ?(diag_chain = 0)
     ?(on_iteration = fun _ _ -> ()) rng store =
   Span.with_span "stem.run" (fun () ->
-      run_impl ~config ?init ?route_fsm ~on_iteration rng store)
+      run_impl ~config ?init ?route_fsm ~diag_chain ~on_iteration rng store)
 
 let estimate_waiting ?(sweeps = 100) ?(burn_in = 50) rng store params =
   if burn_in < 0 || burn_in >= sweeps then
@@ -235,7 +245,7 @@ let run_chains ?(config = default_config) ?(chains = 4) ~seed make_store =
   let results =
     Array.init chains (fun c ->
         let rng = Qnet_prob.Rng.create ~seed:(seed + (c * 7919)) () in
-        run ~config rng (make_store ()))
+        run ~config ~diag_chain:c rng (make_store ()))
   in
   let nq = Params.num_queues results.(0).params in
   let kept = config.iterations - config.burn_in in

@@ -63,12 +63,17 @@ val run :
   ?config:config ->
   ?init:Params.t ->
   ?route_fsm:Qnet_fsm.Fsm.t ->
+  ?diag_chain:int ->
   ?on_iteration:(int -> Params.t -> unit) ->
   Qnet_prob.Rng.t ->
   Event_store.t ->
   result
 (** [run rng store] initializes the latent state ({!Init.feasible}),
     warms up, and runs StEM. [init] overrides {!initial_guess}.
+    When metrics are enabled, every iteration feeds the realized
+    per-queue means into {!Qnet_obs.Diagnostics.default} under chain
+    id [diag_chain] (default 0 — set it when running several chains in
+    one process so their traces stay separate).
     When [route_fsm] is given, the routing of unobserved events is
     treated as latent too: every E-step additionally runs one
     Metropolis–Hastings routing sweep ({!Path_move.sweep}) under that

@@ -178,6 +178,79 @@ let read_jsonl path =
       Ok (List.rev spans, bad)
 
 (* ------------------------------------------------------------------ *)
+(* Folded stacks (flamegraph input)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame name becomes one ';'-separated component of a folded stack
+   line, so the separator characters themselves must not appear in it;
+   the trailing " <count>" is space-separated, so spaces go too. *)
+let folded_frame name =
+  if name = "" then "(anonymous)"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | ';' -> ':'
+        | ' ' | '\t' | '\n' | '\r' -> '_'
+        | c when Char.code c < 0x20 -> '?'
+        | c -> c)
+      name
+
+let to_folded spans =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
+  (* time spent in direct children, per parent id — self time is what
+     a flamegraph attributes to the leaf frame *)
+  let child_time = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      match s.parent with
+      | None -> ()
+      | Some p ->
+          if Hashtbl.mem by_id p then
+            Hashtbl.replace child_time p
+              (s.duration
+              +. (try Hashtbl.find child_time p with Not_found -> 0.0)))
+    spans;
+  (* ancestry path, root first; a missing parent (overwritten in the
+     ring before being drained) truncates the stack there rather than
+     dropping the span, and a depth cap guards against parent cycles
+     in corrupted logs *)
+  let rec path depth s =
+    let frame = folded_frame s.name in
+    if depth > 64 then [ frame ]
+    else
+      match s.parent with
+      | None -> [ frame ]
+      | Some p -> (
+          match Hashtbl.find_opt by_id p with
+          | None -> [ frame ]
+          | Some ps -> path (depth + 1) ps @ [ frame ])
+  in
+  let acc = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let self =
+        Float.max 0.0
+          (s.duration
+          -. (try Hashtbl.find child_time s.id with Not_found -> 0.0))
+      in
+      let us = int_of_float (Float.round (1e6 *. self)) in
+      if us > 0 then begin
+        let stack = String.concat ";" (path 0 s) in
+        Hashtbl.replace acc stack
+          (us + (try Hashtbl.find acc stack with Not_found -> 0))
+      end)
+    spans;
+  Hashtbl.fold (fun stack us out -> (stack, us) :: out) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let write_folded oc spans =
+  List.iter
+    (fun (stack, us) -> Printf.fprintf oc "%s %d\n" stack us)
+    (to_folded spans)
+
+(* ------------------------------------------------------------------ *)
 (* Summarization                                                       *)
 (* ------------------------------------------------------------------ *)
 

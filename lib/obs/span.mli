@@ -51,6 +51,20 @@ val read_jsonl : string -> (span list * int, string) result
 (** [Ok (spans, bad_lines)]: parseable spans plus the count of
     malformed lines skipped; [Error] if the file cannot be read. *)
 
+val to_folded : span list -> (string * int) list
+(** Collapse a span log into flamegraph folded-stack form: one entry
+    per distinct ancestry path ([root;child;leaf]), valued by the
+    {e self} time (duration minus direct children) of all spans on
+    that path, in integer microseconds. Entries with zero rounded self
+    time are dropped; spans whose parent is missing from the log
+    (overwritten in the ring) root their stack at themselves. Frame
+    names are sanitized ([';'] and whitespace replaced) so the output
+    feeds [flamegraph.pl] / speedscope unchanged. Deterministically
+    sorted by stack. *)
+
+val write_folded : out_channel -> span list -> unit
+(** {!to_folded} rendered one [stack count] line at a time. *)
+
 (** Aggregate a span log into a per-phase wall-time breakdown. *)
 module Summary : sig
   type phase = {

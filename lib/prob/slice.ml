@@ -1,4 +1,4 @@
-let step ?(max_shrink = 100) rng ~log_density ~lower ~upper ~current =
+let step_stats ?(max_shrink = 100) rng ~log_density ~lower ~upper ~current =
   if not (current >= lower && current <= upper) then
     invalid_arg "Slice.step: current point outside the interval";
   let ly = log_density current in
@@ -9,12 +9,15 @@ let step ?(max_shrink = 100) rng ~log_density ~lower ~upper ~current =
   (* the interval itself is the initial slice bracket (no stepping out
      needed: the support is already bounded); shrink on rejection *)
   let rec shrink lo hi n =
-    if n = 0 then current
+    if n = 0 then (current, max_shrink)
     else begin
       let x = Rng.float_range rng lo hi in
-      if log_density x >= level then x
+      if log_density x >= level then (x, max_shrink - n)
       else if x < current then shrink x hi (n - 1)
       else shrink lo x (n - 1)
     end
   in
   shrink lower upper max_shrink
+
+let step ?max_shrink rng ~log_density ~lower ~upper ~current =
+  fst (step_stats ?max_shrink rng ~log_density ~lower ~upper ~current)

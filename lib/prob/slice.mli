@@ -25,3 +25,20 @@ val step :
     [max_shrink] (default 100) bounds the shrink loop; if it is
     exhausted (pathological target), the current point is returned —
     a valid, if lazy, MCMC move. *)
+
+val step_stats :
+  ?max_shrink:int ->
+  Rng.t ->
+  log_density:(float -> float) ->
+  lower:float ->
+  upper:float ->
+  current:float ->
+  float * int
+(** Exactly {!step}, additionally returning the number of shrink
+    rejections the transition needed (0 = the first horizontal draw
+    was accepted; [max_shrink] = the loop was exhausted and the
+    current point returned). Consumes the same RNG stream as {!step}
+    for the same draw, so instrumented and uninstrumented runs stay
+    bit-identical. The shrink count is the sampler-efficiency signal
+    the convergence diagnostics track: a rising shrink rate means the
+    conditional has become sharply peaked relative to its window. *)

@@ -235,3 +235,91 @@ let pooled_effective_sample_size chains =
   if Array.length chains = 0 then
     invalid_arg "Statistics.pooled_effective_sample_size: need >= 1 chain";
   Array.fold_left (fun acc c -> acc +. effective_sample_size c) 0.0 chains
+
+module Online = struct
+  (* Streaming lag-k autocovariance: a ring of the last [max_lag]
+     accepted values plus running cross-product sums per lag. The
+     autocovariance estimate γ̂_k = S_k/(n−k) − μ² uses the global mean
+     for both factors instead of the two range means the batch
+     estimator centers with — an O(1/n) approximation that converges
+     to the batch value and is the standard streaming form. *)
+  type acf = {
+    max_lag : int;
+    ring : float array;
+    cross : float array; (* cross.(k) = Σ_{i>=k} x_i·x_{i−k}, k in [1,max_lag] *)
+    mutable n : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable skipped : int;
+  }
+
+  let acf ?(max_lag = 64) () =
+    if max_lag < 1 then invalid_arg "Statistics.Online.acf: max_lag must be >= 1";
+    {
+      max_lag;
+      ring = Array.make max_lag 0.0;
+      cross = Array.make (max_lag + 1) 0.0;
+      n = 0;
+      sum = 0.0;
+      sumsq = 0.0;
+      skipped = 0;
+    }
+
+  let push t x =
+    if not (Float.is_finite x) then t.skipped <- t.skipped + 1
+    else begin
+      let lags = Stdlib.min t.n t.max_lag in
+      for k = 1 to lags do
+        t.cross.(k) <- t.cross.(k) +. (x *. t.ring.((t.n - k) mod t.max_lag))
+      done;
+      t.ring.(t.n mod t.max_lag) <- x;
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. x;
+      t.sumsq <- t.sumsq +. (x *. x)
+    end
+
+  let count t = t.n
+  let skipped t = t.skipped
+  let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+  let autocovariance t k =
+    if k < 0 || k > t.max_lag then
+      invalid_arg "Statistics.Online.autocovariance: lag outside [0, max_lag]";
+    if t.n <= k then nan
+    else begin
+      let mu = mean t in
+      if k = 0 then (t.sumsq /. float_of_int t.n) -. (mu *. mu)
+      else (t.cross.(k) /. float_of_int (t.n - k)) -. (mu *. mu)
+    end
+
+  let autocorrelation t k =
+    let g0 = autocovariance t 0 in
+    if t.n <= k then nan
+    else if not (g0 > 0.0) then 0.0 (* constant series, or fp-degenerate *)
+    else
+      (* The global-mean approximation can push γ̂_k past γ̂_0 while the
+         series still trends (early StEM iterates); a correlation is
+         clamped into [-1, 1] so downstream ESS/display stay sane. *)
+      Float.max (-1.0) (Float.min 1.0 (autocovariance t k /. g0))
+
+  let ess t =
+    if t.n = 0 then 0.0
+    else if t.n < 4 then float_of_int t.n
+    else begin
+      let g0 = autocovariance t 0 in
+      if not (g0 > 0.0) then float_of_int t.n
+      else begin
+        let max_lag = Stdlib.min t.max_lag (t.n - 2) in
+        let rec accumulate k acc =
+          if k + 1 > max_lag then acc
+          else
+            let pair = autocorrelation t k +. autocorrelation t (k + 1) in
+            if pair <= 0.0 then acc else accumulate (k + 2) (acc +. pair)
+        in
+        let tau = Float.max 1.0 (1.0 +. (2.0 *. accumulate 1 0.0)) in
+        (* clamp into [1, n], matching the batch estimator *)
+        Float.max 1.0
+          (Float.min (float_of_int t.n) (float_of_int t.n /. tau))
+      end
+    end
+end

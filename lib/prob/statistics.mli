@@ -93,4 +93,56 @@ val split_gelman_rubin : float array array -> float
 
 val pooled_effective_sample_size : float array array -> float
 (** Sum of {!effective_sample_size} over independently-run chains —
-    the ensemble's total budget of effectively independent draws. *)
+    the ensemble's total budget of effectively independent draws.
+
+    Edge-case contract (pinned by tests): a single chain contributes
+    its own ESS; a constant chain has zero autocorrelation by
+    convention and contributes its full length; a chain containing a
+    NaN yields [nan] for the pooled total (NaN screening is the
+    caller's job — the streaming {!Online} accumulators skip NaN at
+    the door instead). *)
+
+(** Streaming (one-pass, O(max_lag) memory) variants of the MCMC
+    diagnostics above, for monitors that must not buffer whole chains.
+    Non-finite inputs are skipped and counted, Welford-style, so one
+    corrupted iterate cannot poison a long-running accumulator. *)
+module Online : sig
+  type acf
+  (** Streaming lag-k autocovariance over a growing series: a ring of
+      the last [max_lag] values plus running cross-product sums. *)
+
+  val acf : ?max_lag:int -> unit -> acf
+  (** [acf ~max_lag ()] tracks lags 1..[max_lag] (default 64). Raises
+      [Invalid_argument] when [max_lag < 1]. *)
+
+  val push : acf -> float -> unit
+  (** Add one sample; non-finite values are skipped and counted. *)
+
+  val count : acf -> int
+  (** Accepted (finite) samples so far. *)
+
+  val skipped : acf -> int
+  (** Non-finite samples dropped by {!push} so far. *)
+
+  val mean : acf -> float
+  (** [nan] when empty. *)
+
+  val autocovariance : acf -> int -> float
+  (** [autocovariance t k] is the streaming estimate
+      γ̂_k = S_k/(n−k) − μ̂² (global-mean centering — an O(1/n)
+      approximation of the batch estimator, converging to it).
+      [nan] with fewer than [k+1] samples; raises [Invalid_argument]
+      for [k] outside [0, max_lag]. *)
+
+  val autocorrelation : acf -> int -> float
+  (** γ̂_k/γ̂_0, clamped into [\[-1, 1\]] (the global-mean approximation
+      can overshoot while the series still trends); 0 when the series
+      is constant (the {!Statistics.autocorrelation} convention),
+      [nan] with fewer than [k+1] samples. *)
+
+  val ess : acf -> float
+  (** Geyer initial-positive-sequence effective sample size over the
+      tracked lags: 0 when empty, otherwise clamped to [\[1, count\]].
+      Matches {!Statistics.effective_sample_size} up to the truncation
+      at [max_lag] and the streaming autocovariance approximation. *)
+end

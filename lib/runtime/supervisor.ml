@@ -9,6 +9,7 @@ module Welford = Statistics.Welford
 module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
 module Clock = Qnet_obs.Clock
+module Diagnostics = Qnet_obs.Diagnostics
 
 let log_src = Logs.Src.create "qnet.supervisor" ~doc:"Supervised multi-chain inference"
 
@@ -343,7 +344,10 @@ let run_round cfg st ~stop_at =
          if !ok > 0 then
            Metrics.Counter.inc ~by:(float_of_int !ok) (Lazy.force m_samples_ok);
          if !bad > 0 then
-           Metrics.Counter.inc ~by:(float_of_int !bad) (Lazy.force m_samples_bad)
+           Metrics.Counter.inc ~by:(float_of_int !bad) (Lazy.force m_samples_bad);
+         Diagnostics.observe_iteration Diagnostics.default ~chain:st.id
+           ~waiting:(Store.mean_waiting_by_queue st.store)
+           realized
        end;
        st.it <- st.it + 1
      done
@@ -718,9 +722,26 @@ let validate cfg faults =
       if f.Fault.at_iteration < 0 then fail "fault at_iteration must be >= 0")
     faults
 
+let chain_status_string = function
+  | Healthy -> "healthy"
+  | Quarantined c -> "quarantined: " ^ c
+  | Dead c -> "dead: " ^ c
+
+let export_diag_statuses chains =
+  Array.iter
+    (fun st ->
+      Diagnostics.set_chain_status Diagnostics.default ~chain:st.id
+        (chain_status_string st.status))
+    chains
+
 let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
   validate config faults;
-  if Metrics.enabled () then register_metrics ();
+  if Metrics.enabled () then begin
+    register_metrics ();
+    Diagnostics.register_metrics ();
+    Diagnostics.reset Diagnostics.default;
+    Diagnostics.set_ensemble_status Diagnostics.default "running"
+  end;
   Span.with_span "supervisor.run"
     ~attrs:[ ("chains", string_of_int config.chains) ]
   @@ fun () ->
@@ -728,6 +749,9 @@ let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
   let chains =
     Array.init config.chains (init_chain config ~seed ~init make_store faults)
   in
+  if Metrics.enabled () then
+    Diagnostics.set_arrival_queue Diagnostics.default
+      chains.(0).anchor.Params.arrival_queue;
   let iterations = config.stem.Stem.iterations in
   let continue_ = ref true in
   let round = ref 0 in
@@ -780,10 +804,28 @@ let run ?(config = default_config) ?init ?(faults = []) ~seed make_store =
           else barrier_check config st)
         runnable;
       divergence_pass config chains;
-      if Metrics.enabled () then Metrics.Counter.inc (Lazy.force m_rounds)
+      if Metrics.enabled () then begin
+        Metrics.Counter.inc (Lazy.force m_rounds);
+        (* Barrier-side diagnostics export: verdict strings plus one
+           GC sample. Ticking GC here (supervisor domain) rather than
+           per-iteration keeps the chain domains' deltas from
+           interleaving; heap/major figures stay meaningful, minor
+           words are supervisor-local — an accepted approximation. *)
+        export_diag_statuses chains;
+        Diagnostics.gc_tick Diagnostics.default
+      end
     end
   done;
   let r = finalize config chains t0 in
+  if Metrics.enabled () then begin
+    export_diag_statuses chains;
+    Diagnostics.set_ensemble_status Diagnostics.default
+      (match r.status with
+      | Quorum -> "quorum"
+      | Degraded -> "degraded"
+      | Failed -> "failed");
+    Diagnostics.publish Diagnostics.default
+  end;
   Log.info (fun m ->
       m "run finished: %a, %d/%d chains healthy in %.2fs" pp_ensemble_status
         r.status r.healthy_chains (Array.length r.verdicts) r.wall_seconds);

@@ -1,0 +1,197 @@
+(* One self-contained page. The JavaScript keeps a bounded client-side
+   history of snapshots so the sparklines work without any server-side
+   storage: the server stays stateless, the page owns presentation. *)
+
+let html =
+  {page|<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>qnet inference dashboard</title>
+<style>
+  :root { --bg:#11151a; --panel:#1a2029; --ink:#d7dde5; --dim:#78828e;
+          --good:#3fb950; --warn:#d29922; --bad:#f85149; --acc:#58a6ff; }
+  body { background:var(--bg); color:var(--ink); margin:0;
+         font:14px/1.45 "SF Mono","Cascadia Code",Menlo,Consolas,monospace; }
+  header { padding:14px 22px; border-bottom:1px solid #2a3139;
+           display:flex; align-items:baseline; gap:18px; flex-wrap:wrap; }
+  h1 { font-size:16px; margin:0; font-weight:600; }
+  main { padding:18px 22px; max-width:1100px; }
+  .cards { display:flex; gap:14px; flex-wrap:wrap; margin-bottom:18px; }
+  .card { background:var(--panel); border:1px solid #2a3139; border-radius:8px;
+          padding:12px 16px; min-width:150px; }
+  .card .k { color:var(--dim); font-size:11px; text-transform:uppercase;
+             letter-spacing:.08em; }
+  .card .v { font-size:22px; margin-top:4px; }
+  .badge { display:inline-block; border-radius:10px; padding:1px 9px;
+           font-size:12px; border:1px solid transparent; }
+  .b-good { color:var(--good); border-color:var(--good); }
+  .b-warn { color:var(--warn); border-color:var(--warn); }
+  .b-bad  { color:var(--bad);  border-color:var(--bad); }
+  svg.spark { display:block; margin-top:6px; }
+  table { border-collapse:collapse; width:100%; margin:6px 0 18px; }
+  th, td { text-align:right; padding:5px 10px; border-bottom:1px solid #2a3139; }
+  th { color:var(--dim); font-weight:500; font-size:12px; }
+  th:first-child, td:first-child { text-align:left; }
+  tr.bottleneck td { background:#2b1d1f; }
+  tr.arrival td { color:var(--dim); }
+  .section { color:var(--dim); font-size:12px; text-transform:uppercase;
+             letter-spacing:.08em; margin:20px 0 4px; }
+  #err { color:var(--bad); margin-left:auto; font-size:12px; }
+  .chains { display:flex; gap:8px; flex-wrap:wrap; }
+</style>
+</head>
+<body>
+<header>
+  <h1>qnet inference</h1>
+  <span id="status" class="badge b-warn">connecting</span>
+  <span id="conv" class="badge b-warn">&ndash;</span>
+  <span id="wall" style="color:var(--dim)"></span>
+  <span id="err"></span>
+</header>
+<main>
+  <div class="cards">
+    <div class="card"><div class="k">max R&#770; (service)</div>
+      <div class="v" id="rhat">&ndash;</div>
+      <svg id="spark-rhat" class="spark" width="160" height="34"></svg></div>
+    <div class="card"><div class="k">total ESS</div>
+      <div class="v" id="ess">&ndash;</div>
+      <svg id="spark-ess" class="spark" width="160" height="34"></svg></div>
+    <div class="card"><div class="k">iterations</div><div class="v" id="iters">&ndash;</div></div>
+    <div class="card"><div class="k">bottleneck</div><div class="v" id="bneck">&ndash;</div></div>
+  </div>
+  <div class="section">chains</div>
+  <div class="chains" id="chains"></div>
+  <div class="section">per-queue posterior</div>
+  <table id="queues">
+    <thead><tr>
+      <th>queue</th><th>mean svc</th><th>q05</th><th>q50</th><th>q95</th>
+      <th>mean wait</th><th>wait frac</th><th>R&#770;</th><th>ESS</th>
+      <th>ESS/s</th><th>acf1</th><th>n</th>
+    </tr></thead><tbody></tbody>
+  </table>
+  <div class="section">runtime</div>
+  <table id="runtime"><tbody></tbody></table>
+</main>
+<script>
+"use strict";
+const hist = { rhat: [], ess: [] };          // bounded client-side history
+const HIST_MAX = 240;
+const $ = id => document.getElementById(id);
+const fmt = (x, d) => (x === null || x === undefined || !isFinite(x))
+  ? "–" : Number(x).toFixed(d === undefined ? 3 : d);
+const fmtInt = x => (x === null || x === undefined || !isFinite(x))
+  ? "–" : Math.round(x).toLocaleString();
+
+function badge(el, text, cls) {
+  el.textContent = text;
+  el.className = "badge " + cls;
+}
+
+function spark(svg, data, good) {
+  const w = svg.width.baseVal.value, h = svg.height.baseVal.value;
+  const pts = data.filter(x => x !== null && isFinite(x));
+  if (pts.length < 2) { svg.innerHTML = ""; return; }
+  const lo = Math.min(...pts), hi = Math.max(...pts), span = (hi - lo) || 1;
+  const step = w / (pts.length - 1);
+  const d = pts.map((x, i) =>
+    (i ? "L" : "M") + (i * step).toFixed(1) + "," +
+    (h - 3 - (h - 6) * (x - lo) / span).toFixed(1)).join(" ");
+  svg.innerHTML = '<path d="' + d + '" fill="none" stroke="' +
+    (good ? "#3fb950" : "#58a6ff") + '" stroke-width="1.5"/>';
+}
+
+function chainBadge(c) {
+  const s = c.status || "";
+  const cls = s === "healthy" ? "b-good"
+    : s.startsWith("quarantined") ? "b-warn" : "b-bad";
+  const el = document.createElement("span");
+  el.className = "badge " + cls;
+  el.title = s;
+  el.textContent = "chain " + c.chain + " · " + s.split(":")[0] +
+    " · " + fmtInt(c.iterations) + " it";
+  return el;
+}
+
+function render(s) {
+  $("err").textContent = "";
+  const es = s.ensemble_status || "running";
+  badge($("status"), es,
+    es === "running" || es === "quorum" ? "b-good"
+    : es === "degraded" ? "b-warn" : "b-bad");
+  if (s.max_rhat === null || !isFinite(s.max_rhat))
+    badge($("conv"), "warming up", "b-warn");
+  else badge($("conv"), s.converged ? "converged" : "mixing",
+             s.converged ? "b-good" : "b-warn");
+  $("wall").textContent = fmt(s.wall_seconds, 1) + "s";
+  $("rhat").textContent = fmt(s.max_rhat);
+  $("iters").textContent = fmtInt(s.iterations_total);
+  const queues = s.queues || [];
+  const essTotal = queues.reduce((a, q) =>
+    a + (isFinite(q.ess) && q.ess !== null ? q.ess : 0), 0);
+  $("ess").textContent = fmtInt(essTotal);
+  $("bneck").textContent = s.bottleneck >= 0 ? "queue " + s.bottleneck : "–";
+  hist.rhat.push(isFinite(s.max_rhat) ? s.max_rhat : null);
+  hist.ess.push(essTotal || null);
+  if (hist.rhat.length > HIST_MAX) { hist.rhat.shift(); hist.ess.shift(); }
+  spark($("spark-rhat"), hist.rhat, s.converged);
+  spark($("spark-ess"), hist.ess, true);
+
+  const ch = $("chains");
+  ch.innerHTML = "";
+  (s.chains || []).forEach(c => ch.appendChild(chainBadge(c)));
+
+  const tb = $("queues").tBodies[0];
+  tb.innerHTML = "";
+  queues.forEach(q => {
+    const tr = tb.insertRow();
+    if (q.queue === s.bottleneck) tr.className = "bottleneck";
+    if (q.queue === s.arrival_queue) tr.className = "arrival";
+    const name = q.queue === s.arrival_queue
+      ? "q" + q.queue + " (arrivals)" : "q" + q.queue;
+    [name, fmt(q.mean_service, 4), fmt(q.service_q05, 4), fmt(q.service_q50, 4),
+     fmt(q.service_q95, 4), fmt(q.mean_waiting, 4), fmt(q.wait_fraction, 3),
+     fmt(q.rhat), fmtInt(q.ess), fmt(q.ess_per_sec, 1), fmt(q.acf1),
+     fmtInt(q.samples)]
+      .forEach(v => { tr.insertCell().textContent = v; });
+  });
+
+  const rt = $("runtime").tBodies[0];
+  const gc = s.gc || {}, k = s.kernels || {};
+  const shrinkRate = (k.slice_steps > 0)
+    ? (k.slice_shrinks / k.slice_steps) : null;
+  rt.innerHTML = "";
+  [["minor words", fmtInt(gc.minor_words)],
+   ["promoted words", fmtInt(gc.promoted_words)],
+   ["major heap words", fmtInt(gc.heap_words)],
+   ["minor / major GCs", fmtInt(gc.minor_collections) + " / " +
+                         fmtInt(gc.major_collections)],
+   ["piecewise kernels (pt/tail/bdd)",
+    fmtInt(k.piecewise_point) + " / " + fmtInt(k.piecewise_tail) + " / " +
+    fmtInt(k.piecewise_bounded)],
+   ["slice steps", fmtInt(k.slice_steps)],
+   ["slice shrinks per step", fmt(shrinkRate, 2)],
+   ["skipped samples", fmtInt(s.skipped_samples)]]
+    .forEach(([kk, vv]) => {
+      const tr = rt.insertRow();
+      tr.insertCell().textContent = kk;
+      tr.insertCell().textContent = vv;
+    });
+}
+
+async function tick() {
+  try {
+    const r = await fetch("/diagnostics.json", { cache: "no-store" });
+    if (!r.ok) throw new Error("HTTP " + r.status);
+    render(await r.json());
+  } catch (e) {
+    $("err").textContent = "poll failed: " + e.message;
+    badge($("status"), "unreachable", "b-bad");
+  }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+|page}

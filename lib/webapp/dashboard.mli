@@ -1,0 +1,14 @@
+(** The live inference dashboard served at [GET /dashboard]: one
+    self-contained HTML document (inline CSS and JavaScript, no
+    external assets — it must render from a loopback-only server on an
+    air-gapped box) that polls [/diagnostics.json] once a second and
+    renders convergence at a glance: the R̂/ESS headline with a
+    converged/mixing badge, per-chain supervisor verdict badges,
+    sparklines of max-R̂ and total ESS history accumulated client-side,
+    a per-queue table (posterior mean and 90% interval, waiting
+    fraction with the bottleneck row highlighted, R̂, ESS/sec, lag-1
+    autocorrelation), and GC/kernel gauges. *)
+
+val html : string
+(** The complete document, ready to serve with
+    [Content-Type: text/html]. *)

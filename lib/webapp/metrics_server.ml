@@ -1,4 +1,5 @@
 module Metrics = Qnet_obs.Metrics
+module Diagnostics = Qnet_obs.Diagnostics
 
 type t = {
   sock : Unix.file_descr;
@@ -36,7 +37,7 @@ let read_request_line fd =
   go 0 ~in_line:true ~blank:false;
   Buffer.contents line
 
-let route registry line =
+let route registry diagnostics line =
   match String.split_on_char ' ' line with
   | [ "GET"; path; _ ] | [ "GET"; path ] -> (
       let path =
@@ -54,6 +55,12 @@ let route registry line =
             (Metrics.to_jsonl ~ts:(Qnet_obs.Clock.now ()) registry)
       | "/healthz" ->
           http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+      | "/diagnostics.json" ->
+          http_response ~status:"200 OK" ~content_type:"application/json"
+            (Diagnostics.snapshot_json diagnostics ^ "\n")
+      | "/dashboard" | "/dashboard/" ->
+          http_response ~status:"200 OK"
+            ~content_type:"text/html; charset=utf-8" Dashboard.html
       | _ ->
           http_response ~status:"404 Not Found" ~content_type:"text/plain"
             "not found\n")
@@ -73,19 +80,20 @@ let write_all fd s =
   in
   go 0
 
-let serve_client registry fd =
+let serve_client registry diagnostics fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       let line = read_request_line fd in
-      write_all fd (route registry line))
+      write_all fd (route registry diagnostics line))
 
-let accept_loop t registry =
+let accept_loop t registry diagnostics =
   let continue_ = ref true in
   while !continue_ && not (Atomic.get t.stopping) do
     match Unix.accept t.sock with
     | client, _ ->
-        ignore (Thread.create (fun () -> serve_client registry client) ())
+        ignore
+          (Thread.create (fun () -> serve_client registry diagnostics client) ())
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
         (* listening socket closed by [stop] *)
         continue_ := false
@@ -93,7 +101,8 @@ let accept_loop t registry =
     | exception Unix.Unix_error _ -> Thread.yield ()
   done
 
-let start ?(registry = Metrics.default) ?(host = "127.0.0.1") ~port () =
+let start ?(registry = Metrics.default) ?(diagnostics = Diagnostics.default)
+    ?(host = "127.0.0.1") ~port () =
   match
     let addr = Unix.inet_addr_of_string host in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -116,7 +125,8 @@ let start ?(registry = Metrics.default) ?(host = "127.0.0.1") ~port () =
                (Unix.error_message err) fn)
   | exception Failure _ -> Error (Printf.sprintf "invalid host %S" host)
   | t ->
-      t.acceptor <- Some (Thread.create (fun () -> accept_loop t registry) ());
+      t.acceptor <-
+        Some (Thread.create (fun () -> accept_loop t registry diagnostics) ());
       Ok t
 
 let port t = t.bound_port

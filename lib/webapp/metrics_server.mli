@@ -5,6 +5,11 @@
     Routes:
     - [GET /metrics] — Prometheus text exposition format;
     - [GET /metrics.json] — JSONL snapshot (one sample per line);
+    - [GET /diagnostics.json] — one inference-quality snapshot from the
+      {!Qnet_obs.Diagnostics} hub (split-R̂, ESS/sec, per-queue
+      posterior summaries, GC and kernel counters);
+    - [GET /dashboard] — the self-contained live HTML dashboard
+      ({!Dashboard.html}) polling [/diagnostics.json];
     - [GET /healthz] — liveness probe, returns [ok].
 
     The server is a single accept-loop thread plus one short-lived
@@ -17,10 +22,17 @@
 type t
 
 val start :
-  ?registry:Qnet_obs.Metrics.registry -> ?host:string -> port:int -> unit -> (t, string) result
+  ?registry:Qnet_obs.Metrics.registry ->
+  ?diagnostics:Qnet_obs.Diagnostics.t ->
+  ?host:string ->
+  port:int ->
+  unit ->
+  (t, string) result
 (** [start ~port ()] binds [host] (default ["127.0.0.1"]) on [port]
     ([0] picks an ephemeral port — see {!port}) and serves until
-    {!stop}. [Error] if the address cannot be bound. *)
+    {!stop}. [diagnostics] (default {!Qnet_obs.Diagnostics.default})
+    backs [/diagnostics.json] and the dashboard. [Error] if the
+    address cannot be bound. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port:0]). *)

@@ -5,6 +5,7 @@
 module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
 module Jsonx = Qnet_obs.Jsonx
+module Diagnostics = Qnet_obs.Diagnostics
 module Metrics_server = Qnet_webapp.Metrics_server
 
 let check_float = Alcotest.(check (float 1e-12))
@@ -282,6 +283,68 @@ let test_read_jsonl_malformed () =
       Alcotest.(check int) "good spans kept" 2 (List.length spans);
       Alcotest.(check int) "malformed lines counted, blanks ignored" 1 bad
 
+let test_read_jsonl_truncated () =
+  (* a crashed writer leaves the tail of a spans file cut mid-document;
+     read_jsonl must keep every whole span and count the wreckage, and
+     the summary must still work over the survivors *)
+  let path = Filename.temp_file "qnet_obs_trunc" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let mk id parent name =
+    Span.to_json
+      { Span.id; parent; name; start = float_of_int id; duration = 1.0; attrs = [] }
+  in
+  let good1 = mk 1 None "root" and good2 = mk 2 (Some 1) "child" in
+  let oc = open_out path in
+  output_string oc (good1 ^ "\n");
+  (* valid JSON, wrong shape *)
+  output_string oc "{\"id\":true}\n";
+  (* a burst of binary garbage (disk corruption) *)
+  output_string oc "\x00\xff\x13span\x07\n";
+  output_string oc (good2 ^ "\n");
+  (* the final line truncated mid-JSON, no trailing newline *)
+  output_string oc (String.sub good1 0 (String.length good1 / 2));
+  close_out oc;
+  match Span.read_jsonl path with
+  | Error m -> Alcotest.failf "read failed: %s" m
+  | Ok (spans, bad) ->
+      Alcotest.(check int) "whole spans kept" 2 (List.length spans);
+      Alcotest.(check int) "wrong-shape + garbage + truncated counted" 3 bad;
+      let s = Span.Summary.of_spans spans in
+      Alcotest.(check int) "summary runs over survivors" 2 s.Span.Summary.spans
+
+(* --- folded stacks (flamegraph export) ----------------------------- *)
+
+let test_folded_stacks () =
+  let mk id parent name duration = { Span.id; parent; name; start = 0.0; duration; attrs = [] } in
+  let spans =
+    [
+      mk 1 None "root" 10.0;
+      (* child name exercises separator sanitization: ';' and ' ' would
+         corrupt the folded line format *)
+      mk 2 (Some 1) "gibbs sweep;hot" 4.0;
+      (* zero self time must not emit a stack *)
+      mk 3 None "zero" 0.0;
+      (* parent overwritten in the ring before draining: the stack
+         truncates at the orphan rather than dropping it *)
+      mk 4 (Some 99) "orphan" 2.0;
+    ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "self time per sanitized stack, sorted"
+    [
+      ("orphan", 2_000_000);
+      ("root", 6_000_000);
+      ("root;gibbs_sweep:hot", 4_000_000);
+    ]
+    (Span.to_folded spans)
+
+let test_folded_merges_identical_stacks () =
+  let mk id name duration = { Span.id; parent = None; name; start = 0.0; duration; attrs = [] } in
+  Alcotest.(check (list (pair string int)))
+    "same stack aggregates"
+    [ ("sweep", 3_500_000) ]
+    (Span.to_folded [ mk 1 "sweep" 1.5; mk 2 "sweep" 2.0 ])
+
 let test_summary () =
   let mk id parent name start duration =
     { Span.id; parent; name; start; duration; attrs = [] }
@@ -305,6 +368,160 @@ let test_summary () =
   Alcotest.(check int) "phases aggregate by name" 2 (phase "child").Span.Summary.count;
   check_float "child total" 7.0 (phase "child").Span.Summary.total;
   check_float "child max" 4.0 (phase "child").Span.Summary.max_duration
+
+(* --- diagnostics hub ----------------------------------------------- *)
+
+(* Two chains, deterministic mixing series. The wobble keeps the
+   within-chain variance positive (a constant window makes R-hat
+   0/0) while both chains share a distribution, so split R-hat must
+   land near 1. Queue 2 gets triple the waiting time of queue 1, so
+   the bottleneck ranking must blame it. Queue 0 is the arrival
+   queue and must be excluded from the verdict. *)
+let feed_mixing_hub hub =
+  Diagnostics.set_arrival_queue hub 0;
+  for i = 1 to 32 do
+    let wobble = 0.01 *. float_of_int (i mod 5) in
+    for chain = 0 to 1 do
+      Diagnostics.observe_iteration hub ~chain
+        ~waiting:[| 0.5; 1.0; 3.0 |]
+        [| 9.0 +. wobble; 1.0 +. wobble; 1.0 -. wobble |]
+    done
+  done
+
+let test_diag_snapshot () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg ~window:64 ~publish_every:1000 () in
+  feed_mixing_hub hub;
+  let s = Diagnostics.snapshot hub in
+  Alcotest.(check int) "iterations pooled over chains" 64 s.Diagnostics.iterations_total;
+  Alcotest.(check int) "no skipped samples" 0 s.Diagnostics.skipped_samples;
+  Alcotest.(check int) "three queues" 3 (Array.length s.Diagnostics.queues);
+  Alcotest.(check int) "two chains" 2 (Array.length s.Diagnostics.chains);
+  Alcotest.(check int) "arrival queue recorded" 0 s.Diagnostics.arrival_queue;
+  let q1 = s.Diagnostics.queues.(1) and q2 = s.Diagnostics.queues.(2) in
+  Alcotest.(check int) "samples pooled" 64 q1.Diagnostics.samples;
+  if not (Float.is_finite q1.Diagnostics.rhat) then
+    Alcotest.fail "service-queue R-hat not finite";
+  if Float.abs (q1.Diagnostics.rhat -. 1.0) > 0.2 then
+    Alcotest.failf "identical chains should mix: R-hat %f" q1.Diagnostics.rhat;
+  if not (Float.is_finite s.Diagnostics.max_rhat) then
+    Alcotest.fail "max R-hat not finite";
+  Alcotest.(check bool) "mixing chains converge" true s.Diagnostics.converged;
+  (* waiting 3.0 against service ~1.0 dominates waiting 1.0 *)
+  Alcotest.(check int) "bottleneck is the waiting-dominated queue" 2
+    s.Diagnostics.bottleneck;
+  if q2.Diagnostics.wait_fraction <= q1.Diagnostics.wait_fraction then
+    Alcotest.fail "wait_fraction ranking inverted";
+  if Float.abs (q1.Diagnostics.mean_service -. 1.02) > 0.01 then
+    Alcotest.failf "pooled mean off: %f" q1.Diagnostics.mean_service;
+  if q1.Diagnostics.ess < 1.0 then Alcotest.fail "ESS below the [1,n] clamp";
+  if Float.abs q1.Diagnostics.acf1 > 1.0 then
+    Alcotest.failf "acf1 outside [-1,1]: %f" q1.Diagnostics.acf1
+
+let test_diag_nonfinite_skipped () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg () in
+  Diagnostics.observe_iteration hub ~chain:0 [| 1.0; 2.0 |];
+  Diagnostics.observe_iteration hub ~chain:0 [| Float.nan; 2.0 |];
+  Diagnostics.observe_iteration hub ~chain:0 [| 1.0; Float.infinity |];
+  let s = Diagnostics.snapshot hub in
+  Alcotest.(check int) "non-finite entries counted" 2 s.Diagnostics.skipped_samples;
+  Alcotest.(check int) "queue 0 kept its finite iterates" 2
+    s.Diagnostics.queues.(0).Diagnostics.samples;
+  Alcotest.(check int) "queue 1 kept its finite iterates" 2
+    s.Diagnostics.queues.(1).Diagnostics.samples
+
+let test_diag_dimension_mismatch () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg () in
+  Diagnostics.observe_iteration hub ~chain:0 [| 1.0; 2.0; 3.0 |];
+  (try
+     Diagnostics.observe_iteration hub ~chain:1 [| 1.0 |];
+     Alcotest.fail "queue-count change accepted"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "hub state intact after rejection" 1
+    (Diagnostics.snapshot hub).Diagnostics.iterations_total
+
+let test_diag_reset () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg () in
+  feed_mixing_hub hub;
+  Diagnostics.reset hub;
+  let s = Diagnostics.snapshot hub in
+  Alcotest.(check int) "no iterations after reset" 0 s.Diagnostics.iterations_total;
+  Alcotest.(check int) "no queues after reset" 0 (Array.length s.Diagnostics.queues);
+  Alcotest.(check int) "arrival queue unset" (-1) s.Diagnostics.arrival_queue;
+  (* and the hub is reusable with a different shape *)
+  Diagnostics.observe_iteration hub ~chain:0 [| 1.0 |];
+  Alcotest.(check int) "reusable with a new queue count" 1
+    (Array.length (Diagnostics.snapshot hub).Diagnostics.queues)
+
+let test_diag_sink_and_json () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg ~publish_every:1000 () in
+  feed_mixing_hub hub;
+  let lines = ref [] in
+  Diagnostics.set_sink hub (Some (fun l -> lines := l :: !lines));
+  Diagnostics.publish hub;
+  Diagnostics.set_sink hub None;
+  Diagnostics.publish hub;
+  Alcotest.(check int) "one line per publish while installed" 1
+    (List.length !lines);
+  let line = List.hd !lines in
+  (match Jsonx.parse_object line with
+  | Error m -> Alcotest.failf "sink line is not a JSON object: %s" m
+  | Ok fields ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            Alcotest.failf "sink line missing %S" k)
+        [ "ts"; "max_rhat"; "converged"; "queues"; "chains"; "gc"; "kernels" ]);
+  (* /diagnostics.json serves the same document shape *)
+  match Jsonx.parse_object (Diagnostics.snapshot_json hub) with
+  | Error m -> Alcotest.failf "snapshot_json unparseable: %s" m
+  | Ok _ -> ()
+
+let test_diag_publish_gauges () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg ~publish_every:1000 () in
+  feed_mixing_hub hub;
+  Diagnostics.publish hub;
+  let gauge ?labels name = Metrics.Gauge.value (Metrics.Gauge.create ~registry:reg ?labels name) in
+  check_float "chain count gauge" 2.0 (gauge "qnet_diag_chains");
+  check_float "converged gauge" 1.0 (gauge "qnet_diag_converged");
+  let rhat1 = gauge ~labels:[ ("queue", "1") ] "qnet_diag_rhat" in
+  if not (Float.is_finite rhat1 && rhat1 > 0.0) then
+    Alcotest.failf "per-queue R-hat gauge not published: %f" rhat1;
+  let max_rhat = gauge "qnet_diag_max_rhat" in
+  if not (Float.is_finite max_rhat && max_rhat > 0.0) then
+    Alcotest.failf "max R-hat gauge not published: %f" max_rhat
+
+let test_diag_gc_tick () =
+  let reg = Metrics.create_registry () in
+  let hub = Diagnostics.create ~registry:reg () in
+  Diagnostics.gc_tick hub;
+  ignore (Sys.opaque_identity (Array.init 100_000 (fun i -> float_of_int i)));
+  Diagnostics.gc_tick hub;
+  let s = Diagnostics.snapshot hub in
+  if s.Diagnostics.gc.Diagnostics.minor_words <= 0.0 then
+    Alcotest.fail "allocation not reflected in GC minor words";
+  if s.Diagnostics.gc.Diagnostics.heap_words <= 0 then
+    Alcotest.fail "heap words not sampled"
+
+let test_diag_register_golden () =
+  let reg = Metrics.create_registry () in
+  Diagnostics.register_metrics ~registry:reg ();
+  let actual = Metrics.to_prometheus reg in
+  let golden =
+    let ic = open_in "golden_diagnostics.prom" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if actual <> golden then
+    Alcotest.failf
+      "present-zeros scrape drifted from golden_diagnostics.prom.@\nActual:@\n%s"
+      actual
 
 (* --- /metrics endpoint --------------------------------------------- *)
 
@@ -334,7 +551,9 @@ let contains hay needle =
 
 let test_metrics_server () =
   let reg = golden_registry () in
-  match Metrics_server.start ~registry:reg ~port:0 () with
+  let hub = Diagnostics.create ~registry:reg ~publish_every:1000 () in
+  feed_mixing_hub hub;
+  match Metrics_server.start ~registry:reg ~diagnostics:hub ~port:0 () with
   | Error m -> Alcotest.failf "cannot start server: %s" m
   | Ok srv ->
       Fun.protect ~finally:(fun () -> Metrics_server.stop srv) @@ fun () ->
@@ -347,6 +566,14 @@ let test_metrics_server () =
         Alcotest.fail "scrape missing histogram family";
       let health = http_get port "GET /healthz" in
       if not (contains health "ok") then Alcotest.fail "/healthz not ok";
+      let diag = http_get port "GET /diagnostics.json" in
+      if not (contains diag "200 OK") then Alcotest.fail "/diagnostics.json not 200";
+      if not (contains diag "\"max_rhat\":") then
+        Alcotest.failf "/diagnostics.json missing max_rhat:@\n%s" diag;
+      let dash = http_get port "GET /dashboard" in
+      if not (contains dash "200 OK") then Alcotest.fail "/dashboard not 200";
+      if not (contains dash "<title>qnet inference dashboard</title>") then
+        Alcotest.fail "/dashboard missing the dashboard page";
       if not (contains (http_get port "GET /nope") "404") then
         Alcotest.fail "unknown path should 404";
       if not (contains (http_get port "POST /metrics") "405") then
@@ -401,7 +628,34 @@ let () =
           Alcotest.test_case "JSON roundtrip" `Quick test_span_json_roundtrip;
           Alcotest.test_case "read_jsonl skips malformed lines" `Quick
             test_read_jsonl_malformed;
+          Alcotest.test_case "read_jsonl survives truncated/corrupt tails" `Quick
+            test_read_jsonl_truncated;
           Alcotest.test_case "summary: self time and coverage" `Quick test_summary;
+        ] );
+      ( "folded-stacks",
+        [
+          Alcotest.test_case "self time, sanitization, orphans, zero-drop" `Quick
+            test_folded_stacks;
+          Alcotest.test_case "identical stacks aggregate" `Quick
+            test_folded_merges_identical_stacks;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "snapshot: R-hat, ESS, bottleneck, convergence" `Quick
+            test_diag_snapshot;
+          Alcotest.test_case "non-finite iterates skipped and counted" `Quick
+            test_diag_nonfinite_skipped;
+          Alcotest.test_case "queue-count change rejected" `Quick
+            test_diag_dimension_mismatch;
+          Alcotest.test_case "reset drops state, hub reusable" `Quick test_diag_reset;
+          Alcotest.test_case "sink lines and snapshot JSON parse" `Quick
+            test_diag_sink_and_json;
+          Alcotest.test_case "publish refreshes qnet_diag_* gauges" `Quick
+            test_diag_publish_gauges;
+          Alcotest.test_case "gc_tick folds allocation deltas" `Quick
+            test_diag_gc_tick;
+          Alcotest.test_case "register_metrics matches golden present-zeros scrape"
+            `Quick test_diag_register_golden;
         ] );
       ( "metrics-server",
         [

@@ -728,6 +728,143 @@ let test_gelman_rubin_detects_divergence () =
   let r = Stats.gelman_rubin chains in
   Alcotest.(check bool) (Printf.sprintf "R-hat large (got %.3f)" r) true (r > 2.0)
 
+(* --- split-R-hat / pooled-ESS edge cases --------------------------- *)
+(* The exact values below are the documented contract the streaming
+   diagnostics hub (Qnet_obs.Diagnostics) builds on; a change here is
+   an API change, not a refactor. *)
+
+let test_split_rhat_single_chain () =
+  (* one trending chain: the two halves occupy different regions, so
+     splitting exposes the drift as R-hat >> 1. By hand: halves
+     [1..4],[5..8] give B = 32, W = 5/3, var+ = 9.25,
+     R-hat = sqrt(9.25 / (5/3)) = sqrt 5.55. *)
+  let trending = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |] in
+  check_close "trending single chain pinned"
+    (sqrt (9.25 /. (5.0 /. 3.0)))
+    (Stats.split_gelman_rubin [| trending |]);
+  (* one stationary chain: identical halves make B = 0, and the
+     finite-sample statistic dips below 1 (var+ < W) — pinned so the
+     convention "R-hat < 1 is possible and fine" stays explicit *)
+  let alternating = [| 1.0; 2.0; 1.0; 2.0; 1.0; 2.0; 1.0; 2.0 |] in
+  check_close "stationary single chain pinned" (sqrt 0.75)
+    (Stats.split_gelman_rubin [| alternating |])
+
+let test_split_rhat_constant_chains () =
+  (* zero within-chain variance pins R-hat to exactly 1.0 — even when
+     chain means disagree. W = 0 makes the ratio undefined; returning
+     1 (not inf) keeps a just-started, not-yet-moving ensemble from
+     reading as divergent. *)
+  check_close "one constant chain" 1.0
+    (Stats.split_gelman_rubin [| Array.make 8 2.0 |]);
+  check_close "disagreeing constant chains still 1.0" 1.0
+    (Stats.split_gelman_rubin [| Array.make 8 1.0; Array.make 8 2.0 |])
+
+let test_split_rhat_nan_chain () =
+  (* NaN flows through the moments to a NaN R-hat: screening is the
+     caller's job (the streaming accumulators skip NaN at the door) *)
+  let r = Stats.split_gelman_rubin [| [| 1.0; 2.0; Float.nan; 4.0 |] |] in
+  Alcotest.(check bool) "NaN-bearing chain yields NaN" true (Float.is_nan r)
+
+let test_split_rhat_odd_length () =
+  (* length 9 gives half = 4: only the most recent 2*4 samples enter,
+     so the oldest sample — burn-in — falls out of the window *)
+  let with_spike = [| 99.0; 1.0; 2.0; 1.0; 2.0; 1.0; 2.0; 1.0; 2.0 |] in
+  let without = Array.sub with_spike 1 8 in
+  check_close "odd length drops the oldest sample"
+    (Stats.split_gelman_rubin [| without |])
+    (Stats.split_gelman_rubin [| with_spike |]);
+  (* unequal chain lengths (post-restart): the shortest decides the
+     window and every chain contributes its most recent samples *)
+  let short = [| 1.0; 2.0; 1.0; 2.0 |] in
+  let long = [| 50.0; 50.0; 1.0; 2.0; 1.0; 2.0 |] in
+  check_close "shortest chain decides the window"
+    (Stats.split_gelman_rubin [| short; Array.sub long 2 4 |])
+    (Stats.split_gelman_rubin [| short; long |])
+
+let test_split_rhat_too_short () =
+  Alcotest.check_raises "three samples cannot split"
+    (Invalid_argument "Statistics.split_gelman_rubin: chains too short")
+    (fun () -> ignore (Stats.split_gelman_rubin [| [| 1.0; 2.0; 3.0 |] |]));
+  Alcotest.check_raises "no chains rejected"
+    (Invalid_argument "Statistics.split_gelman_rubin: need >= 1 chain")
+    (fun () -> ignore (Stats.split_gelman_rubin [||]))
+
+let test_pooled_ess_edges () =
+  (* a chain shorter than 4 contributes its raw length *)
+  check_close "single short chain" 3.0
+    (Stats.pooled_effective_sample_size [| [| 1.0; 2.0; 3.0 |] |]);
+  (* a constant chain has zero autocorrelation by convention and
+     counts in full *)
+  check_close "constant chain counts in full" 5.0
+    (Stats.pooled_effective_sample_size [| Array.make 5 7.0 |]);
+  (* pooling is the plain sum of per-chain ESS *)
+  check_close "sums across chains" 8.0
+    (Stats.pooled_effective_sample_size
+       [| Array.make 5 7.0; [| 1.0; 2.0; 3.0 |] |]);
+  (* a NaN anywhere poisons that chain's moments and thus the total *)
+  Alcotest.(check bool) "NaN-bearing chain yields NaN total" true
+    (Float.is_nan
+       (Stats.pooled_effective_sample_size
+          [| [| 1.0; Float.nan; 2.0; 3.0; 4.0 |] |]));
+  Alcotest.check_raises "no chains rejected"
+    (Invalid_argument "Statistics.pooled_effective_sample_size: need >= 1 chain")
+    (fun () -> ignore (Stats.pooled_effective_sample_size [||]))
+
+(* --- streaming (Online) accumulators ------------------------------- *)
+
+let test_online_acf_matches_batch () =
+  let rng = Rng.create ~seed:65 () in
+  let n = 4000 in
+  let xs = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    xs.(i) <- (0.6 *. xs.(i - 1)) +. Rng.float_unit rng -. 0.5
+  done;
+  let t = Stats.Online.acf ~max_lag:8 () in
+  Array.iter (Stats.Online.push t) xs;
+  Alcotest.(check int) "count" n (Stats.Online.count t);
+  check_close ~eps:1e-9 "mean" (Stats.mean xs) (Stats.Online.mean t);
+  (* global-mean centering is an O(1/n) approximation of the batch
+     estimator; at n = 4000 they agree to a few percent *)
+  for k = 1 to 3 do
+    let b = Stats.autocorrelation xs k and s = Stats.Online.autocorrelation t k in
+    if Float.abs (b -. s) > 0.02 then
+      Alcotest.failf "lag %d drifted: batch %f streaming %f" k b s
+  done;
+  let be = Stats.effective_sample_size xs and se = Stats.Online.ess t in
+  if Float.abs (be -. se) /. be > 0.25 then
+    Alcotest.failf "ESS drifted: batch %f streaming %f" be se
+
+let test_online_clamps_and_nan () =
+  (* non-finite samples are skipped and counted, never poisoning the
+     moments *)
+  let t = Stats.Online.acf ~max_lag:4 () in
+  List.iter (Stats.Online.push t)
+    [ 1.0; Float.nan; 2.0; Float.infinity; 1.0; 2.0; 1.0; 2.0 ];
+  Alcotest.(check int) "finite samples accepted" 6 (Stats.Online.count t);
+  Alcotest.(check int) "non-finite counted" 2 (Stats.Online.skipped t);
+  check_close "mean over accepted" 1.5 (Stats.Online.mean t);
+  (* while a series still trends, the streaming autocovariance can
+     overshoot gamma_0; the autocorrelation must stay clamped *)
+  let trend = Stats.Online.acf ~max_lag:4 () in
+  for i = 1 to 12 do
+    Stats.Online.push trend (float_of_int i)
+  done;
+  let a1 = Stats.Online.autocorrelation trend 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "acf1 within [-1,1] (got %f)" a1)
+    true
+    (a1 >= -1.0 && a1 <= 1.0);
+  let e = Stats.Online.ess trend in
+  Alcotest.(check bool)
+    (Printf.sprintf "ESS within [1,n] (got %f)" e)
+    true
+    (e >= 1.0 && e <= 12.0);
+  (* empty accumulator conventions *)
+  let empty = Stats.Online.acf () in
+  check_close "empty ESS is 0" 0.0 (Stats.Online.ess empty);
+  Alcotest.(check bool) "empty mean is NaN" true
+    (Float.is_nan (Stats.Online.mean empty))
+
 let qcheck_quantile_bounds =
   QCheck.Test.make ~name:"quantile stays within data range" ~count:300
     QCheck.(pair (list_of_size Gen.(1 -- 40) (float_range (-100.) 100.)) (float_bound_inclusive 1.0))
@@ -842,6 +979,21 @@ let () =
           Alcotest.test_case "gelman-rubin converged" `Slow test_gelman_rubin_same_dist;
           Alcotest.test_case "gelman-rubin divergent" `Quick
             test_gelman_rubin_detects_divergence;
+          Alcotest.test_case "split R-hat: single chain" `Quick
+            test_split_rhat_single_chain;
+          Alcotest.test_case "split R-hat: constant chains" `Quick
+            test_split_rhat_constant_chains;
+          Alcotest.test_case "split R-hat: NaN chain" `Quick test_split_rhat_nan_chain;
+          Alcotest.test_case "split R-hat: odd/unequal lengths" `Quick
+            test_split_rhat_odd_length;
+          Alcotest.test_case "split R-hat: too-short rejected" `Quick
+            test_split_rhat_too_short;
+          Alcotest.test_case "pooled ESS: edge cases pinned" `Quick
+            test_pooled_ess_edges;
+          Alcotest.test_case "online acf/ess matches batch" `Quick
+            test_online_acf_matches_batch;
+          Alcotest.test_case "online clamps and NaN hygiene" `Quick
+            test_online_clamps_and_nan;
           qc qcheck_quantile_bounds;
         ] );
     ]
