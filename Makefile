@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics demo supervised-demo bench bench-obs clean
+.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve demo supervised-demo bench bench-obs clean
 
 all: build
 
@@ -27,7 +27,7 @@ verify-lint: lint
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build lint test demo supervised-demo verify-diagnostics
+verify: build lint test demo supervised-demo verify-diagnostics verify-serve
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live
@@ -142,6 +142,15 @@ verify-diagnostics: build
 	grep -Eq '^[A-Za-z_.;:()-]+ [0-9]+$$' _demo_diag/qnet.folded
 	@echo "verify-diagnostics: live R-hat, posterior summaries, GC gauges, dashboard and flamegraph all check out"
 
+# Serving-layer chaos soak: a 2-shard qnet_serve daemon under injected
+# ingest-stall, shard-crash and checkpoint-write faults, loaded by the
+# qnet_replay client with poison lines woven into the stream. Asserts
+# full recovery, exact dead-letter accounting, no-500 posterior
+# serving, and checkpoint resume with monotone iteration counters
+# across a kill+restart. Details in scripts/verify_serve.
+verify-serve: build
+	scripts/verify_serve
+
 # Core-throughput regression gate: time the hot paths directly and
 # compare against the committed BENCH_core.json baseline; fails on a
 # >20% regression. Refresh the baseline with:
@@ -156,4 +165,4 @@ bench-obs:
 
 clean:
 	dune clean
-	rm -rf _demo _demo_supervised _demo_obs _demo_diag _bench_core_current.json
+	rm -rf _demo _demo_supervised _demo_obs _demo_diag _demo_serve _bench_core_current.json

@@ -186,7 +186,7 @@ let with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
                    /dashboard)@."
                   (Metrics_server.port srv);
                 Ok (Some srv)
-            | Error m -> Error m))
+            | Error e -> Error (Metrics_server.bind_error_message e)))
   in
   match server with
   | Error m -> Error m
@@ -488,9 +488,9 @@ let chain_faults =
     & info [ "chain-fault" ] ~docv:"SPEC"
         ~doc:
           "Inject a deterministic fault into a supervised chain (testing and \
-           drills; repeatable). $(docv) is CHAIN:stall[=SECONDS]\\@ITERATION, \
-           CHAIN:crash\\@ITERATION, or CHAIN:corrupt\\@ITERATION — e.g. \
-           1:stall=0.5\\@5 sleeps chain 1 for 500ms at iteration 5. Each fault \
+           drills; repeatable). $(docv) is CHAIN:stall[=SECONDS]@ITERATION, \
+           CHAIN:crash@ITERATION, or CHAIN:corrupt@ITERATION — e.g. \
+           1:stall=0.5@5 sleeps chain 1 for 500ms at iteration 5. Each fault \
            fires at most once.")
 
 let quiet =

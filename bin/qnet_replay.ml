@@ -1,0 +1,306 @@
+(* qnet_replay: stream a simulated trace at a running qnet_serve
+   daemon — the load generator for demos and the chaos soak.
+
+   Simulates a topology with the DES engine, turns the trace into a
+   paced multi-tenant JSONL stream (Qnet_des.Replay), then either
+   POSTs it to /ingest in batches — honoring 429 + Retry-After, and
+   reconnecting while the daemon restarts — or writes it to a file
+   for the daemon's --tail ingester.
+
+   A well-behaved client under admission control retries the *whole*
+   rejected batch: the daemon's batch-atomic admission guarantees a
+   429'd batch had no effect, so retrying cannot double-deliver. The
+   final stderr summary ("qnet-replay: sent ...") is stable for the
+   soak script to grep. *)
+
+open Cmdliner
+module Rng = Qnet_prob.Rng
+module Trace = Qnet_trace.Trace
+module Network = Qnet_des.Network
+module Topologies = Qnet_des.Topologies
+module Replay = Qnet_des.Replay
+module Clock = Qnet_obs.Clock
+
+(* ------------------------------------------------------------------ *)
+(* A just-enough HTTP POST client (loopback, Connection: close).       *)
+(* ------------------------------------------------------------------ *)
+
+type http_reply = { code : int; retry_after : float option }
+
+let post ~host ~port ~path ~body =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | [] -> Error (Printf.sprintf "cannot resolve %s" host)
+  | ai :: _ -> (
+      let sock = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+      match
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect sock ai.Unix.ai_addr;
+            let req =
+              Printf.sprintf
+                "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: \
+                 application/jsonl\r\nContent-Length: %d\r\nConnection: \
+                 close\r\n\r\n%s"
+                path host (String.length body) body
+            in
+            let n = String.length req in
+            let sent = ref 0 in
+            while !sent < n do
+              sent :=
+                !sent + Unix.write_substring sock req !sent (n - !sent)
+            done;
+            let buf = Buffer.create 512 in
+            let chunk = Bytes.create 4096 in
+            let rec drain () =
+              let r = Unix.read sock chunk 0 (Bytes.length chunk) in
+              if r > 0 then begin
+                Buffer.add_subbytes buf chunk 0 r;
+                drain ()
+              end
+            in
+            drain ();
+            Buffer.contents buf)
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Unix.error_message e)
+      | raw -> (
+          match String.index_opt raw ' ' with
+          | None -> Error "malformed http response"
+          | Some sp -> (
+              let rest = String.sub raw (sp + 1) (String.length raw - sp - 1) in
+              let code_str =
+                match String.index_opt rest ' ' with
+                | Some sp2 -> String.sub rest 0 sp2
+                | None -> rest
+              in
+              match int_of_string_opt (String.trim code_str) with
+              | None -> Error "malformed http status"
+              | Some code ->
+                  let retry_after =
+                    let lower = String.lowercase_ascii raw in
+                    let key = "retry-after:" in
+                    let rec find from =
+                      if from >= String.length lower then None
+                      else
+                        match String.index_from_opt lower from '\n' with
+                        | None -> None
+                        | Some eol ->
+                            let line =
+                              String.trim (String.sub lower from (eol - from))
+                            in
+                            if
+                              String.length line > String.length key
+                              && String.equal
+                                   (String.sub line 0 (String.length key))
+                                   key
+                            then
+                              float_of_string_opt
+                                (String.trim
+                                   (String.sub line (String.length key)
+                                      (String.length line - String.length key)))
+                            else find (eol + 1)
+                    in
+                    find 0
+                  in
+                  Ok { code; retry_after })))
+
+(* ------------------------------------------------------------------ *)
+(* Batched, paced, backpressure-honoring delivery.                     *)
+(* ------------------------------------------------------------------ *)
+
+let batches ~batch items =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | it :: rest ->
+        if n + 1 > batch then go (List.rev cur :: acc) [ it ] 1 rest
+        else go acc (it :: cur) (n + 1) rest
+  in
+  go [] [] 0 items
+
+let stream ~host ~port ~batch ~max_batch_retries items =
+  let t0 = Clock.now () in
+  let sent = ref 0 and poison = ref 0 and retries = ref 0 and nbatch = ref 0 in
+  let deliver group =
+    let body =
+      String.concat "\n" (List.map (fun it -> it.Replay.line) group) ^ "\n"
+    in
+    (* pace: wait until the batch's first item is due *)
+    let due = (List.hd group).Replay.at in
+    let wait = due -. (Clock.now () -. t0) in
+    if wait > 0.0 then Thread.delay wait;
+    let rec attempt n =
+      if n > max_batch_retries then
+        Error (Printf.sprintf "batch rejected %d times; giving up" (n - 1))
+      else
+        match post ~host ~port ~path:"/ingest" ~body with
+        | Error m ->
+            (* daemon restarting or not up yet: reconnect with a small
+               delay rather than dying *)
+            if n > max_batch_retries then Error m
+            else begin
+              incr retries;
+              Thread.delay 0.25;
+              attempt (n + 1)
+            end
+        | Ok { code = 200; _ } ->
+            incr nbatch;
+            List.iter
+              (fun it ->
+                incr sent;
+                if it.Replay.poison then incr poison)
+              group;
+            Ok ()
+        | Ok { code = 429; retry_after } ->
+            incr retries;
+            Thread.delay
+              (Stdlib.min 5.0 (Option.value ~default:0.5 retry_after));
+            attempt (n + 1)
+        | Ok { code; _ } ->
+            Error (Printf.sprintf "daemon answered HTTP %d" code)
+    in
+    attempt 1
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | g :: rest -> ( match deliver g with Ok () -> go rest | Error m -> Error m)
+  in
+  match go (batches ~batch items) with
+  | Error m -> Error m
+  | Ok () ->
+      Printf.eprintf
+        "qnet-replay: sent %d lines (%d poison) in %d batches, %d retries\n%!"
+        !sent !poison !nbatch !retries;
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let build_network topology arrival_rate service_rate =
+  match topology with
+  | "mm1" -> Ok (Topologies.single_mm1 ~arrival_rate ~service_rate)
+  | "tandem" ->
+      Ok
+        (Topologies.tandem ~arrival_rate
+           ~service_rates:[ service_rate; service_rate ])
+  | "feedback" ->
+      Ok (Topologies.feedback ~arrival_rate ~service_rate ~loop_prob:0.3)
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+let run topology arrival_rate service_rate tasks seed tenants speedup poison
+    batch host port out max_batch_retries =
+  match build_network topology arrival_rate service_rate with
+  | Error m -> Error m
+  | Ok net -> (
+      let rng = Rng.create ~seed () in
+      let trace = Network.simulate_poisson rng net ~num_tasks:tasks in
+      match Replay.plan ~speedup ~poison ~tenants trace with
+      | exception Invalid_argument m -> Error m
+      | items -> (
+          match out with
+          | Some path -> (
+              try
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    List.iter
+                      (fun it ->
+                        output_string oc it.Replay.line;
+                        output_char oc '\n')
+                      items);
+                Printf.eprintf "qnet-replay: wrote %d lines (%d poison) to %s\n%!"
+                  (List.length items) poison path;
+                Ok ()
+              with Sys_error m -> Error m)
+          | None -> stream ~host ~port ~batch ~max_batch_retries items))
+
+let topology =
+  Arg.(
+    value & opt string "tandem"
+    & info [ "t"; "topology" ] ~docv:"NAME"
+        ~doc:"Topology to simulate: mm1, tandem or feedback.")
+
+let arrival_rate =
+  Arg.(value & opt float 10.0 & info [ "lambda" ] ~docv:"RATE" ~doc:"Arrival rate.")
+
+let service_rate =
+  Arg.(
+    value & opt float 5.0 & info [ "mu" ] ~docv:"RATE" ~doc:"Per-queue service rate.")
+
+let tasks =
+  Arg.(value & opt int 400 & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let tenants =
+  Arg.(
+    value & opt int 4
+    & info [ "tenants" ] ~docv:"N"
+        ~doc:"Spread tasks across $(docv) tenant keys (t0, t1, ...).")
+
+let speedup =
+  Arg.(
+    value & opt float 20.0
+    & info [ "speedup" ] ~docv:"X"
+        ~doc:"Replay the simulated timeline $(docv) times faster.")
+
+let poison =
+  Arg.(
+    value & opt int 0
+    & info [ "poison" ] ~docv:"N"
+        ~doc:"Interleave $(docv) deliberately malformed lines — the daemon \
+              must quarantine exactly this many.")
+
+let batch =
+  Arg.(
+    value & opt int 50
+    & info [ "batch" ] ~docv:"N" ~doc:"Lines per POST /ingest batch.")
+
+let host =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+
+let port =
+  Arg.(value & opt int 8099 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the replay lines to $(docv) instead of streaming over \
+              HTTP (feed it to qnet_serve --tail).")
+
+let max_batch_retries =
+  Arg.(
+    value & opt int 200
+    & info [ "max-batch-retries" ] ~docv:"N"
+        ~doc:"Give up on a batch after $(docv) 429/reconnect retries.")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ topology $ arrival_rate $ service_rate $ tasks $ seed
+      $ tenants $ speedup $ poison $ batch $ host $ port $ out
+      $ max_batch_retries)
+  in
+  let info =
+    Cmd.info "qnet_replay"
+      ~doc:"Replay a simulated trace as a paced multi-tenant stream against \
+            qnet_serve"
+  in
+  Cmd.v info
+    (Term.map
+       (function
+         | Ok () -> 0
+         | Error m ->
+             prerr_endline ("qnet-replay: error: " ^ m);
+             1)
+       term)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,369 @@
+(* qnet_serve: the always-on sharded inference daemon.
+
+   Ingests streaming trace events (JSONL over HTTP POST /ingest, or
+   tailed from files with --tail), routes them by tenant key to
+   per-shard bounded queues, and continuously refits per-tenant
+   posteriors with the supervised StEM runtime. Serves /shards.json,
+   /tenants/:id/posterior.json, and the telemetry endpoints
+   (/metrics, /dashboard, ...) from one listener.
+
+   Operational discipline:
+   - overload answers 429 + Retry-After, never unbounded memory;
+   - poison input is quarantined to the dead-letter file, never fatal;
+   - a crashed shard restarts with exponential backoff; past its
+     retry budget it degrades to serving stale posteriors;
+   - SIGTERM/SIGINT (or --run-seconds) stop gracefully: drain, final
+     checkpoint per shard, then exit — a restarted daemon resumes
+     every shard from its checkpoint.
+
+   The stderr lines are stable and machine-readable on purpose: the
+   `make verify-serve` soak greps them ("listening on", "resumed",
+   "final") to assert recovery and monotone iteration counters. *)
+
+open Cmdliner
+module Daemon = Qnet_serve.Daemon
+module Shard = Qnet_serve.Shard
+module Bounded_queue = Qnet_serve.Bounded_queue
+module Fault = Qnet_runtime.Fault
+module Metrics = Qnet_obs.Metrics
+module Clock = Qnet_obs.Clock
+
+let rec parse_faults ~shards = function
+  | [] -> Ok []
+  | s :: rest -> (
+      match Fault.parse_service_fault s with
+      | Error m -> Error (Printf.sprintf "bad --fault %S: %s" s m)
+      | Ok f when f.Fault.shard >= shards ->
+          Error
+            (Printf.sprintf
+               "bad --fault %S: shard %d does not exist (--shards %d)" s
+               f.Fault.shard shards)
+      | Ok f -> Result.map (fun fs -> f :: fs) (parse_faults ~shards rest))
+
+let parse_log_level = function
+  | "quiet" | "none" -> Ok None
+  | "error" -> Ok (Some Logs.Error)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | s ->
+      Error
+        (Printf.sprintf
+           "bad --log-level %S: expected quiet, error, warning, info or debug" s)
+
+let write_metrics_snapshot path =
+  let data =
+    if
+      path = "-"
+      || Filename.check_suffix path ".json"
+      || Filename.check_suffix path ".jsonl"
+    then Metrics.to_jsonl ~ts:(Clock.now ()) Metrics.default
+    else Metrics.to_prometheus Metrics.default
+  in
+  try
+    if path = "-" then begin
+      print_string data;
+      flush stdout;
+      Ok ()
+    end
+    else begin
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc data);
+      Ok ()
+    end
+  with Sys_error m -> Error (Printf.sprintf "cannot write %s: %s" path m)
+
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  (try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ()
+
+let serve shards data_dir host port retry_ephemeral queues queue_capacity
+    refit_events refit_interval min_tenant_events fit_iterations chains
+    max_restarts seed dead_letter no_dead_letter tails tail_policy faults
+    run_seconds metrics_out log_level =
+  match
+    match log_level with
+    | None -> Ok ()
+    | Some s -> (
+        match parse_log_level s with
+        | Error m -> Error m
+        | Ok level ->
+            Logs.set_reporter (Logs_fmt.reporter ());
+            Logs.set_level level;
+            Ok ())
+  with
+  | Error m -> Error m
+  | Ok () -> (
+      match parse_faults ~shards faults with
+      | Error m -> Error m
+      | Ok faults -> (
+          match Bounded_queue.policy_of_string tail_policy with
+          | Error m -> Error (Printf.sprintf "bad --tail-policy: %s" m)
+          | Ok tail_policy ->
+              Metrics.set_enabled true;
+              install_signal_handlers ();
+              let shard_cfg =
+                {
+                  Shard.default_config with
+                  Shard.num_queues = queues;
+                  queue_capacity;
+                  refit_events;
+                  refit_interval;
+                  min_tenant_events;
+                  fit_iterations;
+                  chains;
+                  max_restarts;
+                  seed;
+                }
+              in
+              let dead_letter =
+                if no_dead_letter then None
+                else
+                  Some
+                    (match dead_letter with
+                    | Some p -> p
+                    | None -> Filename.concat data_dir "dead-letter.jsonl")
+              in
+              let cfg =
+                {
+                  Daemon.shards;
+                  data_dir;
+                  host;
+                  port;
+                  retry_ephemeral;
+                  dead_letter;
+                  tail_files = tails;
+                  tail_policy;
+                  shard = shard_cfg;
+                  faults;
+                }
+              in
+              (match Daemon.create cfg with
+              | Error m -> Error m
+              | Ok daemon ->
+                  Printf.eprintf
+                    "qnet-serve: listening on http://%s:%d (POST /ingest, GET \
+                     /shards.json /tenants/:id/posterior.json /metrics \
+                     /dashboard)\n\
+                     %!"
+                    host (Daemon.port daemon);
+                  if Daemon.fell_back daemon then
+                    Printf.eprintf
+                      "qnet-serve: note: port %d was taken; fell back to an \
+                       ephemeral port\n\
+                       %!"
+                      port;
+                  List.iter
+                    (fun s ->
+                      if Shard.resumed s then
+                        Printf.eprintf
+                          "qnet-serve: shard %d resumed iterations=%d rounds=%d\n\
+                           %!"
+                          (Shard.id s) (Shard.iterations s) (Shard.rounds s))
+                    (Daemon.shards daemon);
+                  let t0 = Clock.now () in
+                  let expired () =
+                    match run_seconds with
+                    | None -> false
+                    | Some s -> Clock.now () -. t0 >= s
+                  in
+                  while (not (Atomic.get stop_requested)) && not (expired ())
+                  do
+                    Thread.delay 0.1
+                  done;
+                  Printf.eprintf "qnet-serve: stopping (drain + final \
+                                  checkpoint)\n%!";
+                  Daemon.stop daemon;
+                  List.iter
+                    (fun s ->
+                      Printf.eprintf
+                        "qnet-serve: shard %d final status=%s iterations=%d \
+                         rounds=%d restarts=%d\n\
+                         %!"
+                        (Shard.id s)
+                        (Shard.status_label (Shard.status s))
+                        (Shard.iterations s) (Shard.rounds s)
+                        (Shard.restarts s))
+                    (Daemon.shards daemon);
+                  Printf.eprintf "qnet-serve: dead-letter %d\n%!"
+                    (Daemon.dead_letter_count daemon);
+                  (match metrics_out with
+                  | None -> Ok ()
+                  | Some path -> write_metrics_snapshot path))))
+
+let shards =
+  Arg.(
+    value & opt int 2
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Number of shards (each owns a worker thread, a bounded queue \
+              and a data directory).")
+
+let data_dir =
+  Arg.(
+    value
+    & opt string "qnet-serve-data"
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:"State root: per-shard checkpoints and event logs live in \
+              $(docv)/shard-N; a restarted daemon resumes from them.")
+
+let host =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address.")
+
+let port =
+  Arg.(
+    value & opt int 8099
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Listen port (0 picks an ephemeral port).")
+
+let retry_ephemeral =
+  Arg.(
+    value & flag
+    & info [ "retry-ephemeral" ]
+        ~doc:"Survive a port collision: when $(b,--port) is taken, retry on \
+              an ephemeral port instead of failing startup.")
+
+let queues =
+  Arg.(
+    value & opt int 3
+    & info [ "q"; "queues" ] ~docv:"N"
+        ~doc:"Number of queues in the ingested traces.")
+
+let queue_capacity =
+  Arg.(
+    value & opt int 1024
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:"Per-shard ingest queue bound — the admission-control limit \
+              behind 429 responses.")
+
+let refit_events =
+  Arg.(
+    value & opt int 120
+    & info [ "refit-events" ] ~docv:"N"
+        ~doc:"Fresh events per tenant that trigger a posterior refit.")
+
+let refit_interval =
+  Arg.(
+    value & opt float 2.0
+    & info [ "refit-interval" ] ~docv:"SECONDS"
+        ~doc:"Refit any tenant with fresh events at least this often.")
+
+let min_tenant_events =
+  Arg.(
+    value & opt int 40
+    & info [ "min-tenant-events" ] ~docv:"N"
+        ~doc:"Tenants with fewer buffered events are not fitted yet.")
+
+let fit_iterations =
+  Arg.(
+    value & opt int 30
+    & info [ "fit-iterations" ] ~docv:"N" ~doc:"StEM iterations per fit.")
+
+let chains =
+  Arg.(
+    value & opt int 2
+    & info [ "chains" ] ~docv:"N" ~doc:"Supervised chains per fit.")
+
+let max_restarts =
+  Arg.(
+    value & opt int 3
+    & info [ "max-restarts" ] ~docv:"N"
+        ~doc:"Shard restart budget; past it the shard degrades to serving \
+              stale posteriors instead of crashing the daemon.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let dead_letter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dead-letter" ] ~docv:"FILE"
+        ~doc:"Quarantine file for poison input lines (default: \
+              DATA-DIR/dead-letter.jsonl).")
+
+let no_dead_letter =
+  Arg.(
+    value & flag
+    & info [ "no-dead-letter" ]
+        ~doc:"Count poison lines but do not write a quarantine file.")
+
+let tails =
+  Arg.(
+    value & opt_all string []
+    & info [ "tail" ] ~docv:"FILE"
+        ~doc:"Tail $(docv) for JSONL/CSV events (repeatable). The file may \
+              not exist yet; the tailer waits for it.")
+
+let tail_policy =
+  Arg.(
+    value & opt string "block"
+    & info [ "tail-policy" ] ~docv:"POLICY"
+        ~doc:"What a tailer does when a shard queue is full: block (fall \
+              behind, lose nothing) or shed (drop and count).")
+
+let faults =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:"Inject a deterministic service-level fault (chaos drills; \
+              repeatable). $(docv) is SHARD:ingest-stall[=SECONDS]@AFTER, \
+              SHARD:crash@AFTER, SHARD:ckpt-fail@AFTER or \
+              SHARD:slow[=SECONDS]@AFTER, with AFTER in seconds from \
+              daemon start — e.g. 1:crash@6 crashes shard 1's worker six \
+              seconds in (the supervisor restarts it with backoff).")
+
+let run_seconds =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "run-seconds" ] ~docv:"S"
+        ~doc:"Stop gracefully after $(docv) seconds (soaks and demos); \
+              default: run until SIGTERM/SIGINT.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Snapshot the metrics registry to $(docv) on shutdown \
+              (Prometheus text; JSONL for .json/.jsonl or -).")
+
+let log_level =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Daemon log verbosity on stderr: quiet, error, warning, info \
+              or debug.")
+
+let cmd =
+  let term =
+    Term.(
+      const serve $ shards $ data_dir $ host $ port $ retry_ephemeral $ queues
+      $ queue_capacity $ refit_events $ refit_interval $ min_tenant_events
+      $ fit_iterations $ chains $ max_restarts $ seed $ dead_letter
+      $ no_dead_letter $ tails $ tail_policy $ faults $ run_seconds
+      $ metrics_out $ log_level)
+  in
+  let info =
+    Cmd.info "qnet_serve"
+      ~doc:
+        "Always-on sharded inference daemon: stream traces in, read \
+         posteriors out, survive crashes"
+  in
+  Cmd.v info
+    (Term.map
+       (function
+         | Ok () -> 0
+         | Error m ->
+             prerr_endline ("qnet-serve: error: " ^ m);
+             1)
+       term)
+
+let () = exit (Cmd.eval' cmd)

@@ -190,6 +190,91 @@ let corrupt_one_latent store =
     true
   end
 
+(* --- service-level fault injection -------------------------------- *)
+
+type service_fault_kind =
+  | Ingest_stall of float
+  | Shard_crash
+  | Checkpoint_write_failure
+  | Slow_consumer of float
+
+type service_fault = {
+  shard : int;
+  after : float;
+  kind : service_fault_kind;
+}
+
+exception Injected_shard_crash of { shard : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_shard_crash { shard } ->
+        Some (Printf.sprintf "Fault.Injected_shard_crash(shard %d)" shard)
+    | _ -> None)
+
+let service_fault_label f =
+  let kind =
+    match f.kind with
+    | Ingest_stall s -> Printf.sprintf "ingest-stall(%.3gs)" s
+    | Shard_crash -> "crash"
+    | Checkpoint_write_failure -> "ckpt-fail"
+    | Slow_consumer s -> Printf.sprintf "slow(%.3gs)" s
+  in
+  Printf.sprintf "shard %d: %s @ t+%.3gs" f.shard kind f.after
+
+let parse_service_fault spec =
+  (* SHARD:KIND[=ARG]@SECONDS, e.g. "0:ingest-stall=1.5@4", "1:crash@6",
+     "0:ckpt-fail@8", "1:slow=2@3" *)
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad service-fault spec %S (want SHARD:KIND[=ARG]@SECONDS with KIND \
+          one of ingest-stall, crash, ckpt-fail, slow)"
+         spec)
+  in
+  match String.index_opt spec ':' with
+  | None -> fail ()
+  | Some colon -> (
+      let shard_s = String.sub spec 0 colon in
+      let rest = String.sub spec (colon + 1) (String.length spec - colon - 1) in
+      match String.index_opt rest '@' with
+      | None -> fail ()
+      | Some at -> (
+          let kind_s = String.sub rest 0 at in
+          let after_s = String.sub rest (at + 1) (String.length rest - at - 1) in
+          let kind_s, arg =
+            match String.index_opt kind_s '=' with
+            | None -> (kind_s, None)
+            | Some eq ->
+                ( String.sub kind_s 0 eq,
+                  float_of_string_opt
+                    (String.sub kind_s (eq + 1) (String.length kind_s - eq - 1)) )
+          in
+          match (int_of_string_opt shard_s, float_of_string_opt after_s) with
+          | Some shard, Some after
+            when shard >= 0 && after >= 0.0 && Float.is_finite after -> (
+              let pos = function
+                | Some s when s > 0.0 && Float.is_finite s -> Some s
+                | _ -> None
+              in
+              match (kind_s, arg) with
+              | "ingest-stall", None ->
+                  Ok { shard; after; kind = Ingest_stall 1.0 }
+              | "ingest-stall", a -> (
+                  match pos a with
+                  | Some s -> Ok { shard; after; kind = Ingest_stall s }
+                  | None -> fail ())
+              | "crash", None -> Ok { shard; after; kind = Shard_crash }
+              | "ckpt-fail", None ->
+                  Ok { shard; after; kind = Checkpoint_write_failure }
+              | "slow", None -> Ok { shard; after; kind = Slow_consumer 2.0 }
+              | "slow", a -> (
+                  match pos a with
+                  | Some s -> Ok { shard; after; kind = Slow_consumer s }
+                  | None -> fail ())
+              | _ -> fail ())
+          | _ -> fail ()))
+
 let parse_chain_fault spec =
   (* CHAIN:KIND[=ARG]@ITERATION, e.g. "1:stall@5", "2:crash@8",
      "0:stall=0.4@3", "3:corrupt@6" *)

@@ -68,3 +68,44 @@ val parse_chain_fault : string -> (chain_fault, string) result
 (** Parse a [CHAIN:KIND[=ARG]@ITER] spec as accepted by
     [qnet_infer --chain-fault]: ["1:stall@5"] (default 0.25 s),
     ["1:stall=0.4@5"], ["2:crash@8"], ["3:corrupt@6"]. *)
+
+(** {1 Service-level fault injection}
+
+    Faults for the serving layer ({!Qnet_serve.Daemon}): where chain
+    faults hit a sampler at a chosen {e iteration}, service faults hit
+    a {e shard} of the long-running daemon at a chosen wall-clock
+    offset from daemon start — the natural trigger for a soak test
+    that streams load while the failure fires. Each fault fires at
+    most once (except [Slow_consumer], which opens a throttling window
+    of the given duration). *)
+
+type service_fault_kind =
+  | Ingest_stall of float
+      (** the shard's ingest loop sleeps this many seconds without
+          draining its queue — upstream sees queue growth, shedding
+          and HTTP 429 *)
+  | Shard_crash
+      (** raises {!Injected_shard_crash} in the shard worker — the
+          daemon must restart the shard with backoff from its retry
+          budget *)
+  | Checkpoint_write_failure
+      (** the shard's next checkpoint write fails as a [Sys_error] —
+          the shard must keep serving and retry at the next round *)
+  | Slow_consumer of float
+      (** for this many seconds the shard drains at most one event per
+          poll — sustained backpressure rather than a one-shot stall *)
+
+type service_fault = {
+  shard : int;
+  after : float;  (** seconds after daemon start *)
+  kind : service_fault_kind;
+}
+
+exception Injected_shard_crash of { shard : int }
+
+val service_fault_label : service_fault -> string
+
+val parse_service_fault : string -> (service_fault, string) result
+(** Parse a [SHARD:KIND[=ARG]@SECONDS] spec as accepted by
+    [qnet_serve --fault]: ["0:ingest-stall=1.5@4"] (default 1 s),
+    ["1:crash@6"], ["0:ckpt-fail@8"], ["1:slow=2@3"] (default 2 s). *)

@@ -1,0 +1,156 @@
+module Jsonx = Qnet_obs.Jsonx
+module Trace = Qnet_trace.Trace
+
+type record = {
+  tenant : string;
+  task : int;
+  state : int;
+  queue : int;
+  arrival : float;
+  departure : float;
+}
+
+let valid_tenant s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+let check ~num_queues ~tenant ~task ~state ~queue ~arrival ~departure =
+  if not (valid_tenant tenant) then
+    Error (Printf.sprintf "bad tenant key %S" tenant)
+  else if task < 0 then Error (Printf.sprintf "negative task id %d" task)
+  else if state < 0 then Error (Printf.sprintf "negative state %d" state)
+  else if queue < 0 || queue >= num_queues then
+    Error (Printf.sprintf "queue %d out of range [0,%d)" queue num_queues)
+  else if not (Float.is_finite arrival) || arrival < 0.0 then
+    Error "arrival not a finite non-negative time"
+  else if not (Float.is_finite departure) || departure < 0.0 then
+    Error "departure not a finite non-negative time"
+  else if departure < arrival then Error "departure earlier than arrival"
+  else Ok { tenant; task; state; queue; arrival; departure }
+
+let decode_json ~num_queues line =
+  match Jsonx.parse_object line with
+  | Error m -> Error (Printf.sprintf "bad json: %s" m)
+  | Ok fields -> (
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Jsonx.Str s) -> Some s
+        | _ -> None
+      in
+      let num k =
+        match List.assoc_opt k fields with
+        | Some (Jsonx.Num v) -> Some v
+        | _ -> None
+      in
+      let int_ k =
+        match num k with
+        | Some v when Float.is_finite v && Float.equal (Float.rem v 1.0) 0.0 ->
+            Some (int_of_float v)
+        | _ -> None
+      in
+      match (str "tenant", int_ "task", num "arrival", num "departure") with
+      | None, _, _, _ -> Error "missing/invalid \"tenant\""
+      | _, None, _, _ -> Error "missing/invalid \"task\""
+      | _, _, None, _ -> Error "missing/invalid \"arrival\""
+      | _, _, _, None -> Error "missing/invalid \"departure\""
+      | Some tenant, Some task, Some arrival, Some departure -> (
+          let state = match int_ "state" with Some s -> s | None -> 0 in
+          match int_ "queue" with
+          | None -> Error "missing/invalid \"queue\""
+          | Some queue ->
+              check ~num_queues ~tenant ~task ~state ~queue ~arrival ~departure))
+
+let decode_csv ~num_queues line =
+  match String.split_on_char ',' line with
+  | [ tenant; task; state; queue; arrival; departure ] -> (
+      match
+        ( int_of_string_opt (String.trim task),
+          int_of_string_opt (String.trim state),
+          int_of_string_opt (String.trim queue),
+          float_of_string_opt (String.trim arrival),
+          float_of_string_opt (String.trim departure) )
+      with
+      | Some task, Some state, Some queue, Some arrival, Some departure ->
+          check ~num_queues ~tenant:(String.trim tenant) ~task ~state ~queue
+            ~arrival ~departure
+      | _ -> Error "unparseable csv fields")
+  | _ -> Error "wrong csv field count (want tenant,task,state,queue,arrival,departure)"
+
+let decode_line ~num_queues line =
+  let line = String.trim line in
+  if line = "" then Error "empty line"
+  else if String.length line > 4096 then Error "line too long"
+  else if line.[0] = '{' then decode_json ~num_queues line
+  else decode_csv ~num_queues line
+
+let to_json_line r =
+  Jsonx.render
+    (Jsonx.Obj
+       [
+         ("tenant", Jsonx.Str r.tenant);
+         ("task", Jsonx.Num (float_of_int r.task));
+         ("state", Jsonx.Num (float_of_int r.state));
+         ("queue", Jsonx.Num (float_of_int r.queue));
+         ("arrival", Jsonx.Num r.arrival);
+         ("departure", Jsonx.Num r.departure);
+       ])
+
+let to_trace_event r =
+  {
+    Trace.task = r.task;
+    state = r.state;
+    queue = r.queue;
+    arrival = r.arrival;
+    departure = r.departure;
+  }
+
+module Dead_letter = struct
+  type t = {
+    mutex : Mutex.t;
+    mutable oc : out_channel option;
+    mutable quarantined : int;
+  }
+
+  let open_ ~path =
+    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+    | oc -> Ok { mutex = Mutex.create (); oc = Some oc; quarantined = 0 }
+    | exception Sys_error m ->
+        Error (Printf.sprintf "cannot open dead-letter file %s: %s" path m)
+
+  let null () = { mutex = Mutex.create (); oc = None; quarantined = 0 }
+
+  let write t ~line ~reason =
+    Mutex.protect t.mutex (fun () ->
+        t.quarantined <- t.quarantined + 1;
+        match t.oc with
+        | None -> ()
+        | Some oc -> (
+            let entry =
+              Jsonx.render
+                (Jsonx.Obj
+                   [ ("reason", Jsonx.Str reason); ("line", Jsonx.Str line) ])
+            in
+            try
+              output_string oc entry;
+              output_char oc '\n';
+              flush oc
+            with Sys_error _ ->
+              (* full disk / revoked fd: degrade to counting only *)
+              (try close_out_noerr oc with Sys_error _ -> ());
+              t.oc <- None))
+
+  let count t = Mutex.protect t.mutex (fun () -> t.quarantined)
+
+  let close t =
+    Mutex.protect t.mutex (fun () ->
+        match t.oc with
+        | None -> ()
+        | Some oc ->
+            close_out_noerr oc;
+            t.oc <- None)
+end

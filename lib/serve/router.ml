@@ -1,0 +1,16 @@
+let fnv1a s =
+  let prime = 0x100000001b3L and basis = 0xcbf29ce484222325L in
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  (* fold to a non-negative int by masking, not shifting: the low
+     bits carry the avalanche, and small-modulus routing (mod 2) must
+     see them *)
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let shard_of_tenant ~shards tenant =
+  if shards < 1 then invalid_arg "Router.shard_of_tenant: shards must be >= 1";
+  fnv1a tenant mod shards

@@ -1,0 +1,16 @@
+(** Tenant-to-shard routing.
+
+    Placement must be a pure function of the tenant key: it has to
+    agree across daemon restarts (a shard resumes from the checkpoint
+    and event log written under the same placement) and across the
+    HTTP threads and file tailers that route concurrently. A stable
+    FNV-1a hash — not [Hashtbl.hash], whose value is version- and
+    flag-dependent — modulo the shard count delivers that. All of a
+    tenant's events land on one shard, so each shard owns complete
+    per-tenant traces and fits need no cross-shard coordination. *)
+
+val fnv1a : string -> int
+(** 64-bit FNV-1a folded to a non-negative OCaml [int]. *)
+
+val shard_of_tenant : shards:int -> string -> int
+(** In [[0, shards)]. Raises [Invalid_argument] when [shards < 1]. *)

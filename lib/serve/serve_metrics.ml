@@ -1,0 +1,80 @@
+module Metrics = Qnet_obs.Metrics
+
+let families =
+  [
+    ( "qnet_serve_ingest_lines_total",
+      "Stream lines examined by the ingest path",
+      `Counter );
+    ( "qnet_serve_ingest_accepted_total",
+      "Events accepted into shard ingest queues",
+      `Counter );
+    ( "qnet_serve_ingest_quarantined_total",
+      "Poison lines quarantined to the dead-letter file",
+      `Counter );
+    ( "qnet_serve_ingest_shed_total",
+      "Events dropped because a shard ingest queue was full",
+      `Counter );
+    ( "qnet_serve_http_requests_total",
+      "HTTP requests served by the daemon's own routes",
+      `Counter );
+    ( "qnet_serve_http_429_total",
+      "Ingest batches rejected with 429 (admission control)",
+      `Counter );
+    ( "qnet_serve_fits_total",
+      "Per-tenant inference fits that produced a posterior",
+      `Counter );
+    ( "qnet_serve_fit_failures_total",
+      "Per-tenant inference fits that failed outright",
+      `Counter );
+    ( "qnet_serve_repair_dropped_total",
+      "Events dropped by lenient trace repair at fit time",
+      `Counter );
+    ( "qnet_serve_shard_restarts_total",
+      "Shard worker restarts after a crash",
+      `Counter );
+    ( "qnet_serve_checkpoints_total",
+      "Shard checkpoints written",
+      `Counter );
+    ( "qnet_serve_checkpoint_failures_total",
+      "Shard checkpoint writes that failed (daemon kept serving)",
+      `Counter );
+    ( "qnet_serve_stale_responses_total",
+      "Posterior responses served from a stale snapshot",
+      `Counter );
+    ( "qnet_serve_resumes_total",
+      "Shards resumed from a checkpoint at daemon start",
+      `Counter );
+    ( "qnet_serve_faults_injected_total",
+      "Service-level faults fired (--fault)",
+      `Counter );
+    ("qnet_serve_shards", "Configured shard count", `Gauge);
+    ("qnet_serve_healthy_shards", "Shards currently healthy", `Gauge);
+  ]
+
+let lookup name kind =
+  match
+    List.find_opt (fun (n, _, k) -> String.equal n name && k = kind) families
+  with
+  | Some (_, help, _) -> help
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Serve_metrics: %s is not a declared %s family" name
+           (match kind with `Counter -> "counter" | `Gauge -> "gauge"))
+
+let counter name =
+  let help = lookup name `Counter in
+  lazy (Metrics.Counter.create ~help name)
+
+let gauge name =
+  let help = lookup name `Gauge in
+  lazy (Metrics.Gauge.create ~help name)
+
+let force_register ?(registry = Metrics.default) () =
+  List.iter
+    (fun (name, help, kind) ->
+      match kind with
+      | `Counter ->
+          ignore (Metrics.Counter.create ~registry ~help name : Metrics.Counter.t)
+      | `Gauge ->
+          ignore (Metrics.Gauge.create ~registry ~help name : Metrics.Gauge.t))
+    families

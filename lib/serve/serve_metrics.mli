@@ -1,0 +1,23 @@
+(** The [qnet_serve_*] metric families.
+
+    Every family the daemon can ever emit is declared here and
+    force-registered at daemon start (the present-zeros convention the
+    rest of the telemetry subsystem follows): a scrape taken before
+    the first event, fault or restart still shows the whole surface
+    at zero, so dashboards and alerts need no existence checks and the
+    golden test can pin the names. Per-shard and per-tenant labeled
+    series are created dynamically on top of these label-less
+    totals. *)
+
+val counter : string -> Qnet_obs.Metrics.Counter.t Lazy.t
+(** Handle on the default registry; the name must be one of
+    {!families} (raises [Invalid_argument] otherwise). *)
+
+val gauge : string -> Qnet_obs.Metrics.Gauge.t Lazy.t
+
+val families : (string * string * [ `Counter | `Gauge ]) list
+(** [(name, help, kind)] for every label-less [qnet_serve_*] family. *)
+
+val force_register : ?registry:Qnet_obs.Metrics.registry -> unit -> unit
+(** Create every family in [registry] (default the process-wide one)
+    so it appears in scrapes at zero. Idempotent. *)

@@ -1,0 +1,911 @@
+module Trace = Qnet_trace.Trace
+module Params = Qnet_core.Params
+module Store = Qnet_core.Event_store
+module Stem = Qnet_core.Stem
+module Obs = Qnet_core.Observation
+module Supervisor = Qnet_runtime.Supervisor
+module Fault = Qnet_runtime.Fault
+module Metrics = Qnet_obs.Metrics
+module Clock = Qnet_obs.Clock
+module Jsonx = Qnet_obs.Jsonx
+module Rng = Qnet_prob.Rng
+
+let log_src = Logs.Src.create "qnet.serve" ~doc:"Sharded inference daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  num_queues : int;
+  queue_capacity : int;
+  refit_events : int;
+  refit_interval : float;
+  min_tenant_events : int;
+  max_tenant_events : int;
+  obs_fraction : float;
+  chains : int;
+  min_chains : int;
+  fit_iterations : int;
+  sweep_deadline : float;
+  max_restarts : int;
+  backoff_base : float;
+  backoff_max : float;
+  poll_interval : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    num_queues = 3;
+    queue_capacity = 1024;
+    refit_events = 120;
+    refit_interval = 2.0;
+    min_tenant_events = 40;
+    max_tenant_events = 4000;
+    obs_fraction = 0.5;
+    chains = 2;
+    min_chains = 1;
+    fit_iterations = 30;
+    sweep_deadline = 5.0;
+    max_restarts = 3;
+    backoff_base = 0.25;
+    backoff_max = 4.0;
+    poll_interval = 0.05;
+    seed = 1;
+  }
+
+type status =
+  | Starting
+  | Healthy
+  | Degraded of string
+  | Restarting of int
+  | Failed of string
+
+let status_label = function
+  | Starting -> "starting"
+  | Healthy -> "healthy"
+  | Degraded _ -> "degraded"
+  | Restarting _ -> "restarting"
+  | Failed _ -> "failed"
+
+type posterior = {
+  tenant : string;
+  params : Params.t;
+  mean_service : float array;
+  iteration : int;
+  round : int;
+  num_events : int;
+  from_checkpoint : bool;
+  fitted_at : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint codec: one line of JSON, atomically renamed into place.  *)
+(* ------------------------------------------------------------------ *)
+
+module Ckpt = struct
+  let version = 1
+
+  type tenant_entry = {
+    tenant : string;
+    rates : float array;
+    arrival_queue : int;
+    mean_service : float array;
+    iteration : int;
+    round : int;
+    num_events : int;
+  }
+
+  type snapshot = {
+    iterations : int;
+    rounds : int;
+    restarts : int;
+    tenants : tenant_entry list;
+  }
+
+  let to_line s =
+    let num_of_int i = Jsonx.Num (float_of_int i) in
+    let arr xs = Jsonx.Arr (Array.to_list (Array.map (fun v -> Jsonx.Num v) xs)) in
+    Jsonx.render
+      (Jsonx.Obj
+         [
+           ("version", num_of_int version);
+           ("iterations", num_of_int s.iterations);
+           ("rounds", num_of_int s.rounds);
+           ("restarts", num_of_int s.restarts);
+           ( "tenants",
+             Jsonx.Arr
+               (List.map
+                  (fun t ->
+                    Jsonx.Obj
+                      [
+                        ("tenant", Jsonx.Str t.tenant);
+                        ("rates", arr t.rates);
+                        ("arrival_queue", num_of_int t.arrival_queue);
+                        ("mean_service", arr t.mean_service);
+                        ("iteration", num_of_int t.iteration);
+                        ("round", num_of_int t.round);
+                        ("num_events", num_of_int t.num_events);
+                      ])
+                  s.tenants) );
+         ])
+
+  let int_field fields k =
+    match List.assoc_opt k fields with
+    | Some (Jsonx.Num v)
+      when Float.is_finite v && Float.equal (Float.rem v 1.0) 0.0 && v >= 0.0 ->
+        Ok (int_of_float v)
+    | _ -> Error (Printf.sprintf "missing/invalid %S" k)
+
+  let float_array_field fields k =
+    match List.assoc_opt k fields with
+    | Some (Jsonx.Arr vs) -> (
+        let out =
+          List.map (function Jsonx.Num v -> Some v | _ -> None) vs
+        in
+        if List.exists Option.is_none out then
+          Error (Printf.sprintf "non-numeric entry in %S" k)
+        else Ok (Array.of_list (List.filter_map Fun.id out)))
+    | _ -> Error (Printf.sprintf "missing/invalid %S" k)
+
+  let ( let* ) = Result.bind
+
+  let tenant_of_fields fields =
+    let* tenant =
+      match List.assoc_opt "tenant" fields with
+      | Some (Jsonx.Str s) when Ingest.valid_tenant s -> Ok s
+      | _ -> Error "missing/invalid \"tenant\""
+    in
+    let* rates = float_array_field fields "rates" in
+    let* arrival_queue = int_field fields "arrival_queue" in
+    let* mean_service = float_array_field fields "mean_service" in
+    let* iteration = int_field fields "iteration" in
+    let* round = int_field fields "round" in
+    let* num_events = int_field fields "num_events" in
+    if
+      Array.length rates = 0
+      || Array.exists (fun r -> (not (Float.is_finite r)) || r <= 0.0) rates
+    then Error (Printf.sprintf "invalid rates for tenant %S" tenant)
+    else if arrival_queue >= Array.length rates then
+      Error (Printf.sprintf "arrival queue out of range for tenant %S" tenant)
+    else
+      Ok
+        { tenant; rates; arrival_queue; mean_service; iteration; round;
+          num_events }
+
+  let of_line line =
+    match Jsonx.parse_object (String.trim line) with
+    | Error m -> Error (Printf.sprintf "bad checkpoint json: %s" m)
+    | Ok fields -> (
+        let* v = int_field fields "version" in
+        if v <> version then
+          Error
+            (Printf.sprintf "checkpoint version %d unsupported (want %d)" v
+               version)
+        else
+          let* iterations = int_field fields "iterations" in
+          let* rounds = int_field fields "rounds" in
+          let* restarts = int_field fields "restarts" in
+          match List.assoc_opt "tenants" fields with
+          | Some (Jsonx.Arr entries) -> (
+              let decoded =
+                List.map
+                  (function
+                    | Jsonx.Obj f -> tenant_of_fields f
+                    | _ -> Error "tenant entry is not an object")
+                  entries
+              in
+              match
+                List.find_opt (function Error _ -> true | Ok _ -> false) decoded
+              with
+              | Some (Error m) -> Error m
+              | _ ->
+                  Ok
+                    {
+                      iterations;
+                      rounds;
+                      restarts;
+                      tenants =
+                        List.filter_map
+                          (function Ok t -> Some t | Error _ -> None)
+                          decoded;
+                    })
+          | _ -> Error "missing/invalid \"tenants\"")
+end
+
+let backoff ~base ~max_ attempt =
+  let a = Stdlib.max 1 attempt in
+  Stdlib.min max_ (base *. (2.0 ** float_of_int (a - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Shard state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type tenant_state = {
+  mutable events : Trace.event list;  (* newest first *)
+  mutable count : int;
+  mutable since_fit : int;
+  mutable post : posterior option;
+}
+
+type fault_state = {
+  spec : Fault.service_fault;
+  mutable fired : bool;
+  mutable slow_until : float;
+}
+
+type t = {
+  shard_id : int;
+  cfg : config;
+  dir : string;
+  ingest_queue : Ingest.record Bounded_queue.t;
+  mutex : Mutex.t;
+  tenant_tbl : (string, tenant_state) Hashtbl.t;
+  mutable st : status;
+  mutable iters : int;
+  mutable round_count : int;
+  mutable restart_count : int;
+  mutable was_resumed : bool;
+  mutable err : string option;
+  mutable last_fit_scan : float;
+  mutable log_oc : out_channel option;
+  mutable ckpt_fail_pending : bool;
+  stopping : bool Atomic.t;
+  mutable worker : Thread.t option;
+  faults : fault_state list;
+  started_at : float;
+  depth_gauge : Metrics.Gauge.t;
+  iter_gauge : Metrics.Gauge.t;
+}
+
+let m_fits = Serve_metrics.counter "qnet_serve_fits_total"
+let m_fit_failures = Serve_metrics.counter "qnet_serve_fit_failures_total"
+let m_repair_dropped = Serve_metrics.counter "qnet_serve_repair_dropped_total"
+let m_restarts = Serve_metrics.counter "qnet_serve_shard_restarts_total"
+let m_checkpoints = Serve_metrics.counter "qnet_serve_checkpoints_total"
+
+let m_checkpoint_failures =
+  Serve_metrics.counter "qnet_serve_checkpoint_failures_total"
+
+let m_resumes = Serve_metrics.counter "qnet_serve_resumes_total"
+let m_faults = Serve_metrics.counter "qnet_serve_faults_injected_total"
+
+let ckpt_path t = Filename.concat t.dir "shard.ckpt"
+let log_path t = Filename.concat t.dir "events.log"
+
+let id t = t.shard_id
+let queue t = t.ingest_queue
+let status t = Mutex.protect t.mutex (fun () -> t.st)
+let iterations t = Mutex.protect t.mutex (fun () -> t.iters)
+let rounds t = Mutex.protect t.mutex (fun () -> t.round_count)
+let restarts t = Mutex.protect t.mutex (fun () -> t.restart_count)
+let resumed t = t.was_resumed
+let queue_depth t = Bounded_queue.length t.ingest_queue
+let last_error t = Mutex.protect t.mutex (fun () -> t.err)
+
+let tenants t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.tenant_tbl [])
+  |> List.sort String.compare
+
+let posterior t ~tenant =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.tenant_tbl tenant with
+      | None -> None
+      | Some ts -> ts.post)
+
+let knows_tenant t ~tenant =
+  Mutex.protect t.mutex (fun () -> Hashtbl.mem t.tenant_tbl tenant)
+
+(* Sleep in small slices so stop and crash recovery stay responsive. *)
+let interruptible_sleep t seconds =
+  let deadline = Clock.now () +. seconds in
+  while (not (Atomic.get t.stopping)) && Clock.now () < deadline do
+    Thread.delay (Stdlib.min 0.05 seconds)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reopen_log t =
+  (match t.log_oc with
+  | Some oc -> close_out_noerr oc
+  | None -> ());
+  t.log_oc <-
+    (match open_out_gen [ Open_append; Open_creat ] 0o644 (log_path t) with
+    | oc -> Some oc
+    | exception Sys_error m ->
+        Log.warn (fun f -> f "shard %d: cannot open event log: %s" t.shard_id m);
+        None)
+
+let append_log t records =
+  match t.log_oc with
+  | None -> ()
+  | Some oc -> (
+      try
+        List.iter
+          (fun r ->
+            output_string oc (Ingest.to_json_line r);
+            output_char oc '\n')
+          records;
+        flush oc
+      with Sys_error m ->
+        Log.warn (fun f -> f "shard %d: event log write failed: %s" t.shard_id m);
+        close_out_noerr oc;
+        t.log_oc <- None)
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fire_fault t fs =
+  fs.fired <- true;
+  Metrics.Counter.inc (Lazy.force m_faults);
+  Log.warn (fun f ->
+      f "shard %d: injecting %s" t.shard_id
+        (Fault.service_fault_label fs.spec));
+  match fs.spec.Fault.kind with
+  | Fault.Ingest_stall s -> interruptible_sleep t s
+  | Fault.Shard_crash ->
+      raise (Fault.Injected_shard_crash { shard = t.shard_id })
+  | Fault.Checkpoint_write_failure -> t.ckpt_fail_pending <- true
+  | Fault.Slow_consumer s -> fs.slow_until <- Clock.now () +. s
+
+let check_faults t =
+  let now = Clock.now () in
+  List.iter
+    (fun fs ->
+      if (not fs.fired) && now -. t.started_at >= fs.spec.Fault.after then
+        fire_fault t fs)
+    t.faults
+
+let in_slow_window t =
+  let now = Clock.now () in
+  List.exists (fun fs -> fs.slow_until > now) t.faults
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_of_state t =
+  Mutex.protect t.mutex (fun () ->
+      let tenants =
+        Hashtbl.fold
+          (fun _ ts acc ->
+            match ts.post with
+            | None -> acc
+            | Some p ->
+                {
+                  Ckpt.tenant = p.tenant;
+                  rates = Array.copy p.params.Params.rates;
+                  arrival_queue = p.params.Params.arrival_queue;
+                  mean_service = Array.copy p.mean_service;
+                  iteration = p.iteration;
+                  round = p.round;
+                  num_events = p.num_events;
+                }
+                :: acc)
+          t.tenant_tbl []
+        |> List.sort (fun a b -> String.compare a.Ckpt.tenant b.Ckpt.tenant)
+      in
+      {
+        Ckpt.iterations = t.iters;
+        rounds = t.round_count;
+        restarts = t.restart_count;
+        tenants;
+      })
+
+let current_log_lines t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold
+        (fun tenant ts acc ->
+          List.rev_map
+            (fun (e : Trace.event) ->
+              Ingest.to_json_line
+                {
+                  Ingest.tenant;
+                  task = e.Trace.task;
+                  state = e.Trace.state;
+                  queue = e.Trace.queue;
+                  arrival = e.Trace.arrival;
+                  departure = e.Trace.departure;
+                })
+            ts.events
+          @ acc)
+        t.tenant_tbl [])
+
+let write_checkpoint t =
+  try
+    if t.ckpt_fail_pending then begin
+      t.ckpt_fail_pending <- false;
+      raise (Sys_error "injected checkpoint write failure")
+    end;
+    let line = Ckpt.to_line (snapshot_of_state t) in
+    let path = ckpt_path t in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n');
+    Sys.rename tmp path;
+    (* compact the event log to the surviving buffer window, then
+       reopen it for appends: replay cost stays bounded by the
+       per-tenant buffer caps, not by daemon uptime *)
+    let log_tmp = log_path t ^ ".tmp" in
+    let oc = open_out log_tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          (current_log_lines t));
+    Sys.rename log_tmp (log_path t);
+    reopen_log t;
+    Metrics.Counter.inc (Lazy.force m_checkpoints)
+  with Sys_error m ->
+    Metrics.Counter.inc (Lazy.force m_checkpoint_failures);
+    Mutex.protect t.mutex (fun () -> t.err <- Some m);
+    Log.warn (fun f ->
+        f "shard %d: checkpoint write failed (will retry next round): %s"
+          t.shard_id m)
+
+(* ------------------------------------------------------------------ *)
+(* Absorbing ingested records                                          *)
+(* ------------------------------------------------------------------ *)
+
+let absorb t records =
+  if records <> [] then begin
+    append_log t records;
+    Mutex.protect t.mutex (fun () ->
+        List.iter
+          (fun (r : Ingest.record) ->
+            let ts =
+              match Hashtbl.find_opt t.tenant_tbl r.Ingest.tenant with
+              | Some ts -> ts
+              | None ->
+                  let ts =
+                    { events = []; count = 0; since_fit = 0; post = None }
+                  in
+                  Hashtbl.add t.tenant_tbl r.Ingest.tenant ts;
+                  ts
+            in
+            ts.events <- Ingest.to_trace_event r :: ts.events;
+            ts.count <- ts.count + 1;
+            ts.since_fit <- ts.since_fit + 1;
+            if ts.count > t.cfg.max_tenant_events then begin
+              (* drop the oldest tail; the lenient rebuild re-repairs
+                 the truncated window at the next fit *)
+              let keep = t.cfg.max_tenant_events in
+              ts.events <-
+                List.filteri (fun i _ -> i < keep) ts.events;
+              ts.count <- keep
+            end)
+          records)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fitting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let csv_of_events events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "task,state,queue,arrival,departure\n";
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%.17g,%.17g\n" e.Trace.task e.Trace.state
+           e.Trace.queue e.Trace.arrival e.Trace.departure))
+    events;
+  Buffer.contents buf
+
+let fit_seed t tenant =
+  (* distinct, reproducible stream per (daemon seed, shard, tenant,
+     round); collisions are harmless (independent data) *)
+  t.cfg.seed
+  + (104729 * (t.shard_id + 1))
+  + (31 * Mutex.protect t.mutex (fun () -> t.round_count))
+  + (Router.fnv1a tenant mod 1_000_003)
+
+let fit_tenant t tenant =
+  let events, prev_post =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.tenant_tbl tenant with
+        | None -> ([], None)
+        | Some ts -> (List.rev ts.events, ts.post))
+  in
+  if events = [] then ()
+  else begin
+    let csv = csv_of_events events in
+    match Trace.of_csv_lenient ~num_queues:t.cfg.num_queues csv with
+    | Error _report ->
+        Metrics.Counter.inc (Lazy.force m_fit_failures);
+        Mutex.protect t.mutex (fun () ->
+            t.err <- Some (Printf.sprintf "tenant %s: no usable events" tenant))
+    | Ok (trace, report) ->
+        if report.Trace.events_dropped > 0 then
+          Metrics.Counter.inc
+            ~by:(float_of_int report.Trace.events_dropped)
+            (Lazy.force m_repair_dropped);
+        if trace.Trace.num_tasks < 2 then ()
+        else begin
+          let seed = fit_seed t tenant in
+          let rng = Rng.create ~seed () in
+          let mask = Obs.mask rng (Obs.Task_fraction t.cfg.obs_fraction) trace in
+          let make_store () = Store.of_trace ~observed:mask trace in
+          let sup_config =
+            {
+              Supervisor.default_config with
+              Supervisor.chains = t.cfg.chains;
+              min_chains = Stdlib.min t.cfg.min_chains t.cfg.chains;
+              stem =
+                {
+                  Stem.default_config with
+                  Stem.iterations = t.cfg.fit_iterations;
+                  burn_in = t.cfg.fit_iterations / 2;
+                };
+              round_iterations = Stdlib.max 5 (t.cfg.fit_iterations / 4);
+              sweep_deadline = t.cfg.sweep_deadline;
+              max_restarts = 1;
+            }
+          in
+          let init =
+            match prev_post with
+            | Some p
+              when Params.num_queues p.params = t.cfg.num_queues ->
+                Some p.params
+            | _ -> None
+          in
+          match Supervisor.run ~config:sup_config ?init ~seed make_store with
+          | exception Invalid_argument m ->
+              Metrics.Counter.inc (Lazy.force m_fit_failures);
+              Mutex.protect t.mutex (fun () ->
+                  t.err <- Some (Printf.sprintf "tenant %s: %s" tenant m))
+          | exception Failure m ->
+              Metrics.Counter.inc (Lazy.force m_fit_failures);
+              Mutex.protect t.mutex (fun () ->
+                  t.err <- Some (Printf.sprintf "tenant %s: %s" tenant m))
+          | r when r.Supervisor.status = Supervisor.Failed ->
+              Metrics.Counter.inc (Lazy.force m_fit_failures);
+              Mutex.protect t.mutex (fun () ->
+                  t.err <-
+                    Some (Printf.sprintf "tenant %s: fit had no healthy chain" tenant))
+          | r ->
+              let done_ =
+                Array.fold_left
+                  (fun acc v ->
+                    Stdlib.max acc v.Supervisor.iterations_done)
+                  0 r.Supervisor.verdicts
+              in
+              Metrics.Counter.inc (Lazy.force m_fits);
+              Mutex.protect t.mutex (fun () ->
+                  t.iters <- t.iters + Stdlib.max 1 done_;
+                  match Hashtbl.find_opt t.tenant_tbl tenant with
+                  | None -> ()
+                  | Some ts ->
+                      ts.since_fit <- 0;
+                      ts.post <-
+                        Some
+                          {
+                            tenant;
+                            params = r.Supervisor.params;
+                            mean_service = r.Supervisor.mean_service;
+                            iteration = t.iters;
+                            round = t.round_count;
+                            num_events = Array.length trace.Trace.events;
+                            from_checkpoint = false;
+                            fitted_at = Clock.now ();
+                          });
+              Metrics.Gauge.set t.iter_gauge (float_of_int (iterations t))
+        end
+  end
+
+let due_tenants t =
+  let now = Clock.now () in
+  let interval_elapsed = now -. t.last_fit_scan >= t.cfg.refit_interval in
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold
+        (fun tenant ts acc ->
+          if
+            ts.count >= t.cfg.min_tenant_events
+            && (ts.since_fit >= t.cfg.refit_events
+               || (interval_elapsed && ts.since_fit > 0))
+          then tenant :: acc
+          else acc)
+        t.tenant_tbl [])
+  |> List.sort String.compare
+
+let run_fit_round t due =
+  Mutex.protect t.mutex (fun () -> t.round_count <- t.round_count + 1);
+  let before_failures = Metrics.Counter.value (Lazy.force m_fit_failures) in
+  List.iter (fun tenant -> fit_tenant t tenant) due;
+  let after_failures = Metrics.Counter.value (Lazy.force m_fit_failures) in
+  t.last_fit_scan <- Clock.now ();
+  write_checkpoint t;
+  Mutex.protect t.mutex (fun () ->
+      if after_failures > before_failures then
+        t.st <-
+          Degraded
+            (match t.err with Some m -> m | None -> "fit failures this round")
+      else begin
+        t.st <- Healthy;
+        t.err <- None
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Worker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let worker_pass t =
+  check_faults t;
+  let slow = in_slow_window t in
+  let batch =
+    Bounded_queue.pop_batch
+      ~max:(if slow then 1 else 256)
+      ~timeout:t.cfg.poll_interval t.ingest_queue
+  in
+  if slow then Thread.delay 0.02;
+  absorb t batch;
+  Metrics.Gauge.set t.depth_gauge (float_of_int (queue_depth t));
+  match due_tenants t with
+  | [] ->
+      if
+        Mutex.protect t.mutex (fun () ->
+            match t.st with Starting -> true | _ -> false)
+      then Mutex.protect t.mutex (fun () -> t.st <- Healthy)
+  | due -> run_fit_round t due
+
+let final_drain t =
+  let rec go () =
+    match Bounded_queue.pop_batch ~max:4096 ~timeout:0.0 t.ingest_queue with
+    | [] -> ()
+    | batch ->
+        absorb t batch;
+        go ()
+  in
+  go ();
+  write_checkpoint t
+
+let rec supervise t =
+  match
+    while not (Atomic.get t.stopping) do
+      worker_pass t
+    done
+  with
+  | () -> final_drain t
+  | exception e ->
+      let msg = Printexc.to_string e in
+      let attempt = Mutex.protect t.mutex (fun () -> t.restart_count + 1) in
+      if attempt > t.cfg.max_restarts then begin
+        Mutex.protect t.mutex (fun () ->
+            t.st <- Failed msg;
+            t.err <- Some msg);
+        Log.err (fun f ->
+            f "shard %d: %s; restart budget (%d) exhausted — failed (posteriors \
+               stay servable)"
+              t.shard_id msg t.cfg.max_restarts);
+        (* keep draining nothing; just wait for stop so posteriors
+           remain servable and stop remains graceful *)
+        while not (Atomic.get t.stopping) do
+          Thread.delay 0.05
+        done
+      end
+      else begin
+        Metrics.Counter.inc (Lazy.force m_restarts);
+        Mutex.protect t.mutex (fun () ->
+            t.restart_count <- attempt;
+            t.st <- Restarting attempt;
+            t.err <- Some msg);
+        let delay =
+          backoff ~base:t.cfg.backoff_base ~max_:t.cfg.backoff_max attempt
+        in
+        Log.warn (fun f ->
+            f "shard %d: %s; restarting in %.3gs (attempt %d/%d)" t.shard_id msg
+              delay attempt t.cfg.max_restarts);
+        interruptible_sleep t delay;
+        Mutex.protect t.mutex (fun () -> t.st <- Healthy);
+        supervise t
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Resume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let resume_from_disk t =
+  let resumed_ckpt =
+    match
+      if Sys.file_exists (ckpt_path t) then
+        let ic = open_in (ckpt_path t) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (input_line ic))
+      else None
+    with
+    | None -> false
+    | Some line -> (
+        match Ckpt.of_line line with
+        | Error m ->
+            Log.warn (fun f ->
+                f "shard %d: ignoring unreadable checkpoint: %s" t.shard_id m);
+            false
+        | Ok snap ->
+            Mutex.protect t.mutex (fun () ->
+                t.iters <- snap.Ckpt.iterations;
+                t.round_count <- snap.Ckpt.rounds;
+                List.iter
+                  (fun (e : Ckpt.tenant_entry) ->
+                    match
+                      Params.create ~rates:e.Ckpt.rates
+                        ~arrival_queue:e.Ckpt.arrival_queue
+                    with
+                    | params ->
+                        Hashtbl.replace t.tenant_tbl e.Ckpt.tenant
+                          {
+                            events = [];
+                            count = 0;
+                            since_fit = 0;
+                            post =
+                              Some
+                                {
+                                  tenant = e.Ckpt.tenant;
+                                  params;
+                                  mean_service = e.Ckpt.mean_service;
+                                  iteration = e.Ckpt.iteration;
+                                  round = e.Ckpt.round;
+                                  num_events = e.Ckpt.num_events;
+                                  from_checkpoint = true;
+                                  fitted_at = 0.0;
+                                };
+                          }
+                    | exception Invalid_argument m ->
+                        Log.warn (fun f ->
+                            f "shard %d: dropping tenant %s from checkpoint: %s"
+                              t.shard_id e.Ckpt.tenant m))
+                  snap.Ckpt.tenants);
+            true)
+    | exception Sys_error m ->
+        Log.warn (fun f ->
+            f "shard %d: cannot read checkpoint: %s" t.shard_id m);
+        false
+    | exception End_of_file -> false
+  in
+  let replayed =
+    match
+      if Sys.file_exists (log_path t) then Some (open_in (log_path t))
+      else None
+    with
+    | None -> 0
+    | Some ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 match
+                   Ingest.decode_line ~num_queues:t.cfg.num_queues line
+                 with
+                 | Ok r ->
+                     absorb t [ r ];
+                     incr n
+                 | Error _ -> ()
+               done
+             with End_of_file -> ());
+            !n)
+    | exception Sys_error m ->
+        Log.warn (fun f ->
+            f "shard %d: cannot replay event log: %s" t.shard_id m);
+        0
+  in
+  (* replay inflates since_fit; a fresh fit soon after resume is the
+     desired behavior, so leave it — but don't count replay as new
+     load for tenants that were already fitted to this window *)
+  if resumed_ckpt || replayed > 0 then begin
+    t.was_resumed <- true;
+    Metrics.Counter.inc (Lazy.force m_resumes);
+    Log.info (fun f ->
+        f "shard %d: resumed from checkpoint (iterations=%d, rounds=%d, %d \
+           events replayed)"
+          t.shard_id t.iters t.round_count replayed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate cfg =
+  if cfg.num_queues < 2 then Error "num_queues must be >= 2"
+  else if cfg.queue_capacity < 1 then Error "queue_capacity must be >= 1"
+  else if cfg.max_tenant_events < cfg.min_tenant_events then
+    Error "max_tenant_events must be >= min_tenant_events"
+  else if cfg.obs_fraction <= 0.0 || cfg.obs_fraction > 1.0 then
+    Error "obs_fraction must be in (0, 1]"
+  else if cfg.chains < 1 then Error "chains must be >= 1"
+  else if cfg.fit_iterations < 2 then Error "fit_iterations must be >= 2"
+  else if cfg.backoff_base <= 0.0 || cfg.backoff_max < cfg.backoff_base then
+    Error "backoff_base/backoff_max malformed"
+  else Ok ()
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let create ?(faults = []) ?started_at ~dir ~id:shard_id cfg =
+  match validate cfg with
+  | Error m -> Error (Printf.sprintf "shard %d: %s" shard_id m)
+  | Ok () -> (
+      match
+        mkdir_p dir;
+        if not (Sys.is_directory dir) then
+          Error (Printf.sprintf "shard %d: %s is not a directory" shard_id dir)
+        else Ok ()
+      with
+      | exception Sys_error m -> Error (Printf.sprintf "shard %d: %s" shard_id m)
+      | Error m -> Error m
+      | Ok () ->
+          let started_at =
+            match started_at with Some x -> x | None -> Clock.now ()
+          in
+          let shard_label = [ ("shard", string_of_int shard_id) ] in
+          let t =
+            {
+              shard_id;
+              cfg;
+              dir;
+              ingest_queue = Bounded_queue.create ~capacity:cfg.queue_capacity;
+              mutex = Mutex.create ();
+              tenant_tbl = Hashtbl.create 16;
+              st = Starting;
+              iters = 0;
+              round_count = 0;
+              restart_count = 0;
+              was_resumed = false;
+              err = None;
+              last_fit_scan = Clock.now ();
+              log_oc = None;
+              ckpt_fail_pending = false;
+              stopping = Atomic.make false;
+              worker = None;
+              faults =
+                List.filter_map
+                  (fun (f : Fault.service_fault) ->
+                    if f.Fault.shard = shard_id then
+                      Some { spec = f; fired = false; slow_until = 0.0 }
+                    else None)
+                  faults;
+              started_at;
+              depth_gauge =
+                Metrics.Gauge.create ~labels:shard_label
+                  ~help:"Current ingest queue depth" "qnet_serve_queue_depth";
+              iter_gauge =
+                Metrics.Gauge.create ~labels:shard_label
+                  ~help:"Cumulative StEM iterations fitted by this shard"
+                  "qnet_serve_shard_iterations";
+            }
+          in
+          resume_from_disk t;
+          Metrics.Gauge.set t.iter_gauge (float_of_int t.iters);
+          reopen_log t;
+          t.worker <- Some (Thread.create (fun () -> supervise t) ());
+          Ok t)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Bounded_queue.close t.ingest_queue;
+    (match t.worker with None -> () | Some th -> Thread.join th);
+    (match t.log_oc with
+    | Some oc ->
+        close_out_noerr oc;
+        t.log_oc <- None
+    | None -> ())
+  end

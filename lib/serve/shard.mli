@@ -1,0 +1,151 @@
+(** A shard: one crash-tolerant worker owning the tenants routed to it.
+
+    Each shard runs a worker thread that drains its bounded ingest
+    queue, appends accepted events to a per-shard event log, and —
+    when a tenant has accumulated enough fresh events — refits that
+    tenant's posterior by handing the buffered trace to the existing
+    supervised multi-chain StEM runtime ({!Qnet_runtime.Supervisor}),
+    warm-started from the previous posterior. The buffered events go
+    through {!Qnet_trace.Trace.of_csv_lenient} first, so the same
+    repair machinery that protects batch ingestion (duplicates,
+    broken chains, reversed intervals) protects the streaming path;
+    repair drops are counted, never fatal.
+
+    {b Crash tolerance.} The worker is supervised in-process: any
+    exception (including an injected {!Qnet_runtime.Fault.Shard_crash})
+    moves the shard to [Restarting], sleeps an exponential backoff,
+    and re-enters the loop — state, buffers and posteriors intact —
+    until the restart budget is exhausted, after which the shard is
+    [Failed] but its last posteriors remain servable (stale). Across
+    {e process} restarts the shard recovers from its data directory:
+    a versioned single-line JSON checkpoint (counters + per-tenant
+    posteriors, written atomically via tmp-rename) plus an append-only
+    event log that is replayed through the ingest decoder and
+    compacted at each checkpoint. Iteration counters are monotone
+    across a graceful restart; a hard kill loses at most the rounds
+    since the last checkpoint.
+
+    {b Degradation.} A fit failure (lenient repair leaves nothing
+    usable, or the supervised run ends [Failed]) marks the shard
+    [Degraded] but keeps the previous posterior; a checkpoint-write
+    failure is counted and retried next round. The posterior endpoint
+    therefore never has to 500 — the worst case is a [stale] flag. *)
+
+module Fault = Qnet_runtime.Fault
+
+type config = {
+  num_queues : int;
+  queue_capacity : int;
+  refit_events : int;
+      (** fresh events per tenant that trigger a refit (default 120) *)
+  refit_interval : float;
+      (** seconds after which any fresh events at all trigger a refit
+          (default 2.0) *)
+  min_tenant_events : int;
+      (** tenants with fewer buffered events are not fitted (default 40) *)
+  max_tenant_events : int;
+      (** per-tenant buffer bound; oldest events are dropped and the
+          lenient rebuild re-repairs the window (default 4000) *)
+  obs_fraction : float;
+      (** observation mask fraction applied before fitting — the
+          paper's sampled-tracing regime (default 0.5) *)
+  chains : int;  (** supervised chains per fit (default 2) *)
+  min_chains : int;  (** quorum for a fit (default 1) *)
+  fit_iterations : int;  (** StEM iterations per fit (default 30) *)
+  sweep_deadline : float;  (** watchdog deadline inside a fit (default 5.0) *)
+  max_restarts : int;  (** shard restart budget (default 3) *)
+  backoff_base : float;  (** first restart delay, seconds (default 0.25) *)
+  backoff_max : float;  (** backoff ceiling, seconds (default 4.0) *)
+  poll_interval : float;  (** queue poll period, seconds (default 0.05) *)
+  seed : int;
+}
+
+val default_config : config
+
+type status =
+  | Starting
+  | Healthy
+  | Degraded of string  (** serving, but the last fit round went wrong *)
+  | Restarting of int  (** in backoff before restart attempt [n] *)
+  | Failed of string  (** restart budget exhausted; posteriors stay servable *)
+
+val status_label : status -> string
+(** Lowercase token for JSON/metrics ("healthy", "restarting", ...). *)
+
+type posterior = {
+  tenant : string;
+  params : Qnet_core.Params.t;
+  mean_service : float array;
+  iteration : int;  (** shard iteration counter when this was fitted *)
+  round : int;
+  num_events : int;  (** events in the fitted window *)
+  from_checkpoint : bool;  (** resumed, not yet refreshed by a live fit *)
+  fitted_at : float;  (** {!Qnet_obs.Clock.now} at fit (0 for resumed) *)
+}
+
+(** The checkpoint codec, exposed for tests: one line of JSON,
+    version-tagged, written atomically. *)
+module Ckpt : sig
+  val version : int
+
+  type tenant_entry = {
+    tenant : string;
+    rates : float array;
+    arrival_queue : int;
+    mean_service : float array;
+    iteration : int;
+    round : int;
+    num_events : int;
+  }
+
+  type snapshot = {
+    iterations : int;
+    rounds : int;
+    restarts : int;
+    tenants : tenant_entry list;
+  }
+
+  val to_line : snapshot -> string
+
+  val of_line : string -> (snapshot, string) result
+  (** [Error] on malformed JSON, wrong/missing version, or invalid
+      rates; never raises. *)
+end
+
+val backoff : base:float -> max_:float -> int -> float
+(** [backoff ~base ~max_ attempt] — [base * 2^(attempt-1)] capped at
+    [max_]; [attempt] is 1-based. *)
+
+type t
+
+val create :
+  ?faults:Fault.service_fault list ->
+  ?started_at:float ->
+  dir:string ->
+  id:int ->
+  config ->
+  (t, string) result
+(** Creates the data directory, resumes from [shard.ckpt] /
+    [events.log] when present, and starts the worker thread. [faults]
+    are the service faults addressed to this shard; [started_at]
+    anchors their [after] offsets (default: now). *)
+
+val id : t -> int
+val queue : t -> Ingest.record Bounded_queue.t
+val status : t -> status
+val iterations : t -> int
+val rounds : t -> int
+val restarts : t -> int
+val resumed : t -> bool
+val queue_depth : t -> int
+val last_error : t -> string option
+
+val tenants : t -> string list
+(** Sorted; tenants with any buffered events or posterior. *)
+
+val posterior : t -> tenant:string -> posterior option
+val knows_tenant : t -> tenant:string -> bool
+
+val stop : t -> unit
+(** Graceful: close the queue, drain it, write a final checkpoint,
+    join the worker. Idempotent. *)

@@ -1,72 +1,209 @@
 module Metrics = Qnet_obs.Metrics
 module Diagnostics = Qnet_obs.Diagnostics
 
+type request = { meth : string; path : string; body : string }
+
+type response = {
+  status : string;
+  content_type : string;
+  extra_headers : (string * string) list;
+  body : string;
+}
+
+let response ?(extra_headers = []) ?(content_type = "application/json")
+    ~status body =
+  { status; content_type; extra_headers; body }
+
+type handler = request -> response option
+
+type bind_error = {
+  kind : [ `Addr_in_use | `Permission_denied | `Bad_host | `Other ];
+  detail : string;
+}
+
+let bind_error_message e = e.detail
+
 type t = {
   sock : Unix.file_descr;
   bound_port : int;
+  fell_back : bool;
   stopping : bool Atomic.t;
   mutable acceptor : Thread.t option;
 }
 
-let http_response ~status ~content_type body =
-  Printf.sprintf
-    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status content_type (String.length body) body
+let render_response (r : response) =
+  let headers = Buffer.create 256 in
+  Buffer.add_string headers (Printf.sprintf "HTTP/1.1 %s\r\n" r.status);
+  Buffer.add_string headers
+    (Printf.sprintf "Content-Type: %s\r\n" r.content_type);
+  List.iter
+    (fun (k, v) -> Buffer.add_string headers (Printf.sprintf "%s: %s\r\n" k v))
+    r.extra_headers;
+  Buffer.add_string headers
+    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
+       (String.length r.body));
+  Buffer.contents headers ^ r.body
 
-let read_request_line fd =
-  (* Read through the end of the headers (blank line, 8 KiB cap) but
-     return only the request line — headers are ignored, yet must be
-     consumed: closing a socket with unread data makes the kernel send
-     RST and the client sees ECONNRESET instead of our response. *)
-  let line = Buffer.create 256 in
-  let chunk = Bytes.create 1 in
-  let rec go n ~in_line ~blank =
-    if n >= 8192 then ()
-    else
-      match Unix.read fd chunk 0 1 with
-      | 0 -> ()
-      | _ -> (
-          match Bytes.get chunk 0 with
-          | '\n' -> if not blank then go (n + 1) ~in_line:false ~blank:true
-          | '\r' -> go (n + 1) ~in_line ~blank
-          | c ->
-              if in_line then Buffer.add_char line c;
-              go (n + 1) ~in_line ~blank:false)
-      | exception Unix.Unix_error _ -> ()
+(* Bounded request reader: request line, headers (only Content-Length
+   is interpreted), then exactly Content-Length body bytes. Headers
+   must be consumed even when ignored: closing a socket with unread
+   data makes the kernel send RST and the client sees ECONNRESET
+   instead of our response. Returns [None] on a malformed or oversized
+   request. *)
+let max_head_bytes = 16 * 1024
+let max_body_bytes = 8 * 1024 * 1024
+
+type raw = { request_line : string; content_length : int; body : string }
+
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  (* accumulate until the blank line ending the headers *)
+  let rec fill_head () =
+    let head = Buffer.contents buf in
+    let marker =
+      let rec find i =
+        if i + 3 >= String.length head then None
+        else if
+          head.[i] = '\r' && head.[i + 1] = '\n' && head.[i + 2] = '\r'
+          && head.[i + 3] = '\n'
+        then Some (i + 4)
+        else find (i + 1)
+      in
+      find 0
+    in
+    match marker with
+    | Some stop -> Some (head, String.length head - stop)
+    | None ->
+        if Buffer.length buf >= max_head_bytes then None
+        else (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              fill_head ()
+          | exception Unix.Unix_error _ -> None)
   in
-  go 0 ~in_line:true ~blank:false;
-  Buffer.contents line
+  match fill_head () with
+  | None -> None
+  | Some (head, surplus) -> (
+      let lines = String.split_on_char '\n' head in
+      match lines with
+      | [] -> None
+      | request_line :: headers ->
+          let request_line = String.trim request_line in
+          let content_length =
+            List.fold_left
+              (fun acc line ->
+                match String.index_opt line ':' with
+                | None -> acc
+                | Some i ->
+                    let key =
+                      String.lowercase_ascii (String.trim (String.sub line 0 i))
+                    in
+                    if key = "content-length" then begin
+                      let v =
+                        String.trim
+                          (String.sub line (i + 1) (String.length line - i - 1))
+                      in
+                      match int_of_string_opt v with
+                      | Some n when n >= 0 -> n
+                      | _ -> acc
+                    end
+                    else acc)
+              0 headers
+          in
+          if content_length > max_body_bytes then None
+          else begin
+            let body = Buffer.create (Stdlib.min content_length 65536) in
+            (* body bytes that arrived with the head *)
+            let head_len = String.length head in
+            Buffer.add_string body
+              (String.sub head (head_len - surplus) surplus);
+            let rec fill_body () =
+              if Buffer.length body >= content_length then true
+              else
+                match
+                  Unix.read fd chunk 0
+                    (Stdlib.min (Bytes.length chunk)
+                       (content_length - Buffer.length body))
+                with
+                | 0 -> false
+                | n ->
+                    Buffer.add_subbytes body chunk 0 n;
+                    fill_body ()
+                | exception Unix.Unix_error _ -> false
+            in
+            if fill_body () then
+              Some
+                {
+                  request_line;
+                  content_length;
+                  body = String.sub (Buffer.contents body) 0 content_length;
+                }
+            else None
+          end)
 
-let route registry diagnostics line =
-  match String.split_on_char ' ' line with
-  | [ "GET"; path; _ ] | [ "GET"; path ] -> (
+let builtin_routes registry diagnostics req =
+  match (req.meth, req.path) with
+  | "GET", "/metrics" ->
+      Some
+        (response ~status:"200 OK"
+           ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+           (Metrics.to_prometheus registry))
+  | "GET", "/metrics.json" ->
+      Some
+        (response ~status:"200 OK" ~content_type:"application/x-ndjson"
+           (Metrics.to_jsonl ~ts:(Qnet_obs.Clock.now ()) registry))
+  | "GET", "/healthz" ->
+      Some (response ~status:"200 OK" ~content_type:"text/plain" "ok\n")
+  | "GET", "/diagnostics.json" ->
+      Some
+        (response ~status:"200 OK"
+           (Diagnostics.snapshot_json diagnostics ^ "\n"))
+  | "GET", ("/dashboard" | "/dashboard/") ->
+      Some
+        (response ~status:"200 OK" ~content_type:"text/html; charset=utf-8"
+           Dashboard.html)
+  | _ -> None
+
+let route registry diagnostics handler raw =
+  match String.split_on_char ' ' raw.request_line with
+  | [ meth; path; _ ] | [ meth; path ] -> (
       let path =
         match String.index_opt path '?' with
         | Some i -> String.sub path 0 i
         | None -> path
       in
-      match path with
-      | "/metrics" ->
-          http_response ~status:"200 OK"
-            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-            (Metrics.to_prometheus registry)
-      | "/metrics.json" ->
-          http_response ~status:"200 OK" ~content_type:"application/x-ndjson"
-            (Metrics.to_jsonl ~ts:(Qnet_obs.Clock.now ()) registry)
-      | "/healthz" ->
-          http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
-      | "/diagnostics.json" ->
-          http_response ~status:"200 OK" ~content_type:"application/json"
-            (Diagnostics.snapshot_json diagnostics ^ "\n")
-      | "/dashboard" | "/dashboard/" ->
-          http_response ~status:"200 OK"
-            ~content_type:"text/html; charset=utf-8" Dashboard.html
-      | _ ->
-          http_response ~status:"404 Not Found" ~content_type:"text/plain"
-            "not found\n")
+      let req =
+        { meth = String.uppercase_ascii meth; path; body = raw.body }
+      in
+      let extension =
+        match handler with
+        | None -> None
+        | Some h -> (
+            try h req
+            with e ->
+              Some
+                (response ~status:"500 Internal Server Error"
+                   ~content_type:"text/plain"
+                   (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))))
+      in
+      match extension with
+      | Some r -> r
+      | None -> (
+          match builtin_routes registry diagnostics req with
+          | Some r -> r
+          | None ->
+              if req.meth = "GET" then
+                response ~status:"404 Not Found" ~content_type:"text/plain"
+                  "not found\n"
+              else
+                response ~status:"405 Method Not Allowed"
+                  ~content_type:"text/plain" "method not served here\n"))
   | _ ->
-      http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
-        "only GET is served\n"
+      response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "malformed request line\n"
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -80,20 +217,28 @@ let write_all fd s =
   in
   go 0
 
-let serve_client registry diagnostics fd =
+let serve_client registry diagnostics handler fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      let line = read_request_line fd in
-      write_all fd (route registry diagnostics line))
+      match read_request fd with
+      | None ->
+          write_all fd
+            (render_response
+               (response ~status:"400 Bad Request" ~content_type:"text/plain"
+                  "malformed or oversized request\n"))
+      | Some raw ->
+          write_all fd (render_response (route registry diagnostics handler raw)))
 
-let accept_loop t registry diagnostics =
+let accept_loop t registry diagnostics handler =
   let continue_ = ref true in
   while !continue_ && not (Atomic.get t.stopping) do
     match Unix.accept t.sock with
     | client, _ ->
         ignore
-          (Thread.create (fun () -> serve_client registry diagnostics client) ())
+          (Thread.create
+             (fun () -> serve_client registry diagnostics handler client)
+             ())
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
         (* listening socket closed by [stop] *)
         continue_ := false
@@ -101,15 +246,14 @@ let accept_loop t registry diagnostics =
     | exception Unix.Unix_error _ -> Thread.yield ()
   done
 
-let start ?(registry = Metrics.default) ?(diagnostics = Diagnostics.default)
-    ?(host = "127.0.0.1") ~port () =
+let bind_once ~host ~port =
   match
     let addr = Unix.inet_addr_of_string host in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
        Unix.setsockopt sock Unix.SO_REUSEADDR true;
        Unix.bind sock (Unix.ADDR_INET (addr, port));
-       Unix.listen sock 16
+       Unix.listen sock 64
      with e ->
        (try Unix.close sock with Unix.Unix_error _ -> ());
        raise e);
@@ -118,18 +262,54 @@ let start ?(registry = Metrics.default) ?(diagnostics = Diagnostics.default)
       | Unix.ADDR_INET (_, p) -> p
       | _ -> port
     in
-    { sock; bound_port; stopping = Atomic.make false; acceptor = None }
+    (sock, bound_port)
   with
   | exception Unix.Unix_error (err, fn, _) ->
-      Error (Printf.sprintf "cannot bind %s:%d: %s (%s)" host port
-               (Unix.error_message err) fn)
-  | exception Failure _ -> Error (Printf.sprintf "invalid host %S" host)
-  | t ->
+      let kind =
+        match err with
+        | Unix.EADDRINUSE -> `Addr_in_use
+        | Unix.EACCES | Unix.EPERM -> `Permission_denied
+        | _ -> `Other
+      in
+      Error
+        {
+          kind;
+          detail =
+            Printf.sprintf "cannot bind %s:%d: %s (%s)" host port
+              (Unix.error_message err) fn;
+        }
+  | exception Failure _ ->
+      Error { kind = `Bad_host; detail = Printf.sprintf "invalid host %S" host }
+  | pair -> Ok pair
+
+let start ?(registry = Metrics.default) ?(diagnostics = Diagnostics.default)
+    ?handler ?(retry_ephemeral = false) ?(host = "127.0.0.1") ~port () =
+  let bound =
+    match bind_once ~host ~port with
+    | Ok (sock, p) -> Ok (sock, p, false)
+    | Error ({ kind = `Addr_in_use; _ } as e) when retry_ephemeral && port <> 0
+      -> (
+        (* the requested port is taken: a daemon would rather come up
+           on an ephemeral port than not at all *)
+        match bind_once ~host ~port:0 with
+        | Ok (sock, p) -> Ok (sock, p, true)
+        | Error _ -> Error e)
+    | Error e -> Error e
+  in
+  match bound with
+  | Error e -> Error e
+  | Ok (sock, bound_port, fell_back) ->
+      let t =
+        { sock; bound_port; fell_back; stopping = Atomic.make false;
+          acceptor = None }
+      in
       t.acceptor <-
-        Some (Thread.create (fun () -> accept_loop t registry diagnostics) ());
+        Some
+          (Thread.create (fun () -> accept_loop t registry diagnostics handler) ());
       Ok t
 
 let port t = t.bound_port
+let fell_back t = t.fell_back
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin

@@ -2,7 +2,7 @@
     registry — the same discipline the paper assumes of the services
     being modeled, applied to our own inference runtime.
 
-    Routes:
+    Built-in routes:
     - [GET /metrics] — Prometheus text exposition format;
     - [GET /metrics.json] — JSONL snapshot (one sample per line);
     - [GET /diagnostics.json] — one inference-quality snapshot from the
@@ -12,30 +12,89 @@
       ({!Dashboard.html}) polling [/diagnostics.json];
     - [GET /healthz] — liveness probe, returns [ok].
 
+    A caller can graft additional routes — including [POST] routes
+    with a request body — through the [handler] hook; the serving
+    daemon ([Qnet_serve.Daemon]) mounts [/ingest], [/shards.json] and
+    [/tenants/:id/posterior.json] this way, sharing one listener with
+    the scrape endpoints above.
+
     The server is a single accept-loop thread plus one short-lived
-    thread per connection, listening on the loopback interface only.
-    It serves scrapes concurrently with a running inference: the
-    registry's shard design makes reads lock-free and always
-    consistent per-cell. This is an operational endpoint for scrapers
-    and smoke tests, not a hardened public server. *)
+    thread per connection, listening on the loopback interface only
+    by default. It serves scrapes concurrently with a running
+    inference: the registry's shard design makes reads lock-free and
+    always consistent per-cell. This is an operational endpoint for
+    scrapers and smoke tests, not a hardened public server. *)
 
 type t
+
+(** {1 Requests and responses (for [handler] extensions)} *)
+
+type request = {
+  meth : string;  (** verb, uppercased: ["GET"], ["POST"], ... *)
+  path : string;  (** request path with any [?query] suffix stripped *)
+  body : string;  (** request body (["" ] when absent); capped at 8 MiB *)
+}
+
+type response = {
+  status : string;  (** e.g. ["200 OK"], ["429 Too Many Requests"] *)
+  content_type : string;
+  extra_headers : (string * string) list;
+      (** e.g. [[("Retry-After", "1")]]; [Content-Type],
+          [Content-Length] and [Connection] are always emitted *)
+  body : string;
+}
+
+val response :
+  ?extra_headers:(string * string) list ->
+  ?content_type:string ->
+  status:string ->
+  string ->
+  response
+(** Response constructor; [content_type] defaults to
+    ["application/json"]. *)
+
+type handler = request -> response option
+(** Consulted before the built-in routes; [None] falls through to
+    them. A handler raising an exception yields a [500] (the
+    connection thread never dies silently). *)
+
+(** {1 Startup errors} *)
+
+type bind_error = {
+  kind : [ `Addr_in_use | `Permission_denied | `Bad_host | `Other ];
+  detail : string;  (** human-readable cause, host and port included *)
+}
+
+val bind_error_message : bind_error -> string
 
 val start :
   ?registry:Qnet_obs.Metrics.registry ->
   ?diagnostics:Qnet_obs.Diagnostics.t ->
+  ?handler:handler ->
+  ?retry_ephemeral:bool ->
   ?host:string ->
   port:int ->
   unit ->
-  (t, string) result
+  (t, bind_error) result
 (** [start ~port ()] binds [host] (default ["127.0.0.1"]) on [port]
     ([0] picks an ephemeral port — see {!port}) and serves until
     {!stop}. [diagnostics] (default {!Qnet_obs.Diagnostics.default})
-    backs [/diagnostics.json] and the dashboard. [Error] if the
-    address cannot be bound. *)
+    backs [/diagnostics.json] and the dashboard.
+
+    Bind failures are typed, never raised: a daemon can match on
+    [`Addr_in_use] and decide. With [retry_ephemeral:true] (default
+    [false]) an [`Addr_in_use] on a nonzero [port] is retried once on
+    an ephemeral port ([0]), so startup survives port collisions; use
+    {!port} and {!fell_back} to learn where the server actually
+    landed. *)
 
 val port : t -> int
-(** The actually bound port (useful with [port:0]). *)
+(** The actually bound port (useful with [port:0] or after an
+    ephemeral fallback). *)
+
+val fell_back : t -> bool
+(** [true] when [retry_ephemeral] rebound the server on an ephemeral
+    port because the requested one was taken. *)
 
 val stop : t -> unit
 (** Close the listening socket and join the accept loop. Connections

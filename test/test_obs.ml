@@ -554,7 +554,7 @@ let test_metrics_server () =
   let hub = Diagnostics.create ~registry:reg ~publish_every:1000 () in
   feed_mixing_hub hub;
   match Metrics_server.start ~registry:reg ~diagnostics:hub ~port:0 () with
-  | Error m -> Alcotest.failf "cannot start server: %s" m
+  | Error e -> Alcotest.failf "cannot start server: %s" (Metrics_server.bind_error_message e)
   | Ok srv ->
       Fun.protect ~finally:(fun () -> Metrics_server.stop srv) @@ fun () ->
       let port = Metrics_server.port srv in
@@ -581,15 +581,55 @@ let test_metrics_server () =
 
 let test_metrics_server_stop_idempotent () =
   match Metrics_server.start ~port:0 () with
-  | Error m -> Alcotest.failf "cannot start server: %s" m
+  | Error e -> Alcotest.failf "cannot start server: %s" (Metrics_server.bind_error_message e)
   | Ok srv ->
       Metrics_server.stop srv;
       Metrics_server.stop srv;
       (* the port is released: a new server can bind an ephemeral port
          and serve again *)
       (match Metrics_server.start ~port:0 () with
-      | Error m -> Alcotest.failf "restart failed: %s" m
+      | Error e -> Alcotest.failf "restart failed: %s" (Metrics_server.bind_error_message e)
       | Ok srv2 -> Metrics_server.stop srv2)
+
+let test_bind_collision_typed_error () =
+  match Metrics_server.start ~port:0 () with
+  | Error e -> Alcotest.failf "cannot start server: %s" (Metrics_server.bind_error_message e)
+  | Ok srv ->
+      Fun.protect ~finally:(fun () -> Metrics_server.stop srv) @@ fun () ->
+      let taken = Metrics_server.port srv in
+      (* without retry: a typed `Addr_in_use, not a raw exception *)
+      (match Metrics_server.start ~port:taken () with
+      | Ok srv2 ->
+          Metrics_server.stop srv2;
+          Alcotest.fail "second bind on a taken port should fail"
+      | Error { Metrics_server.kind = `Addr_in_use; detail } ->
+          if not (contains detail "bind") then
+            Alcotest.failf "detail should name the bind: %s" detail
+      | Error e ->
+          Alcotest.failf "expected `Addr_in_use, got: %s"
+            (Metrics_server.bind_error_message e));
+      (* with retry: the server comes up on an ephemeral port instead *)
+      match Metrics_server.start ~retry_ephemeral:true ~port:taken () with
+      | Error e ->
+          Alcotest.failf "retry_ephemeral should succeed: %s"
+            (Metrics_server.bind_error_message e)
+      | Ok srv3 ->
+          Fun.protect ~finally:(fun () -> Metrics_server.stop srv3) @@ fun () ->
+          Alcotest.(check bool) "fell back" true (Metrics_server.fell_back srv3);
+          if Metrics_server.port srv3 = taken then
+            Alcotest.fail "fallback must land on a different port";
+          if not (contains (http_get (Metrics_server.port srv3) "GET /healthz") "ok")
+          then Alcotest.fail "fallback server should serve /healthz"
+
+let test_bad_host_typed_error () =
+  match Metrics_server.start ~host:"not-an-ip" ~port:0 () with
+  | Ok srv ->
+      Metrics_server.stop srv;
+      Alcotest.fail "bad host should fail"
+  | Error { Metrics_server.kind = `Bad_host; _ } -> ()
+  | Error e ->
+      Alcotest.failf "expected `Bad_host, got: %s"
+        (Metrics_server.bind_error_message e)
 
 let () =
   Alcotest.run "obs"
@@ -663,5 +703,9 @@ let () =
             test_metrics_server;
           Alcotest.test_case "stop is idempotent and releases the port" `Quick
             test_metrics_server_stop_idempotent;
+          Alcotest.test_case "port collision: typed error, ephemeral fallback"
+            `Quick test_bind_collision_typed_error;
+          Alcotest.test_case "invalid host: typed `Bad_host" `Quick
+            test_bad_host_typed_error;
         ] );
     ]

@@ -1,0 +1,642 @@
+(* Tests for the serving layer: ingestion hardening, admission
+   control, shard checkpoints, the replay load generator, and the
+   daemon's HTTP surface (driven in-process through Daemon.handle —
+   the same code path the listener uses, without socket flakiness). *)
+
+module Ingest = Qnet_serve.Ingest
+module Bounded_queue = Qnet_serve.Bounded_queue
+module Router = Qnet_serve.Router
+module Shard = Qnet_serve.Shard
+module Daemon = Qnet_serve.Daemon
+module Serve_metrics = Qnet_serve.Serve_metrics
+module Replay = Qnet_des.Replay
+module Fault = Qnet_runtime.Fault
+module Metrics = Qnet_obs.Metrics
+module Jsonx = Qnet_obs.Jsonx
+module Server = Qnet_webapp.Metrics_server
+module Trace = Qnet_trace.Trace
+module Rng = Qnet_prob.Rng
+module Network = Qnet_des.Network
+module Topologies = Qnet_des.Topologies
+
+let tmp_counter = ref 0
+
+let fresh_dir prefix =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let until ?(timeout = 30.0) ?(what = "condition") pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Ingest decoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_decode_json () =
+  match
+    Ingest.decode_line ~num_queues:3
+      "{\"tenant\":\"acme\",\"task\":7,\"state\":2,\"queue\":1,\"arrival\":0.5,\"departure\":0.9,\"extra\":true}"
+  with
+  | Error m -> Alcotest.failf "valid json rejected: %s" m
+  | Ok r ->
+      Alcotest.(check string) "tenant" "acme" r.Ingest.tenant;
+      Alcotest.(check int) "task" 7 r.Ingest.task;
+      Alcotest.(check int) "state" 2 r.Ingest.state;
+      Alcotest.(check int) "queue" 1 r.Ingest.queue
+
+let test_decode_json_state_optional () =
+  match
+    Ingest.decode_line ~num_queues:2
+      "{\"tenant\":\"t0\",\"task\":1,\"queue\":0,\"arrival\":0,\"departure\":1}"
+  with
+  | Error m -> Alcotest.failf "json without state rejected: %s" m
+  | Ok r -> Alcotest.(check int) "state defaults to 0" 0 r.Ingest.state
+
+let test_decode_csv () =
+  match Ingest.decode_line ~num_queues:3 "acme,3,1,2,0.25,0.75" with
+  | Error m -> Alcotest.failf "valid csv rejected: %s" m
+  | Ok r ->
+      Alcotest.(check string) "tenant" "acme" r.Ingest.tenant;
+      Alcotest.(check int) "queue" 2 r.Ingest.queue
+
+let expect_reject name line =
+  match Ingest.decode_line ~num_queues:3 line with
+  | Ok _ -> Alcotest.failf "%s: expected rejection of %S" name line
+  | Error reason ->
+      if String.length reason = 0 then
+        Alcotest.failf "%s: empty rejection reason" name
+
+let test_decode_rejects () =
+  expect_reject "truncated json" "{\"tenant\":\"t0\",\"task\":1,";
+  expect_reject "queue out of range" "t0,1,0,9,0.1,0.2";
+  expect_reject "nan time" "t0,1,0,1,nan,0.2";
+  expect_reject "negative time" "t0,1,0,1,-1.0,0.2";
+  expect_reject "departure before arrival" "t0,1,0,1,2.0,1.0";
+  expect_reject "bad tenant" "{\"tenant\":\"no spaces\",\"task\":1,\"queue\":0,\"arrival\":0,\"departure\":1}";
+  expect_reject "wrong field count" "t0,1,0";
+  expect_reject "binary junk" "\x01\x02\x7fgarbage";
+  expect_reject "oversized line" (String.make 5000 'x')
+
+let test_json_roundtrip () =
+  let r =
+    {
+      Ingest.tenant = "web-1";
+      task = 42;
+      state = 3;
+      queue = 2;
+      arrival = 1.25;
+      departure = 2.5;
+    }
+  in
+  match Ingest.decode_line ~num_queues:3 (Ingest.to_json_line r) with
+  | Error m -> Alcotest.failf "canonical line rejected: %s" m
+  | Ok r' ->
+      Alcotest.(check bool) "round-trips" true (r = r')
+
+let test_valid_tenant () =
+  Alcotest.(check bool) "simple" true (Ingest.valid_tenant "acme-1.web_2");
+  Alcotest.(check bool) "empty" false (Ingest.valid_tenant "");
+  Alcotest.(check bool) "spaces" false (Ingest.valid_tenant "a b");
+  Alcotest.(check bool) "slash" false (Ingest.valid_tenant "a/b");
+  Alcotest.(check bool) "too long" false (Ingest.valid_tenant (String.make 65 'a'))
+
+let test_dead_letter () =
+  let dir = fresh_dir "qnet-dl" in
+  let path = Filename.concat dir "dead.jsonl" in
+  (match Ingest.Dead_letter.open_ ~path with
+  | Error m -> Alcotest.failf "cannot open dead letter: %s" m
+  | Ok dl ->
+      Ingest.Dead_letter.write dl ~line:"garbage" ~reason:"bad json";
+      Ingest.Dead_letter.write dl ~line:"more \"quoted\" junk" ~reason:"nan";
+      Alcotest.(check int) "count" 2 (Ingest.Dead_letter.count dl);
+      Ingest.Dead_letter.close dl;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Alcotest.(check int) "file lines" 2 (List.length !lines);
+      List.iter
+        (fun l ->
+          match Jsonx.parse_object l with
+          | Error m -> Alcotest.failf "unparseable dead-letter line %S: %s" l m
+          | Ok fields ->
+              if not (List.mem_assoc "reason" fields) then
+                Alcotest.fail "dead-letter line missing reason";
+              if not (List.mem_assoc "line" fields) then
+                Alcotest.fail "dead-letter line missing original line")
+        !lines);
+  let nul = Ingest.Dead_letter.null () in
+  Ingest.Dead_letter.write nul ~line:"x" ~reason:"y";
+  Alcotest.(check int) "null sink counts" 1 (Ingest.Dead_letter.count nul)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_shed () =
+  let q = Bounded_queue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bounded_queue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bounded_queue.try_push q 2);
+  Alcotest.(check bool) "push 3 shed" false (Bounded_queue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Bounded_queue.length q)
+
+let test_queue_fifo_batch () =
+  let q = Bounded_queue.create ~capacity:10 in
+  List.iter (fun i -> ignore (Bounded_queue.try_push q i : bool)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int))
+    "fifo, capped at max" [ 1; 2; 3 ]
+    (Bounded_queue.pop_batch ~max:3 ~timeout:0.1 q);
+  Alcotest.(check (list int))
+    "remainder" [ 4 ]
+    (Bounded_queue.pop_batch ~timeout:0.1 q);
+  Alcotest.(check (list int))
+    "empty after timeout" []
+    (Bounded_queue.pop_batch ~timeout:0.05 q)
+
+let test_queue_push_wait () =
+  let q = Bounded_queue.create ~capacity:1 in
+  Alcotest.(check bool) "fill" true (Bounded_queue.try_push q 1);
+  Alcotest.(check bool)
+    "push_wait times out when full" false
+    (Bounded_queue.push_wait ~timeout:0.1 q 2);
+  let consumer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.15;
+        ignore (Bounded_queue.pop_batch ~timeout:1.0 q : int list))
+      ()
+  in
+  Alcotest.(check bool)
+    "push_wait succeeds once drained" true
+    (Bounded_queue.push_wait ~timeout:2.0 q 2);
+  Thread.join consumer
+
+let test_queue_close () =
+  let q = Bounded_queue.create ~capacity:4 in
+  ignore (Bounded_queue.try_push q 1 : bool);
+  Bounded_queue.close q;
+  Alcotest.(check bool) "closed" true (Bounded_queue.is_closed q);
+  Alcotest.(check bool) "push after close" false (Bounded_queue.try_push q 2);
+  Alcotest.(check (list int))
+    "drain after close" [ 1 ]
+    (Bounded_queue.pop_batch ~timeout:0.1 q);
+  Alcotest.(check (list int))
+    "drained+closed returns []" []
+    (Bounded_queue.pop_batch ~timeout:0.1 q)
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_router () =
+  List.iter
+    (fun tenants ->
+      let s = Router.shard_of_tenant ~shards:4 tenants in
+      Alcotest.(check int)
+        "deterministic" s
+        (Router.shard_of_tenant ~shards:4 tenants);
+      if s < 0 || s >= 4 then Alcotest.failf "shard %d out of range" s)
+    [ "t0"; "t1"; "acme"; "web-frontend"; "a"; "" ];
+  (* the stream tenants t0..t7 must not all land on one of two shards *)
+  let hits = Array.make 2 0 in
+  for i = 0 to 7 do
+    let s = Router.shard_of_tenant ~shards:2 (Printf.sprintf "t%d" i) in
+    hits.(s) <- hits.(s) + 1
+  done;
+  Alcotest.(check bool) "both shards used" true (hits.(0) > 0 && hits.(1) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint codec + backoff                                          *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot () =
+  {
+    Shard.Ckpt.iterations = 120;
+    rounds = 7;
+    restarts = 1;
+    tenants =
+      [
+        {
+          Shard.Ckpt.tenant = "acme";
+          rates = [| 2.0; 1.5; 0.75 |];
+          arrival_queue = 0;
+          mean_service = [| 0.5; 0.666; 1.333 |];
+          iteration = 120;
+          round = 7;
+          num_events = 240;
+        };
+        {
+          Shard.Ckpt.tenant = "web";
+          rates = [| 1.0; 1.0; 1.0 |];
+          arrival_queue = 0;
+          mean_service = [| 1.0; 1.0; 1.0 |];
+          iteration = 100;
+          round = 6;
+          num_events = 180;
+        };
+      ];
+  }
+
+let test_ckpt_roundtrip () =
+  let s = snapshot () in
+  match Shard.Ckpt.of_line (Shard.Ckpt.to_line s) with
+  | Error m -> Alcotest.failf "round-trip failed: %s" m
+  | Ok s' ->
+      Alcotest.(check int) "iterations" s.Shard.Ckpt.iterations s'.Shard.Ckpt.iterations;
+      Alcotest.(check int) "rounds" s.Shard.Ckpt.rounds s'.Shard.Ckpt.rounds;
+      Alcotest.(check int)
+        "tenant count" 2
+        (List.length s'.Shard.Ckpt.tenants);
+      let t = List.hd s'.Shard.Ckpt.tenants in
+      Alcotest.(check string) "tenant" "acme" t.Shard.Ckpt.tenant;
+      Alcotest.(check (float 1e-12)) "rate" 2.0 t.Shard.Ckpt.rates.(0)
+
+let test_ckpt_rejects () =
+  let expect_err name line =
+    match Shard.Ckpt.of_line line with
+    | Ok _ -> Alcotest.failf "%s: expected rejection" name
+    | Error _ -> ()
+  in
+  expect_err "garbage" "not json at all";
+  expect_err "wrong version"
+    "{\"version\":99,\"iterations\":1,\"rounds\":1,\"restarts\":0,\"tenants\":[]}";
+  expect_err "missing fields" "{\"version\":1}";
+  expect_err "bad rates"
+    "{\"version\":1,\"iterations\":1,\"rounds\":1,\"restarts\":0,\"tenants\":[{\"tenant\":\"a\",\"rates\":[-1],\"arrival_queue\":0,\"mean_service\":[1],\"iteration\":1,\"round\":1,\"num_events\":1}]}"
+
+let test_backoff () =
+  let b = Shard.backoff ~base:0.25 ~max_:4.0 in
+  Alcotest.(check (float 1e-12)) "1st" 0.25 (b 1);
+  Alcotest.(check (float 1e-12)) "2nd" 0.5 (b 2);
+  Alcotest.(check (float 1e-12)) "3rd" 1.0 (b 3);
+  Alcotest.(check (float 1e-12)) "4th" 2.0 (b 4);
+  Alcotest.(check (float 1e-12)) "5th" 4.0 (b 5);
+  Alcotest.(check (float 1e-12)) "capped" 4.0 (b 9)
+
+(* ------------------------------------------------------------------ *)
+(* Service fault specs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_fault_parse () =
+  (match Fault.parse_service_fault "0:ingest-stall=1.5@4" with
+  | Ok { Fault.shard = 0; after; kind = Fault.Ingest_stall s } ->
+      Alcotest.(check (float 1e-12)) "after" 4.0 after;
+      Alcotest.(check (float 1e-12)) "stall seconds" 1.5 s
+  | Ok _ -> Alcotest.fail "parsed into the wrong fault"
+  | Error m -> Alcotest.failf "rejected valid spec: %s" m);
+  (match Fault.parse_service_fault "1:crash@6" with
+  | Ok { Fault.shard = 1; kind = Fault.Shard_crash; _ } -> ()
+  | _ -> Alcotest.fail "crash spec");
+  (match Fault.parse_service_fault "0:ckpt-fail@8" with
+  | Ok { Fault.kind = Fault.Checkpoint_write_failure; _ } -> ()
+  | _ -> Alcotest.fail "ckpt-fail spec");
+  (match Fault.parse_service_fault "1:slow@3" with
+  | Ok { Fault.kind = Fault.Slow_consumer _; _ } -> ()
+  | _ -> Alcotest.fail "slow spec");
+  List.iter
+    (fun bad ->
+      match Fault.parse_service_fault bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [ ""; "crash@6"; "0:crash"; "x:crash@6"; "0:unknown@6"; "0:crash@-1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Replay plans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let small_sim_trace () =
+  let rng = Rng.create ~seed:11 () in
+  let net =
+    Topologies.tandem ~arrival_rate:10.0 ~service_rates:[ 5.0; 5.0 ]
+  in
+  Network.simulate_poisson rng net ~num_tasks:40
+
+let test_replay_plan () =
+  let trace = small_sim_trace () in
+  let n_events = Array.length trace.Trace.events in
+  let items = Replay.plan ~speedup:10.0 ~poison:5 ~tenants:3 trace in
+  Alcotest.(check int) "total lines" (n_events + 5) (List.length items);
+  Alcotest.(check int)
+    "poison lines" 5
+    (List.length (List.filter (fun it -> it.Replay.poison) items));
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Replay.at <= b.Replay.at && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by emit offset" true (sorted items);
+  List.iter
+    (fun it ->
+      match Ingest.decode_line ~num_queues:3 it.Replay.line with
+      | Ok _ when it.Replay.poison ->
+          Alcotest.failf "poison line decodes cleanly: %S" it.Replay.line
+      | Error m when not it.Replay.poison ->
+          Alcotest.failf "clean line rejected (%s): %S" m it.Replay.line
+      | _ -> ())
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Golden file for the qnet_serve_* metric families                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_metrics_golden () =
+  let reg = Metrics.create_registry () in
+  Serve_metrics.force_register ~registry:reg ();
+  let actual = Metrics.to_prometheus reg in
+  let golden =
+    let ic = open_in "golden_serve_metrics.prom" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if actual <> golden then
+    Alcotest.failf
+      "qnet_serve_* families drifted from golden_serve_metrics.prom.@\n\
+       Actual:@\n%s" actual
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end (in-process, through the route handler)           *)
+(* ------------------------------------------------------------------ *)
+
+let get d path = Daemon.handle d { Server.meth = "GET"; path; body = "" }
+let post d path body = Daemon.handle d { Server.meth = "POST"; path; body }
+
+let body_field resp key =
+  match Jsonx.parse_object resp.Server.body with
+  | Error m -> Alcotest.failf "unparseable response body %S: %s" resp.Server.body m
+  | Ok fields -> List.assoc_opt key fields
+
+let expect_some name = function
+  | Some v -> v
+  | None -> Alcotest.failf "%s: handler did not claim the route" name
+
+(* A clean, chain-consistent stream for one tenant: each task enters
+   the system (queue 0) and then visits queue 1. *)
+let tenant_lines tenant n =
+  List.concat_map
+    (fun i ->
+      let t_in = 0.1 *. float_of_int (i + 1) in
+      [
+        Printf.sprintf
+          "{\"tenant\":\"%s\",\"task\":%d,\"state\":0,\"queue\":0,\"arrival\":0,\"departure\":%.6f}"
+          tenant i t_in;
+        Printf.sprintf
+          "{\"tenant\":\"%s\",\"task\":%d,\"state\":1,\"queue\":1,\"arrival\":%.6f,\"departure\":%.6f}"
+          tenant i t_in (t_in +. 0.05);
+      ])
+    (List.init n (fun i -> i))
+
+let fast_shard_config =
+  {
+    Shard.default_config with
+    Shard.num_queues = 2;
+    refit_events = 20;
+    refit_interval = 0.2;
+    min_tenant_events = 12;
+    chains = 1;
+    min_chains = 1;
+    fit_iterations = 6;
+    poll_interval = 0.02;
+  }
+
+let daemon_config dir =
+  {
+    Daemon.default_config with
+    Daemon.shards = 2;
+    data_dir = dir;
+    port = 0;
+    dead_letter = Some (Filename.concat dir "dead.jsonl");
+    shard = fast_shard_config;
+  }
+
+let with_daemon cfg f =
+  match Daemon.create cfg with
+  | Error m -> Alcotest.failf "daemon failed to start: %s" m
+  | Ok d -> Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f d)
+
+let test_daemon_ingest_and_posterior () =
+  let dir = fresh_dir "qnet-daemon" in
+  with_daemon (daemon_config dir) (fun d ->
+      (* batch with two poison lines: accepted wholesale, poison
+         quarantined exactly once *)
+      let lines = tenant_lines "acme" 20 @ [ "garbage line"; "t0,1,0" ] in
+      let resp =
+        expect_some "ingest" (post d "/ingest" (String.concat "\n" lines))
+      in
+      Alcotest.(check string) "accepted" "200 OK" resp.Server.status;
+      (match body_field resp "accepted" with
+      | Some (Jsonx.Num n) ->
+          Alcotest.(check int) "events accepted" 40 (int_of_float n)
+      | _ -> Alcotest.fail "missing accepted count");
+      (match body_field resp "quarantined" with
+      | Some (Jsonx.Num n) ->
+          Alcotest.(check int) "poison quarantined" 2 (int_of_float n)
+      | _ -> Alcotest.fail "missing quarantined count");
+      Alcotest.(check int) "dead letter" 2 (Daemon.dead_letter_count d);
+      (* the posterior appears once the shard has fitted *)
+      until ~what:"posterior ready" (fun () ->
+          match get d "/tenants/acme/posterior.json" with
+          | Some r -> (
+              String.equal r.Server.status "200 OK"
+              &&
+              match body_field r "ready" with
+              | Some (Jsonx.Bool b) -> b
+              | _ -> false)
+          | None -> false);
+      let post_resp =
+        expect_some "posterior" (get d "/tenants/acme/posterior.json")
+      in
+      (match body_field post_resp "stale" with
+      | Some (Jsonx.Bool false) -> ()
+      | _ -> Alcotest.fail "fresh posterior must not be stale");
+      (match body_field post_resp "rates" with
+      | Some (Jsonx.Arr rates) ->
+          Alcotest.(check int) "one rate per queue" 2 (List.length rates)
+      | _ -> Alcotest.fail "missing rates");
+      (* unknown tenants 404, never 500 *)
+      let missing =
+        expect_some "unknown tenant" (get d "/tenants/nosuch/posterior.json")
+      in
+      Alcotest.(check string) "404" "404 Not Found" missing.Server.status;
+      (* shards.json reports both shards *)
+      let shards = expect_some "shards" (get d "/shards.json") in
+      (match body_field shards "shards" with
+      | Some (Jsonx.Arr l) -> Alcotest.(check int) "two shards" 2 (List.length l)
+      | _ -> Alcotest.fail "missing shards array");
+      (* unrelated routes fall through to the built-ins *)
+      Alcotest.(check bool)
+        "metrics falls through" true
+        (Daemon.handle d { Server.meth = "GET"; path = "/metrics"; body = "" }
+         = None))
+
+let test_daemon_backpressure_batch_atomic () =
+  let dir = fresh_dir "qnet-429" in
+  let cfg =
+    {
+      (daemon_config dir) with
+      Daemon.shard = { fast_shard_config with Shard.queue_capacity = 8 };
+    }
+  in
+  with_daemon cfg (fun d ->
+      let before_dead = Daemon.dead_letter_count d in
+      (* a batch bigger than any queue can take — with poison inside *)
+      let lines = tenant_lines "acme" 30 @ [ "poison!" ] in
+      let resp =
+        expect_some "overflow" (post d "/ingest" (String.concat "\n" lines))
+      in
+      Alcotest.(check string)
+        "whole batch rejected" "429 Too Many Requests" resp.Server.status;
+      Alcotest.(check bool)
+        "Retry-After present" true
+        (List.mem_assoc "Retry-After" resp.Server.extra_headers);
+      (* batch-atomic: the rejected batch had no side effects at all *)
+      Alcotest.(check int)
+        "nothing quarantined on reject" before_dead
+        (Daemon.dead_letter_count d);
+      (* a batch that fits is accepted *)
+      let ok =
+        expect_some "small batch"
+          (post d "/ingest" (String.concat "\n" (tenant_lines "acme" 3)))
+      in
+      Alcotest.(check string) "accepted" "200 OK" ok.Server.status)
+
+let test_daemon_resume_and_stale () =
+  let dir = fresh_dir "qnet-resume" in
+  let iterations_before = ref 0 in
+  with_daemon (daemon_config dir) (fun d ->
+      let _ =
+        expect_some "ingest"
+          (post d "/ingest" (String.concat "\n" (tenant_lines "acme" 20)))
+      in
+      until ~what:"first fit" (fun () ->
+          match get d "/tenants/acme/posterior.json" with
+          | Some r -> (
+              match body_field r "ready" with
+              | Some (Jsonx.Bool b) -> b
+              | _ -> false)
+          | None -> false);
+      iterations_before :=
+        List.fold_left
+          (fun acc s -> Stdlib.max acc (Shard.iterations s))
+          0 (Daemon.shards d));
+  (* restart over the same data dir, with refits effectively disabled
+     so the resumed posterior stays checkpoint-sourced *)
+  let frozen =
+    {
+      (daemon_config dir) with
+      Daemon.shard =
+        {
+          fast_shard_config with
+          Shard.refit_events = 1_000_000;
+          refit_interval = 1e9;
+          min_tenant_events = 1_000_000;
+          max_tenant_events = 2_000_000;
+        };
+    }
+  in
+  with_daemon frozen (fun d ->
+      Alcotest.(check bool)
+        "a shard resumed" true
+        (List.exists Shard.resumed (Daemon.shards d));
+      let resumed_iters =
+        List.fold_left
+          (fun acc s -> Stdlib.max acc (Shard.iterations s))
+          0 (Daemon.shards d)
+      in
+      Alcotest.(check bool)
+        "iteration counters monotone across restart" true
+        (resumed_iters >= !iterations_before && !iterations_before > 0);
+      let resp =
+        expect_some "posterior after resume"
+          (get d "/tenants/acme/posterior.json")
+      in
+      Alcotest.(check string) "still served" "200 OK" resp.Server.status;
+      match body_field resp "stale" with
+      | Some (Jsonx.Bool true) -> ()
+      | _ -> Alcotest.fail "checkpoint-sourced posterior must be stale-flagged")
+
+let test_daemon_shard_crash_recovers () =
+  let dir = fresh_dir "qnet-crash" in
+  let cfg =
+    {
+      (daemon_config dir) with
+      Daemon.faults =
+        [ { Fault.shard = 0; after = 0.2; kind = Fault.Shard_crash } ];
+    }
+  in
+  with_daemon cfg (fun d ->
+      let shard0 =
+        List.find (fun s -> Shard.id s = 0) (Daemon.shards d)
+      in
+      until ~what:"crash + restart" (fun () -> Shard.restarts shard0 >= 1);
+      until ~what:"return to healthy" (fun () ->
+          match Shard.status shard0 with Shard.Healthy -> true | _ -> false);
+      (* the daemon kept serving throughout *)
+      let shards = expect_some "shards" (get d "/shards.json") in
+      Alcotest.(check string) "shards 200" "200 OK" shards.Server.status)
+
+let () =
+  Alcotest.run "qnet_serve"
+    [
+      ( "ingest",
+        [
+          Alcotest.test_case "decode json" `Quick test_decode_json;
+          Alcotest.test_case "state optional" `Quick test_decode_json_state_optional;
+          Alcotest.test_case "decode csv" `Quick test_decode_csv;
+          Alcotest.test_case "rejects poison" `Quick test_decode_rejects;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "tenant keys" `Quick test_valid_tenant;
+          Alcotest.test_case "dead letter" `Quick test_dead_letter;
+        ] );
+      ( "bounded-queue",
+        [
+          Alcotest.test_case "shed at capacity" `Quick test_queue_shed;
+          Alcotest.test_case "fifo batches" `Quick test_queue_fifo_batch;
+          Alcotest.test_case "push_wait blocks" `Quick test_queue_push_wait;
+          Alcotest.test_case "close semantics" `Quick test_queue_close;
+        ] );
+      ( "router",
+        [ Alcotest.test_case "stable fnv routing" `Quick test_router ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick test_ckpt_roundtrip;
+          Alcotest.test_case "rejects corrupt" `Quick test_ckpt_rejects;
+          Alcotest.test_case "backoff schedule" `Quick test_backoff;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "service fault specs" `Quick test_service_fault_parse ] );
+      ( "replay",
+        [ Alcotest.test_case "plan shape" `Quick test_replay_plan ] );
+      ( "metrics",
+        [ Alcotest.test_case "golden families" `Quick test_serve_metrics_golden ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "ingest to posterior" `Quick
+            test_daemon_ingest_and_posterior;
+          Alcotest.test_case "backpressure batch-atomic" `Quick
+            test_daemon_backpressure_batch_atomic;
+          Alcotest.test_case "resume + stale flag" `Quick
+            test_daemon_resume_and_stale;
+          Alcotest.test_case "crash recovery" `Quick
+            test_daemon_shard_crash_recovers;
+        ] );
+    ]

@@ -145,6 +145,53 @@ let test_pp_summary_runs () =
     (String.length s > 0
     && String.length s > 10)
 
+(* Lenient-ingestion edge cases: the stream boundary sees empty
+   files, Windows line endings, and files cut mid-write. Quarantine
+   counts are pinned — a drop must stay visible in the report. *)
+
+let clean_csv =
+  "task,state,queue,arrival,departure\n\
+   0,0,0,0,1\n\
+   0,1,1,1,2\n\
+   1,0,0,0,1.5\n\
+   1,1,1,1.5,3\n"
+
+let test_lenient_empty_file () =
+  match Trace.of_csv_lenient ~num_queues:2 "" with
+  | Ok _ -> Alcotest.fail "an empty file has no usable events"
+  | Error report ->
+      Alcotest.(check int) "lines read" 0 report.Trace.lines_read;
+      Alcotest.(check int) "nothing dropped" 0 report.Trace.events_dropped;
+      Alcotest.(check int) "nothing kept" 0 report.Trace.events_kept
+
+let test_lenient_crlf () =
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' clean_csv) in
+  match Trace.of_csv_lenient ~num_queues:2 crlf with
+  | Error _ -> Alcotest.fail "CRLF input must parse"
+  | Ok (t, report) ->
+      Alcotest.(check int) "events" 4 (Array.length t.Trace.events);
+      Alcotest.(check int) "nothing quarantined" 0 report.Trace.events_dropped;
+      Alcotest.(check int) "no errors" 0 (List.length report.Trace.errors)
+
+let test_lenient_no_final_newline () =
+  (* a complete final line without the trailing newline is valid... *)
+  let n = String.length clean_csv in
+  (match Trace.of_csv_lenient ~num_queues:2 (String.sub clean_csv 0 (n - 1)) with
+  | Error _ -> Alcotest.fail "missing final newline must parse"
+  | Ok (t, report) ->
+      Alcotest.(check int) "events" 4 (Array.length t.Trace.events);
+      Alcotest.(check int) "nothing quarantined" 0 report.Trace.events_dropped);
+  (* ...a final line cut mid-field is quarantined, exactly once *)
+  let truncated =
+    "task,state,queue,arrival,departure\n0,0,0,0,1\n0,1,1,1,2\n1,0,0,0,1.5\n1,1,1,1."
+  in
+  match Trace.of_csv_lenient ~num_queues:2 truncated with
+  | Error _ -> Alcotest.fail "survivors exist; must not reject the file"
+  | Ok (t, report) ->
+      Alcotest.(check int) "survivors" 3 (Array.length t.Trace.events);
+      Alcotest.(check int) "one quarantined" 1 report.Trace.events_dropped;
+      Alcotest.(check int) "one error" 1 (List.length report.Trace.errors)
+
 let () =
   Alcotest.run "qnet_trace"
     [
@@ -164,5 +211,12 @@ let () =
           Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
           Alcotest.test_case "load missing file" `Quick test_load_missing_file;
           Alcotest.test_case "summary printer" `Quick test_pp_summary_runs;
+        ] );
+      ( "lenient-edges",
+        [
+          Alcotest.test_case "empty file" `Quick test_lenient_empty_file;
+          Alcotest.test_case "crlf line endings" `Quick test_lenient_crlf;
+          Alcotest.test_case "final line without newline" `Quick
+            test_lenient_no_final_newline;
         ] );
     ]
