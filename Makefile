@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve demo supervised-demo bench bench-obs clean
+.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload demo supervised-demo bench bench-obs clean
 
 all: build
 
@@ -27,7 +27,7 @@ verify-lint: lint
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build lint test demo supervised-demo verify-diagnostics verify-serve
+verify: build lint test demo supervised-demo verify-diagnostics verify-serve verify-overload
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live
@@ -149,7 +149,18 @@ verify-diagnostics: build
 # serving, and checkpoint resume with monotone iteration counters
 # across a kill+restart. Details in scripts/verify_serve.
 verify-serve: build
-	scripts/verify_serve
+	scripts/verify_serve base
+
+# Overload + corruption chaos soak (DESIGN.md section 13): throttle
+# both shards' drain with the overload fault and offer ~10x the
+# sustainable load — the AIMD admission sampler must converge, the
+# degradation ladder must demote with an explicit reason and
+# re-promote once the burst ends, and the client must see zero 5xx.
+# Then tear and bit-flip the durable event log mid-stream and assert
+# exact quarantine accounting plus a stable, monotone resume.
+# VERIFY_SOAK=1 lengthens the overload burst for a longer soak.
+verify-overload: build
+	scripts/verify_serve overload
 
 # Core-throughput regression gate: time the hot paths directly and
 # compare against the committed BENCH_core.json baseline; fails on a

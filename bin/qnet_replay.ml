@@ -9,9 +9,12 @@
 
    A well-behaved client under admission control retries the *whole*
    rejected batch: the daemon's batch-atomic admission guarantees a
-   429'd batch had no effect, so retrying cannot double-deliver. The
-   final stderr summary ("qnet-replay: sent ...") is stable for the
-   soak script to grep. *)
+   429'd batch had no effect, so retrying cannot double-deliver.
+   Retries back off with decorrelated jitter (capped, budgeted) so a
+   fleet of replayers does not re-arrive in lockstep; the server's
+   Retry-After, when present, floors the first retry. The final stderr
+   summary ("qnet-replay: sent ...") and the retries-per-batch
+   histogram are stable for the soak script to grep. *)
 
 open Cmdliner
 module Rng = Qnet_prob.Rng
@@ -120,9 +123,29 @@ let batches ~batch items =
   in
   go [] [] 0 items
 
-let stream ~host ~port ~batch ~max_batch_retries items =
+(* Decorrelated-jitter backoff (base 50 ms, cap 5 s): each delay is
+   uniform on [base, 3 * previous], so concurrent replayers spread out
+   instead of re-arriving in lockstep the way a fixed Retry-After
+   sleep makes them. The attempt budget stays with the caller
+   (--max-batch-retries). *)
+let backoff_base = 0.05
+let backoff_cap = 5.0
+
+(* Retries-per-batch histogram buckets: 0, 1, 2, 3-4, 5-8, 9+. *)
+let retry_buckets = [| "0"; "1"; "2"; "3-4"; "5-8"; "9+" |]
+
+let retry_bucket = function
+  | 0 -> 0
+  | 1 -> 1
+  | 2 -> 2
+  | n when n <= 4 -> 3
+  | n when n <= 8 -> 4
+  | _ -> 5
+
+let stream ~rng ~host ~port ~batch ~max_batch_retries items =
   let t0 = Clock.now () in
   let sent = ref 0 and poison = ref 0 and retries = ref 0 and nbatch = ref 0 in
+  let hist = Array.make (Array.length retry_buckets) 0 in
   let deliver group =
     let body =
       String.concat "\n" (List.map (fun it -> it.Replay.line) group) ^ "\n"
@@ -131,22 +154,37 @@ let stream ~host ~port ~batch ~max_batch_retries items =
     let due = (List.hd group).Replay.at in
     let wait = due -. (Clock.now () -. t0) in
     if wait > 0.0 then Thread.delay wait;
+    let prev = ref backoff_base in
+    let next_delay ?hint () =
+      let hi = Float.max backoff_base (Float.min backoff_cap (!prev *. 3.0)) in
+      let d = Rng.float_range rng backoff_base hi in
+      (* an honest server hint floors (but never exceeds the cap of)
+         the jittered delay — Retry-After as a first-retry hint *)
+      let d =
+        match hint with
+        | Some h -> Float.min backoff_cap (Float.max d h)
+        | None -> d
+      in
+      prev := d;
+      d
+    in
     let rec attempt n =
       if n > max_batch_retries then
         Error (Printf.sprintf "batch rejected %d times; giving up" (n - 1))
       else
         match post ~host ~port ~path:"/ingest" ~body with
         | Error m ->
-            (* daemon restarting or not up yet: reconnect with a small
-               delay rather than dying *)
+            (* daemon restarting or not up yet: reconnect with jitter
+               rather than dying *)
             if n > max_batch_retries then Error m
             else begin
               incr retries;
-              Thread.delay 0.25;
+              Thread.delay (next_delay ());
               attempt (n + 1)
             end
         | Ok { code = 200; _ } ->
             incr nbatch;
+            hist.(retry_bucket (n - 1)) <- hist.(retry_bucket (n - 1)) + 1;
             List.iter
               (fun it ->
                 incr sent;
@@ -155,8 +193,7 @@ let stream ~host ~port ~batch ~max_batch_retries items =
             Ok ()
         | Ok { code = 429; retry_after } ->
             incr retries;
-            Thread.delay
-              (Stdlib.min 5.0 (Option.value ~default:0.5 retry_after));
+            Thread.delay (next_delay ?hint:retry_after ());
             attempt (n + 1)
         | Ok { code; _ } ->
             Error (Printf.sprintf "daemon answered HTTP %d" code)
@@ -173,6 +210,11 @@ let stream ~host ~port ~batch ~max_batch_retries items =
       Printf.eprintf
         "qnet-replay: sent %d lines (%d poison) in %d batches, %d retries\n%!"
         !sent !poison !nbatch !retries;
+      Printf.eprintf "qnet-replay: retries/batch histogram: %s\n%!"
+        (String.concat " "
+           (List.mapi
+              (fun i label -> Printf.sprintf "%s:%d" label hist.(i))
+              (Array.to_list retry_buckets)));
       Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -216,7 +258,7 @@ let run topology arrival_rate service_rate tasks seed tenants speedup poison
                   (List.length items) poison path;
                 Ok ()
               with Sys_error m -> Error m)
-          | None -> stream ~host ~port ~batch ~max_batch_retries items))
+          | None -> stream ~rng ~host ~port ~batch ~max_batch_retries items))
 
 let topology =
   Arg.(

@@ -23,6 +23,7 @@
 open Cmdliner
 module Daemon = Qnet_serve.Daemon
 module Shard = Qnet_serve.Shard
+module Admission = Qnet_serve.Admission
 module Bounded_queue = Qnet_serve.Bounded_queue
 module Fault = Qnet_runtime.Fault
 module Metrics = Qnet_obs.Metrics
@@ -84,8 +85,8 @@ let install_signal_handlers () =
 
 let serve shards data_dir host port retry_ephemeral queues queue_capacity
     refit_events refit_interval min_tenant_events fit_iterations chains
-    max_restarts seed dead_letter no_dead_letter tails tail_policy faults
-    run_seconds metrics_out log_level =
+    max_restarts fit_deadline admission_min_rate seed dead_letter
+    no_dead_letter tails tail_policy faults run_seconds metrics_out log_level =
   match
     match log_level with
     | None -> Ok ()
@@ -118,6 +119,14 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
                   fit_iterations;
                   chains;
                   max_restarts;
+                  fit_deadline;
+                  seed;
+                }
+              in
+              let admission_cfg =
+                {
+                  Admission.default_config with
+                  Admission.min_rate = admission_min_rate;
                   seed;
                 }
               in
@@ -140,6 +149,7 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
                   tail_files = tails;
                   tail_policy;
                   shard = shard_cfg;
+                  admission = admission_cfg;
                   faults;
                 }
               in
@@ -162,9 +172,14 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
                     (fun s ->
                       if Shard.resumed s then
                         Printf.eprintf
-                          "qnet-serve: shard %d resumed iterations=%d rounds=%d\n\
+                          "qnet-serve: shard %d resumed iterations=%d \
+                           rounds=%d replayed=%d corrupt_frames=%d \
+                           torn_tails=%d\n\
                            %!"
-                          (Shard.id s) (Shard.iterations s) (Shard.rounds s))
+                          (Shard.id s) (Shard.iterations s) (Shard.rounds s)
+                          (Shard.replayed_events s)
+                          (Shard.log_corrupt_frames s)
+                          (Shard.log_torn_tails s))
                     (Daemon.shards daemon);
                   let t0 = Clock.now () in
                   let expired () =
@@ -277,6 +292,21 @@ let max_restarts =
         ~doc:"Shard restart budget; past it the shard degrades to serving \
               stale posteriors instead of crashing the daemon.")
 
+let fit_deadline =
+  Arg.(
+    value & opt float 10.0
+    & info [ "fit-deadline" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for one refit round; a round over budget \
+              demotes the shard down the degradation ladder (full -> \
+              incremental -> pinned).")
+
+let admission_min_rate =
+  Arg.(
+    value & opt float 0.01
+    & info [ "admission-min-rate" ] ~docv:"RATE"
+        ~doc:"Floor for the per-tenant Bernoulli admission rate under \
+              sustained overload (default 1%, the sampled-tracing regime).")
+
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
 let dead_letter =
@@ -313,10 +343,14 @@ let faults =
     & info [ "fault" ] ~docv:"SPEC"
         ~doc:"Inject a deterministic service-level fault (chaos drills; \
               repeatable). $(docv) is SHARD:ingest-stall[=SECONDS]@AFTER, \
-              SHARD:crash@AFTER, SHARD:ckpt-fail@AFTER or \
-              SHARD:slow[=SECONDS]@AFTER, with AFTER in seconds from \
-              daemon start — e.g. 1:crash@6 crashes shard 1's worker six \
-              seconds in (the supervisor restarts it with backoff).")
+              SHARD:crash@AFTER, SHARD:ckpt-fail@AFTER, \
+              SHARD:slow[=SECONDS]@AFTER, SHARD:torn-write@AFTER, \
+              SHARD:bit-flip@AFTER or SHARD:overload=RPS@AFTER, with AFTER \
+              in seconds from daemon start — e.g. 1:crash@6 crashes shard \
+              1's worker six seconds in (the supervisor restarts it with \
+              backoff); 0:torn-write@6 tears shard 0's event log mid-frame; \
+              1:overload=50@3 caps shard 1's drain at 50 events/s so \
+              admission sampling and the degradation ladder engage.")
 
 let run_seconds =
   Arg.(
@@ -347,9 +381,9 @@ let cmd =
     Term.(
       const serve $ shards $ data_dir $ host $ port $ retry_ephemeral $ queues
       $ queue_capacity $ refit_events $ refit_interval $ min_tenant_events
-      $ fit_iterations $ chains $ max_restarts $ seed $ dead_letter
-      $ no_dead_letter $ tails $ tail_policy $ faults $ run_seconds
-      $ metrics_out $ log_level)
+      $ fit_iterations $ chains $ max_restarts $ fit_deadline
+      $ admission_min_rate $ seed $ dead_letter $ no_dead_letter $ tails
+      $ tail_policy $ faults $ run_seconds $ metrics_out $ log_level)
   in
   let info =
     Cmd.info "qnet_serve"

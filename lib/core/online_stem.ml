@@ -44,7 +44,7 @@ let entry_times trace =
     trace.Trace.events;
   tbl
 
-let run ?(config = default_config) ?(on_window = fun _ -> ())
+let run ?(config = default_config) ?init ?(on_window = fun _ -> ())
     ?(on_warning = fun _ -> ()) rng trace ~mask =
   if config.num_windows < 1 then invalid_arg "Online_stem.run: need >= 1 window";
   if Array.length mask <> Array.length trace.Trace.events then
@@ -129,7 +129,7 @@ let run ?(config = default_config) ?(on_window = fun _ -> ())
         Stdlib.min (config.num_windows - 1) (int_of_float ((t -. lo) /. width))
   in
   let steps = ref [] in
-  let previous = ref None in
+  let previous = ref init in
   for w = 0 to config.num_windows - 1 do
     let t0 = lo +. (float_of_int w *. width) in
     let t1 = t0 +. width in

@@ -33,6 +33,7 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?init:Params.t ->
   ?on_window:(step -> unit) ->
   ?on_warning:(string -> unit) ->
   Qnet_prob.Rng.t ->
@@ -41,6 +42,10 @@ val run :
   step list
 (** [run rng trace ~mask] splits the trace's tasks into
     [config.num_windows] equal wall-clock windows and fits each.
+    [init] warm-starts the first window (later windows always
+    warm-start from their predecessor) — this is what lets a serving
+    shard run short incremental refits against a previous posterior
+    instead of re-estimating from scratch.
     [mask] is the observation mask over the full trace's canonical
     event order (as produced by {!Observation.mask}). [on_window] is
     called with each step as soon as its window is fitted, so a

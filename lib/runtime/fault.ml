@@ -197,6 +197,9 @@ type service_fault_kind =
   | Shard_crash
   | Checkpoint_write_failure
   | Slow_consumer of float
+  | Torn_write
+  | Bit_flip
+  | Overload of float
 
 type service_fault = {
   shard : int;
@@ -219,17 +222,22 @@ let service_fault_label f =
     | Shard_crash -> "crash"
     | Checkpoint_write_failure -> "ckpt-fail"
     | Slow_consumer s -> Printf.sprintf "slow(%.3gs)" s
+    | Torn_write -> "torn-write"
+    | Bit_flip -> "bit-flip"
+    | Overload rps -> Printf.sprintf "overload(%.3g/s)" rps
   in
   Printf.sprintf "shard %d: %s @ t+%.3gs" f.shard kind f.after
 
 let parse_service_fault spec =
   (* SHARD:KIND[=ARG]@SECONDS, e.g. "0:ingest-stall=1.5@4", "1:crash@6",
-     "0:ckpt-fail@8", "1:slow=2@3" *)
+     "0:ckpt-fail@8", "1:slow=2@3", "0:torn-write@6", "0:bit-flip@8",
+     "1:overload=50@3" *)
   let fail () =
     Error
       (Printf.sprintf
          "bad service-fault spec %S (want SHARD:KIND[=ARG]@SECONDS with KIND \
-          one of ingest-stall, crash, ckpt-fail, slow)"
+          one of ingest-stall, crash, ckpt-fail, slow, torn-write, bit-flip, \
+          overload=RPS)"
          spec)
   in
   match String.index_opt spec ':' with
@@ -271,6 +279,12 @@ let parse_service_fault spec =
               | "slow", a -> (
                   match pos a with
                   | Some s -> Ok { shard; after; kind = Slow_consumer s }
+                  | None -> fail ())
+              | "torn-write", None -> Ok { shard; after; kind = Torn_write }
+              | "bit-flip", None -> Ok { shard; after; kind = Bit_flip }
+              | "overload", a -> (
+                  match pos a with
+                  | Some rps -> Ok { shard; after; kind = Overload rps }
                   | None -> fail ())
               | _ -> fail ())
           | _ -> fail ()))

@@ -94,6 +94,21 @@ type service_fault_kind =
   | Slow_consumer of float
       (** for this many seconds the shard drains at most one event per
           poll — sustained backpressure rather than a one-shot stall *)
+  | Torn_write
+      (** tear the shard's durable event log mid-frame: the current
+          tail is chopped inside a record, the torn segment rotated
+          aside, and log compaction suspended so the damage survives to
+          the next start — replay must truncate back to the last valid
+          frame *)
+  | Bit_flip
+      (** flip one payload bit in a durable-log frame and suspend
+          compaction — replay must quarantine exactly that frame and
+          resume from the surviving ones *)
+  | Overload of float
+      (** from the arm time onward the shard drains at most this many
+          events per second — sustained overload that forces admission
+          sampling and the degradation ladder, recovering only when
+          offered load drops *)
 
 type service_fault = {
   shard : int;
@@ -108,4 +123,6 @@ val service_fault_label : service_fault -> string
 val parse_service_fault : string -> (service_fault, string) result
 (** Parse a [SHARD:KIND[=ARG]@SECONDS] spec as accepted by
     [qnet_serve --fault]: ["0:ingest-stall=1.5@4"] (default 1 s),
-    ["1:crash@6"], ["0:ckpt-fail@8"], ["1:slow=2@3"] (default 2 s). *)
+    ["1:crash@6"], ["0:ckpt-fail@8"], ["1:slow=2@3"] (default 2 s),
+    ["0:torn-write@6"], ["0:bit-flip@8"], ["1:overload=50@3"]
+    (argument required: max drain rate in events/s). *)

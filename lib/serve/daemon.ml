@@ -18,6 +18,7 @@ type config = {
   tail_files : string list;
   tail_policy : Bounded_queue.policy;
   shard : Shard.config;
+  admission : Admission.config;
   faults : Fault.service_fault list;
 }
 
@@ -32,12 +33,14 @@ let default_config =
     tail_files = [];
     tail_policy = Bounded_queue.Block;
     shard = Shard.default_config;
+    admission = Admission.default_config;
     faults = [];
   }
 
 type t = {
   cfg : config;
   shard_arr : Shard.t array;
+  admission : Admission.t;
   dead : Ingest.Dead_letter.t;
   mutable server : Server.t option;
   stopping : bool Atomic.t;
@@ -58,6 +61,7 @@ let m_429 = Serve_metrics.counter "qnet_serve_http_429_total"
 let m_stale = Serve_metrics.counter "qnet_serve_stale_responses_total"
 let g_shards = Serve_metrics.gauge "qnet_serve_shards"
 let g_healthy = Serve_metrics.gauge "qnet_serve_healthy_shards"
+let g_retry_after = Serve_metrics.gauge "qnet_serve_retry_after_seconds"
 
 (* Per-tenant rate accounting: one labeled series per tenant key, on
    top of the label-less totals (creation is idempotent, so no handle
@@ -99,44 +103,93 @@ let split_lines body =
          let l = String.trim l in
          if String.length l = 0 then None else Some l)
 
-let retry_after_seconds = "1"
+(* Pressure a tenant's shard is under, in [0, 1]: the worse of queue
+   occupancy and refit lag (lag saturates at 8 refit intervals — a
+   shard that far behind is drowning even if its queue has room). *)
+let shard_pressure t s =
+  let q = Shard.queue s in
+  let cap = float_of_int (Bounded_queue.capacity q) in
+  let occupancy =
+    if cap > 0.0 then float_of_int (Bounded_queue.length q) /. cap else 0.0
+  in
+  let lag =
+    Shard.refit_lag s /. (8.0 *. t.cfg.shard.Shard.refit_interval)
+  in
+  Float.min 1.0 (Float.max occupancy lag)
+
+(* Honest Retry-After: the excess over each overloaded shard's free
+   room, paid back at its measured drain rate; clamped to [1, 30] so a
+   stalled shard cannot push clients out forever. *)
+let retry_after_of t overloaded =
+  List.fold_left
+    (fun acc (id, excess) ->
+      let drain = Float.max 1.0 (Shard.drain_rate t.shard_arr.(id)) in
+      Float.max acc (float_of_int excess /. drain))
+    1.0 overloaded
+  |> Float.min 30.0 |> Float.ceil
 
 let handle_ingest t body =
   let lines = split_lines body in
-  (* Phase 1: decode with no side effects. *)
+  (* Phase 1: decode with no side effects, feed the admission
+     controller one pressure observation per tenant, then flip the
+     Bernoulli coin per record. The coin runs before the room check so
+     a thinned stream also shrinks the batch the shards must absorb. *)
   let decoded =
     List.map
       (fun line ->
         (line, Ingest.decode_line ~num_queues:t.cfg.shard.Shard.num_queues line))
       lines
   in
-  let accepted =
-    List.filter_map
-      (function _, Ok r -> Some r | _, Error _ -> None)
+  let now = Clock.now () in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (function
+      | _, Error _ -> ()
+      | _, Ok (r : Ingest.record) ->
+          let tenant = r.Ingest.tenant in
+          if not (Hashtbl.mem seen tenant) then begin
+            Hashtbl.replace seen tenant ();
+            Admission.observe t.admission ~tenant
+              ~pressure:(shard_pressure t (shard_of t tenant))
+              ~now
+          end)
+    decoded;
+  let judged =
+    List.map
+      (fun (line, result) ->
+        match result with
+        | Error reason -> (line, `Poison reason)
+        | Ok (r : Ingest.record) ->
+            if Admission.admit t.admission ~tenant:r.Ingest.tenant then
+              (line, `Admit r)
+            else (line, `Sampled r))
       decoded
   in
-  (* Phase 2: admission — every target shard must have room for its
-     whole share, otherwise reject the batch wholesale. *)
+  (* Phase 2: backpressure — every target shard must have room for its
+     whole admitted share, otherwise reject the batch wholesale. *)
   let per_shard = Hashtbl.create 8 in
   List.iter
-    (fun (r : Ingest.record) ->
-      let s = shard_of t r.Ingest.tenant in
-      let id = Shard.id s in
-      let n = Option.value ~default:0 (Hashtbl.find_opt per_shard id) in
-      Hashtbl.replace per_shard id (n + 1))
-    accepted;
+    (function
+      | _, `Admit (r : Ingest.record) ->
+          let id = Shard.id (shard_of t r.Ingest.tenant) in
+          let n = Option.value ~default:0 (Hashtbl.find_opt per_shard id) in
+          Hashtbl.replace per_shard id (n + 1)
+      | _ -> ())
+    judged;
   let overloaded =
     Hashtbl.fold
       (fun id n acc ->
         let q = Shard.queue t.shard_arr.(id) in
         let room = Bounded_queue.capacity q - Bounded_queue.length q in
-        if n > room then id :: acc else acc)
+        if n > room then (id, n - room) :: acc else acc)
       per_shard []
   in
   if overloaded <> [] then begin
     Metrics.Counter.inc (Lazy.force m_429);
+    let retry = retry_after_of t overloaded in
+    Metrics.Gauge.set (Lazy.force g_retry_after) retry;
     Server.response ~status:"429 Too Many Requests"
-      ~extra_headers:[ ("Retry-After", retry_after_seconds) ]
+      ~extra_headers:[ ("Retry-After", Printf.sprintf "%.0f" retry) ]
       (Jsonx.render
          (Jsonx.Obj
             [
@@ -144,9 +197,9 @@ let handle_ingest t body =
               ( "shards",
                 Jsonx.Arr
                   (List.map
-                     (fun id -> Jsonx.Num (float_of_int id))
+                     (fun (id, _) -> Jsonx.Num (float_of_int id))
                      (List.sort compare overloaded)) );
-              ("retry_after", Jsonx.Num 1.0);
+              ("retry_after", Jsonx.Num retry);
             ]))
   end
   else begin
@@ -155,15 +208,28 @@ let handle_ingest t body =
     Metrics.Counter.inc
       ~by:(float_of_int (List.length lines))
       (Lazy.force m_lines);
-    let n_accepted = ref 0 and n_quarantined = ref 0 and n_shed = ref 0 in
+    let n_accepted = ref 0
+    and n_quarantined = ref 0
+    and n_shed = ref 0
+    and n_sampled = ref 0 in
+    let offered_by = Hashtbl.create 8 and admitted_by = Hashtbl.create 8 in
+    let bump tbl tenant =
+      Hashtbl.replace tbl tenant
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tenant))
+    in
     List.iter
-      (fun (line, result) ->
-        match result with
-        | Error reason ->
+      (fun (line, verdict) ->
+        match verdict with
+        | `Poison reason ->
             Ingest.Dead_letter.write t.dead ~line ~reason;
             Metrics.Counter.inc (Lazy.force m_quarantined);
             incr n_quarantined
-        | Ok r ->
+        | `Sampled (r : Ingest.record) ->
+            bump offered_by r.Ingest.tenant;
+            incr n_sampled
+        | `Admit (r : Ingest.record) ->
+            bump offered_by r.Ingest.tenant;
+            bump admitted_by r.Ingest.tenant;
             let s = shard_of t r.Ingest.tenant in
             if Bounded_queue.try_push (Shard.queue s) r then begin
               Metrics.Counter.inc (Lazy.force m_accepted);
@@ -176,7 +242,14 @@ let handle_ingest t body =
               Metrics.Counter.inc (Lazy.force m_shed);
               incr n_shed
             end)
-      decoded;
+      judged;
+    Hashtbl.iter
+      (fun tenant offered ->
+        let admitted =
+          Option.value ~default:0 (Hashtbl.find_opt admitted_by tenant)
+        in
+        Admission.note t.admission ~tenant ~offered ~admitted)
+      offered_by;
     Server.response ~status:"200 OK"
       (Jsonx.render
          (Jsonx.Obj
@@ -184,6 +257,7 @@ let handle_ingest t body =
               ("accepted", Jsonx.Num (float_of_int !n_accepted));
               ("quarantined", Jsonx.Num (float_of_int !n_quarantined));
               ("shed", Jsonx.Num (float_of_int !n_shed));
+              ("sampled_out", Jsonx.Num (float_of_int !n_sampled));
             ]))
   end
 
@@ -202,6 +276,16 @@ let shard_json s =
       ("restarts", Jsonx.Num (float_of_int (Shard.restarts s)));
       ("resumed", Jsonx.Bool (Shard.resumed s));
       ("tenants", Jsonx.Num (float_of_int (List.length (Shard.tenants s))));
+      ("level", Jsonx.Str (Shard.level_label (Shard.level s)));
+      ( "degraded_reason",
+        match Shard.degraded_reason s with
+        | None -> Jsonx.Null
+        | Some m -> Jsonx.Str m );
+      ("drain_rate", Jsonx.Num (Shard.drain_rate s));
+      ("replayed_events", Jsonx.Num (float_of_int (Shard.replayed_events s)));
+      ( "log_corrupt_frames",
+        Jsonx.Num (float_of_int (Shard.log_corrupt_frames s)) );
+      ("log_torn_tails", Jsonx.Num (float_of_int (Shard.log_torn_tails s)));
       ( "last_error",
         match Shard.last_error s with
         | None -> Jsonx.Null
@@ -247,14 +331,17 @@ let handle_posterior t tenant =
     let shard_status = Shard.status s in
     match Shard.posterior s ~tenant with
     | Some p ->
+        let lvl = Shard.level s in
         let stale =
           p.Shard.from_checkpoint
           || (match shard_status with Shard.Healthy -> false | _ -> true)
+          || lvl = Shard.Pinned
         in
         if stale then Metrics.Counter.inc (Lazy.force m_stale);
         let arr xs =
           Jsonx.Arr (Array.to_list (Array.map (fun v -> Jsonx.Num v) xs))
         in
+        let snap = Admission.snapshot t.admission ~tenant in
         Some
           (Server.response ~status:"200 OK"
              (Jsonx.render
@@ -266,6 +353,15 @@ let handle_posterior t tenant =
                      ( "shard_status",
                        Jsonx.Str (Shard.status_label shard_status) );
                      ("shard", Jsonx.Num (float_of_int (Shard.id s)));
+                     ("level", Jsonx.Str (Shard.level_label lvl));
+                     ( "degraded_reason",
+                       match Shard.degraded_reason s with
+                       | None -> Jsonx.Null
+                       | Some m -> Jsonx.Str m );
+                     ("fit_mode", Jsonx.Str p.Shard.fit_mode);
+                     ("admission_rate", Jsonx.Num snap.Admission.rate);
+                     ( "sampling_fraction",
+                       Jsonx.Num (Admission.admitted_fraction snap) );
                      ("rates", arr p.Shard.params.Qnet_core.Params.rates);
                      ( "arrival_queue",
                        Jsonx.Num
@@ -344,7 +440,18 @@ let tail_line t line =
   if String.length line > 0 then begin
     Metrics.Counter.inc (Lazy.force m_lines);
     match Ingest.decode_line ~num_queues:t.cfg.shard.Shard.num_queues line with
-    | Ok r -> push_tailed t r
+    | Ok r ->
+        (* The tailed path samples too — a firehose file must not be
+           able to drown a shard the HTTP path is protecting. *)
+        let tenant = r.Ingest.tenant in
+        Admission.observe t.admission ~tenant
+          ~pressure:(shard_pressure t (shard_of t tenant))
+          ~now:(Clock.now ());
+        if Admission.admit t.admission ~tenant then begin
+          Admission.note t.admission ~tenant ~offered:1 ~admitted:1;
+          push_tailed t r
+        end
+        else Admission.note t.admission ~tenant ~offered:1 ~admitted:0
     | Error reason ->
         Ingest.Dead_letter.write t.dead ~line ~reason;
         Metrics.Counter.inc (Lazy.force m_quarantined)
@@ -413,7 +520,9 @@ let stop_shards arr = Array.iter Shard.stop arr
 
 let create cfg =
   if cfg.shards < 1 then Error "shards must be >= 1"
-  else begin
+  else match Admission.validate cfg.admission with
+  | Error m -> Error m
+  | Ok () -> begin
     Serve_metrics.force_register ();
     Metrics.Gauge.set (Lazy.force g_shards) (float_of_int cfg.shards);
     match
@@ -456,6 +565,7 @@ let create cfg =
                   {
                     cfg;
                     shard_arr = Array.of_list shard_list;
+                    admission = Admission.create cfg.admission;
                     dead;
                     server = None;
                     stopping = Atomic.make false;

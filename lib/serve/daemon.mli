@@ -8,20 +8,32 @@
     the serving routes next to the built-in [/metrics], [/dashboard],
     etc.:
 
-    - [POST /ingest] — a JSONL batch. Admission is {e batch-atomic}:
-      the batch is decoded with no side effects first, and if any
-      target shard's queue cannot take its share the {e whole} batch
-      is rejected with [429] + [Retry-After] and nothing is counted,
-      quarantined or enqueued. A client that retries the whole batch
-      on 429 therefore never double-quarantines a poison line — which
-      is what makes "dead-letter count == injected poison count" an
-      assertable invariant in the soak test.
-    - [GET /shards.json] — per-shard health verdicts.
+    - [POST /ingest] — a JSONL batch. Each decoded record first passes
+      the per-tenant Bernoulli {!Admission} coin (AIMD-driven by shard
+      queue occupancy and refit lag; records thinned this way are
+      reported as [sampled_out], not errors). Backpressure on the
+      admitted subset is {e batch-atomic}: the batch is decoded with
+      no side effects first, and if any target shard's queue cannot
+      take its admitted share the {e whole} batch is rejected with
+      [429] + a [Retry-After] computed from the shard's measured drain
+      rate (clamped to 1–30 s), and nothing is counted, quarantined or
+      enqueued. A client that retries the whole batch on 429 therefore
+      never double-quarantines a poison line — which is what makes
+      "dead-letter count == injected poison count" an assertable
+      invariant in the soak test.
+    - [GET /shards.json] — per-shard health verdicts, including the
+      degradation-ladder [level]/[degraded_reason] and the durable-log
+      replay accounting ([replayed_events], [log_corrupt_frames],
+      [log_torn_tails]).
     - [GET /tenants/:id/posterior.json] — the tenant's latest
       posterior with a [stale] flag ([true] when it came from a
-      checkpoint and has not been refreshed, or when the owning shard
-      is not currently healthy). Never a 500: unknown tenants get 404,
-      known-but-unfitted tenants get [ready:false].
+      checkpoint and has not been refreshed, when the owning shard is
+      not currently healthy, or when the shard is pinned to stale
+      serve), the fit mode that produced it, and the tenant's current
+      admission rate plus effective retained [sampling_fraction] (the
+      correction factor for arrival-rate estimates under thinning).
+      Never a 500: unknown tenants get 404, known-but-unfitted tenants
+      get [ready:false].
 
     Tenants are routed to shards by a stable FNV-1a hash
     ({!Router.shard_of_tenant}), so a restarted daemon routes every
@@ -41,13 +53,14 @@ type config = {
       (** what a tailer does on a full queue: [Block] (default
           posture: a tailer can fall behind) or [Shed] *)
   shard : Shard.config;
+  admission : Admission.config;
   faults : Qnet_runtime.Fault.service_fault list;
 }
 
 val default_config : config
 (** 2 shards, [./qnet-serve-data], loopback port 8099, no fallback,
     dead letter at [data_dir/dead-letter.jsonl], no tails, [Block],
-    {!Shard.default_config}, no faults. *)
+    {!Shard.default_config}, {!Admission.default_config}, no faults. *)
 
 type t
 

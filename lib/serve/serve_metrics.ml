@@ -47,8 +47,52 @@ let families =
     ( "qnet_serve_faults_injected_total",
       "Service-level faults fired (--fault)",
       `Counter );
+    ( "qnet_serve_admission_offered_total",
+      "Events offered to the Bernoulli admission sampler",
+      `Counter );
+    ( "qnet_serve_admission_sampled_out_total",
+      "Events dropped by Bernoulli admission sampling",
+      `Counter );
+    ( "qnet_serve_admission_rate_decreases_total",
+      "AIMD multiplicative decreases of a tenant admission rate",
+      `Counter );
+    ( "qnet_serve_admission_rate_increases_total",
+      "AIMD additive increases of a tenant admission rate",
+      `Counter );
+    ( "qnet_serve_degrade_demotions_total",
+      "Shard degradation-ladder demotions (full -> incremental -> pinned)",
+      `Counter );
+    ( "qnet_serve_degrade_promotions_total",
+      "Shard degradation-ladder promotions after clean-round hysteresis",
+      `Counter );
+    ( "qnet_serve_degrade_incremental_fits_total",
+      "Tenant refits served by the bounded-memory incremental path",
+      `Counter );
+    ( "qnet_serve_degrade_breaker_trips_total",
+      "Restart circuit-breaker trips pinning a shard to stale serve",
+      `Counter );
+    ( "qnet_serve_log_corrupt_frames_total",
+      "Durable-log frames quarantined at replay (CRC or length mismatch)",
+      `Counter );
+    ( "qnet_serve_log_torn_tails_total",
+      "Durable-log torn tails truncated at replay",
+      `Counter );
+    ( "qnet_serve_log_rotations_total",
+      "Durable event-log segment rotations",
+      `Counter );
     ("qnet_serve_shards", "Configured shard count", `Gauge);
     ("qnet_serve_healthy_shards", "Shards currently healthy", `Gauge);
+    ( "qnet_serve_admission_rate",
+      "Current per-tenant Bernoulli admission rate (label-less series is \
+       the minimum across tenants)",
+      `Gauge );
+    ( "qnet_serve_degrade_level",
+      "Shard degradation-ladder level (0 full, 1 incremental, 2 pinned; \
+       label-less series is the maximum across shards)",
+      `Gauge );
+    ( "qnet_serve_retry_after_seconds",
+      "Last Retry-After computed from the measured shard drain rate",
+      `Gauge );
   ]
 
 let lookup name kind =

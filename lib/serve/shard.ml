@@ -4,6 +4,7 @@ module Store = Qnet_core.Event_store
 module Stem = Qnet_core.Stem
 module Obs = Qnet_core.Observation
 module Supervisor = Qnet_runtime.Supervisor
+module Online = Qnet_core.Online_stem
 module Fault = Qnet_runtime.Fault
 module Metrics = Qnet_obs.Metrics
 module Clock = Qnet_obs.Clock
@@ -31,6 +32,15 @@ type config = {
   backoff_max : float;
   poll_interval : float;
   seed : int;
+  fit_deadline : float;
+  hot_tenant_events : int;
+  breaker_restarts : int;
+  breaker_window : float;
+  breaker_cooldown : float;
+  promote_rounds : int;
+  hot_watermark : float;
+  cool_watermark : float;
+  max_log_bytes : int;
 }
 
 let default_config =
@@ -51,6 +61,15 @@ let default_config =
     backoff_max = 4.0;
     poll_interval = 0.05;
     seed = 1;
+    fit_deadline = 10.0;
+    hot_tenant_events = 960;
+    breaker_restarts = 3;
+    breaker_window = 30.0;
+    breaker_cooldown = 10.0;
+    promote_rounds = 3;
+    hot_watermark = 0.75;
+    cool_watermark = 0.25;
+    max_log_bytes = 4 * 1024 * 1024;
   }
 
 type status =
@@ -67,6 +86,20 @@ let status_label = function
   | Restarting _ -> "restarting"
   | Failed _ -> "failed"
 
+(* The degradation ladder. A shard serves posteriors at every rung;
+   what changes is how fresh they can be: full supervised refits, then
+   bounded-memory incremental refits for hot shards, then stale serve
+   only (pinned) when even incremental refits blow the deadline budget
+   or the restart circuit breaker is open. *)
+type level = Full_fits | Incremental | Pinned
+
+let level_label = function
+  | Full_fits -> "full"
+  | Incremental -> "incremental"
+  | Pinned -> "pinned"
+
+let level_rank = function Full_fits -> 0 | Incremental -> 1 | Pinned -> 2
+
 type posterior = {
   tenant : string;
   params : Params.t;
@@ -76,6 +109,7 @@ type posterior = {
   num_events : int;
   from_checkpoint : bool;
   fitted_at : float;
+  fit_mode : string;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -253,8 +287,30 @@ type t = {
   mutable worker : Thread.t option;
   faults : fault_state list;
   started_at : float;
+  (* degradation ladder *)
+  mutable lvl : level;
+  mutable lvl_reason : string option;
+  mutable miss_streak : int;  (* consecutive rounds over the deadline *)
+  mutable clean_streak : int;  (* promotion hysteresis counter *)
+  mutable restart_stamps : float list;  (* recent restarts, newest first *)
+  mutable pinned_until : float;  (* breaker cooldown deadline *)
+  mutable last_ladder_eval : float;
+  (* drain measurement (worker thread only) *)
+  mutable drain_ewma : float;  (* events/s actually absorbed *)
+  mutable last_drain : float;
+  mutable last_pass : float;
+  (* overload fault throttle (worker thread only) *)
+  mutable overload_rps : float;  (* 0 = no throttle *)
+  mutable overload_debt : float;  (* token bucket *)
+  (* durable-log state *)
+  mutable compaction_suspended : bool;  (* corruption faults arm this *)
+  mutable corrupt_frames : int;
+  mutable torn_tails : int;
+  mutable replayed_events : int;
+  quarantine : Ingest.Dead_letter.t;
   depth_gauge : Metrics.Gauge.t;
   iter_gauge : Metrics.Gauge.t;
+  level_gauge : Metrics.Gauge.t;
 }
 
 let m_fits = Serve_metrics.counter "qnet_serve_fits_total"
@@ -268,9 +324,31 @@ let m_checkpoint_failures =
 
 let m_resumes = Serve_metrics.counter "qnet_serve_resumes_total"
 let m_faults = Serve_metrics.counter "qnet_serve_faults_injected_total"
+let m_demotions = Serve_metrics.counter "qnet_serve_degrade_demotions_total"
+let m_promotions = Serve_metrics.counter "qnet_serve_degrade_promotions_total"
+
+let m_incremental_fits =
+  Serve_metrics.counter "qnet_serve_degrade_incremental_fits_total"
+
+let m_breaker_trips =
+  Serve_metrics.counter "qnet_serve_degrade_breaker_trips_total"
+
+let m_log_corrupt = Serve_metrics.counter "qnet_serve_log_corrupt_frames_total"
+let m_log_torn = Serve_metrics.counter "qnet_serve_log_torn_tails_total"
+let m_log_rotations = Serve_metrics.counter "qnet_serve_log_rotations_total"
+let g_level = Serve_metrics.gauge "qnet_serve_degrade_level"
+
+(* The label-less qnet_serve_degrade_level series is the max over
+   shards alive in this process; each shard also exports its own
+   labeled series. *)
+let level_registry : (int, int) Hashtbl.t =
+  Hashtbl.create 8 (* qnet-lint: allow D002 always accessed under level_registry_mutex *)
+let level_registry_mutex = Mutex.create ()
 
 let ckpt_path t = Filename.concat t.dir "shard.ckpt"
 let log_path t = Filename.concat t.dir "events.log"
+let log1_path t = log_path t ^ ".1"
+let quarantine_path dir = Filename.concat dir "log-quarantine.jsonl"
 
 let id t = t.shard_id
 let queue t = t.ingest_queue
@@ -281,6 +359,33 @@ let restarts t = Mutex.protect t.mutex (fun () -> t.restart_count)
 let resumed t = t.was_resumed
 let queue_depth t = Bounded_queue.length t.ingest_queue
 let last_error t = Mutex.protect t.mutex (fun () -> t.err)
+let level t = Mutex.protect t.mutex (fun () -> t.lvl)
+let degraded_reason t = Mutex.protect t.mutex (fun () -> t.lvl_reason)
+let log_corrupt_frames t = Mutex.protect t.mutex (fun () -> t.corrupt_frames)
+let log_torn_tails t = Mutex.protect t.mutex (fun () -> t.torn_tails)
+let replayed_events t = Mutex.protect t.mutex (fun () -> t.replayed_events)
+
+(* Worker-thread-written float; word-sized reads don't tear, and a
+   slightly stale drain estimate is fine for Retry-After math. *)
+let drain_rate t = t.drain_ewma
+
+let refit_lag t =
+  let backlog =
+    Mutex.protect t.mutex (fun () ->
+        Hashtbl.fold
+          (fun _ ts acc -> acc || ts.since_fit > 0)
+          t.tenant_tbl false)
+  in
+  if backlog then Float.max 0.0 (Clock.now () -. t.last_fit_scan) else 0.0
+
+(* Must be called with t.mutex held (reads t.lvl). *)
+let publish_level t =
+  let rank = level_rank t.lvl in
+  Metrics.Gauge.set t.level_gauge (float_of_int rank);
+  Mutex.protect level_registry_mutex (fun () ->
+      Hashtbl.replace level_registry t.shard_id rank;
+      let worst = Hashtbl.fold (fun _ r acc -> Stdlib.max r acc) level_registry 0 in
+      Metrics.Gauge.set (Lazy.force g_level) (float_of_int worst))
 
 let tenants t =
   Mutex.protect t.mutex (fun () ->
@@ -318,6 +423,31 @@ let reopen_log t =
         Log.warn (fun f -> f "shard %d: cannot open event log: %s" t.shard_id m);
         None)
 
+(* Rotate the active segment aside so replay cost stays bounded even
+   when compaction is suspended or checkpoints are failing. If a
+   previous segment exists its contents are preserved by appending
+   (compaction normally removes it first). *)
+let rotate_log t =
+  (match t.log_oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.log_oc <- None
+  | None -> ());
+  (try
+     if Sys.file_exists (log1_path t) then begin
+       let content = In_channel.with_open_bin (log_path t) In_channel.input_all in
+       Out_channel.with_open_gen
+         [ Open_append; Open_creat; Open_binary ]
+         0o644 (log1_path t)
+         (fun oc -> Out_channel.output_string oc content);
+       Sys.remove (log_path t)
+     end
+     else Sys.rename (log_path t) (log1_path t);
+     Metrics.Counter.inc (Lazy.force m_log_rotations)
+   with Sys_error m ->
+     Log.warn (fun f -> f "shard %d: log rotation failed: %s" t.shard_id m));
+  reopen_log t
+
 let append_log t records =
   match t.log_oc with
   | None -> ()
@@ -325,14 +455,100 @@ let append_log t records =
       try
         List.iter
           (fun r ->
-            output_string oc (Ingest.to_json_line r);
+            output_string oc (Framed_log.frame (Ingest.to_json_line r));
             output_char oc '\n')
           records;
-        flush oc
+        flush oc;
+        if pos_out oc > t.cfg.max_log_bytes && not t.compaction_suspended then
+          rotate_log t
       with Sys_error m ->
         Log.warn (fun f -> f "shard %d: event log write failed: %s" t.shard_id m);
         close_out_noerr oc;
         t.log_oc <- None)
+
+(* --- injected disk corruption (worker thread only) ----------------- *)
+
+(* Chop the last durable record in half mid-frame — exactly what a
+   power cut during a write leaves behind — then rotate the torn
+   segment aside so subsequent appends cannot accidentally heal it.
+   Replay must truncate the segment back to its last valid frame. *)
+let tear_log_tail t =
+  (match t.log_oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.log_oc <- None
+  | None -> ());
+  (try
+     let path = log_path t in
+     if Sys.file_exists path then begin
+       let content = In_channel.with_open_bin path In_channel.input_all in
+       let len = String.length content in
+       if len > 1 then begin
+         let body_end = if Char.equal content.[len - 1] '\n' then len - 1 else len in
+         let start =
+           match String.rindex_from_opt content (body_end - 1) '\n' with
+           | Some i -> i + 1
+           | None -> 0
+         in
+         let last_len = body_end - start in
+         if last_len > 1 then begin
+           Unix.truncate path (start + (last_len / 2));
+           rotate_log t
+         end
+       end
+     end
+   with
+  | Sys_error m ->
+      Log.warn (fun f -> f "shard %d: torn-write injection failed: %s" t.shard_id m)
+  | Unix.Unix_error (e, _, _) ->
+      Log.warn (fun f ->
+          f "shard %d: torn-write injection failed: %s" t.shard_id
+            (Unix.error_message e)));
+  if t.log_oc = None then reopen_log t
+
+(* Flip the low bit of the last payload byte of the middle record: the
+   frame keeps its shape and length but fails its CRC, so replay must
+   quarantine exactly this one frame. *)
+let flip_bit_in_log t =
+  (match t.log_oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.log_oc <- None
+  | None -> ());
+  let patch path =
+    if not (Sys.file_exists path) then false
+    else
+      try
+        let content = In_channel.with_open_bin path In_channel.input_all in
+        (* spans of complete (newline-terminated) lines *)
+        let spans = ref [] in
+        let start = ref 0 in
+        String.iteri
+          (fun i c ->
+            if Char.equal c '\n' then begin
+              if i > !start then spans := (!start, i) :: !spans;
+              start := i + 1
+            end)
+          content;
+        match List.rev !spans with
+        | [] -> false
+        | spans ->
+            let _, stop = List.nth spans (List.length spans / 2) in
+            let b = Bytes.of_string content in
+            Bytes.set b (stop - 1)
+              (Char.chr (Char.code (Bytes.get b (stop - 1)) lxor 1));
+            let tmp = path ^ ".tmp" in
+            Out_channel.with_open_bin tmp (fun oc ->
+                Out_channel.output_bytes oc b);
+            Sys.rename tmp path;
+            true
+      with Sys_error m ->
+        Log.warn (fun f ->
+            f "shard %d: bit-flip injection failed: %s" t.shard_id m);
+        false
+  in
+  if not (patch (log_path t)) then ignore (patch (log1_path t) : bool);
+  reopen_log t
 
 (* ------------------------------------------------------------------ *)
 (* Faults                                                              *)
@@ -350,6 +566,14 @@ let fire_fault t fs =
       raise (Fault.Injected_shard_crash { shard = t.shard_id })
   | Fault.Checkpoint_write_failure -> t.ckpt_fail_pending <- true
   | Fault.Slow_consumer s -> fs.slow_until <- Clock.now () +. s
+  | Fault.Torn_write ->
+      (* suspend compaction so the damage survives to the next start *)
+      t.compaction_suspended <- true;
+      tear_log_tail t
+  | Fault.Bit_flip ->
+      t.compaction_suspended <- true;
+      flip_bit_in_log t
+  | Fault.Overload rps -> t.overload_rps <- rps
 
 let check_faults t =
   let now = Clock.now () in
@@ -427,24 +651,31 @@ let write_checkpoint t =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc line;
+        output_string oc (Framed_log.frame line);
         output_char oc '\n');
     Sys.rename tmp path;
     (* compact the event log to the surviving buffer window, then
        reopen it for appends: replay cost stays bounded by the
-       per-tenant buffer caps, not by daemon uptime *)
-    let log_tmp = log_path t ^ ".tmp" in
-    let oc = open_out log_tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        List.iter
-          (fun l ->
-            output_string oc l;
-            output_char oc '\n')
-          (current_log_lines t));
-    Sys.rename log_tmp (log_path t);
-    reopen_log t;
+       per-tenant buffer caps, not by daemon uptime. Skipped while a
+       corruption fault is armed — compaction would silently erase the
+       injected damage the next start must prove it survives. *)
+    if not t.compaction_suspended then begin
+      let log_tmp = log_path t ^ ".tmp" in
+      let oc = open_out log_tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iter
+            (fun l ->
+              output_string oc (Framed_log.frame l);
+              output_char oc '\n')
+            (current_log_lines t));
+      Sys.rename log_tmp (log_path t);
+      (* the compacted active segment holds the whole buffer window,
+         so any rotated-out segment is now redundant *)
+      if Sys.file_exists (log1_path t) then Sys.remove (log1_path t);
+      reopen_log t
+    end;
     Metrics.Counter.inc (Lazy.force m_checkpoints)
   with Sys_error m ->
     Metrics.Counter.inc (Lazy.force m_checkpoint_failures);
@@ -598,10 +829,93 @@ let fit_tenant t tenant =
                             num_events = Array.length trace.Trace.events;
                             from_checkpoint = false;
                             fitted_at = Clock.now ();
+                            fit_mode = "full";
                           });
               Metrics.Gauge.set t.iter_gauge (float_of_int (iterations t))
         end
   end
+
+(* The cheap rung of the ladder: a short windowed Online_stem run
+   warm-started from the tenant's previous posterior. Bounded memory
+   and a fraction of the sweeps of a full supervised fit — right for a
+   hot tenant or a shard that blew its deadline budget. *)
+let fit_tenant_incremental t tenant =
+  let events, prev_post =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.tenant_tbl tenant with
+        | None -> ([], None)
+        | Some ts -> (List.rev ts.events, ts.post))
+  in
+  if events = [] then ()
+  else begin
+    let csv = csv_of_events events in
+    match Trace.of_csv_lenient ~num_queues:t.cfg.num_queues csv with
+    | Error _report ->
+        Metrics.Counter.inc (Lazy.force m_fit_failures);
+        Mutex.protect t.mutex (fun () ->
+            t.err <- Some (Printf.sprintf "tenant %s: no usable events" tenant))
+    | Ok (trace, report) ->
+        if report.Trace.events_dropped > 0 then
+          Metrics.Counter.inc
+            ~by:(float_of_int report.Trace.events_dropped)
+            (Lazy.force m_repair_dropped);
+        if trace.Trace.num_tasks < 2 then ()
+        else begin
+          let seed = fit_seed t tenant in
+          let rng = Rng.create ~seed () in
+          let mask = Obs.mask rng (Obs.Task_fraction t.cfg.obs_fraction) trace in
+          let iterations_per_window = Stdlib.max 4 (t.cfg.fit_iterations / 2) in
+          let config =
+            {
+              Online.num_windows = 2;
+              iterations = iterations_per_window;
+              min_tasks = 2;
+            }
+          in
+          let init =
+            match prev_post with
+            | Some p when Params.num_queues p.params = t.cfg.num_queues ->
+                Some p.params
+            | _ -> None
+          in
+          match Online.run ~config ?init rng trace ~mask with
+          | exception (Invalid_argument m | Failure m) ->
+              Metrics.Counter.inc (Lazy.force m_fit_failures);
+              Mutex.protect t.mutex (fun () ->
+                  t.err <- Some (Printf.sprintf "tenant %s: %s" tenant m))
+          | [] -> () (* every window under min_tasks; keep the old posterior *)
+          | steps ->
+              let last = List.nth steps (List.length steps - 1) in
+              Metrics.Counter.inc (Lazy.force m_incremental_fits);
+              Metrics.Counter.inc (Lazy.force m_fits);
+              Mutex.protect t.mutex (fun () ->
+                  t.iters <- t.iters + (iterations_per_window * List.length steps);
+                  match Hashtbl.find_opt t.tenant_tbl tenant with
+                  | None -> ()
+                  | Some ts ->
+                      ts.since_fit <- 0;
+                      ts.post <-
+                        Some
+                          {
+                            tenant;
+                            params = last.Online.params;
+                            mean_service = last.Online.mean_service;
+                            iteration = t.iters;
+                            round = t.round_count;
+                            num_events = Array.length trace.Trace.events;
+                            from_checkpoint = false;
+                            fitted_at = Clock.now ();
+                            fit_mode = "incremental";
+                          });
+              Metrics.Gauge.set t.iter_gauge (float_of_int (iterations t))
+        end
+  end
+
+let tenant_hot t tenant =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.tenant_tbl tenant with
+      | None -> false
+      | Some ts -> ts.since_fit >= t.cfg.hot_tenant_events)
 
 let due_tenants t =
   let now = Clock.now () in
@@ -618,10 +932,100 @@ let due_tenants t =
         t.tenant_tbl [])
   |> List.sort String.compare
 
+(* Reassess the shard's rung on the ladder. [round_seconds] is the
+   wall time of a just-finished fit round ([None] for idle ticks, which
+   only drive promotion and breaker pinning). Demotion is immediate —
+   one blown deadline or a hot queue is evidence enough — but
+   promotion needs [promote_rounds] consecutive clean evaluations, so
+   a shard teetering at the boundary doesn't flap. *)
+let evaluate_ladder t ?round_seconds () =
+  let now = Clock.now () in
+  t.last_ladder_eval <- now;
+  let blew =
+    match round_seconds with
+    | Some s -> s > t.cfg.fit_deadline
+    | None -> false
+  in
+  let pressure =
+    float_of_int (queue_depth t)
+    /. float_of_int (Stdlib.max 1 t.cfg.queue_capacity)
+  in
+  Mutex.protect t.mutex (fun () ->
+      (match round_seconds with
+      | Some _ -> t.miss_streak <- (if blew then t.miss_streak + 1 else 0)
+      | None -> ());
+      let breaker_open = now < t.pinned_until in
+      let demote target reason =
+        if level_rank target > level_rank t.lvl then begin
+          t.lvl <- target;
+          t.lvl_reason <- Some reason;
+          t.clean_streak <- 0;
+          Metrics.Counter.inc (Lazy.force m_demotions);
+          publish_level t;
+          Log.warn (fun f ->
+              f "shard %d: degraded to %s: %s" t.shard_id (level_label target)
+                reason)
+        end
+      in
+      if breaker_open then
+        demote Pinned
+          (Printf.sprintf "restart circuit breaker open (%d restarts within %.3gs)"
+             (List.length t.restart_stamps) t.cfg.breaker_window)
+      else if blew && t.miss_streak >= 2 then
+        demote Pinned
+          (Printf.sprintf
+             "refit deadline budget blown %d rounds running (last %.3gs > %.3gs)"
+             t.miss_streak
+             (Option.value ~default:0.0 round_seconds)
+             t.cfg.fit_deadline)
+      else if blew then
+        demote Incremental
+          (Printf.sprintf "refit round took %.3gs > %.3gs deadline budget"
+             (Option.value ~default:0.0 round_seconds)
+             t.cfg.fit_deadline)
+      else if pressure >= t.cfg.hot_watermark then
+        demote Incremental
+          (Printf.sprintf "ingest queue %.0f%% full" (100.0 *. pressure));
+      let clean =
+        (not blew) && (not breaker_open) && pressure <= t.cfg.cool_watermark
+      in
+      match t.lvl with
+      | Full_fits -> if not clean then t.clean_streak <- 0
+      | Incremental | Pinned ->
+          if clean then begin
+            t.clean_streak <- t.clean_streak + 1;
+            if t.clean_streak >= t.cfg.promote_rounds then begin
+              t.clean_streak <- 0;
+              let target =
+                match t.lvl with Pinned -> Incremental | _ -> Full_fits
+              in
+              t.lvl <- target;
+              t.lvl_reason <-
+                (match target with
+                | Full_fits -> None
+                | _ -> Some "recovering: incremental refits only");
+              Metrics.Counter.inc (Lazy.force m_promotions);
+              publish_level t;
+              Log.info (fun f ->
+                  f "shard %d: promoted to %s" t.shard_id (level_label target))
+            end
+          end
+          else t.clean_streak <- 0)
+
 let run_fit_round t due =
   Mutex.protect t.mutex (fun () -> t.round_count <- t.round_count + 1);
+  let t0 = Clock.now () in
   let before_failures = Metrics.Counter.value (Lazy.force m_fit_failures) in
-  List.iter (fun tenant -> fit_tenant t tenant) due;
+  let lvl = level t in
+  List.iter
+    (fun tenant ->
+      match lvl with
+      | Pinned -> ()
+      | Incremental -> fit_tenant_incremental t tenant
+      | Full_fits ->
+          if tenant_hot t tenant then fit_tenant_incremental t tenant
+          else fit_tenant t tenant)
+    due;
   let after_failures = Metrics.Counter.value (Lazy.force m_fit_failures) in
   t.last_fit_scan <- Clock.now ();
   write_checkpoint t;
@@ -633,7 +1037,8 @@ let run_fit_round t due =
       else begin
         t.st <- Healthy;
         t.err <- None
-      end)
+      end);
+  evaluate_ladder t ~round_seconds:(Clock.now () -. t0) ()
 
 (* ------------------------------------------------------------------ *)
 (* Worker                                                              *)
@@ -642,21 +1047,74 @@ let run_fit_round t due =
 let worker_pass t =
   check_faults t;
   let slow = in_slow_window t in
+  let now = Clock.now () in
+  (* overload fault: drain at most overload_rps events/s, paid from a
+     token bucket with a one-second burst allowance *)
+  let allowed =
+    if t.overload_rps > 0.0 then begin
+      let dt = Float.max 0.0 (now -. t.last_pass) in
+      t.overload_debt <-
+        Float.min t.overload_rps (t.overload_debt +. (t.overload_rps *. dt));
+      let k = int_of_float t.overload_debt in
+      t.overload_debt <- t.overload_debt -. float_of_int k;
+      Some k
+    end
+    else None
+  in
+  t.last_pass <- now;
   let batch =
-    Bounded_queue.pop_batch
-      ~max:(if slow then 1 else 256)
-      ~timeout:t.cfg.poll_interval t.ingest_queue
+    match allowed with
+    | Some 0 ->
+        Thread.delay t.cfg.poll_interval;
+        []
+    | Some k ->
+        Bounded_queue.pop_batch
+          ~max:(Stdlib.min k (if slow then 1 else 256))
+          ~timeout:t.cfg.poll_interval t.ingest_queue
+    | None ->
+        Bounded_queue.pop_batch
+          ~max:(if slow then 1 else 256)
+          ~timeout:t.cfg.poll_interval t.ingest_queue
   in
   if slow then Thread.delay 0.02;
   absorb t batch;
+  (match batch with
+  | [] -> ()
+  | _ :: _ ->
+      let drained_at = Clock.now () in
+      let dt = Float.max 1e-3 (drained_at -. t.last_drain) in
+      let inst = float_of_int (List.length batch) /. dt in
+      t.drain_ewma <-
+        (if t.drain_ewma <= 0.0 then inst
+         else (0.2 *. inst) +. (0.8 *. t.drain_ewma));
+      t.last_drain <- drained_at);
   Metrics.Gauge.set t.depth_gauge (float_of_int (queue_depth t));
-  match due_tenants t with
+  (match due_tenants t with
   | [] ->
       if
         Mutex.protect t.mutex (fun () ->
             match t.st with Starting -> true | _ -> false)
       then Mutex.protect t.mutex (fun () -> t.st <- Healthy)
-  | due -> run_fit_round t due
+  | due ->
+      if
+        Mutex.protect t.mutex (fun () ->
+            match t.lvl with Pinned -> true | _ -> false)
+      then begin
+        (* pinned: stale serve only — no fits, but keep counters and
+           checkpoints fresh so a restart never loses ground *)
+        if Clock.now () -. t.last_fit_scan >= t.cfg.refit_interval then begin
+          t.last_fit_scan <- Clock.now ();
+          write_checkpoint t
+        end
+      end
+      else run_fit_round t due);
+  (* idle ladder ticks drive promotion hysteresis (and breaker
+     pinning) even when no fit round runs *)
+  if
+    Mutex.protect t.mutex (fun () ->
+        match t.lvl with Full_fits -> false | Incremental | Pinned -> true)
+    && Clock.now () -. t.last_ladder_eval >= t.cfg.refit_interval
+  then evaluate_ladder t ()
 
 let final_drain t =
   let rec go () =
@@ -695,10 +1153,39 @@ let rec supervise t =
       end
       else begin
         Metrics.Counter.inc (Lazy.force m_restarts);
+        let now = Clock.now () in
         Mutex.protect t.mutex (fun () ->
             t.restart_count <- attempt;
             t.st <- Restarting attempt;
-            t.err <- Some msg);
+            t.err <- Some msg;
+            (* restart circuit breaker: repeated crashes within the
+               window pin the shard to stale serve for a cooldown —
+               restarting is cheap, re-crashing mid-fit forever is
+               not *)
+            t.restart_stamps <-
+              now
+              :: List.filter
+                   (fun s -> now -. s <= t.cfg.breaker_window)
+                   t.restart_stamps;
+            if List.length t.restart_stamps >= t.cfg.breaker_restarts then begin
+              if now >= t.pinned_until then
+                Metrics.Counter.inc (Lazy.force m_breaker_trips);
+              t.pinned_until <- now +. t.cfg.breaker_cooldown;
+              let reason =
+                Printf.sprintf
+                  "restart circuit breaker open (%d restarts within %.3gs)"
+                  (List.length t.restart_stamps) t.cfg.breaker_window
+              in
+              t.lvl_reason <- Some reason;
+              if level_rank Pinned > level_rank t.lvl then begin
+                t.lvl <- Pinned;
+                t.clean_streak <- 0;
+                Metrics.Counter.inc (Lazy.force m_demotions);
+                publish_level t;
+                Log.warn (fun f ->
+                    f "shard %d: degraded to pinned: %s" t.shard_id reason)
+              end
+            end);
         let delay =
           backoff ~base:t.cfg.backoff_base ~max_:t.cfg.backoff_max attempt
         in
@@ -714,6 +1201,40 @@ let rec supervise t =
 (* Resume                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let quarantine_frame t ~line ~reason =
+  Mutex.protect t.mutex (fun () -> t.corrupt_frames <- t.corrupt_frames + 1);
+  Metrics.Counter.inc (Lazy.force m_log_corrupt);
+  Ingest.Dead_letter.write t.quarantine ~line ~reason
+
+(* Replay one durable-log segment through the frame validator:
+   payloads are absorbed, corrupt frames quarantined exactly, and a
+   torn tail truncated back to the last record boundary. *)
+let replay_segment t path =
+  if not (Sys.file_exists path) then ()
+  else
+    match
+      Framed_log.replay_file ~path
+        ~on_payload:(fun payload ->
+          match Ingest.decode_line ~num_queues:t.cfg.num_queues payload with
+          | Ok r ->
+              absorb t [ r ];
+              Mutex.protect t.mutex (fun () ->
+                  t.replayed_events <- t.replayed_events + 1)
+          | Error reason -> quarantine_frame t ~line:payload ~reason)
+        ~on_corrupt:(fun ~line ~reason -> quarantine_frame t ~line ~reason)
+        ()
+    with
+    | Ok stats ->
+        if stats.Framed_log.torn then begin
+          Mutex.protect t.mutex (fun () -> t.torn_tails <- t.torn_tails + 1);
+          Metrics.Counter.inc (Lazy.force m_log_torn);
+          Log.warn (fun f ->
+              f "shard %d: truncated torn tail of %s back to last valid frame"
+                t.shard_id path)
+        end
+    | Error m ->
+        Log.warn (fun f -> f "shard %d: cannot replay %s: %s" t.shard_id path m)
+
 let resume_from_disk t =
   let resumed_ckpt =
     match
@@ -725,7 +1246,24 @@ let resume_from_disk t =
       else None
     with
     | None -> false
-    | Some line -> (
+    | Some raw when
+        (match Framed_log.parse raw with
+        | Error (Framed_log.Corrupt _) -> true
+        | Ok _ | Error Framed_log.Not_a_frame -> false) ->
+        (match Framed_log.parse raw with
+        | Error (Framed_log.Corrupt reason) ->
+            quarantine_frame t ~line:raw ~reason;
+            Log.warn (fun f ->
+                f "shard %d: checkpoint frame corrupt (%s); starting cold"
+                  t.shard_id reason)
+        | Ok _ | Error Framed_log.Not_a_frame -> ());
+        false
+    | Some raw -> (
+        (* a valid frame carries the checkpoint JSON; an unframed line
+           is a legacy checkpoint, still honored *)
+        let line =
+          match Framed_log.parse raw with Ok payload -> payload | Error _ -> raw
+        in
         match Ckpt.of_line line with
         | Error m ->
             Log.warn (fun f ->
@@ -758,6 +1296,7 @@ let resume_from_disk t =
                                   num_events = e.Ckpt.num_events;
                                   from_checkpoint = true;
                                   fitted_at = 0.0;
+                                  fit_mode = "checkpoint";
                                 };
                           }
                     | exception Invalid_argument m ->
@@ -772,45 +1311,24 @@ let resume_from_disk t =
         false
     | exception End_of_file -> false
   in
-  let replayed =
-    match
-      if Sys.file_exists (log_path t) then Some (open_in (log_path t))
-      else None
-    with
-    | None -> 0
-    | Some ic ->
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let n = ref 0 in
-            (try
-               while true do
-                 let line = input_line ic in
-                 match
-                   Ingest.decode_line ~num_queues:t.cfg.num_queues line
-                 with
-                 | Ok r ->
-                     absorb t [ r ];
-                     incr n
-                 | Error _ -> ()
-               done
-             with End_of_file -> ());
-            !n)
-    | exception Sys_error m ->
-        Log.warn (fun f ->
-            f "shard %d: cannot replay event log: %s" t.shard_id m);
-        0
-  in
+  (* rotated segment first, then the active one: replay order is
+     append order *)
+  replay_segment t (log1_path t);
+  replay_segment t (log_path t);
+  let replayed = replayed_events t in
   (* replay inflates since_fit; a fresh fit soon after resume is the
      desired behavior, so leave it — but don't count replay as new
      load for tenants that were already fitted to this window *)
-  if resumed_ckpt || replayed > 0 then begin
+  if resumed_ckpt || replayed > 0 || log_corrupt_frames t > 0 || log_torn_tails t > 0
+  then begin
     t.was_resumed <- true;
     Metrics.Counter.inc (Lazy.force m_resumes);
     Log.info (fun f ->
         f "shard %d: resumed from checkpoint (iterations=%d, rounds=%d, %d \
-           events replayed)"
-          t.shard_id t.iters t.round_count replayed)
+           events replayed, %d corrupt frames quarantined, %d torn tails \
+           truncated)"
+          t.shard_id t.iters t.round_count replayed (log_corrupt_frames t)
+          (log_torn_tails t))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -828,6 +1346,16 @@ let validate cfg =
   else if cfg.fit_iterations < 2 then Error "fit_iterations must be >= 2"
   else if cfg.backoff_base <= 0.0 || cfg.backoff_max < cfg.backoff_base then
     Error "backoff_base/backoff_max malformed"
+  else if cfg.fit_deadline <= 0.0 then Error "fit_deadline must be > 0"
+  else if cfg.breaker_restarts < 1 then Error "breaker_restarts must be >= 1"
+  else if cfg.breaker_window <= 0.0 || cfg.breaker_cooldown < 0.0 then
+    Error "breaker_window/breaker_cooldown malformed"
+  else if cfg.promote_rounds < 1 then Error "promote_rounds must be >= 1"
+  else if
+    cfg.hot_watermark <= cfg.cool_watermark
+    || cfg.cool_watermark < 0.0 || cfg.hot_watermark > 1.0
+  then Error "hot_watermark/cool_watermark malformed"
+  else if cfg.max_log_bytes < 4096 then Error "max_log_bytes must be >= 4096"
   else Ok ()
 
 let mkdir_p dir =
@@ -876,6 +1404,31 @@ let create ?(faults = []) ?started_at ~dir ~id:shard_id cfg =
               ckpt_fail_pending = false;
               stopping = Atomic.make false;
               worker = None;
+              lvl = Full_fits;
+              lvl_reason = None;
+              miss_streak = 0;
+              clean_streak = 0;
+              restart_stamps = [];
+              pinned_until = 0.0;
+              last_ladder_eval = started_at;
+              drain_ewma = 0.0;
+              last_drain = started_at;
+              last_pass = started_at;
+              overload_rps = 0.0;
+              overload_debt = 0.0;
+              compaction_suspended = false;
+              corrupt_frames = 0;
+              torn_tails = 0;
+              replayed_events = 0;
+              quarantine =
+                (match Ingest.Dead_letter.open_ ~path:(quarantine_path dir) with
+                | Ok q -> q
+                | Error m ->
+                    Log.warn (fun f ->
+                        f "shard %d: quarantine file unavailable (%s); \
+                           counting only"
+                          shard_id m);
+                    Ingest.Dead_letter.null ());
               faults =
                 List.filter_map
                   (fun (f : Fault.service_fault) ->
@@ -891,8 +1444,15 @@ let create ?(faults = []) ?started_at ~dir ~id:shard_id cfg =
                 Metrics.Gauge.create ~labels:shard_label
                   ~help:"Cumulative StEM iterations fitted by this shard"
                   "qnet_serve_shard_iterations";
+              level_gauge =
+                Metrics.Gauge.create ~labels:shard_label
+                  ~help:
+                    "Shard degradation-ladder level (0 full, 1 incremental, \
+                     2 pinned)"
+                  "qnet_serve_degrade_level";
             }
           in
+          Mutex.protect t.mutex (fun () -> publish_level t);
           resume_from_disk t;
           Metrics.Gauge.set t.iter_gauge (float_of_int t.iters);
           reopen_log t;
@@ -907,5 +1467,6 @@ let stop t =
     | Some oc ->
         close_out_noerr oc;
         t.log_oc <- None
-    | None -> ())
+    | None -> ());
+    Ingest.Dead_letter.close t.quarantine
   end

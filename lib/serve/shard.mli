@@ -29,7 +29,29 @@
     usable, or the supervised run ends [Failed]) marks the shard
     [Degraded] but keeps the previous posterior; a checkpoint-write
     failure is counted and retried next round. The posterior endpoint
-    therefore never has to 500 — the worst case is a [stale] flag. *)
+    therefore never has to 500 — the worst case is a [stale] flag.
+
+    {b Degradation ladder.} Orthogonal to worker liveness, each shard
+    sits on a rung of {!level}: [Full_fits] (supervised multi-chain
+    refits; hot tenants individually degrade to incremental),
+    [Incremental] (bounded-memory {!Qnet_core.Online_stem} refits
+    warm-started from the previous posterior), and [Pinned] (stale
+    serve only). One refit round over the [fit_deadline] budget or an
+    ingest queue past [hot_watermark] demotes a rung; two blown rounds
+    running, or [breaker_restarts] watchdog restarts within
+    [breaker_window] seconds (the restart circuit breaker), pin the
+    shard. Promotion requires [promote_rounds] consecutive clean
+    evaluations (hysteresis), one rung at a time. The current rung and
+    its {!degraded_reason} are surfaced on [/shards.json], posterior
+    responses and the [qnet_serve_degrade_*] metrics — never a 500.
+
+    {b Durable-log hardening.} Event-log records and the checkpoint
+    line are CRC32-framed ({!Framed_log}); replay truncates a torn
+    tail back to the last valid frame, quarantines corrupt frames to
+    [log-quarantine.jsonl] with exact counts, and reads the rotated
+    segment ([events.log.1], written when the active segment exceeds
+    [max_log_bytes]) before the active one. Compaction at checkpoint
+    folds both segments back into one. *)
 
 module Fault = Qnet_runtime.Fault
 
@@ -58,6 +80,30 @@ type config = {
   backoff_max : float;  (** backoff ceiling, seconds (default 4.0) *)
   poll_interval : float;  (** queue poll period, seconds (default 0.05) *)
   seed : int;
+  fit_deadline : float;
+      (** wall-clock budget for one refit round; a round over budget
+          demotes the shard a ladder rung (default 10.0) *)
+  hot_tenant_events : int;
+      (** a tenant with this many unfitted events gets incremental
+          refits even on a [Full_fits] shard (default 960) *)
+  breaker_restarts : int;
+      (** restarts within [breaker_window] that trip the circuit
+          breaker (default 3) *)
+  breaker_window : float;  (** seconds (default 30.0) *)
+  breaker_cooldown : float;
+      (** minimum seconds pinned after a breaker trip (default 10.0) *)
+  promote_rounds : int;
+      (** consecutive clean evaluations required to climb one rung
+          (default 3) *)
+  hot_watermark : float;
+      (** queue fraction at or above which the shard demotes
+          (default 0.75) *)
+  cool_watermark : float;
+      (** queue fraction at or below which an evaluation counts as
+          clean (default 0.25) *)
+  max_log_bytes : int;
+      (** active event-log segment size that triggers rotation
+          (default 4 MiB) *)
 }
 
 val default_config : config
@@ -72,6 +118,15 @@ type status =
 val status_label : status -> string
 (** Lowercase token for JSON/metrics ("healthy", "restarting", ...). *)
 
+type level = Full_fits | Incremental | Pinned
+(** The degradation ladder, from freshest to stalest serving mode. *)
+
+val level_label : level -> string
+(** "full" | "incremental" | "pinned". *)
+
+val level_rank : level -> int
+(** 0 | 1 | 2 — the [qnet_serve_degrade_level] gauge value. *)
+
 type posterior = {
   tenant : string;
   params : Qnet_core.Params.t;
@@ -81,6 +136,7 @@ type posterior = {
   num_events : int;  (** events in the fitted window *)
   from_checkpoint : bool;  (** resumed, not yet refreshed by a live fit *)
   fitted_at : float;  (** {!Qnet_obs.Clock.now} at fit (0 for resumed) *)
+  fit_mode : string;  (** "full" | "incremental" | "checkpoint" *)
 }
 
 (** The checkpoint codec, exposed for tests: one line of JSON,
@@ -139,6 +195,29 @@ val restarts : t -> int
 val resumed : t -> bool
 val queue_depth : t -> int
 val last_error : t -> string option
+
+val level : t -> level
+(** Current degradation-ladder rung. *)
+
+val degraded_reason : t -> string option
+(** Why the shard sits below [Full_fits] ([None] when healthy). *)
+
+val drain_rate : t -> float
+(** EWMA of events/s actually absorbed from the ingest queue — the
+    input to honest [Retry-After] arithmetic. 0 before any drain. *)
+
+val refit_lag : t -> float
+(** Seconds since the last fit scan while unfitted events are
+    pending; 0 when nothing is waiting. *)
+
+val log_corrupt_frames : t -> int
+(** Durable-log frames quarantined during this process's replay. *)
+
+val log_torn_tails : t -> int
+(** Torn tails truncated during this process's replay. *)
+
+val replayed_events : t -> int
+(** Events successfully replayed from the durable log at start. *)
 
 val tenants : t -> string list
 (** Sorted; tenants with any buffered events or posterior. *)

@@ -6,6 +6,8 @@
 module Ingest = Qnet_serve.Ingest
 module Bounded_queue = Qnet_serve.Bounded_queue
 module Router = Qnet_serve.Router
+module Admission = Qnet_serve.Admission
+module Framed_log = Qnet_serve.Framed_log
 module Shard = Qnet_serve.Shard
 module Daemon = Qnet_serve.Daemon
 module Serve_metrics = Qnet_serve.Serve_metrics
@@ -204,6 +206,75 @@ let test_queue_close () =
     "drained+closed returns []" []
     (Bounded_queue.pop_batch ~timeout:0.1 q)
 
+(* Concurrent stress: the shed-vs-block tail semantics under real
+   producer/consumer races, with exact accounting — no item may ever
+   vanish without being counted. *)
+
+let stress_consumer q delivered =
+  Thread.create
+    (fun () ->
+      let rec go () =
+        match Bounded_queue.pop_batch ~timeout:0.2 q with
+        | [] -> if not (Bounded_queue.is_closed q) then go ()
+        | batch ->
+            ignore (Atomic.fetch_and_add delivered (List.length batch) : int);
+            go ()
+      in
+      go ())
+    ()
+
+let test_queue_stress_shed_accounting () =
+  let q = Bounded_queue.create ~capacity:16 in
+  let producers = 4 and per_producer = 500 in
+  let shed = Atomic.make 0 and delivered = Atomic.make 0 in
+  let consumer = stress_consumer q delivered in
+  let ps =
+    List.init producers (fun p ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_producer - 1 do
+              if not (Bounded_queue.try_push q ((p * per_producer) + i)) then
+                ignore (Atomic.fetch_and_add shed 1 : int)
+            done)
+          ())
+  in
+  List.iter Thread.join ps;
+  Bounded_queue.close q;
+  Thread.join consumer;
+  (* whatever the consumer's final timeout raced past is still here *)
+  let rest = List.length (Bounded_queue.pop_batch ~timeout:0.1 q) in
+  Alcotest.(check int)
+    "delivered + shed + residue == produced"
+    (producers * per_producer)
+    (Atomic.get delivered + Atomic.get shed + rest)
+
+let test_queue_stress_block_lossless () =
+  let q = Bounded_queue.create ~capacity:8 in
+  let producers = 3 and per_producer = 300 in
+  let delivered = Atomic.make 0 in
+  let consumer = stress_consumer q delivered in
+  let ps =
+    List.init producers (fun p ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_producer - 1 do
+              let rec push () =
+                if not (Bounded_queue.push_wait ~timeout:5.0 q ((p * per_producer) + i))
+                then push ()
+              in
+              push ()
+            done)
+          ())
+  in
+  List.iter Thread.join ps;
+  Bounded_queue.close q;
+  Thread.join consumer;
+  let rest = List.length (Bounded_queue.pop_batch ~timeout:0.1 q) in
+  Alcotest.(check int)
+    "blocking producers lose nothing"
+    (producers * per_producer)
+    (Atomic.get delivered + rest)
+
 (* ------------------------------------------------------------------ *)
 (* Router                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -313,12 +384,193 @@ let test_service_fault_parse () =
   (match Fault.parse_service_fault "1:slow@3" with
   | Ok { Fault.kind = Fault.Slow_consumer _; _ } -> ()
   | _ -> Alcotest.fail "slow spec");
+  (match Fault.parse_service_fault "0:torn-write@6" with
+  | Ok { Fault.kind = Fault.Torn_write; _ } -> ()
+  | _ -> Alcotest.fail "torn-write spec");
+  (match Fault.parse_service_fault "0:bit-flip@8" with
+  | Ok { Fault.kind = Fault.Bit_flip; _ } -> ()
+  | _ -> Alcotest.fail "bit-flip spec");
+  (match Fault.parse_service_fault "1:overload=50@3" with
+  | Ok { Fault.kind = Fault.Overload r; _ } ->
+      Alcotest.(check (float 1e-12)) "overload rps" 50.0 r
+  | _ -> Alcotest.fail "overload spec");
   List.iter
     (fun bad ->
       match Fault.parse_service_fault bad with
       | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
       | Error _ -> ())
-    [ ""; "crash@6"; "0:crash"; "x:crash@6"; "0:unknown@6"; "0:crash@-1" ]
+    [
+      ""; "crash@6"; "0:crash"; "x:crash@6"; "0:unknown@6"; "0:crash@-1";
+      "0:overload@3"; "0:overload=-5@3"; "0:overload=0@3";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Framed durable log                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_framed_crc32 () =
+  Alcotest.(check int32)
+    "standard check value" 0xCBF43926l
+    (Framed_log.crc32 "123456789")
+
+let test_framed_parse () =
+  let payload = "{\"tenant\":\"acme\",\"task\":1}" in
+  (match Framed_log.parse (Framed_log.frame payload) with
+  | Ok p -> Alcotest.(check string) "payload round-trips" payload p
+  | Error _ -> Alcotest.fail "framed line failed to parse");
+  (match Framed_log.parse "plain,csv,line" with
+  | Error Framed_log.Not_a_frame -> ()
+  | _ -> Alcotest.fail "legacy line must be Not_a_frame");
+  (* one flipped payload byte: frame-shaped, fails its CRC *)
+  let flipped =
+    let b = Bytes.of_string (Framed_log.frame payload) in
+    Bytes.set b (Bytes.length b - 1) 'X';
+    Bytes.to_string b
+  in
+  (match Framed_log.parse flipped with
+  | Error (Framed_log.Corrupt _) -> ()
+  | _ -> Alcotest.fail "bit-flipped frame must be Corrupt");
+  (* a length that lies about the payload is also corrupt *)
+  match
+    Framed_log.parse
+      (Printf.sprintf "%08lx %d %s" (Framed_log.crc32 payload)
+         (String.length payload + 1)
+         payload)
+  with
+  | Error (Framed_log.Corrupt _) -> ()
+  | _ -> Alcotest.fail "length mismatch must be Corrupt"
+
+let test_framed_replay_and_torn_tail () =
+  let dir = fresh_dir "qnet-framed" in
+  let path = Filename.concat dir "log" in
+  let corrupt =
+    let b = Bytes.of_string (Framed_log.frame "gamma") in
+    Bytes.set b (Bytes.length b - 1) 'X';
+    Bytes.to_string b
+  in
+  let torn =
+    let f = Framed_log.frame "delta-with-enough-length-to-tear" in
+    String.sub f 0 (String.length f / 2)
+  in
+  let oc = open_out path in
+  output_string oc
+    (Framed_log.frame "alpha" ^ "\n" ^ "legacy line" ^ "\n" ^ corrupt ^ "\n"
+   ^ Framed_log.frame "beta" ^ "\n" ^ torn);
+  close_out oc;
+  let payloads = ref [] and corrupts = ref [] in
+  (match
+     Framed_log.replay_file ~path
+       ~on_payload:(fun p -> payloads := p :: !payloads)
+       ~on_corrupt:(fun ~line:_ ~reason -> corrupts := reason :: !corrupts)
+       ()
+   with
+  | Error m -> Alcotest.failf "replay failed: %s" m
+  | Ok stats ->
+      Alcotest.(check int) "frames" 2 stats.Framed_log.frames;
+      Alcotest.(check int) "legacy" 1 stats.Framed_log.legacy;
+      Alcotest.(check int) "corrupt" 1 stats.Framed_log.corrupt;
+      Alcotest.(check int) "quarantine callback" 1 (List.length !corrupts);
+      Alcotest.(check bool) "torn tail found" true stats.Framed_log.torn;
+      Alcotest.(check (list string))
+        "payload order preserved"
+        [ "alpha"; "legacy line"; "beta" ]
+        (List.rev !payloads));
+  (* the torn tail was truncated away: a second replay sees the same
+     surviving prefix, bit-identical, and no tear *)
+  let again = ref [] in
+  match
+    Framed_log.replay_file ~path
+      ~on_payload:(fun p -> again := p :: !again)
+      ~on_corrupt:(fun ~line:_ ~reason:_ -> ())
+      ()
+  with
+  | Error m -> Alcotest.failf "second replay failed: %s" m
+  | Ok stats ->
+      Alcotest.(check bool) "no torn tail left" false stats.Framed_log.torn;
+      Alcotest.(check (list string))
+        "surviving prefix identical" (List.rev !payloads) (List.rev !again)
+
+(* ------------------------------------------------------------------ *)
+(* Admission controller                                                *)
+(* ------------------------------------------------------------------ *)
+
+let admission_test_config =
+  { Admission.default_config with Admission.adjust_interval = 0.0; seed = 42 }
+
+let test_admission_aimd () =
+  let a = Admission.create admission_test_config in
+  Alcotest.(check (float 1e-12))
+    "starts fully open" 1.0
+    (Admission.rate a ~tenant:"t");
+  Admission.observe a ~tenant:"t" ~pressure:0.9 ~now:1.0;
+  let after_one = Admission.rate a ~tenant:"t" in
+  Alcotest.(check bool)
+    "high pressure backs off multiplicatively" true
+    (after_one < 1.0);
+  for i = 2 to 30 do
+    Admission.observe a ~tenant:"t" ~pressure:1.0 ~now:(float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9))
+    "floored at min_rate" admission_test_config.Admission.min_rate
+    (Admission.rate a ~tenant:"t");
+  (* tenants are independent: the other tenant never moved *)
+  Alcotest.(check (float 1e-12))
+    "other tenant untouched" 1.0
+    (Admission.rate a ~tenant:"other");
+  for i = 31 to 300 do
+    Admission.observe a ~tenant:"t" ~pressure:0.0 ~now:(float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9))
+    "additive recovery back to 1" 1.0
+    (Admission.rate a ~tenant:"t")
+
+let test_admission_coin_and_accounting () =
+  let a = Admission.create admission_test_config in
+  for _ = 1 to 100 do
+    Alcotest.(check bool)
+      "full rate always admits" true
+      (Admission.admit a ~tenant:"t")
+  done;
+  for i = 1 to 30 do
+    Admission.observe a ~tenant:"t" ~pressure:1.0 ~now:(float_of_int i)
+  done;
+  let admitted = ref 0 in
+  for _ = 1 to 1000 do
+    if Admission.admit a ~tenant:"t" then incr admitted
+  done;
+  (* at the 1% floor, 1000 coins admit ~10; 100 is a 10-sigma bound *)
+  Alcotest.(check bool) "floor thins the stream" true (!admitted < 100);
+  Admission.note a ~tenant:"t" ~offered:1000 ~admitted:!admitted;
+  let snap = Admission.snapshot a ~tenant:"t" in
+  Alcotest.(check int) "offered" 1000 snap.Admission.s_offered;
+  Alcotest.(check int) "admitted" !admitted snap.Admission.s_admitted;
+  Alcotest.(check (float 1e-9))
+    "fraction = admitted/offered"
+    (float_of_int !admitted /. 1000.0)
+    (Admission.admitted_fraction snap);
+  Alcotest.(check (float 1e-12))
+    "unseen tenant reports 1.0" 1.0
+    (Admission.admitted_fraction (Admission.snapshot a ~tenant:"other"))
+
+let test_admission_config_rejected () =
+  let d = Admission.default_config in
+  List.iter
+    (fun (label, cfg) ->
+      Alcotest.(check bool)
+        label true
+        (Result.is_error (Admission.validate cfg)))
+    [
+      ("min_rate 0", { d with Admission.min_rate = 0.0 });
+      ("min_rate > 1", { d with Admission.min_rate = 1.5 });
+      ("increase 0", { d with Admission.increase = 0.0 });
+      ("decrease 1", { d with Admission.decrease = 1.0 });
+      ( "inverted watermarks",
+        { d with Admission.high_watermark = 0.2; low_watermark = 0.5 } );
+      ("negative interval", { d with Admission.adjust_interval = -1.0 });
+    ];
+  Alcotest.(check bool)
+    "default config valid" true
+    (Result.is_ok (Admission.validate d))
 
 (* ------------------------------------------------------------------ *)
 (* Replay plans                                                        *)
@@ -432,6 +684,95 @@ let with_daemon cfg f =
   match Daemon.create cfg with
   | Error m -> Alcotest.failf "daemon failed to start: %s" m
   | Ok d -> Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f d)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let push_tenant_lines s lines =
+  List.iter
+    (fun line ->
+      match Ingest.decode_line ~num_queues:2 line with
+      | Ok r -> ignore (Bounded_queue.try_push (Shard.queue s) r : bool)
+      | Error m -> Alcotest.failf "bad test line: %s" m)
+    lines
+
+let test_shard_ladder_demotes_to_pinned () =
+  let dir = fresh_dir "qnet-ladder" in
+  (* an impossible fit budget: every refit round blows the deadline, so
+     the first round demotes full -> incremental and the second blown
+     round in a row pins the shard; hysteresis is disabled by an
+     unreachable promote_rounds *)
+  let cfg =
+    {
+      fast_shard_config with
+      Shard.fit_deadline = 1e-6;
+      refit_interval = 0.1;
+      promote_rounds = 1_000_000;
+    }
+  in
+  match Shard.create ~dir:(Filename.concat dir "s0") ~id:0 cfg with
+  | Error m -> Alcotest.failf "shard: %s" m
+  | Ok s ->
+      Fun.protect
+        ~finally:(fun () -> Shard.stop s)
+        (fun () ->
+          Alcotest.(check string)
+            "starts at full" "full"
+            (Shard.level_label (Shard.level s));
+          push_tenant_lines s (tenant_lines "acme" 40);
+          until ~what:"demotion to incremental" (fun () ->
+              Shard.level_rank (Shard.level s) >= 1);
+          (* a second blown round while already demoted pins the shard *)
+          push_tenant_lines s (tenant_lines "acme" 40);
+          until ~what:"pin after two blown rounds" (fun () ->
+              Shard.level s = Shard.Pinned);
+          match Shard.degraded_reason s with
+          | Some _ -> ()
+          | None -> Alcotest.fail "pinned shard must carry a degraded_reason")
+
+let test_shard_breaker_pins () =
+  let dir = fresh_dir "qnet-breaker" in
+  let cfg =
+    {
+      fast_shard_config with
+      Shard.breaker_restarts = 1;
+      breaker_cooldown = 60.0;
+      promote_rounds = 1_000_000;
+    }
+  in
+  let faults = [ { Fault.shard = 0; after = 0.1; kind = Fault.Shard_crash } ] in
+  match Shard.create ~faults ~dir:(Filename.concat dir "s0") ~id:0 cfg with
+  | Error m -> Alcotest.failf "shard: %s" m
+  | Ok s ->
+      Fun.protect
+        ~finally:(fun () -> Shard.stop s)
+        (fun () ->
+          until ~what:"watchdog restart" (fun () -> Shard.restarts s >= 1);
+          until ~what:"breaker pin" (fun () -> Shard.level s = Shard.Pinned);
+          match Shard.degraded_reason s with
+          | Some _ -> ()
+          | None -> Alcotest.fail "breaker pin must carry a degraded_reason")
+
+let test_shard_ladder_config_rejected () =
+  let dir = fresh_dir "qnet-ladder-cfg" in
+  let expect_invalid name cfg =
+    match Shard.create ~dir:(Filename.concat dir name) ~id:0 cfg with
+    | Error _ -> ()
+    | Ok s ->
+        Shard.stop s;
+        Alcotest.failf "%s: invalid config accepted" name
+  in
+  expect_invalid "deadline"
+    { fast_shard_config with Shard.fit_deadline = 0.0 };
+  expect_invalid "breaker"
+    { fast_shard_config with Shard.breaker_restarts = 0 };
+  expect_invalid "watermarks"
+    { fast_shard_config with Shard.hot_watermark = 0.2; cool_watermark = 0.5 };
+  expect_invalid "promote"
+    { fast_shard_config with Shard.promote_rounds = 0 };
+  expect_invalid "log-bytes"
+    { fast_shard_config with Shard.max_log_bytes = 16 }
 
 let test_daemon_ingest_and_posterior () =
   let dir = fresh_dir "qnet-daemon" in
@@ -613,6 +954,34 @@ let () =
           Alcotest.test_case "fifo batches" `Quick test_queue_fifo_batch;
           Alcotest.test_case "push_wait blocks" `Quick test_queue_push_wait;
           Alcotest.test_case "close semantics" `Quick test_queue_close;
+          Alcotest.test_case "stress: shed accounting" `Quick
+            test_queue_stress_shed_accounting;
+          Alcotest.test_case "stress: block lossless" `Quick
+            test_queue_stress_block_lossless;
+        ] );
+      ( "framed-log",
+        [
+          Alcotest.test_case "crc32 check value" `Quick test_framed_crc32;
+          Alcotest.test_case "parse verdicts" `Quick test_framed_parse;
+          Alcotest.test_case "replay + torn tail" `Quick
+            test_framed_replay_and_torn_tail;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "aimd rate control" `Quick test_admission_aimd;
+          Alcotest.test_case "coin + accounting" `Quick
+            test_admission_coin_and_accounting;
+          Alcotest.test_case "config rejected" `Quick
+            test_admission_config_rejected;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "blown deadlines pin" `Quick
+            test_shard_ladder_demotes_to_pinned;
+          Alcotest.test_case "restart breaker pins" `Quick
+            test_shard_breaker_pins;
+          Alcotest.test_case "config validation" `Quick
+            test_shard_ladder_config_rejected;
         ] );
       ( "router",
         [ Alcotest.test_case "stable fnv routing" `Quick test_router ] );
