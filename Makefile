@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload demo supervised-demo bench bench-obs clean
+.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload verify-fleet demo supervised-demo bench bench-obs clean
 
 all: build
 
@@ -27,7 +27,7 @@ verify-lint: lint
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build lint test demo supervised-demo verify-diagnostics verify-serve verify-overload
+verify: build lint test demo supervised-demo verify-diagnostics verify-serve verify-overload verify-fleet
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live
@@ -162,6 +162,14 @@ verify-serve: build
 verify-overload: build
 	scripts/verify_serve overload
 
+# Fleet observability soak: a traced 2-shard daemon under a short
+# replay; /fleet.json must show per-tenant p50/p95/p99 and a
+# queue-wait/refit/serve bottleneck ranking, /fleet must serve the
+# panel, and the shutdown span log must summarize with serve phases
+# and exact drop accounting. Details in scripts/verify_fleet.
+verify-fleet: build
+	scripts/verify_fleet
+
 # Core-throughput regression gate: time the hot paths directly and
 # compare against the committed BENCH_core.json baseline; fails on a
 # >20% regression. Refresh the baseline with:
@@ -170,10 +178,14 @@ bench: build
 	dune exec bench/main.exe -- --core-json _bench_core_current.json
 	scripts/bench_compare BENCH_core.json _bench_core_current.json
 
-# Telemetry overhead benchmark; writes BENCH_obs.json at the repo root.
+# Telemetry overhead gate: re-measure the sweep rates and fail when
+# the metrics_enabled overhead exceeds the 5% budget (an absolute
+# budget, not a baseline diff). Refresh the committed numbers with:
+#   dune exec bench/obs_overhead.exe
 bench-obs:
-	dune exec bench/obs_overhead.exe
+	dune exec bench/obs_overhead.exe -- _bench_obs_current.json
+	scripts/bench_compare --obs _bench_obs_current.json
 
 clean:
 	dune clean
-	rm -rf _demo _demo_supervised _demo_obs _demo_diag _demo_serve _bench_core_current.json
+	rm -rf _demo _demo_supervised _demo_obs _demo_diag _demo_serve _demo_fleet _bench_core_current.json _bench_obs_current.json

@@ -139,6 +139,11 @@ let write_span_log path =
       Buffer.add_string buf (Span.to_json s);
       Buffer.add_char buf '\n')
     spans;
+  (* the dropped trailer lets summarize-trace report the loss even
+     when this stderr note scrolled away *)
+  if dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "{\"meta\":\"qnet_trace\",\"dropped\":%d}\n" dropped);
   write_file path (Buffer.contents buf)
 
 (* Combine the inference outcome with the telemetry writes: telemetry

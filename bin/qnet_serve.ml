@@ -28,6 +28,7 @@ module Bounded_queue = Qnet_serve.Bounded_queue
 module Fault = Qnet_runtime.Fault
 module Metrics = Qnet_obs.Metrics
 module Clock = Qnet_obs.Clock
+module Span = Qnet_obs.Span
 
 let rec parse_faults ~shards = function
   | [] -> Ok []
@@ -76,6 +77,19 @@ let write_metrics_snapshot path =
     end
   with Sys_error m -> Error (Printf.sprintf "cannot write %s: %s" path m)
 
+let write_span_log path =
+  let spans = Span.drain () in
+  let dropped = Span.dropped () in
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Span.write_jsonl ~dropped oc spans);
+    Printf.eprintf "qnet-serve: wrote %d span(s) (%d dropped) -> %s\n%!"
+      (List.length spans) dropped path;
+    Ok ()
+  with Sys_error m -> Error (Printf.sprintf "cannot write %s: %s" path m)
+
 let stop_requested = Atomic.make false
 
 let install_signal_handlers () =
@@ -86,7 +100,13 @@ let install_signal_handlers () =
 let serve shards data_dir host port retry_ephemeral queues queue_capacity
     refit_events refit_interval min_tenant_events fit_iterations chains
     max_restarts fit_deadline admission_min_rate seed dead_letter
-    no_dead_letter tails tail_policy faults run_seconds metrics_out log_level =
+    no_dead_letter tails tail_policy faults trace_out trace_sample_rate
+    trace_seed run_seconds metrics_out log_level =
+  if not (trace_sample_rate >= 0.0 && trace_sample_rate <= 1.0) then
+    Error
+      (Printf.sprintf "bad --trace-sample-rate %g: expected a rate in [0, 1]"
+         trace_sample_rate)
+  else
   match
     match log_level with
     | None -> Ok ()
@@ -151,8 +171,11 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
                   shard = shard_cfg;
                   admission = admission_cfg;
                   faults;
+                  trace_sample_rate;
+                  trace_seed;
                 }
               in
+              if trace_out <> None then Span.enable ();
               (match Daemon.create cfg with
               | Error m -> Error m
               | Ok daemon ->
@@ -207,9 +230,16 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
                     (Daemon.shards daemon);
                   Printf.eprintf "qnet-serve: dead-letter %d\n%!"
                     (Daemon.dead_letter_count daemon);
-                  (match metrics_out with
-                  | None -> Ok ()
-                  | Some path -> write_metrics_snapshot path))))
+                  (match
+                     match trace_out with
+                     | None -> Ok ()
+                     | Some path -> write_span_log path
+                   with
+                  | Error m -> Error m
+                  | Ok () -> (
+                      match metrics_out with
+                      | None -> Ok ()
+                      | Some path -> write_metrics_snapshot path)))))
 
 let shards =
   Arg.(
@@ -352,6 +382,30 @@ let faults =
               1:overload=50@3 caps shard 1's drain at 50 events/s so \
               admission sampling and the degradation ladder engage.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Enable request tracing and write the sampled spans (JSONL, one \
+              span per line plus a dropped-count trailer) to $(docv) on \
+              shutdown; summarize with qnet_trace_tool summarize-trace.")
+
+let trace_sample_rate =
+  Arg.(
+    value & opt float 0.01
+    & info [ "trace-sample-rate" ] ~docv:"RATE"
+        ~doc:"Head-based trace sampling rate in [0,1]: the coin is flipped \
+              once per admitted ingest record and the decision follows the \
+              request through queue, refit and serve (default 1%).")
+
+let trace_seed =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-seed" ] ~docv:"SEED"
+        ~doc:"Trace sampler seed; the same seed and ingest order sample the \
+              same requests.")
+
 let run_seconds =
   Arg.(
     value
@@ -383,7 +437,8 @@ let cmd =
       $ queue_capacity $ refit_events $ refit_interval $ min_tenant_events
       $ fit_iterations $ chains $ max_restarts $ fit_deadline
       $ admission_min_rate $ seed $ dead_letter $ no_dead_letter $ tails
-      $ tail_policy $ faults $ run_seconds $ metrics_out $ log_level)
+      $ tail_policy $ faults $ trace_out $ trace_sample_rate $ trace_seed
+      $ run_seconds $ metrics_out $ log_level)
   in
   let info =
     Cmd.info "qnet_serve"

@@ -111,22 +111,90 @@ let corrupt input seed per_mode output =
       Printf.printf "-> %s\n" output;
       Ok ()
 
+(* Spans carrying a "trace" attribute come from the qnet_serve request
+   pipeline (head-sampled at POST /ingest). Group them per tenant and
+   rank where the sampled requests actually spent their time — the
+   offline twin of the /fleet bottleneck panel. *)
+let serve_trace_report spans =
+  let attr k s = List.assoc_opt k s.Span.attrs in
+  let traced = List.filter (fun s -> attr "trace" s <> None) spans in
+  if traced <> [] then begin
+    let trace_ids = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        Option.iter (fun id -> Hashtbl.replace trace_ids id ()) (attr "trace" s))
+      traced;
+    let tenants = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let tenant = Option.value ~default:"?" (attr "tenant" s) in
+        let phases =
+          match Hashtbl.find_opt tenants tenant with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.replace tenants tenant h;
+              h
+        in
+        let c, tot, mx =
+          Option.value ~default:(0, 0.0, 0.0)
+            (Hashtbl.find_opt phases s.Span.name)
+        in
+        Hashtbl.replace phases s.Span.name
+          (c + 1, tot +. s.Span.duration, Float.max mx s.Span.duration))
+      traced;
+    Printf.printf
+      "\nserve traces: %d span(s) from %d sampled request(s), %d tenant(s)\n"
+      (List.length traced) (Hashtbl.length trace_ids) (Hashtbl.length tenants);
+    let tenant_list =
+      List.sort compare (Hashtbl.fold (fun t h acc -> (t, h) :: acc) tenants [])
+    in
+    List.iter
+      (fun (tenant, phases) ->
+        (match Hashtbl.find_opt phases "serve.e2e" with
+        | Some (c, tot, mx) ->
+            Printf.printf "  %-12s e2e: %d trace(s), mean %.6fs, max %.6fs\n"
+              tenant c
+              (tot /. float_of_int c)
+              mx
+        | None -> Printf.printf "  %-12s (no end-to-end spans)\n" tenant);
+        let work =
+          Hashtbl.fold
+            (fun name (c, tot, _) acc ->
+              if name = "serve.e2e" then acc else (name, c, tot) :: acc)
+            phases []
+        in
+        let total = List.fold_left (fun a (_, _, t) -> a +. t) 0.0 work in
+        if total > 0.0 then
+          List.iter
+            (fun (name, c, tot) ->
+              Printf.printf "    %-18s %5.1f%%  %d span(s), %.6fs\n" name
+                (100.0 *. tot /. total)
+                c tot)
+            (List.sort (fun (_, _, a) (_, _, b) -> compare b a) work))
+      tenant_list
+  end
+
 let summarize_trace input =
   match Span.read_jsonl input with
   | Error m -> Error m
-  | Ok ([], _) -> Error (Printf.sprintf "%s: no parseable spans" input)
-  | Ok (spans, malformed) ->
+  | Ok { Span.spans = []; _ } ->
+      Error (Printf.sprintf "%s: no parseable spans" input)
+  | Ok { Span.spans; malformed; dropped } ->
       if malformed > 0 then
         Printf.eprintf "warning: %s: skipped %d malformed line(s)\n%!" input
           malformed;
       Format.printf "%a" Span.Summary.pp (Span.Summary.of_spans spans);
+      Printf.printf "spans_dropped: %d\n" dropped;
+      serve_trace_report spans;
       Ok ()
 
 let flamegraph input output =
   match Span.read_jsonl input with
   | Error m -> Error m
-  | Ok ([], _) -> Error (Printf.sprintf "%s: no parseable spans" input)
-  | Ok (spans, malformed) ->
+  | Ok { Span.spans = []; _ } ->
+      Error (Printf.sprintf "%s: no parseable spans" input)
+  | Ok { Span.spans; malformed; dropped = _ } ->
       if malformed > 0 then
         Printf.eprintf "warning: %s: skipped %d malformed line(s)\n%!" input
           malformed;

@@ -8,6 +8,8 @@ let rec clamp t =
 
 let now () = clamp (Unix.gettimeofday ())
 
+let now_raw () = Unix.gettimeofday ()
+
 let origin =
   let cell = Atomic.make nan in
   fun () ->

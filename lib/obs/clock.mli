@@ -10,6 +10,14 @@
 val now : unit -> float
 (** Current time in seconds, non-decreasing across all domains. *)
 
+val now_raw : unit -> float
+(** Raw [Unix.gettimeofday], {e without} the monotonic clamp — no
+    shared-atomic traffic, so safe to call from a per-event hot loop
+    on every domain at once. Only for measuring short durations as a
+    difference of two reads; callers must clamp the delta to [>= 0]
+    (a clock step can make it negative). Use {!now} for anything that
+    becomes an absolute timestamp. *)
+
 val elapsed : unit -> float
 (** Seconds since this process first touched the clock — a compact
     origin for span logs ([Span] records [start] on this scale). *)

@@ -1,9 +1,15 @@
 (* See metrics.mli for the design contract. The sharding invariant
    everything rests on: a shard cell is written only by the domain
    that created it, so owner updates need no read-modify-write
-   atomicity — [Atomic.set cell (Atomic.get cell + x)] is exact —
-   while readers on other domains still get release/acquire
-   visibility from the atomic accesses. *)
+   atomicity at all — they are plain stores into domain-private
+   cells. Scrapers on other domains read those cells racily: the
+   OCaml memory model guarantees word-sized mutable fields never
+   tear, so a racy read returns *some* recently written value —
+   a bounded-staleness snapshot, and the exact total once a
+   happens-before edge (Domain.join, mutex hand-off) separates the
+   last write from the read. Dropping the atomics from the per-event
+   path is what keeps `metrics_enabled` overhead inside the <=5%
+   budget (BENCH_obs.json). *)
 
 let master_enabled = Atomic.make false
 let set_enabled b = Atomic.set master_enabled b
@@ -70,13 +76,19 @@ let fold_shards s f init = List.fold_left f init (Atomic.get s.all)
 (* Metric bodies                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type counter_body = float Atomic.t sharded
+(* A single-field all-float record is flat (unboxed storage), so the
+   owner's [c.v <- c.v +. x] is one load, one add, one plain store —
+   no allocation. A [mutable float] inside a mixed record would box
+   on every store; never inline these into a larger record. *)
+type fcell = { mutable v : float }
+
+type counter_body = fcell sharded
 
 type hist_shard = {
-  bucket_counts : int Atomic.t array; (* one per bound, plus overflow *)
-  h_sum : float Atomic.t;
-  h_count : int Atomic.t;
-  h_nan : int Atomic.t;
+  bucket_counts : int array; (* one per bound, plus overflow; owner-written *)
+  h_sum : fcell;
+  mutable h_count : int;
+  mutable h_nan : int;
 }
 
 type hist_body = { bounds : float array; shards : hist_shard sharded }
@@ -177,11 +189,11 @@ module Counter = struct
   let inc ?(by = 1.0) t =
     if by < 0.0 || Float.is_nan by then
       invalid_arg "Metrics.Counter.inc: negative or NaN increment";
-    let cell = my_shard t ~fresh:(fun () -> Atomic.make 0.0) in
-    (* owner-only writer; see the header comment *)
-    Atomic.set cell (Atomic.get cell +. by)
+    let cell = my_shard t ~fresh:(fun () -> { v = 0.0 }) in
+    (* owner-only writer; plain store, see the header comment *)
+    cell.v <- cell.v +. by
 
-  let value t = fold_shards t (fun acc cell -> acc +. Atomic.get cell) 0.0
+  let value t = fold_shards t (fun acc cell -> acc +. cell.v) 0.0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -240,10 +252,10 @@ module Histogram = struct
 
   let fresh_shard bounds () =
     {
-      bucket_counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
-      h_sum = Atomic.make 0.0;
-      h_count = Atomic.make 0;
-      h_nan = Atomic.make 0;
+      bucket_counts = Array.make (Array.length bounds + 1) 0;
+      h_sum = { v = 0.0 };
+      h_count = 0;
+      h_nan = 0;
     }
 
   let bucket_index bounds v =
@@ -252,30 +264,44 @@ module Histogram = struct
     let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
     go 0
 
-  let observe t v =
-    let sh = my_shard t.shards ~fresh:(fresh_shard t.bounds) in
-    if Float.is_nan v then Atomic.set sh.h_nan (Atomic.get sh.h_nan + 1)
-    else begin
-      let i = bucket_index t.bounds v in
-      Atomic.set sh.bucket_counts.(i) (Atomic.get sh.bucket_counts.(i) + 1);
-      Atomic.set sh.h_sum (Atomic.get sh.h_sum +. v);
-      Atomic.set sh.h_count (Atomic.get sh.h_count + 1)
+  (* Record [n] identical observations of [v] in one pass: one bucket
+     scan and three plain stores total, instead of n of each. This is
+     the batching half of the telemetry fast path — a stride-sampling
+     caller times every k-th event and observes it with weight k, so
+     [count] still approximates the event count. *)
+  let observe_n t ~n v =
+    if n < 0 then invalid_arg "Metrics.Histogram.observe_n: negative count";
+    if n > 0 then begin
+      let sh = my_shard t.shards ~fresh:(fresh_shard t.bounds) in
+      if Float.is_nan v then sh.h_nan <- sh.h_nan + n
+      else begin
+        let i = bucket_index t.bounds v in
+        sh.bucket_counts.(i) <- sh.bucket_counts.(i) + n;
+        sh.h_sum.v <- sh.h_sum.v +. (float_of_int n *. v);
+        sh.h_count <- sh.h_count + n
+      end
     end
 
-  let count t =
-    fold_shards t.shards (fun acc sh -> acc + Atomic.get sh.h_count) 0
+  let observe t v =
+    let sh = my_shard t.shards ~fresh:(fresh_shard t.bounds) in
+    if Float.is_nan v then sh.h_nan <- sh.h_nan + 1
+    else begin
+      let i = bucket_index t.bounds v in
+      sh.bucket_counts.(i) <- sh.bucket_counts.(i) + 1;
+      sh.h_sum.v <- sh.h_sum.v +. v;
+      sh.h_count <- sh.h_count + 1
+    end
 
-  let sum t = fold_shards t.shards (fun acc sh -> acc +. Atomic.get sh.h_sum) 0.0
-
-  let nan_count t =
-    fold_shards t.shards (fun acc sh -> acc + Atomic.get sh.h_nan) 0
+  let count t = fold_shards t.shards (fun acc sh -> acc + sh.h_count) 0
+  let sum t = fold_shards t.shards (fun acc sh -> acc +. sh.h_sum.v) 0.0
+  let nan_count t = fold_shards t.shards (fun acc sh -> acc + sh.h_nan) 0
 
   let raw_buckets t =
     let n = Array.length t.bounds + 1 in
     let acc = Array.make n 0 in
     fold_shards t.shards
       (fun () sh ->
-        Array.iteri (fun i c -> acc.(i) <- acc.(i) + Atomic.get c) sh.bucket_counts)
+        Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) sh.bucket_counts)
       ();
     acc
 
@@ -290,6 +316,37 @@ module Histogram = struct
     done;
     out.(n) <- (infinity, !running + raw.(n));
     out
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 || Float.is_nan q then
+      invalid_arg "Metrics.Histogram.quantile: q outside [0,1]";
+    let cum = cumulative_buckets t in
+    let n = Array.length cum in
+    let total = snd cum.(n - 1) in
+    if total = 0 then Float.nan
+    else begin
+      let rank = q *. float_of_int total in
+      let rec find i =
+        if i >= n - 1 then i
+        else if float_of_int (snd cum.(i)) >= rank then i
+        else find (i + 1)
+      in
+      let i = find 0 in
+      let ub, c = cum.(i) in
+      if Float.equal ub infinity then
+        (* overflow bucket: the best honest answer is the largest
+           finite bound — "at least this much" *)
+        fst cum.(n - 2)
+      else begin
+        let lo = if i = 0 then 0.0 else fst cum.(i - 1) in
+        let clo = if i = 0 then 0 else snd cum.(i - 1) in
+        let frac =
+          if c = clo then 1.0
+          else (rank -. float_of_int clo) /. float_of_int (c - clo)
+        in
+        lo +. ((ub -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
+      end
+    end
 end
 
 (* ------------------------------------------------------------------ *)

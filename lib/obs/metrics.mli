@@ -5,13 +5,18 @@
     {b Sharding.} Counters and histograms keep one shard per domain
     (allocated lazily through domain-local storage the first time a
     domain touches the metric). A shard is written only by its owner
-    domain, through atomics, so updates are contention-free yet
-    visible to a scraping domain: a scrape after the writers quiesce
-    observes the {e exact} total, never a torn or stale partial sum.
-    Shards survive their domain (they hold the domain's cumulative
-    contribution), so spawning many short-lived domains — the
-    supervisor does — cannot lose counts. Gauges are last-write-wins
-    and use a single atomic cell.
+    domain, with {e plain} stores into flat cells — the per-event
+    fast path is a handful of loads and stores with no atomics and no
+    allocation. A scraping domain reads the cells racily: word-sized
+    mutable fields never tear under the OCaml memory model, so a
+    scrape sees a {e bounded-staleness} snapshot — some recently
+    written value per shard, monotone per shard across scrapes — and
+    the exact total once a happens-before edge (e.g. [Domain.join] on
+    the writers, or a mutex handed from writer to reader) orders the
+    last update before the read. Shards survive their domain (they
+    hold the domain's cumulative contribution), so spawning many
+    short-lived domains — the supervisor does — cannot lose counts.
+    Gauges are last-write-wins and use a single atomic cell.
 
     {b Cost.} The global {!enabled} switch gates the hot
     instrumentation sites in the samplers; when it is off they pay one
@@ -100,6 +105,13 @@ module Histogram : sig
       excluded from [sum]/buckets, so one corrupted sample cannot
       poison the whole series. *)
 
+  val observe_n : t -> n:int -> float -> unit
+  (** [observe_n t ~n v] records [n] identical observations of [v] in
+      one bucket scan. Used by stride-sampling instrumentation: time
+      every k-th event, observe it with weight k, and [count] still
+      tracks the true event count. [n = 0] is a no-op; negative [n]
+      raises [Invalid_argument]. *)
+
   val count : t -> int
   val sum : t -> float
   val nan_count : t -> int
@@ -107,6 +119,14 @@ module Histogram : sig
   val cumulative_buckets : t -> (float * int) array
   (** [(upper_bound, cumulative_count)] pairs, Prometheus [le]
       semantics, including the final [(infinity, count)]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) by
+      linear interpolation across the bucket containing the rank,
+      assuming a uniform spread inside each bucket. Returns [nan] on
+      an empty histogram; ranks landing in the [+Inf] overflow bucket
+      clamp to the largest finite bound (read it as "at least this").
+      Raises [Invalid_argument] if [q] is outside [0, 1]. *)
 end
 
 val to_prometheus : registry -> string

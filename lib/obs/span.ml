@@ -12,8 +12,17 @@ type tracer = {
   mutable write : int; (* next slot *)
   mutable stored : int; (* valid entries, <= capacity *)
   mutable dropped : int;
+  drops_by_domain : (int, int) Hashtbl.t; (* domain id -> overwrites *)
   lock : Mutex.t;
 }
+
+(* Help string kept in sync with Serve_metrics.families so whichever
+   side registers first wins with the same text. *)
+let dropped_total =
+  lazy
+    (Metrics.Counter.create
+       ~help:"Spans overwritten in the ring buffer before being drained"
+       "qnet_trace_dropped_total")
 
 let state : tracer option Atomic.t = Atomic.make None
 let next_id = Atomic.make 0
@@ -31,6 +40,7 @@ let enable ?(capacity = 65536) () =
          write = 0;
          stored = 0;
          dropped = 0;
+         drops_by_domain = Hashtbl.create 8;
          lock = Mutex.create ();
        })
 
@@ -42,9 +52,18 @@ let record tr s =
   Mutex.lock tr.lock;
   tr.ring.(tr.write) <- Some s;
   tr.write <- (tr.write + 1) mod Array.length tr.ring;
-  if tr.stored = Array.length tr.ring then tr.dropped <- tr.dropped + 1
+  let overwrote = tr.stored = Array.length tr.ring in
+  if overwrote then begin
+    tr.dropped <- tr.dropped + 1;
+    let d = (Domain.self () :> int) in
+    Hashtbl.replace tr.drops_by_domain d
+      (1 + (try Hashtbl.find tr.drops_by_domain d with Not_found -> 0))
+  end
   else tr.stored <- tr.stored + 1;
-  Mutex.unlock tr.lock
+  Mutex.unlock tr.lock;
+  (* metrics counter bumped outside the ring lock; its shard belongs
+     to this domain, so no extra synchronization is needed *)
+  if overwrote then Metrics.Counter.inc (Lazy.force dropped_total)
 
 let with_span ?(attrs = []) name f =
   match Atomic.get state with
@@ -85,6 +104,26 @@ let drain () =
 
 let dropped () =
   match Atomic.get state with None -> 0 | Some tr -> tr.dropped
+
+let dropped_by_domain () =
+  match Atomic.get state with
+  | None -> []
+  | Some tr ->
+      Mutex.lock tr.lock;
+      let out = Hashtbl.fold (fun d n acc -> (d, n) :: acc) tr.drops_by_domain [] in
+      Mutex.unlock tr.lock;
+      List.sort compare out
+
+(* Record a phase measured externally (cross-thread hand-offs like
+   queue-wait, where no single [with_span] scope exists). Always a
+   root span; [start] is on the [Clock.elapsed] scale. *)
+let emit ?(attrs = []) ~start ~duration name =
+  match Atomic.get state with
+  | None -> ()
+  | Some tr ->
+      let id = 1 + Atomic.fetch_and_add next_id 1 in
+      record tr
+        { id; parent = None; name; start; duration = Float.max 0.0 duration; attrs }
 
 (* ------------------------------------------------------------------ *)
 (* JSONL codec                                                         *)
@@ -142,12 +181,30 @@ let of_json line =
       | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _ | _, _, _, Error m ->
           Error m)
 
-let write_jsonl oc spans =
+let write_jsonl ?dropped oc spans =
   List.iter
     (fun s ->
       output_string oc (to_json s);
       output_char oc '\n')
-    spans
+    spans;
+  match dropped with
+  | None -> ()
+  | Some n -> Printf.fprintf oc "{\"meta\":\"qnet_trace\",\"dropped\":%d}\n" n
+
+type read_result = { spans : span list; malformed : int; dropped : int }
+
+(* The writer's trailer line; recognized by prefix so a trace file can
+   be concatenated from several runs (dropped counts accumulate). *)
+let parse_meta line =
+  if String.length line >= 8 && String.sub line 0 8 = "{\"meta\":" then
+    match Jsonx.parse_object line with
+    | Ok fields -> (
+        match (List.assoc_opt "meta" fields, List.assoc_opt "dropped" fields) with
+        | Some (Jsonx.Str "qnet_trace"), Some (Jsonx.Num n) ->
+            Some (int_of_float n)
+        | _ -> None)
+    | Error _ -> None
+  else None
 
 let read_jsonl path =
   match
@@ -165,17 +222,20 @@ let read_jsonl path =
   with
   | Error m -> Error m
   | Ok lines ->
-      let spans, bad =
+      let spans, bad, dropped =
         List.fold_left
-          (fun (spans, bad) line ->
-            if String.trim line = "" then (spans, bad)
+          (fun (spans, bad, dropped) line ->
+            if String.trim line = "" then (spans, bad, dropped)
             else
-              match of_json line with
-              | Ok s -> (s :: spans, bad)
-              | Error _ -> (spans, bad + 1))
-          ([], 0) lines
+              match parse_meta line with
+              | Some n -> (spans, bad, dropped + n)
+              | None -> (
+                  match of_json line with
+                  | Ok s -> (s :: spans, bad, dropped)
+                  | Error _ -> (spans, bad + 1, dropped)))
+          ([], 0, 0) lines
       in
-      Ok (List.rev spans, bad)
+      Ok { spans = List.rev spans; malformed = bad; dropped }
 
 (* ------------------------------------------------------------------ *)
 (* Folded stacks (flamegraph input)                                    *)

@@ -34,22 +34,48 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     raises. When tracing is disabled this is [f ()] plus one atomic
     load. *)
 
+val emit :
+  ?attrs:(string * string) list -> start:float -> duration:float -> string -> unit
+(** [emit ~start ~duration name] records an externally measured span —
+    a phase whose endpoints live on different threads (queue-wait,
+    end-to-end request latency), where no single {!with_span} scope
+    exists. Always a root span; [start] is seconds on the
+    {!Clock.elapsed} scale; negative durations clamp to 0. No-op when
+    tracing is disabled. *)
+
 val drain : unit -> span list
 (** Buffered spans in completion order; empties the buffer. *)
 
 val dropped : unit -> int
-(** Spans overwritten before being drained since {!enable}. *)
+(** Spans overwritten before being drained since {!enable}. Each
+    overwrite also increments the [qnet_trace_dropped_total] metrics
+    counter. *)
+
+val dropped_by_domain : unit -> (int * int) list
+(** Overwrites attributed to the domain that recorded the overwriting
+    span, as [(domain_id, count)] sorted by domain id. Sums to
+    {!dropped}. *)
 
 val to_json : span -> string
 
 val of_json : string -> (span, string) result
 (** Parse one line as written by {!to_json}. *)
 
-val write_jsonl : out_channel -> span list -> unit
+val write_jsonl : ?dropped:int -> out_channel -> span list -> unit
+(** One span per line; when [dropped] is given a final
+    [{"meta":"qnet_trace","dropped":N}] trailer records how many spans
+    the ring overwrote before the drain, so readers can report the
+    loss. *)
 
-val read_jsonl : string -> (span list * int, string) result
-(** [Ok (spans, bad_lines)]: parseable spans plus the count of
-    malformed lines skipped; [Error] if the file cannot be read. *)
+type read_result = {
+  spans : span list;
+  malformed : int;  (** unparseable non-blank lines skipped *)
+  dropped : int;  (** summed from [meta] trailer lines (0 if absent) *)
+}
+
+val read_jsonl : string -> (read_result, string) result
+(** Lenient read of a {!write_jsonl} file; [Error] only if the file
+    itself cannot be read. *)
 
 val to_folded : span list -> (string * int) list
 (** Collapse a span log into flamegraph folded-stack form: one entry

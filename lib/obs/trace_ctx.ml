@@ -1,0 +1,41 @@
+(* Head-based sampled trace contexts. The admit/skip decision is a
+   pure function of (seed, mint index): a splitmix64 finalizer turns
+   the pair into 64 well-mixed bits, the top 53 become a uniform in
+   [0,1) compared against the rate, and the low 62 become the trace
+   id. Replaying the same ingest stream with the same seed therefore
+   samples the same requests and mints the same ids — which is what
+   makes trace-based debugging reproducible. *)
+
+type t = { id : int; born : float }
+
+type sampler = { rate : float; seed : int; counter : int Atomic.t }
+
+let make_sampler ?(rate = 0.01) ?(seed = 1) () =
+  if Float.is_nan rate || rate < 0.0 || rate > 1.0 then
+    invalid_arg "Trace_ctx.make_sampler: rate outside [0,1]";
+  { rate; seed; counter = Atomic.make 0 }
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash ~seed n =
+  mix64
+    (Int64.add (Int64.of_int seed)
+       (Int64.mul (Int64.of_int (n + 1)) 0x9e3779b97f4a7c15L))
+
+let sample ?born s =
+  let n = Atomic.fetch_and_add s.counter 1 in
+  let z = hash ~seed:s.seed n in
+  let u = Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53 in
+  if u < s.rate then begin
+    let id = Int64.to_int (Int64.logand z 0x3FFF_FFFF_FFFF_FFFFL) in
+    let id = if id = 0 then 1 else id in
+    Some { id; born = (match born with Some b -> b | None -> Clock.elapsed ()) }
+  end
+  else None
+
+let minted s = Atomic.get s.counter
+let id_hex t = Printf.sprintf "%016x" t.id

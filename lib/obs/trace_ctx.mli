@@ -1,0 +1,38 @@
+(** Trace contexts with deterministic head-based sampling.
+
+    A sampler mints one admit/skip decision per request at the edge
+    (the serve daemon's [POST /ingest]); an admitted request carries a
+    64-bit-style trace id (masked to 62 bits so it is a nonnegative
+    OCaml [int]) through the queue, shard refit and posterior serve,
+    where each phase stamps the id onto its {!Span.emit} attrs.
+
+    {b Determinism.} The decision and the id are pure functions of
+    [(seed, mint_index)] — a splitmix64 finalizer, not a stateful RNG —
+    so two runs over the same stream with the same seed sample the
+    same request set with the same ids. *)
+
+type t = {
+  id : int;  (** 62-bit positive trace id, stable for the request *)
+  born : float;  (** mint time, seconds on the {!Clock.elapsed} scale *)
+}
+
+type sampler
+
+val make_sampler : ?rate:float -> ?seed:int -> unit -> sampler
+(** [rate] is the head-sampling probability in [0,1] (default 0.01 —
+    1% of requests traced); [seed] defaults to 1. Raises
+    [Invalid_argument] on a rate outside [0,1]. *)
+
+val sample : ?born:float -> sampler -> t option
+(** Mint the next decision. [Some ctx] with probability [rate],
+    decided deterministically from the seed and the running mint
+    index. [born] overrides the context's birth timestamp (defaults to
+    [Clock.elapsed ()] at mint time). Thread-safe: the mint index is
+    one atomic fetch-and-add. *)
+
+val minted : sampler -> int
+(** Decisions minted so far (sampled or not). *)
+
+val id_hex : t -> string
+(** The id as 16 lowercase hex digits — the form spans carry in their
+    ["trace"] attribute. *)

@@ -1,6 +1,8 @@
 module Metrics = Qnet_obs.Metrics
 module Jsonx = Qnet_obs.Jsonx
 module Clock = Qnet_obs.Clock
+module Span = Qnet_obs.Span
+module Trace_ctx = Qnet_obs.Trace_ctx
 module Server = Qnet_webapp.Metrics_server
 module Fault = Qnet_runtime.Fault
 
@@ -20,6 +22,8 @@ type config = {
   shard : Shard.config;
   admission : Admission.config;
   faults : Fault.service_fault list;
+  trace_sample_rate : float;
+  trace_seed : int;
 }
 
 let default_config =
@@ -35,12 +39,15 @@ let default_config =
     shard = Shard.default_config;
     admission = Admission.default_config;
     faults = [];
+    trace_sample_rate = 0.01;
+    trace_seed = 1;
   }
 
 type t = {
   cfg : config;
   shard_arr : Shard.t array;
   admission : Admission.t;
+  sampler : Trace_ctx.sampler;
   dead : Ingest.Dead_letter.t;
   mutable server : Server.t option;
   stopping : bool Atomic.t;
@@ -129,6 +136,7 @@ let retry_after_of t overloaded =
   |> Float.min 30.0 |> Float.ceil
 
 let handle_ingest t body =
+  let req_start = Clock.elapsed () in
   let lines = split_lines body in
   (* Phase 1: decode with no side effects, feed the admission
      controller one pressure observation per tenant, then flip the
@@ -231,9 +239,28 @@ let handle_ingest t body =
             bump offered_by r.Ingest.tenant;
             bump admitted_by r.Ingest.tenant;
             let s = shard_of t r.Ingest.tenant in
-            if Bounded_queue.try_push (Shard.queue s) r then begin
+            (* head-based sampling decision, minted once per admitted
+               record at the edge; the context rides the queue item
+               through refit to the end-to-end span *)
+            let ctx = Trace_ctx.sample t.sampler in
+            let enqueued_at = Clock.elapsed () in
+            let item = { Shard.record = r; trace = ctx; enqueued_at } in
+            if Bounded_queue.try_push (Shard.queue s) item then begin
               Metrics.Counter.inc (Lazy.force m_accepted);
               Metrics.Counter.inc (tenant_counter r.Ingest.tenant);
+              (match ctx with
+              | None -> ()
+              | Some c ->
+                  Span.emit
+                    ~attrs:
+                      [
+                        ("trace", Trace_ctx.id_hex c);
+                        ("tenant", r.Ingest.tenant);
+                        ("shard", string_of_int (Shard.id s));
+                      ]
+                    ~start:req_start
+                    ~duration:(enqueued_at -. req_start)
+                    "serve.ingest");
               incr n_accepted
             end
             else begin
@@ -243,11 +270,14 @@ let handle_ingest t body =
               incr n_shed
             end)
       judged;
+    let committed_at = Clock.elapsed () in
     Hashtbl.iter
       (fun tenant offered ->
         let admitted =
           Option.value ~default:0 (Hashtbl.find_opt admitted_by tenant)
         in
+        if admitted > 0 then
+          Fleet.record Fleet.Ingest ~tenant (committed_at -. req_start);
         Admission.note t.admission ~tenant ~offered ~admitted)
       offered_by;
     Server.response ~status:"200 OK"
@@ -320,7 +350,7 @@ let posterior_path path =
   then Some (String.sub path pl (n - pl - sl))
   else None
 
-let handle_posterior t tenant =
+let handle_posterior_inner t tenant =
   if not (Ingest.valid_tenant tenant) then
     Some
       (Server.response ~status:"404 Not Found"
@@ -393,6 +423,26 @@ let handle_posterior t tenant =
                (Jsonx.render
                   (Jsonx.Obj [ ("error", Jsonx.Str "unknown tenant") ])))
 
+(* Posterior reads are the "serve" leg of the tenant's SLO pipeline:
+   timed into the per-tenant histogram (only for tenants the fleet
+   actually knows, so probes for junk keys cannot mint series) and
+   head-sampled into their own serve.posterior spans. *)
+let handle_posterior t tenant =
+  let t0 = Clock.elapsed () in
+  let resp = handle_posterior_inner t tenant in
+  if Ingest.valid_tenant tenant && Shard.knows_tenant (shard_of t tenant) ~tenant
+  then begin
+    let dt = Clock.elapsed () -. t0 in
+    Fleet.record Fleet.Serve ~tenant dt;
+    match Trace_ctx.sample t.sampler with
+    | None -> ()
+    | Some c ->
+        Span.emit
+          ~attrs:[ ("trace", Trace_ctx.id_hex c); ("tenant", tenant) ]
+          ~start:t0 ~duration:dt "serve.posterior"
+  end;
+  resp
+
 (* ------------------------------------------------------------------ *)
 (* The route handler                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -405,6 +455,14 @@ let handle t (req : Server.request) =
   match (req.Server.meth, req.Server.path) with
   | "POST", "/ingest" -> serve_route (Some (handle_ingest t req.Server.body))
   | "GET", "/shards.json" -> serve_route (Some (handle_shards t))
+  | "GET", "/fleet.json" ->
+      serve_route
+        (Some (Server.response ~status:"200 OK" (Fleet.snapshot_json () ^ "\n")))
+  | "GET", ("/fleet" | "/fleet/") ->
+      serve_route
+        (Some
+           (Server.response ~status:"200 OK"
+              ~content_type:"text/html; charset=utf-8" Qnet_webapp.Fleet_panel.html))
   | "GET", path -> (
       match posterior_path path with
       | Some tenant -> serve_route (handle_posterior t tenant)
@@ -417,13 +475,17 @@ let handle t (req : Server.request) =
 
 let push_tailed t (r : Ingest.record) =
   let q = Shard.queue (shard_of t r.Ingest.tenant) in
+  let item =
+    { Shard.record = r; trace = Trace_ctx.sample t.sampler;
+      enqueued_at = Clock.elapsed () }
+  in
   let pushed =
     match t.cfg.tail_policy with
-    | Bounded_queue.Shed -> Bounded_queue.try_push q r
+    | Bounded_queue.Shed -> Bounded_queue.try_push q item
     | Bounded_queue.Block ->
         let rec go () =
           if Atomic.get t.stopping then false
-          else if Bounded_queue.push_wait ~timeout:0.25 q r then true
+          else if Bounded_queue.push_wait ~timeout:0.25 q item then true
           else if Bounded_queue.is_closed q then false
           else go ()
         in
@@ -572,6 +634,9 @@ let create cfg =
                     tailers = [];
                     stopped = false;
                     stop_mutex = Mutex.create ();
+                    sampler =
+                      Trace_ctx.make_sampler ~rate:cfg.trace_sample_rate
+                        ~seed:cfg.trace_seed ();
                   }
                 in
                 match

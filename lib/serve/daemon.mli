@@ -34,6 +34,10 @@
       correction factor for arrival-rate estimates under thinning).
       Never a 500: unknown tenants get 404, known-but-unfitted tenants
       get [ready:false].
+    - [GET /fleet.json] — the {!Fleet} SLO snapshot: per-tenant
+      p50/p95/p99 over the ingest / queue-wait / refit / serve phases
+      plus the bottleneck ranking; [GET /fleet] serves the
+      self-contained HTML panel that polls it.
 
     Tenants are routed to shards by a stable FNV-1a hash
     ({!Router.shard_of_tenant}), so a restarted daemon routes every
@@ -55,12 +59,20 @@ type config = {
   shard : Shard.config;
   admission : Admission.config;
   faults : Qnet_runtime.Fault.service_fault list;
+  trace_sample_rate : float;
+      (** head-based sampling rate for end-to-end request traces,
+          decided once when the record is admitted at [POST /ingest]
+          and carried through queue, refit and serve (default 0.01) *)
+  trace_seed : int;
+      (** seed for the deterministic trace sampler: the same seed and
+          ingest order sample the same requests (default 1) *)
 }
 
 val default_config : config
 (** 2 shards, [./qnet-serve-data], loopback port 8099, no fallback,
     dead letter at [data_dir/dead-letter.jsonl], no tails, [Block],
-    {!Shard.default_config}, {!Admission.default_config}, no faults. *)
+    {!Shard.default_config}, {!Admission.default_config}, no faults,
+    1% trace sampling with seed 1. *)
 
 type t
 

@@ -1,0 +1,157 @@
+module Metrics = Qnet_obs.Metrics
+module Span = Qnet_obs.Span
+
+type phase = Ingest | Queue_wait | Refit | Serve
+
+let phases = [ Ingest; Queue_wait; Refit; Serve ]
+
+let family_of = function
+  | Ingest -> "qnet_serve_ingest_latency_seconds"
+  | Queue_wait -> "qnet_serve_queue_wait_seconds"
+  | Refit -> "qnet_serve_refit_duration_seconds"
+  | Serve -> "qnet_serve_posterior_serve_latency_seconds"
+
+let json_name_of = function
+  | Ingest -> "ingest"
+  | Queue_wait -> "queue_wait"
+  | Refit -> "refit"
+  | Serve -> "serve"
+
+let total_of =
+  let ingest = Serve_metrics.histogram (family_of Ingest) in
+  let queue_wait = Serve_metrics.histogram (family_of Queue_wait) in
+  let refit = Serve_metrics.histogram (family_of Refit) in
+  let serve = Serve_metrics.histogram (family_of Serve) in
+  function
+  | Ingest -> ingest
+  | Queue_wait -> queue_wait
+  | Refit -> refit
+  | Serve -> serve
+
+let help_of phase =
+  match
+    List.find_opt
+      (fun (n, _, _) -> String.equal n (family_of phase))
+      Serve_metrics.families
+  with
+  | Some (_, help, _) -> help
+  | None -> ""
+
+(* Per-tenant labeled series, cached so the record path skips the
+   registry mutex after the first event of a (phase, tenant) pair.
+   The daemon's ingest path and every shard worker record here
+   concurrently, hence the lock around the cache itself; histogram
+   updates are already domain-safe. *)
+let lock = Mutex.create ()
+let labeled : (string, Metrics.Histogram.t) Hashtbl.t =
+  Hashtbl.create 64 (* qnet-lint: allow D002 always accessed under lock *)
+
+let tenant_set : (string, unit) Hashtbl.t =
+  Hashtbl.create 16 (* qnet-lint: allow D002 always accessed under lock *)
+
+let labeled_hist phase tenant =
+  let key = family_of phase ^ "\x00" ^ tenant in
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt labeled key with
+    | Some h -> h
+    | None ->
+        let h =
+          Metrics.Histogram.create ~help:(help_of phase)
+            ~labels:[ ("tenant", tenant) ]
+            ~buckets:Serve_metrics.slo_buckets (family_of phase)
+        in
+        Hashtbl.replace labeled key h;
+        Hashtbl.replace tenant_set tenant ();
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let record phase ~tenant dt =
+  let dt = Float.max 0.0 dt in
+  Metrics.Histogram.observe (Lazy.force (total_of phase)) dt;
+  Metrics.Histogram.observe (labeled_hist phase tenant) dt
+
+let tenants () =
+  Mutex.lock lock;
+  let ts = Hashtbl.fold (fun t () acc -> t :: acc) tenant_set [] in
+  Mutex.unlock lock;
+  List.sort compare ts
+
+let find_hist phase tenant =
+  let key = family_of phase ^ "\x00" ^ tenant in
+  Mutex.lock lock;
+  let h = Hashtbl.find_opt labeled key in
+  Mutex.unlock lock;
+  h
+
+let json_float v =
+  if Float.is_nan v then "null" else Printf.sprintf "%.9g" v
+
+let phase_json phase tenant =
+  match find_hist phase tenant with
+  | None ->
+      Printf.sprintf "\"%s\":{\"count\":0,\"sum\":0,\"p50\":null,\"p95\":null,\"p99\":null}"
+        (json_name_of phase)
+  | Some h ->
+      Printf.sprintf
+        "\"%s\":{\"count\":%d,\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+        (json_name_of phase)
+        (Metrics.Histogram.count h)
+        (json_float (Metrics.Histogram.sum h))
+        (json_float (Metrics.Histogram.quantile h 0.5))
+        (json_float (Metrics.Histogram.quantile h 0.95))
+        (json_float (Metrics.Histogram.quantile h 0.99))
+
+(* Where is this tenant's latency going? The same wait-fraction idea
+   the diagnostics layer applies to the modeled network, applied to
+   the serving fleet itself: attribute the tenant's total pipeline
+   time to queue-wait vs refit vs serve and rank the fractions. *)
+let bottleneck_json tenant =
+  let sums =
+    List.filter_map
+      (fun phase ->
+        match find_hist phase tenant with
+        | None -> None
+        | Some h ->
+            let s = Metrics.Histogram.sum h in
+            if s > 0.0 then Some (phase, s) else None)
+      [ Queue_wait; Refit; Serve ]
+  in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 sums in
+  if not (total > 0.0) then "[]"
+  else
+    let ranked =
+      List.sort (fun (_, a) (_, b) -> compare b a) sums
+      |> List.map (fun (phase, s) ->
+             Printf.sprintf "{\"phase\":\"%s\",\"fraction\":%s}"
+               (json_name_of phase)
+               (json_float (s /. total)))
+    in
+    "[" ^ String.concat "," ranked ^ "]"
+
+let tenant_json tenant =
+  Printf.sprintf "{\"tenant\":\"%s\",%s,\"bottleneck\":%s}"
+    (Qnet_obs.Jsonx.escape tenant)
+    (String.concat "," (List.map (fun p -> phase_json p tenant) phases))
+    (bottleneck_json tenant)
+
+let fleet_phase_json phase =
+  let h = Lazy.force (total_of phase) in
+  Printf.sprintf
+    "\"%s\":{\"count\":%d,\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+    (json_name_of phase)
+    (Metrics.Histogram.count h)
+    (json_float (Metrics.Histogram.sum h))
+    (json_float (Metrics.Histogram.quantile h 0.5))
+    (json_float (Metrics.Histogram.quantile h 0.95))
+    (json_float (Metrics.Histogram.quantile h 0.99))
+
+let snapshot_json () =
+  Printf.sprintf
+    "{\"ts\":%s,\"tenants\":[%s],\"fleet\":{%s},\"spans_dropped\":%d}"
+    (json_float (Qnet_obs.Clock.now ()))
+    (String.concat "," (List.map tenant_json (tenants ())))
+    (String.concat "," (List.map fleet_phase_json phases))
+    (Span.dropped ())

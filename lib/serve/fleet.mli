@@ -1,0 +1,30 @@
+(** Per-tenant SLO accounting for the serving fleet.
+
+    Every phase of a request's life through the daemon — ingest
+    commit, shard queue wait, posterior refit, posterior serve — is
+    recorded twice: into the label-less [qnet_serve_*_seconds] family
+    (present-zeros, golden-file pinned) and into a per-tenant labeled
+    series created on first touch. {!snapshot_json} turns the
+    histograms into the [/fleet.json] payload: p50/p95/p99 per tenant
+    per phase, plus a bottleneck ranking — the fraction of the
+    tenant's pipeline time spent in queue-wait vs refit vs serve, the
+    repo's wait-fraction analysis pointed at its own serving layer. *)
+
+type phase =
+  | Ingest  (** decode→commit of one accepted POST /ingest batch *)
+  | Queue_wait  (** shard ingest queue residence of one event *)
+  | Refit  (** one per-tenant posterior refit *)
+  | Serve  (** one GET posterior response *)
+
+val record : phase -> tenant:string -> float -> unit
+(** Record one duration (seconds; negative clamps to 0) for the
+    tenant into both the fleet-wide and per-tenant series.
+    Thread-safe. *)
+
+val tenants : unit -> string list
+(** Tenants that have recorded at least one phase, sorted. *)
+
+val snapshot_json : unit -> string
+(** The [/fleet.json] document: per-tenant phase quantiles and
+    bottleneck ranking, fleet-wide totals, and the current
+    [spans_dropped] count. *)

@@ -1,5 +1,11 @@
 module Metrics = Qnet_obs.Metrics
 
+(* Log-decade bounds for the per-tenant SLO latency families: the
+   phases span six orders of magnitude (a microsecond posterior cache
+   hit to a multi-second refit), which is exactly what log-scale
+   buckets are for. *)
+let slo_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
 let families =
   [
     ( "qnet_serve_ingest_lines_total",
@@ -93,25 +99,46 @@ let families =
     ( "qnet_serve_retry_after_seconds",
       "Last Retry-After computed from the measured shard drain rate",
       `Gauge );
+    ( "qnet_serve_ingest_latency_seconds",
+      "Wall time to decode, admit and commit one accepted POST /ingest batch",
+      `Histogram slo_buckets );
+    ( "qnet_serve_queue_wait_seconds",
+      "Time an accepted event waited in a shard ingest queue before absorption",
+      `Histogram slo_buckets );
+    ( "qnet_serve_refit_duration_seconds",
+      "Wall time of one per-tenant posterior refit (full or incremental)",
+      `Histogram slo_buckets );
+    ( "qnet_serve_posterior_serve_latency_seconds",
+      "Wall time to serve one GET /tenants/:id/posterior.json request",
+      `Histogram slo_buckets );
+    (* Help kept in sync with the lazy counter in Qnet_obs.Span so
+       whichever side registers first wins with the same text. *)
+    ( "qnet_trace_dropped_total",
+      "Spans overwritten in the ring buffer before being drained",
+      `Counter );
   ]
 
-let lookup name kind =
-  match
-    List.find_opt (fun (n, _, k) -> String.equal n name && k = kind) families
-  with
-  | Some (_, help, _) -> help
+let find name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) families with
+  | Some (_, help, kind) -> (help, kind)
   | None ->
-      invalid_arg
-        (Printf.sprintf "Serve_metrics: %s is not a declared %s family" name
-           (match kind with `Counter -> "counter" | `Gauge -> "gauge"))
+      invalid_arg (Printf.sprintf "Serve_metrics: %s is not a declared family" name)
 
 let counter name =
-  let help = lookup name `Counter in
-  lazy (Metrics.Counter.create ~help name)
+  match find name with
+  | help, `Counter -> lazy (Metrics.Counter.create ~help name)
+  | _ -> invalid_arg (Printf.sprintf "Serve_metrics: %s is not a counter" name)
 
 let gauge name =
-  let help = lookup name `Gauge in
-  lazy (Metrics.Gauge.create ~help name)
+  match find name with
+  | help, `Gauge -> lazy (Metrics.Gauge.create ~help name)
+  | _ -> invalid_arg (Printf.sprintf "Serve_metrics: %s is not a gauge" name)
+
+let histogram name =
+  match find name with
+  | help, `Histogram buckets ->
+      lazy (Metrics.Histogram.create ~help ~buckets name)
+  | _ -> invalid_arg (Printf.sprintf "Serve_metrics: %s is not a histogram" name)
 
 let force_register ?(registry = Metrics.default) () =
   List.iter
@@ -120,5 +147,9 @@ let force_register ?(registry = Metrics.default) () =
       | `Counter ->
           ignore (Metrics.Counter.create ~registry ~help name : Metrics.Counter.t)
       | `Gauge ->
-          ignore (Metrics.Gauge.create ~registry ~help name : Metrics.Gauge.t))
+          ignore (Metrics.Gauge.create ~registry ~help name : Metrics.Gauge.t)
+      | `Histogram buckets ->
+          ignore
+            (Metrics.Histogram.create ~registry ~help ~buckets name
+              : Metrics.Histogram.t))
     families

@@ -15,8 +15,17 @@ val counter : string -> Qnet_obs.Metrics.Counter.t Lazy.t
 
 val gauge : string -> Qnet_obs.Metrics.Gauge.t Lazy.t
 
-val families : (string * string * [ `Counter | `Gauge ]) list
-(** [(name, help, kind)] for every label-less [qnet_serve_*] family. *)
+val histogram : string -> Qnet_obs.Metrics.Histogram.t Lazy.t
+(** Label-less SLO latency family; per-tenant series are created on
+    top of it by {!Fleet}. *)
+
+val slo_buckets : float array
+(** Log-decade bounds (1µs .. 100s) shared by every latency family. *)
+
+val families :
+  (string * string * [ `Counter | `Gauge | `Histogram of float array ]) list
+(** [(name, help, kind)] for every label-less family the daemon owns
+    (the [qnet_serve_*] surface plus [qnet_trace_dropped_total]). *)
 
 val force_register : ?registry:Qnet_obs.Metrics.registry -> unit -> unit
 (** Create every family in [registry] (default the process-wide one)

@@ -9,6 +9,8 @@ module Fault = Qnet_runtime.Fault
 module Metrics = Qnet_obs.Metrics
 module Clock = Qnet_obs.Clock
 module Jsonx = Qnet_obs.Jsonx
+module Span = Qnet_obs.Span
+module Trace_ctx = Qnet_obs.Trace_ctx
 module Rng = Qnet_prob.Rng
 
 let log_src = Logs.Src.create "qnet.serve" ~doc:"Sharded inference daemon"
@@ -254,11 +256,28 @@ let backoff ~base ~max_ attempt =
 (* Shard state                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* What travels through the ingest queue: the record itself plus the
+   trace context minted at the edge (None for the ~99% unsampled) and
+   the enqueue timestamp on the Clock.elapsed scale, so the worker can
+   attribute queue-wait per tenant. [enqueued_at = nan] marks items
+   that never crossed the queue (durable-log replay) and suppresses
+   their wait accounting. *)
+type item = {
+  record : Ingest.record;
+  trace : Trace_ctx.t option;
+  enqueued_at : float;
+}
+
+(* Trace contexts waiting for the tenant's next refit; bounded so a
+   tenant that never becomes due cannot accumulate contexts. *)
+let max_pending_traces = 16
+
 type tenant_state = {
   mutable events : Trace.event list;  (* newest first *)
   mutable count : int;
   mutable since_fit : int;
   mutable post : posterior option;
+  mutable pending_traces : Trace_ctx.t list;  (* newest first *)
 }
 
 type fault_state = {
@@ -271,7 +290,7 @@ type t = {
   shard_id : int;
   cfg : config;
   dir : string;
-  ingest_queue : Ingest.record Bounded_queue.t;
+  ingest_queue : item Bounded_queue.t;
   mutex : Mutex.t;
   tenant_tbl : (string, tenant_state) Hashtbl.t;
   mutable st : status;
@@ -688,18 +707,26 @@ let write_checkpoint t =
 (* Absorbing ingested records                                          *)
 (* ------------------------------------------------------------------ *)
 
-let absorb t records =
-  if records <> [] then begin
-    append_log t records;
+let absorb t items =
+  if items <> [] then begin
+    append_log t (List.map (fun it -> it.record) items);
+    let absorbed_at = Clock.elapsed () in
     Mutex.protect t.mutex (fun () ->
         List.iter
-          (fun (r : Ingest.record) ->
+          (fun it ->
+            let r = it.record in
             let ts =
               match Hashtbl.find_opt t.tenant_tbl r.Ingest.tenant with
               | Some ts -> ts
               | None ->
                   let ts =
-                    { events = []; count = 0; since_fit = 0; post = None }
+                    {
+                      events = [];
+                      count = 0;
+                      since_fit = 0;
+                      post = None;
+                      pending_traces = [];
+                    }
                   in
                   Hashtbl.add t.tenant_tbl r.Ingest.tenant ts;
                   ts
@@ -714,8 +741,25 @@ let absorb t records =
               ts.events <-
                 List.filteri (fun i _ -> i < keep) ts.events;
               ts.count <- keep
+            end;
+            if not (Float.is_nan it.enqueued_at) then begin
+              let wait = Float.max 0.0 (absorbed_at -. it.enqueued_at) in
+              Fleet.record Fleet.Queue_wait ~tenant:r.Ingest.tenant wait;
+              match it.trace with
+              | None -> ()
+              | Some ctx ->
+                  Span.emit
+                    ~attrs:
+                      [
+                        ("trace", Trace_ctx.id_hex ctx);
+                        ("tenant", r.Ingest.tenant);
+                        ("shard", string_of_int t.shard_id);
+                      ]
+                    ~start:it.enqueued_at ~duration:wait "serve.queue_wait";
+                  if List.length ts.pending_traces < max_pending_traces then
+                    ts.pending_traces <- ctx :: ts.pending_traces
             end)
-          records)
+          items)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1019,12 +1063,52 @@ let run_fit_round t due =
   let lvl = level t in
   List.iter
     (fun tenant ->
-      match lvl with
-      | Pinned -> ()
-      | Incremental -> fit_tenant_incremental t tenant
-      | Full_fits ->
-          if tenant_hot t tenant then fit_tenant_incremental t tenant
-          else fit_tenant t tenant)
+      let mode =
+        match lvl with
+        | Pinned -> None
+        | Incremental -> Some `Inc
+        | Full_fits -> Some (if tenant_hot t tenant then `Inc else `Full)
+      in
+      match mode with
+      | None -> ()
+      | Some m ->
+          let f0 = Clock.elapsed () in
+          (match m with
+          | `Inc -> fit_tenant_incremental t tenant
+          | `Full -> fit_tenant t tenant);
+          let f1 = Clock.elapsed () in
+          let dt = Float.max 0.0 (f1 -. f0) in
+          Fleet.record Fleet.Refit ~tenant dt;
+          (* traced requests waiting on this tenant close out their
+             refit and end-to-end phases here *)
+          let pending =
+            Mutex.protect t.mutex (fun () ->
+                match Hashtbl.find_opt t.tenant_tbl tenant with
+                | None -> []
+                | Some ts ->
+                    let p = ts.pending_traces in
+                    ts.pending_traces <- [];
+                    p)
+          in
+          let mode_label =
+            match m with `Inc -> "incremental" | `Full -> "full"
+          in
+          List.iter
+            (fun ctx ->
+              let base =
+                [
+                  ("trace", Trace_ctx.id_hex ctx);
+                  ("tenant", tenant);
+                  ("shard", string_of_int t.shard_id);
+                ]
+              in
+              Span.emit
+                ~attrs:(("mode", mode_label) :: base)
+                ~start:f0 ~duration:dt "serve.refit";
+              Span.emit ~attrs:base ~start:ctx.Trace_ctx.born
+                ~duration:(Float.max 0.0 (f1 -. ctx.Trace_ctx.born))
+                "serve.e2e")
+            pending)
     due;
   let after_failures = Metrics.Counter.value (Lazy.force m_fit_failures) in
   t.last_fit_scan <- Clock.now ();
@@ -1217,7 +1301,7 @@ let replay_segment t path =
         ~on_payload:(fun payload ->
           match Ingest.decode_line ~num_queues:t.cfg.num_queues payload with
           | Ok r ->
-              absorb t [ r ];
+              absorb t [ { record = r; trace = None; enqueued_at = Float.nan } ];
               Mutex.protect t.mutex (fun () ->
                   t.replayed_events <- t.replayed_events + 1)
           | Error reason -> quarantine_frame t ~line:payload ~reason)
@@ -1298,6 +1382,7 @@ let resume_from_disk t =
                                   fitted_at = 0.0;
                                   fit_mode = "checkpoint";
                                 };
+                            pending_traces = [];
                           }
                     | exception Invalid_argument m ->
                         Log.warn (fun f ->

@@ -172,6 +172,19 @@ val backoff : base:float -> max_:float -> int -> float
 (** [backoff ~base ~max_ attempt] — [base * 2^(attempt-1)] capped at
     [max_]; [attempt] is 1-based. *)
 
+type item = {
+  record : Ingest.record;
+  trace : Qnet_obs.Trace_ctx.t option;
+      (** the trace context minted at [POST /ingest] for the ~1% of
+          requests head-sampled into a trace; [None] otherwise *)
+  enqueued_at : float;
+      (** enqueue time on the {!Qnet_obs.Clock.elapsed} scale, used by
+          the worker to attribute per-tenant queue-wait; [nan] marks
+          items that never crossed the queue (durable-log replay) and
+          suppresses their wait accounting *)
+}
+(** What travels through a shard's ingest queue. *)
+
 type t
 
 val create :
@@ -187,7 +200,7 @@ val create :
     anchors their [after] offsets (default: now). *)
 
 val id : t -> int
-val queue : t -> Ingest.record Bounded_queue.t
+val queue : t -> item Bounded_queue.t
 val status : t -> status
 val iterations : t -> int
 val rounds : t -> int

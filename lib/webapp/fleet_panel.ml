@@ -1,0 +1,144 @@
+(* Self-contained like Dashboard: the server stays stateless, the
+   page polls /fleet.json and owns all presentation. *)
+
+let html =
+  {page|<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>qnet fleet latency</title>
+<style>
+  :root { --bg:#11151a; --panel:#1a2029; --ink:#d7dde5; --dim:#78828e;
+          --good:#3fb950; --warn:#d29922; --bad:#f85149; --acc:#58a6ff; }
+  body { background:var(--bg); color:var(--ink); margin:0;
+         font:14px/1.45 "SF Mono","Cascadia Code",Menlo,Consolas,monospace; }
+  header { padding:14px 22px; border-bottom:1px solid #2a3139;
+           display:flex; align-items:baseline; gap:18px; flex-wrap:wrap; }
+  h1 { font-size:16px; margin:0; font-weight:600; }
+  main { padding:18px 22px; max-width:1200px; }
+  .cards { display:flex; gap:14px; flex-wrap:wrap; margin-bottom:18px; }
+  .card { background:var(--panel); border:1px solid #2a3139; border-radius:8px;
+          padding:12px 16px; min-width:170px; }
+  .card .k { color:var(--dim); font-size:11px; text-transform:uppercase;
+             letter-spacing:.08em; }
+  .card .v { font-size:20px; margin-top:4px; }
+  .badge { display:inline-block; border-radius:10px; padding:1px 9px;
+           font-size:12px; border:1px solid transparent; }
+  .b-good { color:var(--good); border-color:var(--good); }
+  .b-warn { color:var(--warn); border-color:var(--warn); }
+  .b-bad  { color:var(--bad);  border-color:var(--bad); }
+  table { border-collapse:collapse; width:100%; margin:6px 0 18px; }
+  th, td { text-align:right; padding:5px 10px; border-bottom:1px solid #2a3139; }
+  th { color:var(--dim); font-weight:500; font-size:12px; }
+  th:first-child, td:first-child { text-align:left; }
+  .section { color:var(--dim); font-size:12px; text-transform:uppercase;
+             letter-spacing:.08em; margin:20px 0 4px; }
+  .bar { display:inline-block; height:10px; background:var(--acc);
+         border-radius:2px; vertical-align:middle; }
+  .bar.b0 { background:var(--bad); }
+  #err { color:var(--bad); margin-left:auto; font-size:12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>qnet fleet latency</h1>
+  <span id="status" class="badge b-warn">connecting</span>
+  <span id="drops" style="color:var(--dim)"></span>
+  <span id="err"></span>
+</header>
+<main>
+  <div class="cards" id="fleet-cards"></div>
+  <div class="section">per-tenant latency (p50 / p95 / p99, seconds)</div>
+  <table id="tenants">
+    <thead><tr>
+      <th>tenant</th>
+      <th>ingest p95</th><th>queue-wait p50</th><th>queue-wait p95</th>
+      <th>queue-wait p99</th><th>refit p50</th><th>refit p95</th>
+      <th>refit p99</th><th>serve p95</th><th>bottleneck</th>
+    </tr></thead><tbody></tbody>
+  </table>
+  <div class="section">where is my latency going?</div>
+  <table id="bottlenecks">
+    <thead><tr><th>tenant</th><th>ranking (fraction of pipeline time)</th></tr></thead>
+    <tbody></tbody>
+  </table>
+</main>
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+const fmt = x => (x === null || x === undefined || !isFinite(x))
+  ? "–" : (x >= 0.1 ? Number(x).toFixed(3) : Number(x).toExponential(2));
+
+function badge(el, text, cls) {
+  el.textContent = text;
+  el.className = "badge " + cls;
+}
+
+function card(k, v) {
+  return '<div class="card"><div class="k">' + k +
+    '</div><div class="v">' + v + "</div></div>";
+}
+
+function render(s) {
+  $("err").textContent = "";
+  badge($("status"), "live", "b-good");
+  $("drops").textContent = s.spans_dropped > 0
+    ? s.spans_dropped + " spans dropped" : "";
+  const f = s.fleet || {};
+  $("fleet-cards").innerHTML =
+    ["ingest", "queue_wait", "refit", "serve"].map(p => {
+      const ph = f[p] || {};
+      return card(p.replace("_", "-") + " p95",
+        fmt(ph.p95) + '<span style="color:var(--dim);font-size:12px"> · n=' +
+        (ph.count || 0) + "</span>");
+    }).join("");
+  const tb = $("tenants").tBodies[0];
+  tb.innerHTML = "";
+  (s.tenants || []).forEach(t => {
+    const r = tb.insertRow();
+    const q = t.queue_wait || {}, rf = t.refit || {};
+    const cells = [
+      t.tenant, fmt((t.ingest || {}).p95),
+      fmt(q.p50), fmt(q.p95), fmt(q.p99),
+      fmt(rf.p50), fmt(rf.p95), fmt(rf.p99),
+      fmt((t.serve || {}).p95),
+      (t.bottleneck && t.bottleneck.length) ? t.bottleneck[0].phase : "–",
+    ];
+    cells.forEach(c => { r.insertCell().textContent = c; });
+  });
+  const bb = $("bottlenecks").tBodies[0];
+  bb.innerHTML = "";
+  (s.tenants || []).forEach(t => {
+    if (!t.bottleneck || !t.bottleneck.length) return;
+    const r = bb.insertRow();
+    r.insertCell().textContent = t.tenant;
+    const cell = r.insertCell();
+    cell.style.textAlign = "left";
+    t.bottleneck.forEach((b, i) => {
+      const w = Math.max(2, Math.round(180 * b.fraction));
+      const bar = document.createElement("span");
+      bar.className = "bar" + (i === 0 ? " b0" : "");
+      bar.style.width = w + "px";
+      cell.appendChild(bar);
+      cell.appendChild(document.createTextNode(
+        " " + b.phase + " " + (100 * b.fraction).toFixed(1) + "%  "));
+    });
+  });
+}
+
+async function tick() {
+  try {
+    const r = await fetch("/fleet.json", { cache: "no-store" });
+    if (!r.ok) throw new Error("HTTP " + r.status);
+    render(await r.json());
+  } catch (e) {
+    badge($("status"), "offline", "b-bad");
+    $("err").textContent = String(e);
+  }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+|page}

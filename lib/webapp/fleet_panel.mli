@@ -1,0 +1,5 @@
+val html : string
+(** The [/fleet] page: a self-contained HTML document that polls
+    [/fleet.json] once a second and renders per-tenant p50/p95/p99
+    latency plus the queue-wait/refit/serve bottleneck ranking. No
+    external assets; the server stays stateless. *)

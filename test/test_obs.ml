@@ -279,9 +279,10 @@ let test_read_jsonl_malformed () =
   close_out oc;
   match Span.read_jsonl path with
   | Error m -> Alcotest.failf "read failed: %s" m
-  | Ok (spans, bad) ->
+  | Ok { Span.spans; malformed; dropped } ->
       Alcotest.(check int) "good spans kept" 2 (List.length spans);
-      Alcotest.(check int) "malformed lines counted, blanks ignored" 1 bad
+      Alcotest.(check int) "malformed lines counted, blanks ignored" 1 malformed;
+      Alcotest.(check int) "no trailer -> dropped 0" 0 dropped
 
 let test_read_jsonl_truncated () =
   (* a crashed writer leaves the tail of a spans file cut mid-document;
@@ -306,9 +307,9 @@ let test_read_jsonl_truncated () =
   close_out oc;
   match Span.read_jsonl path with
   | Error m -> Alcotest.failf "read failed: %s" m
-  | Ok (spans, bad) ->
+  | Ok { Span.spans; malformed; dropped = _ } ->
       Alcotest.(check int) "whole spans kept" 2 (List.length spans);
-      Alcotest.(check int) "wrong-shape + garbage + truncated counted" 3 bad;
+      Alcotest.(check int) "wrong-shape + garbage + truncated counted" 3 malformed;
       let s = Span.Summary.of_spans spans in
       Alcotest.(check int) "summary runs over survivors" 2 s.Span.Summary.spans
 
@@ -631,6 +632,151 @@ let test_bad_host_typed_error () =
       Alcotest.failf "expected `Bad_host, got: %s"
         (Metrics_server.bind_error_message e)
 
+(* --- histogram bucket boundaries and batched observation ----------- *)
+
+(* the serve SLO bucket ladder: log-scale from 1 microsecond to 100 s *)
+let slo_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+let cum_counts h =
+  Array.map snd (Metrics.Histogram.cumulative_buckets h)
+
+let test_histogram_bucket_boundaries () =
+  let reg = Metrics.create_registry () in
+  let h =
+    Metrics.Histogram.create ~registry:reg ~buckets:slo_buckets "edge_seconds"
+  in
+  (* sub-microsecond: below every bound, lands in the first bucket *)
+  Metrics.Histogram.observe h 5e-7;
+  Alcotest.(check (array int))
+    "sub-microsecond lands in le=1e-6"
+    [| 1; 1; 1; 1; 1; 1; 1; 1; 1; 1 |]
+    (cum_counts h);
+  (* an exact bucket edge: le semantics, v <= bound counts the bound's
+     own bucket, not the next one up *)
+  Metrics.Histogram.observe h 1e-3;
+  Alcotest.(check (array int))
+    "exact edge 1e-3 counted at le=1e-3"
+    [| 1; 1; 1; 2; 2; 2; 2; 2; 2; 2 |]
+    (cum_counts h);
+  (* past the largest finite bound: only the +Inf bucket *)
+  Metrics.Histogram.observe h 1e6;
+  Alcotest.(check (array int))
+    "overflow lands only in +Inf"
+    [| 1; 1; 1; 2; 2; 2; 2; 2; 2; 3 |]
+    (cum_counts h);
+  Alcotest.(check int) "count" 3 (Metrics.Histogram.count h)
+
+let test_histogram_observe_n () =
+  let reg = Metrics.create_registry () in
+  let h =
+    Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0; 2.0 |] "batch_seconds"
+  in
+  Metrics.Histogram.observe_n h ~n:32 0.5;
+  Metrics.Histogram.observe_n h ~n:7 1.5;
+  Metrics.Histogram.observe_n h ~n:0 100.0;
+  Alcotest.(check int) "count sums the weights" 39 (Metrics.Histogram.count h);
+  check_float "sum is n*v per batch" (32.0 *. 0.5 +. 7.0 *. 1.5)
+    (Metrics.Histogram.sum h);
+  Alcotest.(check (array int))
+    "weighted buckets" [| 32; 39; 39 |] (cum_counts h);
+  (try
+     Metrics.Histogram.observe_n h ~n:(-1) 0.5;
+     Alcotest.fail "negative weight accepted"
+   with Invalid_argument _ -> ());
+  Metrics.Histogram.observe_n h ~n:5 Float.nan;
+  Alcotest.(check int) "NaN batch quarantined with its weight" 5
+    (Metrics.Histogram.nan_count h);
+  Alcotest.(check int) "NaN batch not counted" 39 (Metrics.Histogram.count h)
+
+let test_histogram_quantile () =
+  let reg = Metrics.create_registry () in
+  let h =
+    Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0; 2.0; 4.0 |]
+      "quant_seconds"
+  in
+  Alcotest.(check bool)
+    "empty histogram has no quantiles" true
+    (Float.is_nan (Metrics.Histogram.quantile h 0.5));
+  (* 100 observations uniformly attributed inside (1, 2] *)
+  Metrics.Histogram.observe_n h ~n:100 1.5;
+  check_float "median interpolates inside the bucket" 1.5
+    (Metrics.Histogram.quantile h 0.5);
+  check_float "q=0 clamps to the bucket floor" 1.0
+    (Metrics.Histogram.quantile h 0.0);
+  (* push mass past the largest finite bound: the +Inf bucket has no
+     upper edge, so the quantile clamps to the largest finite bound *)
+  Metrics.Histogram.observe_n h ~n:900 100.0;
+  check_float "+Inf bucket clamps to largest finite bound" 4.0
+    (Metrics.Histogram.quantile h 0.99);
+  (try
+     ignore (Metrics.Histogram.quantile h 1.5);
+     Alcotest.fail "quantile outside [0,1] accepted"
+   with Invalid_argument _ -> ())
+
+(* --- trace sampling determinism ------------------------------------ *)
+
+module Trace_ctx = Qnet_obs.Trace_ctx
+
+let decisions sampler n =
+  List.init n (fun _ ->
+      match Trace_ctx.sample ~born:0.0 sampler with
+      | None -> None
+      | Some c -> Some c.Trace_ctx.id)
+
+let test_trace_sampling_determinism () =
+  let mk () = Trace_ctx.make_sampler ~rate:0.05 ~seed:42 () in
+  let a = decisions (mk ()) 2000 and b = decisions (mk ()) 2000 in
+  Alcotest.(check (list (option int)))
+    "same seed, same mint order: identical sampled set and ids" a b;
+  let sampled = List.filter Option.is_some a in
+  Alcotest.(check bool)
+    "a 5% coin over 2000 mints samples something" true
+    (List.length sampled > 0);
+  Alcotest.(check bool)
+    "...but not everything" true
+    (List.length sampled < 2000);
+  let zero = Trace_ctx.make_sampler ~rate:0.0 ~seed:42 () in
+  Alcotest.(check bool)
+    "rate 0 samples nothing" true
+    (List.for_all Option.is_none (decisions zero 500));
+  let one = Trace_ctx.make_sampler ~rate:1.0 ~seed:42 () in
+  Alcotest.(check bool)
+    "rate 1 samples everything" true
+    (List.for_all Option.is_some (decisions one 500));
+  Alcotest.(check int) "every flip counts as minted" 500 (Trace_ctx.minted one);
+  let other = decisions (Trace_ctx.make_sampler ~rate:0.05 ~seed:43 ()) 2000 in
+  Alcotest.(check bool) "a different seed samples a different set" true
+    (a <> other)
+
+(* --- span drop accounting and the dropped trailer ------------------ *)
+
+let test_span_dropped_trailer_roundtrip () =
+  let path = Filename.temp_file "qnet_obs_drop" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Span.enable ~capacity:4 ();
+  Fun.protect ~finally:Span.disable @@ fun () ->
+  for i = 1 to 10 do
+    Span.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let spans = Span.drain () in
+  let dropped = Span.dropped () in
+  Alcotest.(check int) "ring of 4 keeps 4 of 10" 4 (List.length spans);
+  Alcotest.(check int) "6 oldest dropped" 6 dropped;
+  let by_domain = Span.dropped_by_domain () in
+  Alcotest.(check int)
+    "per-domain drops sum to the total" dropped
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 by_domain);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Span.write_jsonl ~dropped oc spans);
+  match Span.read_jsonl path with
+  | Error m -> Alcotest.failf "read failed: %s" m
+  | Ok { Span.spans = back; malformed; dropped = d } ->
+      Alcotest.(check int) "spans round-trip" 4 (List.length back);
+      Alcotest.(check int) "trailer is not a malformed line" 0 malformed;
+      Alcotest.(check int) "dropped count survives the file" 6 d
+
 let () =
   Alcotest.run "obs"
     [
@@ -650,6 +796,17 @@ let () =
           Alcotest.test_case "name/label/increment validation" `Quick test_validation;
           Alcotest.test_case "gauge set/add" `Quick test_gauge;
           Alcotest.test_case "histogram NaN quarantine" `Quick test_histogram_nan;
+          Alcotest.test_case "histogram bucket boundaries (SLO ladder)" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "histogram batched observe_n" `Quick
+            test_histogram_observe_n;
+          Alcotest.test_case "histogram quantile interpolation" `Quick
+            test_histogram_quantile;
+        ] );
+      ( "trace-sampling",
+        [
+          Alcotest.test_case "deterministic head-based sampling" `Quick
+            test_trace_sampling_determinism;
         ] );
       ( "metrics-export",
         [
@@ -671,6 +828,8 @@ let () =
           Alcotest.test_case "read_jsonl survives truncated/corrupt tails" `Quick
             test_read_jsonl_truncated;
           Alcotest.test_case "summary: self time and coverage" `Quick test_summary;
+          Alcotest.test_case "drop accounting and dropped trailer" `Quick
+            test_span_dropped_trailer_roundtrip;
         ] );
       ( "folded-stacks",
         [

@@ -693,7 +693,11 @@ let push_tenant_lines s lines =
   List.iter
     (fun line ->
       match Ingest.decode_line ~num_queues:2 line with
-      | Ok r -> ignore (Bounded_queue.try_push (Shard.queue s) r : bool)
+      | Ok r ->
+          let item =
+            { Shard.record = r; trace = None; enqueued_at = Float.nan }
+          in
+          ignore (Bounded_queue.try_push (Shard.queue s) item : bool)
       | Error m -> Alcotest.failf "bad test line: %s" m)
     lines
 
