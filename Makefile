@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test lint verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload verify-fleet demo supervised-demo bench bench-obs clean
+.PHONY: all build test lint lint-deep verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload verify-fleet demo supervised-demo bench bench-obs clean
 
 all: build
 
@@ -18,7 +18,14 @@ test:
 lint: build
 	dune exec qnet_lint -- --root .
 
-verify-lint: lint
+# Cross-module concurrency analysis on top of the shallow rules:
+# whole-program race (C001/C003), lock-order-cycle (C002), blocking-
+# under-mutex (C004) and torn-RMW (C005) checking, plus the S002
+# audit of racy-ok suppressions. Prints the index stats line.
+lint-deep: build
+	dune exec qnet_lint -- --root . --deep --stats
+
+verify-lint: lint lint-deep
 	@echo "verify-lint: OK"
 
 # Full verification: build, the whole test suite, then an end-to-end
@@ -27,7 +34,7 @@ verify-lint: lint
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build lint test demo supervised-demo verify-diagnostics verify-serve verify-overload verify-fleet
+verify: build lint lint-deep test demo supervised-demo verify-diagnostics verify-serve verify-overload verify-fleet
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live

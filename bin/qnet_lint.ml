@@ -22,6 +22,8 @@ let () =
   let verbose = ref false in
   let write_baseline = ref false in
   let list_rules = ref false in
+  let deep = ref false in
+  let stats = ref false in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
@@ -35,6 +37,14 @@ let () =
       ( "--rules",
         Arg.Set_string only,
         "CODES comma-separated rule codes to run (default: all)" );
+      ( "--deep",
+        Arg.Set deep,
+        " also run the cross-module concurrency rules C001-C005 over a \
+         whole-program index (plus the S002 orphan racy-ok audit)" );
+      ( "--stats",
+        Arg.Set stats,
+        " print the deep-analysis stats line (implies --deep; goes to \
+         stderr under --json so stdout stays one object)" );
       ("--json", Arg.Set json, " emit the report as one JSON object");
       ( "--verbose",
         Arg.Set verbose,
@@ -64,6 +74,7 @@ let () =
       only =
         (if !only = "" then None
          else Some (String.split_on_char ',' !only |> List.map String.trim));
+      deep = !deep || !stats;
     }
   in
   match Driver.run options with
@@ -77,14 +88,22 @@ let () =
           | Some p -> p
           | None -> Filename.concat !root Driver.default_baseline
         in
-        Baseline.save path outcome.Driver.findings;
+        (* keep already-baselined findings: otherwise a second
+           --write-baseline run would filter them out through the very
+           file it is regenerating and truncate it to nothing *)
+        let entries = outcome.Driver.findings @ outcome.Driver.baselined in
+        Baseline.save path entries;
         print_string
           (Printf.sprintf "qnet_lint: wrote %d entr%s to %s\n"
-             (List.length outcome.Driver.findings)
-             (if List.length outcome.Driver.findings = 1 then "y" else "ies")
+             (List.length entries)
+             (if List.length entries = 1 then "y" else "ies")
              path);
         exit 0
       end;
-      if !json then print_string (Reporter.json outcome ^ "\n")
+      if !json then begin
+        print_string (Reporter.json outcome ^ "\n");
+        if !stats then
+          Option.iter prerr_endline (Reporter.stats_line outcome)
+      end
       else print_string (Reporter.text ~verbose:!verbose outcome);
       exit (Driver.exit_code outcome)

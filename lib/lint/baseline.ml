@@ -48,15 +48,42 @@ let load path =
           of_string (really_input_string ic len))
     with Sys_error msg -> Error msg
 
+(* Baselines are committed and diffed, so entries must not depend on
+   the walk order, the platform's directory separator, or how the
+   root was spelled on the command line: normalize separators, strip
+   any root/./ prefix, sort by (code, path, line) and drop exact
+   duplicates. *)
+let normalize_path path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let rec strip p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  strip path
+
+let entry_of_finding (f : Finding.t) =
+  { code = f.Finding.code; file = normalize_path f.Finding.file;
+    line = f.Finding.line }
+
 let to_string findings =
   let buf = Buffer.create 256 in
   Buffer.add_string buf header;
+  let entries =
+    List.map entry_of_finding findings
+    |> List.sort_uniq (fun a b ->
+           match compare a.code b.code with
+           | 0 -> (
+               match compare a.file b.file with
+               | 0 -> compare a.line b.line
+               | c -> c)
+           | c -> c)
+  in
   List.iter
-    (fun (f : Finding.t) ->
+    (fun e ->
       Buffer.add_string buf
-        (Printf.sprintf "%s\t%s\t%d\n" f.Finding.code f.Finding.file
-           f.Finding.line))
-    (List.sort Finding.compare_by_pos findings);
+        (Printf.sprintf "%s\t%s\t%d\n" e.code e.file e.line))
+    entries;
   Buffer.contents buf
 
 let save path findings =
@@ -66,8 +93,10 @@ let save path findings =
     (fun () -> output_string oc (to_string findings))
 
 let covers entries (f : Finding.t) =
+  let file = normalize_path f.Finding.file in
   List.exists
     (fun e ->
-      e.code = f.Finding.code && e.file = f.Finding.file
+      e.code = f.Finding.code
+      && normalize_path e.file = file
       && e.line = f.Finding.line)
     entries

@@ -9,9 +9,16 @@ val of_string : string -> (entry list, string) result
 val load : string -> (entry list, string) result
 (** A missing file is an empty baseline, not an error. *)
 
+val normalize_path : string -> string
+(** '\\' to '/', leading "./" segments stripped — so baselines written
+    on different machines or from different cwds compare equal. *)
+
 val to_string : Finding.t list -> string
-(** Render findings as baseline text (sorted, with the header). *)
+(** Render findings as baseline text: header, then one entry per line
+    with normalized paths, sorted by (code, path, line), duplicates
+    dropped — deterministic regardless of walk order. *)
 
 val save : string -> Finding.t list -> unit
 
 val covers : entry list -> Finding.t -> bool
+(** Path comparison is normalization-insensitive. *)

@@ -1,0 +1,63 @@
+(** Cross-module concurrency analysis (the [--deep] rules C001–C005).
+
+    [analyze] merges the per-unit indexes from {!Index}, resolves
+    cross-module references by name, and reports:
+
+    - C001: mutable state reachable unguarded from a spawned
+      domain/thread closure, with no lock discipline anywhere;
+    - C002: cycles in the cross-module lock-order graph;
+    - C003: state guarded at some sites but accessed bare from a
+      spawn-reachable context;
+    - C004: blocking primitives executed (directly or through calls)
+      while holding a mutex;
+    - C005: Atomic.get + Atomic.set of one target in one function with
+      no RMW primitive.
+
+    Unresolved references never produce findings, and only units that
+    themselves mention concurrency vocabulary contribute state
+    entities, so purely sequential modules stay D002's business. *)
+
+type site = { s_file : string; s_line : int; s_col : int }
+
+type deep_finding = {
+  df : Finding.t;
+  df_entity : (string * int) option;
+      (** declaring file/line of the offending entity: a [racy-ok]
+          directive covering that line also suppresses this finding *)
+}
+
+type node = {
+  n_key : string;
+  n_display : string;
+  n_file : string;
+  n_line : int;
+}
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_file : string;
+  e_line : int;
+  e_via : string;
+}
+
+type stats = {
+  st_units : int;
+  st_active : int;
+  st_entities : int;
+  st_accesses : int;
+  st_guarded : int;
+  st_spawns : int;
+  st_mutexes : int;
+  st_edges : int;
+}
+
+type report = {
+  r_findings : deep_finding list;
+  r_nodes : node list;
+  r_edges : edge list;
+  r_cycles : string list list;
+  r_stats : stats;
+}
+
+val analyze : Index.unit_info list -> report

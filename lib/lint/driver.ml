@@ -1,26 +1,31 @@
 (* Walk the tree, parse every .ml/.mli with the compiler's own parser,
    run the rule registry, then subtract in-source suppressions and the
-   committed baseline. The driver is a pure library (no printing, no
-   exit): bin/qnet_lint.ml owns the process boundary. *)
+   committed baseline. With [deep] set, each parsed implementation is
+   also fed to the per-unit concurrency indexer and the merged index
+   runs the cross-module rules C001–C005 (plus the S002 orphan audit
+   of racy-ok directives). The driver is a pure library (no printing,
+   no exit): bin/qnet_lint.ml owns the process boundary. *)
 
 type options = {
   root : string;
   dirs : string list;
   baseline_path : string option;
   only : string list option;  (* restrict to these rule codes *)
+  deep : bool;  (* also run the cross-module concurrency pass *)
 }
 
 let default_dirs = [ "lib"; "bin" ]
 let default_baseline = "lint-baseline.txt"
 
 let default_options root =
-  { root; dirs = default_dirs; baseline_path = None; only = None }
+  { root; dirs = default_dirs; baseline_path = None; only = None; deep = false }
 
 type outcome = {
   findings : Finding.t list;  (* unsuppressed, unbaselined: these fail *)
   suppressed : (Finding.t * string) list;  (* finding, reason *)
   baselined : Finding.t list;
   files_scanned : int;
+  deep : (Concurrency.report * float) option;  (* report, wall ms *)
 }
 
 let exit_code outcome = if outcome.findings = [] then 0 else 1
@@ -83,10 +88,16 @@ let active_rules only =
 let wants only code =
   match only with None -> true | Some codes -> List.mem code codes
 
-(* Raw findings for one source text: AST rules, parse failures and
-   malformed suppression directives — before suppression/baseline
-   filtering. Also returns the scanned directives. *)
-let raw_findings ?only ~path source =
+(* One file, parsed once: raw rule findings, the scanned suppression
+   directives, and (for implementations) the parse tree so the deep
+   pass can index it without re-parsing. *)
+type scanned = {
+  sc_findings : Finding.t list;  (* raw: before suppression/baseline *)
+  sc_directives : Suppress.directive list;
+  sc_structure : Parsetree.structure option;
+}
+
+let scan_source ?only ~path source =
   let acc = ref [] in
   let report f = acc := f :: !acc in
   let scan = Suppress.scan source in
@@ -95,27 +106,41 @@ let raw_findings ?only ~path source =
       (fun (line, what) ->
         report (Finding.v ~code:"S001" ~file:path ~line ~col:0 what))
       scan.Suppress.malformed;
-  (if Filename.check_suffix path ".ml" then begin
-     let lexbuf = Lexing.from_string source in
-     Lexing.set_filename lexbuf path;
-     match Parse.implementation lexbuf with
-     | str ->
-         List.iter
-           (fun r ->
-             if r.Rules.applies path then
-               r.Rules.check { Rules.path; report } str)
-           (active_rules only)
-     | exception exn ->
-         if wants only "X001" then report (parse_error_finding ~path exn)
-   end
-   else
-     let lexbuf = Lexing.from_string source in
-     Lexing.set_filename lexbuf path;
-     match Parse.interface lexbuf with
-     | (_ : Parsetree.signature) -> ()
-     | exception exn ->
-         if wants only "X001" then report (parse_error_finding ~path exn));
-  (List.sort Finding.compare_by_pos !acc, scan.Suppress.directives)
+  let structure =
+    if Filename.check_suffix path ".ml" then begin
+      let lexbuf = Lexing.from_string source in
+      Lexing.set_filename lexbuf path;
+      match Parse.implementation lexbuf with
+      | str ->
+          List.iter
+            (fun r ->
+              if r.Rules.applies path then
+                r.Rules.check { Rules.path; report } str)
+            (active_rules only);
+          Some str
+      | exception exn ->
+          if wants only "X001" then report (parse_error_finding ~path exn);
+          None
+    end
+    else begin
+      (let lexbuf = Lexing.from_string source in
+       Lexing.set_filename lexbuf path;
+       match Parse.interface lexbuf with
+       | (_ : Parsetree.signature) -> ()
+       | exception exn ->
+           if wants only "X001" then report (parse_error_finding ~path exn));
+      None
+    end
+  in
+  {
+    sc_findings = List.sort Finding.compare_by_pos !acc;
+    sc_directives = scan.Suppress.directives;
+    sc_structure = structure;
+  }
+
+let raw_findings ?only ~path source =
+  let sc = scan_source ?only ~path source in
+  (sc.sc_findings, sc.sc_directives)
 
 let split_suppressed directives findings =
   List.partition_map
@@ -130,6 +155,75 @@ let split_suppressed directives findings =
 let lint_source ?only ~path source =
   let findings, directives = raw_findings ?only ~path source in
   split_suppressed directives findings
+
+(* ------------------------------------------------------------------ *)
+(* Deep pass: suppression and the racy-ok orphan audit                 *)
+
+(* A deep finding is silenced by a directive for its code on its site
+   line (allow or racy-ok), or by a racy-ok on the declaration line of
+   the entity it is about — so one annotated [mutable] field covers
+   every access site. Every racy-ok that ends up silencing nothing is
+   an orphan: S002. *)
+let filter_deep ~only ~directives_of (report : Concurrency.report) =
+  let used : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark file (d : Suppress.directive) =
+    Hashtbl.replace used (file, d.Suppress.at) ()
+  in
+  let active, suppressed =
+    List.partition_map
+      (fun (dfi : Concurrency.deep_finding) ->
+        let f = dfi.Concurrency.df in
+        let site_dirs = directives_of f.Finding.file in
+        match
+          Suppress.find site_dirs ~code:f.Finding.code ~line:f.Finding.line
+        with
+        | Some d ->
+            mark f.Finding.file d;
+            Either.Right (f, d.Suppress.reason)
+        | None -> (
+            match dfi.Concurrency.df_entity with
+            | None -> Either.Left f
+            | Some (decl_file, decl_line) -> (
+                match
+                  List.find_opt
+                    (fun (d : Suppress.directive) ->
+                      d.Suppress.kind = Suppress.Racy_ok
+                      && d.Suppress.code = f.Finding.code
+                      && d.Suppress.covers = decl_line)
+                    (directives_of decl_file)
+                with
+                | Some d ->
+                    mark decl_file d;
+                    Either.Right (f, d.Suppress.reason)
+                | None -> Either.Left f)))
+      (List.filter
+         (fun (dfi : Concurrency.deep_finding) ->
+           wants only dfi.Concurrency.df.Finding.code)
+         report.Concurrency.r_findings)
+  in
+  (active, suppressed, used)
+
+let orphan_racy_ok ~only ~files ~directives_of ~used =
+  if not (wants only "S002") then []
+  else
+    List.concat_map
+      (fun file ->
+        List.filter_map
+          (fun (d : Suppress.directive) ->
+            if
+              d.Suppress.kind = Suppress.Racy_ok
+              && not (Hashtbl.mem used (file, d.Suppress.at))
+            then
+              Some
+                (Finding.v ~code:"S002" ~file ~line:d.Suppress.at ~col:0
+                   (Printf.sprintf
+                      "orphan racy-ok %s (%s): no %s finding is suppressed \
+                       here; the hazard it documents no longer exists — \
+                       remove the annotation or re-audit"
+                      d.Suppress.code d.Suppress.reason d.Suppress.code))
+            else None)
+          (directives_of file))
+      files
 
 (* ------------------------------------------------------------------ *)
 (* Whole-tree run                                                      *)
@@ -168,13 +262,22 @@ let run options =
     match Baseline.load baseline_path with Ok e -> e | Error _ -> []
   in
   let all_findings = ref [] and all_suppressed = ref [] in
+  let dir_tbl : (string, Suppress.directive list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let structures = ref [] in
   List.iter
     (fun rel ->
       match read_file (Filename.concat options.root rel) with
       | exception Sys_error _ -> ()
       | source ->
+          let sc = scan_source ?only:options.only ~path:rel source in
+          Hashtbl.replace dir_tbl rel sc.sc_directives;
+          (match sc.sc_structure with
+          | Some str when options.deep -> structures := (rel, str) :: !structures
+          | _ -> ());
           let active, suppressed =
-            lint_source ?only:options.only ~path:rel source
+            split_suppressed sc.sc_directives sc.sc_findings
           in
           all_findings := List.rev_append active !all_findings;
           all_suppressed := List.rev_append suppressed !all_suppressed)
@@ -182,6 +285,44 @@ let run options =
   all_findings :=
     List.rev_append (missing_mli_findings ~only:options.only files)
       !all_findings;
+  let directives_of file =
+    Option.value ~default:[] (Hashtbl.find_opt dir_tbl file)
+  in
+  let deep =
+    if not options.deep then None
+    else begin
+      let t0 = Qnet_obs.Clock.now () in
+      let units =
+        List.rev_map
+          (fun (rel, str) -> Index.of_structure ~path:rel str)
+          !structures
+      in
+      let report = Concurrency.analyze units in
+      let active, suppressed, used =
+        filter_deep ~only:options.only ~directives_of report
+      in
+      let orphans =
+        orphan_racy_ok ~only:options.only ~files ~directives_of ~used
+      in
+      let orphan_active, orphan_suppressed =
+        List.partition_map
+          (fun (f : Finding.t) ->
+            match
+              Suppress.find (directives_of f.Finding.file) ~code:f.Finding.code
+                ~line:f.Finding.line
+            with
+            | Some d -> Either.Right (f, d.Suppress.reason)
+            | None -> Either.Left f)
+          orphans
+      in
+      all_findings :=
+        List.rev_append active (List.rev_append orphan_active !all_findings);
+      all_suppressed :=
+        List.rev_append suppressed
+          (List.rev_append orphan_suppressed !all_suppressed);
+      Some (report, (Qnet_obs.Clock.now () -. t0) *. 1000.)
+    end
+  in
   let baselined, findings =
     List.partition (Baseline.covers baseline) !all_findings
   in
@@ -193,4 +334,5 @@ let run options =
         !all_suppressed;
     baselined = List.sort Finding.compare_by_pos baselined;
     files_scanned = List.length files;
+    deep;
   }

@@ -8,6 +8,9 @@ type options = {
   baseline_path : string option;
       (** default [root/lint-baseline.txt]; missing file = empty *)
   only : string list option;  (** restrict to these rule codes *)
+  deep : bool;
+      (** also index every implementation and run the cross-module
+          concurrency rules C001–C005 plus the S002 orphan audit *)
 }
 
 val default_dirs : string list
@@ -19,6 +22,10 @@ type outcome = {
   suppressed : (Finding.t * string) list;  (** finding, suppression reason *)
   baselined : Finding.t list;
   files_scanned : int;
+  deep : (Concurrency.report * float) option;
+      (** with [options.deep]: the raw concurrency report (lock graph,
+          cycles, stats; its findings are pre-suppression) and the
+          analysis wall time in milliseconds *)
 }
 
 val exit_code : outcome -> int

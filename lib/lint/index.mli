@@ -1,0 +1,86 @@
+(** Per-compilation-unit concurrency index.
+
+    [of_structure] summarizes one parsed .ml file for the cross-module
+    analysis in {!Concurrency}: declared mutable state, mutexes and
+    atomics; per-function state accesses with the lock set held at
+    each; mutex acquisition nesting; blocking calls inside critical
+    sections; spawned closures; and Atomic op mixes. Purely syntactic —
+    references stay unresolved ({!sref}) until the merge. *)
+
+type entity_kind =
+  | Mutable_binding of string  (** constructor, e.g. ["ref"] *)
+  | Mutable_field of string  (** declaring record type name *)
+
+type entity = {
+  e_name : string;
+  e_kind : entity_kind;
+  e_line : int;
+  e_col : int;
+}
+
+type mutex_decl = { m_name : string; m_field : bool; m_line : int }
+type atomic_decl = { at_name : string; at_field : bool; at_line : int }
+
+(** Unresolved reference: a (possibly module-qualified) value name, or
+    a record field projection with the receiver dropped (the field's
+    own module qualifier, as in [trace.Trace.events], is kept). *)
+type sref = Rident of string list * string | Rfield of string list * string
+
+type access = {
+  a_ref : sref;
+  a_write : bool;
+  a_held : sref list;  (** mutexes held at the access, innermost first *)
+  a_line : int;
+  a_col : int;
+}
+
+type lock_event = {
+  l_outer : sref list;  (** held when [l_inner] was acquired *)
+  l_inner : sref;
+  l_line : int;
+}
+
+type blocking_call = { b_name : string; b_held : sref list; b_line : int }
+type call = { c_ref : sref; c_held : sref list; c_line : int }
+
+type atomic_op = {
+  o_path : string;
+  o_get : int option;
+  o_set : int option;
+  o_rmw : bool;
+}
+
+type fn = {
+  f_name : string;
+  f_line : int;
+  f_init : bool;  (** RHS is not a function: runs at module init *)
+  f_spawn : (string * int) option;
+      (** [Some (kind, line)] when this is a spawned-closure body *)
+  mutable f_accesses : access list;
+  mutable f_calls : call list;
+  mutable f_locks : lock_event list;
+  mutable f_blocking : blocking_call list;
+  mutable f_atomics : (string, atomic_op) Hashtbl.t;
+  mutable f_spawn_entries : (string * int * sref) list;
+}
+
+type unit_info = {
+  u_path : string;
+  u_modname : string;
+  u_dir : string;
+  u_aliases : (string * string list) list;
+  u_fields : string list;
+      (** every record field name the unit declares, mutable or not —
+          a field reference inside the unit never resolves elsewhere *)
+  u_entities : entity list;
+  u_mutexes : mutex_decl list;
+  u_atomics : atomic_decl list;
+  u_fns : fn list;
+  u_active : bool;
+      (** the unit itself mentions domains, threads, mutexes or
+          atomics; only active units contribute entities *)
+}
+
+val sref_to_string : sref -> string
+val modname_of_path : string -> string
+val of_structure : path:string -> Parsetree.structure -> unit_info

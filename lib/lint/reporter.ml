@@ -12,6 +12,31 @@ let summary_line (o : Driver.outcome) =
     (List.length o.Driver.baselined)
     o.Driver.files_scanned
 
+(* The --stats line: one glance at analyzer coverage and cost. *)
+let stats_line (o : Driver.outcome) =
+  match o.Driver.deep with
+  | None -> None
+  | Some (r, wall_ms) ->
+      let s = r.Concurrency.r_stats in
+      let pct =
+        if s.Concurrency.st_accesses = 0 then 100.
+        else
+          100.
+          *. float_of_int s.Concurrency.st_guarded
+          /. float_of_int s.Concurrency.st_accesses
+      in
+      Some
+        (Printf.sprintf
+           "qnet_lint --deep: %d modules indexed (%d concurrency-active), %d \
+            mutable bindings, %d state accesses (%.0f%% guarded), %d spawn \
+            sites, %d mutexes, %d lock-order edges, %d cycle(s), %.1f ms"
+           s.Concurrency.st_units s.Concurrency.st_active
+           s.Concurrency.st_entities s.Concurrency.st_accesses pct
+           s.Concurrency.st_spawns s.Concurrency.st_mutexes
+           s.Concurrency.st_edges
+           (List.length r.Concurrency.r_cycles)
+           wall_ms)
+
 let text ?(verbose = false) (o : Driver.outcome) =
   let buf = Buffer.create 1024 in
   List.iter
@@ -31,6 +56,11 @@ let text ?(verbose = false) (o : Driver.outcome) =
           (Printf.sprintf "%s (baselined)\n" (Finding.to_string f)))
       o.Driver.baselined
   end;
+  (match stats_line o with
+  | Some line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n'
+  | None -> ());
   Buffer.add_string buf (summary_line o);
   Buffer.add_char buf '\n';
   Buffer.contents buf
@@ -45,10 +75,73 @@ let finding_fields (f : Finding.t) =
     ("message", Jsonx.Str f.Finding.message);
   ]
 
+(* The machine-readable half of --deep: stats plus the full lock-order
+   graph so external tooling (or a reviewer) can plot acquisition
+   order without re-running the analysis. *)
+let deep_json (r : Concurrency.report) wall_ms =
+  let s = r.Concurrency.r_stats in
+  Jsonx.Obj
+    [
+      ( "stats",
+        Jsonx.Obj
+          [
+            ("modules", Jsonx.Num (float_of_int s.Concurrency.st_units));
+            ("active_modules", Jsonx.Num (float_of_int s.Concurrency.st_active));
+            ( "mutable_bindings",
+              Jsonx.Num (float_of_int s.Concurrency.st_entities) );
+            ("state_accesses", Jsonx.Num (float_of_int s.Concurrency.st_accesses));
+            ( "guarded_accesses",
+              Jsonx.Num (float_of_int s.Concurrency.st_guarded) );
+            ("spawn_sites", Jsonx.Num (float_of_int s.Concurrency.st_spawns));
+            ("mutexes", Jsonx.Num (float_of_int s.Concurrency.st_mutexes));
+            ("wall_ms", Jsonx.Num wall_ms);
+          ] );
+      ( "lock_graph",
+        Jsonx.Obj
+          [
+            ( "nodes",
+              Jsonx.Arr
+                (List.map
+                   (fun (n : Concurrency.node) ->
+                     Jsonx.Obj
+                       [
+                         ("id", Jsonx.Str n.Concurrency.n_key);
+                         ("mutex", Jsonx.Str n.Concurrency.n_display);
+                         ("file", Jsonx.Str n.Concurrency.n_file);
+                         ("line", Jsonx.Num (float_of_int n.Concurrency.n_line));
+                       ])
+                   r.Concurrency.r_nodes) );
+            ( "edges",
+              Jsonx.Arr
+                (List.map
+                   (fun (e : Concurrency.edge) ->
+                     Jsonx.Obj
+                       [
+                         ("from", Jsonx.Str e.Concurrency.e_from);
+                         ("to", Jsonx.Str e.Concurrency.e_to);
+                         ("file", Jsonx.Str e.Concurrency.e_file);
+                         ("line", Jsonx.Num (float_of_int e.Concurrency.e_line));
+                         ("via", Jsonx.Str e.Concurrency.e_via);
+                       ])
+                   r.Concurrency.r_edges) );
+          ] );
+      ( "cycles",
+        Jsonx.Arr
+          (List.map
+             (fun members ->
+               Jsonx.Arr (List.map (fun m -> Jsonx.Str m) members))
+             r.Concurrency.r_cycles) );
+    ]
+
 let json (o : Driver.outcome) =
+  let deep_fields =
+    match o.Driver.deep with
+    | None -> []
+    | Some (r, wall_ms) -> [ ("deep", deep_json r wall_ms) ]
+  in
   Jsonx.render
     (Jsonx.Obj
-       [
+       ([
          ( "findings",
            Jsonx.Arr
              (List.map (fun f -> Jsonx.Obj (finding_fields f)) o.Driver.findings)
@@ -66,4 +159,5 @@ let json (o : Driver.outcome) =
                 o.Driver.baselined) );
          ("files_scanned", Jsonx.Num (float_of_int o.Driver.files_scanned));
          ("ok", Jsonx.Bool (o.Driver.findings = []));
-       ])
+       ]
+       @ deep_fields))

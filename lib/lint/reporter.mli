@@ -3,11 +3,19 @@
 
 val summary_line : Driver.outcome -> string
 
+val stats_line : Driver.outcome -> string option
+(** The [--stats] line for deep runs: modules indexed, mutable
+    bindings, guarded-access percentage, spawn sites, lock-graph size
+    and analysis wall time. [None] when the outcome has no deep
+    report. *)
+
 val text : ?verbose:bool -> Driver.outcome -> string
 (** One [file:line:col: severity CODE: message] line per finding plus
     the summary; [verbose] also lists suppressed and baselined
-    findings. *)
+    findings. Deep outcomes include the stats line. *)
 
 val json : Driver.outcome -> string
 (** Single JSON object: findings / suppressed / baselined arrays,
-    [files_scanned], and an ["ok"] flag. *)
+    [files_scanned], an ["ok"] flag and — for deep runs — a ["deep"]
+    object carrying the stats, the full lock-order graph (nodes +
+    provenance-annotated edges) and any cycles. *)

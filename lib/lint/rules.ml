@@ -415,6 +415,39 @@ let extra_catalogue =
       "malformed suppression",
       "a (* qnet-lint: ... *) directive with an unknown verb, a missing \
        rule code, or no reason" );
+    ( "S002",
+      "orphan racy-ok",
+      "a (* qnet-lint: racy-ok ... *) annotation that suppresses no \
+       --deep finding; the documented hazard no longer exists, so the \
+       annotation is stale (deep runs only)" );
+    ( "C001",
+      "unguarded spawned-closure state",
+      "cross-module (--deep): mutable state with no lock discipline \
+       anywhere in the program is reachable from a Domain.spawn or \
+       Thread.create closure; guard it, make it Atomic, or declare the \
+       race with racy-ok C001 on the declaration" );
+    ( "C002",
+      "lock-order cycle",
+      "cross-module (--deep): the mutex acquisition graph — built from \
+       Mutex.lock/protect nesting and from calls made while holding a \
+       mutex into functions that acquire more — contains a cycle: a \
+       potential deadlock; pick one global acquisition order" );
+    ( "C003",
+      "guard inconsistency",
+      "cross-module (--deep): the same mutable binding is accessed under \
+       a mutex at some sites but bare from a spawn-reachable context at \
+       others; either every concurrent access takes the lock or none \
+       should" );
+    ( "C004",
+      "blocking call under mutex",
+      "cross-module (--deep): a blocking primitive (Unix.*, channel I/O, \
+       Thread.delay/join) runs — directly or through calls — while a \
+       mutex is held, stalling every other thread that needs it" );
+    ( "C005",
+      "split atomic read-modify-write",
+      "cross-module (--deep): Atomic.get and Atomic.set of the same \
+       target in one function with no compare_and_set/fetch_and_add is \
+       a lost-update window under concurrent writers" );
   ]
 
 let catalogue =

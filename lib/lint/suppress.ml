@@ -10,7 +10,10 @@
    a directive without one is itself reported (S001) so that
    suppressions stay auditable. *)
 
+type kind = Allow | Racy_ok
+
 type directive = {
+  kind : kind;
   code : string;
   reason : string;
   covers : int;  (* line whose findings this directive silences *)
@@ -39,6 +42,15 @@ let split_word s =
   | Some i ->
       (String.sub s 0 i, String.trim (String.sub s i (String.length s - i)))
 
+(* racy-ok declares a cell deliberately racy, so it only makes sense
+   for the concurrency rules (and is itself audited: a racy-ok that
+   suppresses nothing is an S002 finding in --deep runs). *)
+let concurrency_code code =
+  String.length code >= 2
+  && code.[0] = 'C'
+  && String.for_all (function '0' .. '9' -> true | _ -> false)
+       (String.sub code 1 (String.length code - 1))
+
 let parse_directive ~start_line ~end_line ~standalone content acc =
   let body = String.trim content in
   let n = String.length prefix in
@@ -47,23 +59,38 @@ let parse_directive ~start_line ~end_line ~standalone content acc =
     let rest = String.trim (String.sub body n (String.length body - n)) in
     let verb, rest = split_word rest in
     let directives, malformed = acc in
-    if verb <> "allow" then
-      (directives, (start_line, "unknown qnet-lint verb " ^ verb) :: malformed)
-    else begin
-      let code, reason = split_word rest in
-      if not (is_code_token code) then
+    match
+      match verb with
+      | "allow" -> Some Allow
+      | "racy-ok" -> Some Racy_ok
+      | _ -> None
+    with
+    | None ->
         ( directives,
-          (start_line, "qnet-lint: allow needs a rule code (e.g. D001)")
-          :: malformed )
-      else if reason = "" then
-        ( directives,
-          ( start_line,
-            Printf.sprintf "suppression of %s needs a reason" code )
-          :: malformed )
-      else
-        let covers = if standalone then end_line + 1 else start_line in
-        ({ code; reason; covers; at = start_line } :: directives, malformed)
-    end
+          (start_line, "unknown qnet-lint verb " ^ verb) :: malformed )
+    | Some kind ->
+        let code, reason = split_word rest in
+        if not (is_code_token code) then
+          ( directives,
+            ( start_line,
+              Printf.sprintf "qnet-lint: %s needs a rule code (e.g. %s)" verb
+                (if kind = Racy_ok then "C001" else "D001") )
+            :: malformed )
+        else if kind = Racy_ok && not (concurrency_code code) then
+          ( directives,
+            ( start_line,
+              Printf.sprintf
+                "racy-ok only applies to concurrency rules (C...), not %s"
+                code )
+            :: malformed )
+        else if reason = "" then
+          ( directives,
+            (start_line, Printf.sprintf "suppression of %s needs a reason" code)
+            :: malformed )
+        else
+          let covers = if standalone then end_line + 1 else start_line in
+          ( { kind; code; reason; covers; at = start_line } :: directives,
+            malformed )
   end
 
 (* A small lexer over the raw source: tracks strings, char literals

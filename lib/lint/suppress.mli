@@ -1,11 +1,18 @@
-(** [(* qnet-lint: allow CODE reason *)] suppression comments.
+(** [(* qnet-lint: allow CODE reason *)] and
+    [(* qnet-lint: racy-ok CODE reason *)] suppression comments.
 
     A trailing comment covers the line it starts on; a standalone
     comment covers the first line after it ends. Directives without a
     mandatory reason are reported as malformed (surfaced by the driver
-    as S001 findings). *)
+    as S001 findings). [racy-ok] is restricted to the concurrency
+    rules (C-codes); in deep runs it may sit either on a finding's
+    site line or on the offending entity's declaration line, and one
+    that suppresses nothing is itself an S002 finding. *)
+
+type kind = Allow | Racy_ok
 
 type directive = {
+  kind : kind;
   code : string;
   reason : string;
   covers : int;  (** line whose findings this directive silences *)

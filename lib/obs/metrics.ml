@@ -80,15 +80,15 @@ let fold_shards s f init = List.fold_left f init (Atomic.get s.all)
    owner's [c.v <- c.v +. x] is one load, one add, one plain store —
    no allocation. A [mutable float] inside a mixed record would box
    on every store; never inline these into a larger record. *)
-type fcell = { mutable v : float }
+type fcell = { mutable v : float }  (* qnet-lint: racy-ok C001 owner-written telemetry cell; scrape reads tolerate a stale value by design *)
 
 type counter_body = fcell sharded
 
 type hist_shard = {
   bucket_counts : int array; (* one per bound, plus overflow; owner-written *)
   h_sum : fcell;
-  mutable h_count : int;
-  mutable h_nan : int;
+  mutable h_count : int;  (* qnet-lint: racy-ok C001 owner-written shard counter; scrape merge tolerates bounded staleness *)
+  mutable h_nan : int;  (* qnet-lint: racy-ok C001 owner-written shard counter; scrape merge tolerates bounded staleness *)
 }
 
 type hist_body = { bounds : float array; shards : hist_shard sharded }
@@ -375,9 +375,13 @@ let sorted_metrics reg =
 
 let family_header reg buf name =
   let kind, help =
-    match Hashtbl.find_opt reg.families name with
-    | Some kh -> kh
-    | None -> ("untyped", "")
+    (* [register] mutates [families] under the lock, and late
+       registration can race a concurrent scrape — so the read takes
+       it too *)
+    Mutex.protect reg.lock (fun () ->
+        match Hashtbl.find_opt reg.families name with
+        | Some kh -> kh
+        | None -> ("untyped", ""))
   in
   if help <> "" then
     Buffer.add_string buf

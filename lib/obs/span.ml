@@ -103,7 +103,9 @@ let drain () =
       !out
 
 let dropped () =
-  match Atomic.get state with None -> 0 | Some tr -> tr.dropped
+  match Atomic.get state with
+  | None -> 0
+  | Some tr -> Mutex.protect tr.lock (fun () -> tr.dropped)
 
 let dropped_by_domain () =
   match Atomic.get state with

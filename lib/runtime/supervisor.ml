@@ -184,7 +184,7 @@ let ks_outlier_scores chains =
 (* Per-chain supervised state.                                         *)
 (* ------------------------------------------------------------------ *)
 
-type armed_fault = { spec : Fault.chain_fault; mutable fired : bool }
+type armed_fault = { spec : Fault.chain_fault; mutable fired : bool }  (* qnet-lint: racy-ok C001 flipped by the round domain, read by the supervisor only between rounds (join is the barrier) *)
 
 type round_outcome = Round_ok | Round_crashed of string
 
@@ -204,17 +204,17 @@ type chain_state = {
   age_gauge : Metrics.Gauge.t;
   cancel : bool Atomic.t;
   faults : armed_fault array;
-  mutable params : Params.t;
-  mutable it : int;
-  mutable restarts : int;
-  mutable incidents : (int * string) list;  (* newest first *)
-  mutable status : chain_status;
-  mutable last_good : Checkpoint.t option;
-  mutable outcome : round_outcome;
-  mutable stall_flagged : bool;
-  mutable abandoned : bool;
-  mutable warmed : bool;
-  mutable welford : Welford.t array;  (* one accumulator per queue *)
+  mutable params : Params.t;  (* qnet-lint: racy-ok C003 round-barrier hand-off: the spawned round domain owns st until join; supervisor touches it only between rounds *)
+  mutable it : int;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable restarts : int;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable incidents : (int * string) list;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable status : chain_status;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable last_good : Checkpoint.t option;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable outcome : round_outcome;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable stall_flagged : bool;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable abandoned : bool;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable warmed : bool;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
+  mutable welford : Welford.t array;  (* qnet-lint: racy-ok C001 round-barrier hand-off (see params) *)
 }
 
 (* Same clamped time source as Runtime.now: watchdog deadlines and

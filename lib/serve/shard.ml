@@ -282,8 +282,8 @@ type tenant_state = {
 
 type fault_state = {
   spec : Fault.service_fault;
-  mutable fired : bool;
-  mutable slow_until : float;
+  mutable fired : bool;  (* qnet-lint: racy-ok C001 written only by the worker thread (check_faults) *)
+  mutable slow_until : float;  (* qnet-lint: racy-ok C001 written only by the worker thread (check_faults) *)
 }
 
 type t = {
@@ -299,9 +299,9 @@ type t = {
   mutable restart_count : int;
   mutable was_resumed : bool;
   mutable err : string option;
-  mutable last_fit_scan : float;
-  mutable log_oc : out_channel option;
-  mutable ckpt_fail_pending : bool;
+  mutable last_fit_scan : float;  (* qnet-lint: racy-ok C001 worker-owned; cross-thread refit_lag read is monitoring-only and tolerates staleness *)
+  mutable log_oc : out_channel option;  (* qnet-lint: racy-ok C001 worker-owned; stop closes it only after joining the worker *)
+  mutable ckpt_fail_pending : bool;  (* qnet-lint: racy-ok C001 worker-owned fault latch *)
   stopping : bool Atomic.t;
   mutable worker : Thread.t option;
   faults : fault_state list;
@@ -313,16 +313,16 @@ type t = {
   mutable clean_streak : int;  (* promotion hysteresis counter *)
   mutable restart_stamps : float list;  (* recent restarts, newest first *)
   mutable pinned_until : float;  (* breaker cooldown deadline *)
-  mutable last_ladder_eval : float;
+  mutable last_ladder_eval : float;  (* qnet-lint: racy-ok C001 worker-owned; evaluate_ladder runs on the worker loop only *)
   (* drain measurement (worker thread only) *)
-  mutable drain_ewma : float;  (* events/s actually absorbed *)
-  mutable last_drain : float;
-  mutable last_pass : float;
+  mutable drain_ewma : float;  (* qnet-lint: racy-ok C001 worker-thread-only drain measurement *)
+  mutable last_drain : float;  (* qnet-lint: racy-ok C001 worker-thread-only drain measurement *)
+  mutable last_pass : float;  (* qnet-lint: racy-ok C001 worker-thread-only drain measurement *)
   (* overload fault throttle (worker thread only) *)
-  mutable overload_rps : float;  (* 0 = no throttle *)
-  mutable overload_debt : float;  (* token bucket *)
+  mutable overload_rps : float;  (* qnet-lint: racy-ok C001 worker-thread-only throttle; 0 = no throttle *)
+  mutable overload_debt : float;  (* qnet-lint: racy-ok C001 worker-thread-only token bucket *)
   (* durable-log state *)
-  mutable compaction_suspended : bool;  (* corruption faults arm this *)
+  mutable compaction_suspended : bool;  (* qnet-lint: racy-ok C001 worker-owned latch armed by corruption faults *)
   mutable corrupt_frames : int;
   mutable torn_tails : int;
   mutable replayed_events : int;

@@ -9,6 +9,7 @@ module Rules = Qnet_lint_lib.Rules
 module Baseline = Qnet_lint_lib.Baseline
 module Suppress = Qnet_lint_lib.Suppress
 module Reporter = Qnet_lint_lib.Reporter
+module Concurrency = Qnet_lint_lib.Concurrency
 module Jsonx = Qnet_obs.Jsonx
 
 let default_path = "lib/core/sample.ml"
@@ -255,6 +256,58 @@ let test_driver_baseline () =
       check_codes "still visible as baselined" [ "D001" ] o2.Driver.baselined;
       Alcotest.(check int) "exit clean" 0 (Driver.exit_code o2))
 
+(* Regenerating a baseline must be idempotent: the second run's
+   findings arrive already split into fresh + baselined, and the
+   rewrite keeps both (bin/qnet_lint.ml concatenates them). *)
+let test_baseline_regenerate_idempotent () =
+  with_temp_tree
+    [
+      ("lib/a.ml", "let t = Unix.gettimeofday ()\n");
+      ("lib/a.mli", "val t : float\n");
+    ]
+    (fun root ->
+      let path = Filename.concat root Driver.default_baseline in
+      let o1 = Driver.run (Driver.default_options root) in
+      Baseline.save path (o1.Driver.findings @ o1.Driver.baselined);
+      let first = Baseline.to_string (o1.Driver.findings @ o1.Driver.baselined) in
+      let o2 = Driver.run (Driver.default_options root) in
+      check_codes "all grandfathered" [] o2.Driver.findings;
+      Alcotest.(check string)
+        "rewrite reproduces the same baseline" first
+        (Baseline.to_string (o2.Driver.findings @ o2.Driver.baselined)))
+
+let test_baseline_deterministic () =
+  let f code file line =
+    Finding.v ~code ~file ~line ~col:0 "irrelevant"
+  in
+  let shuffled =
+    [ f "F001" "lib/z.ml" 9; f "D001" "./lib/b.ml" 3; f "D001" "lib/a.ml" 7;
+      f "D001" "lib\\a.ml" 7; f "D001" "lib/a.ml" 2 ]
+  in
+  let rendered = Baseline.to_string shuffled in
+  Alcotest.(check string)
+    "same text whatever the walk order" rendered
+    (Baseline.to_string (List.rev shuffled));
+  match Baseline.of_string rendered with
+  | Error m -> Alcotest.fail m
+  | Ok entries ->
+      Alcotest.(check (list string))
+        "sorted by (code, path, line), duplicates dropped"
+        [ "D001:lib/a.ml:2"; "D001:lib/a.ml:7"; "D001:lib/b.ml:3";
+          "F001:lib/z.ml:9" ]
+        (List.map
+           (fun e ->
+             Printf.sprintf "%s:%s:%d" e.Baseline.code e.Baseline.file
+               e.Baseline.line)
+           entries)
+
+let test_baseline_normalized_covers () =
+  let e = { Baseline.code = "D001"; file = "./lib/x.ml"; line = 7 } in
+  let f = Finding.v ~code:"D001" ~file:"lib\\x.ml" ~line:7 ~col:0 "m" in
+  Alcotest.(check bool)
+    "windows separators and ./ prefixes compare equal" true
+    (Baseline.covers [ e ] f)
+
 let test_baseline_round_trip () =
   let f =
     Finding.v ~code:"D001" ~file:"lib/x.ml" ~line:7 ~col:3 "irrelevant"
@@ -269,6 +322,220 @@ let test_baseline_round_trip () =
   | Error m -> Alcotest.fail m
 
 (* --------------------------------------------------------------- *)
+(* Deep (cross-module) analysis: C001-C005, racy-ok, S002           *)
+
+(* Each fixture is a temp tree linted with [deep = true]. The
+   assertions look only at concurrency codes so the fixtures don't
+   have to dodge the shallow rules (D002 fires on every top-level ref
+   these fixtures need). *)
+let deep_run files f =
+  with_temp_tree files (fun root ->
+      f (Driver.run { (Driver.default_options root) with Driver.deep = true }))
+
+let concurrency_codes o =
+  codes o.Driver.findings
+  |> List.filter (fun c -> c.[0] = 'C' || c = "S002")
+
+let suppressed_concurrency o =
+  codes (List.map fst o.Driver.suppressed)
+  |> List.filter (fun c -> c.[0] = 'C')
+
+let report_of o =
+  match o.Driver.deep with
+  | Some (r, _) -> r
+  | None -> Alcotest.fail "deep run produced no report"
+
+(* C001: bare ref mutated by a function a sibling module hands to
+   Domain.spawn. The declaring unit must itself mention concurrency
+   vocabulary (the unused mutex) to contribute entities. *)
+let c001_state guard =
+  [ ( "lib/state.ml",
+      "let lock = Mutex.create ()\n" ^ "let cache = ref 0" ^ guard ^ "\n"
+      ^ "let bump () = cache := !cache + 1\n" );
+    ("lib/worker.ml", "let start () = Domain.spawn (fun () -> State.bump ())\n")
+  ]
+
+let test_deep_c001_positive () =
+  deep_run (c001_state "") (fun o ->
+      Alcotest.(check (list string)) "flagged" [ "C001" ] (concurrency_codes o);
+      let f =
+        List.find (fun f -> f.Finding.code = "C001") o.Driver.findings
+      in
+      Alcotest.(check string) "at the bare access" "lib/state.ml"
+        f.Finding.file;
+      Alcotest.(check int) "access line" 3 f.Finding.line)
+
+let test_deep_c001_suppressed () =
+  deep_run
+    (c001_state "  (* qnet-lint: racy-ok C001 test fixture *)")
+    (fun o ->
+      Alcotest.(check (list string)) "no active" [] (concurrency_codes o);
+      Alcotest.(check (list string))
+        "suppressed via the declaration line" [ "C001" ]
+        (suppressed_concurrency o))
+
+let test_deep_c001_clean () =
+  deep_run
+    [ ( "lib/state.ml",
+        "let lock = Mutex.create ()\n" ^ "let cache = ref 0\n"
+        ^ "let bump () = Mutex.protect lock (fun () -> cache := !cache + 1)\n"
+      );
+      ( "lib/worker.ml",
+        "let start () = Domain.spawn (fun () -> State.bump ())\n" ) ]
+    (fun o ->
+      Alcotest.(check (list string))
+        "uniformly guarded state is fine" [] (concurrency_codes o))
+
+(* C002: a three-module lock-order cycle, visible only interprocedurally
+   (each unit acquires its own mutex and calls the next). *)
+let lock_cycle =
+  [ ( "lib/alpha.ml",
+      "let m = Mutex.create ()\n"
+      ^ "let grab () = Mutex.protect m (fun () -> Beta.grab ())\n" );
+    ( "lib/beta.ml",
+      "let m = Mutex.create ()\n"
+      ^ "let grab () = Mutex.protect m (fun () -> Gamma.grab ())\n" );
+    ( "lib/gamma.ml",
+      "let m = Mutex.create ()\n"
+      ^ "let grab () = Mutex.protect m (fun () -> Alpha.grab ())\n" ) ]
+
+let test_deep_c002_cycle () =
+  deep_run lock_cycle (fun o ->
+      Alcotest.(check (list string)) "one cycle finding" [ "C002" ]
+        (concurrency_codes o);
+      let r = report_of o in
+      Alcotest.(check int) "one SCC" 1 (List.length r.Concurrency.r_cycles);
+      Alcotest.(check int)
+        "three mutexes in it" 3
+        (List.length (List.hd r.Concurrency.r_cycles)))
+
+let test_deep_c002_clean () =
+  (* same shape, but gamma doesn't call back: a DAG, no finding *)
+  deep_run
+    [ List.nth lock_cycle 0; List.nth lock_cycle 1;
+      ( "lib/gamma.ml",
+        "let m = Mutex.create ()\n"
+        ^ "let grab () = Mutex.protect m (fun () -> ())\n" ) ]
+    (fun o ->
+      Alcotest.(check (list string)) "no cycle" [] (concurrency_codes o);
+      let r = report_of o in
+      (* alpha->beta, beta->gamma, plus the transitive alpha->gamma
+         edge from the interprocedural Acquires* closure *)
+      Alcotest.(check int) "graph has edges" 3
+        (List.length r.Concurrency.r_edges);
+      Alcotest.(check int) "but no SCC" 0
+        (List.length r.Concurrency.r_cycles))
+
+(* C003: guarded writes, one bare read reachable from a spawn. *)
+let c003_state decl_suffix =
+  [ ( "lib/state.ml",
+      "let lock = Mutex.create ()\n" ^ "let cache = ref 0" ^ decl_suffix
+      ^ "\n"
+      ^ "let bump () = Mutex.protect lock (fun () -> cache := !cache + 1)\n"
+      ^ "let peek () = !cache\n" );
+    ( "lib/worker.ml",
+      "let start () = Domain.spawn (fun () -> State.peek ())\n" ) ]
+
+let test_deep_c003_positive () =
+  deep_run (c003_state "") (fun o ->
+      Alcotest.(check (list string)) "flagged" [ "C003" ] (concurrency_codes o);
+      let f =
+        List.find (fun f -> f.Finding.code = "C003") o.Driver.findings
+      in
+      Alcotest.(check int) "at the bare read, not the guarded write" 4
+        f.Finding.line)
+
+let test_deep_c003_suppressed () =
+  deep_run
+    (c003_state "  (* qnet-lint: racy-ok C003 test fixture *)")
+    (fun o ->
+      Alcotest.(check (list string)) "no active" [] (concurrency_codes o);
+      Alcotest.(check (list string)) "suppressed" [ "C003" ]
+        (suppressed_concurrency o))
+
+(* C004: blocking call inside a critical section. *)
+let c004_src site_suffix =
+  [ ( "lib/slow.ml",
+      "let lock = Mutex.create ()\n" ^ "let nap () =\n"
+      ^ "  Mutex.protect lock (fun () ->\n" ^ "      Thread.delay 0.1"
+      ^ site_suffix ^ ")\n" ) ]
+
+let test_deep_c004_positive () =
+  deep_run (c004_src "") (fun o ->
+      Alcotest.(check (list string)) "flagged" [ "C004" ] (concurrency_codes o))
+
+let test_deep_c004_suppressed () =
+  deep_run
+    (c004_src " (* qnet-lint: racy-ok C004 test fixture *)")
+    (fun o ->
+      Alcotest.(check (list string)) "no active" [] (concurrency_codes o);
+      Alcotest.(check (list string)) "suppressed" [ "C004" ]
+        (suppressed_concurrency o))
+
+let test_deep_c004_clean () =
+  deep_run
+    [ ( "lib/slow.ml",
+        "let lock = Mutex.create ()\n"
+        ^ "let nap () = Mutex.protect lock (fun () -> ()); Thread.delay 0.1\n"
+      ) ]
+    (fun o ->
+      Alcotest.(check (list string))
+        "blocking outside the section is fine" [] (concurrency_codes o))
+
+(* C005: Atomic.get then Atomic.set of one target in one function. *)
+let c005_src set_suffix =
+  [ ( "lib/count.ml",
+      "let counter = Atomic.make 0\n" ^ "let bump () =\n"
+      ^ "  let v = Atomic.get counter in\n" ^ "  Atomic.set counter (v + 1)"
+      ^ set_suffix ^ "\n" ) ]
+
+let test_deep_c005_positive () =
+  deep_run (c005_src "") (fun o ->
+      Alcotest.(check (list string)) "flagged" [ "C005" ] (concurrency_codes o))
+
+let test_deep_c005_suppressed () =
+  deep_run
+    (c005_src " (* qnet-lint: racy-ok C005 test fixture *)")
+    (fun o ->
+      Alcotest.(check (list string)) "no active" [] (concurrency_codes o);
+      Alcotest.(check (list string)) "suppressed" [ "C005" ]
+        (suppressed_concurrency o))
+
+let test_deep_c005_clean () =
+  deep_run
+    [ ( "lib/count.ml",
+        "let counter = Atomic.make 0\n"
+        ^ "let bump () = Atomic.incr counter\n"
+        ^ "let spin () = while not (Atomic.compare_and_set counter 0 1) do () \
+           done\n" ) ]
+    (fun o ->
+      Alcotest.(check (list string)) "RMW forms are fine" []
+        (concurrency_codes o))
+
+(* S002: the audit of the audit — a racy-ok that suppresses nothing. *)
+let test_deep_s002_orphan () =
+  deep_run
+    [ ("lib/tidy.ml", "let x = 1 (* qnet-lint: racy-ok C001 nothing here *)\n")
+    ]
+    (fun o ->
+      Alcotest.(check (list string)) "orphan flagged" [ "S002" ]
+        (concurrency_codes o);
+      let f =
+        List.find (fun f -> f.Finding.code = "S002") o.Driver.findings
+      in
+      Alcotest.(check int) "at the directive" 1 f.Finding.line)
+
+let test_deep_s002_not_in_shallow_runs () =
+  with_temp_tree
+    [ ("lib/tidy.ml", "let x = 1 (* qnet-lint: racy-ok C001 nothing here *)\n")
+    ]
+    (fun root ->
+      let o = Driver.run (Driver.default_options root) in
+      Alcotest.(check bool)
+        "shallow runs cannot judge orphanhood" false
+        (List.mem "S002" (codes o.Driver.findings)))
+
+(* --------------------------------------------------------------- *)
 (* Reporters                                                        *)
 
 let outcome_of findings =
@@ -277,6 +544,7 @@ let outcome_of findings =
     suppressed = [];
     baselined = [];
     files_scanned = List.length findings;
+    deep = None;
   }
 
 let test_reporter_text () =
@@ -323,7 +591,7 @@ let test_rule_catalogue () =
     (fun c ->
       Alcotest.(check bool) (c ^ " catalogued") true (List.mem c codes))
     [ "D001"; "D002"; "E001"; "E002"; "P001"; "O001"; "F001"; "M001"; "X001";
-      "S001" ]
+      "S001"; "S002"; "C001"; "C002"; "C003"; "C004"; "C005" ]
 
 (* --------------------------------------------------------------- *)
 (* Whole-repo smoke test                                            *)
@@ -353,6 +621,36 @@ let test_repo_is_clean () =
       if o.Driver.findings <> [] then
         Alcotest.failf "repo has unsuppressed lint findings:\n%s"
           (Reporter.text o)
+
+(* The committed guarantee that the runtime's lock-order graph is
+   acyclic, and that --deep over the real tree is finding-free (every
+   racy-by-design cell carries an audited racy-ok). *)
+let test_repo_deep_clean () =
+  match find_repo_root () with
+  | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+  | Some root ->
+      let o =
+        Driver.run { (Driver.default_options root) with Driver.deep = true }
+      in
+      if o.Driver.findings <> [] then
+        Alcotest.failf "repo has unsuppressed deep findings:\n%s"
+          (Reporter.text o);
+      let r = report_of o in
+      let s = r.Concurrency.r_stats in
+      Alcotest.(check bool)
+        "indexed a real tree" true
+        (s.Concurrency.st_units > 50 && s.Concurrency.st_active > 5);
+      Alcotest.(check bool)
+        "found the runtime's mutexes and spawns" true
+        (s.Concurrency.st_mutexes > 0 && s.Concurrency.st_spawns > 0);
+      (match r.Concurrency.r_cycles with
+      | [] -> ()
+      | cyc :: _ ->
+          Alcotest.failf "lock-order graph has a cycle: %s"
+            (String.concat " -> " cyc));
+      Alcotest.(check bool)
+        "lock graph is non-trivial" true
+        (List.length r.Concurrency.r_edges > 0)
 
 let () =
   Alcotest.run "lint"
@@ -404,6 +702,31 @@ let () =
           Alcotest.test_case "baseline" `Quick test_driver_baseline;
           Alcotest.test_case "baseline round-trip" `Quick
             test_baseline_round_trip;
+          Alcotest.test_case "baseline deterministic" `Quick
+            test_baseline_deterministic;
+          Alcotest.test_case "baseline normalized covers" `Quick
+            test_baseline_normalized_covers;
+          Alcotest.test_case "baseline regenerate idempotent" `Quick
+            test_baseline_regenerate_idempotent;
+        ] );
+      ( "deep",
+        [
+          Alcotest.test_case "c001 positive" `Quick test_deep_c001_positive;
+          Alcotest.test_case "c001 suppressed" `Quick test_deep_c001_suppressed;
+          Alcotest.test_case "c001 clean" `Quick test_deep_c001_clean;
+          Alcotest.test_case "c002 cycle" `Quick test_deep_c002_cycle;
+          Alcotest.test_case "c002 clean" `Quick test_deep_c002_clean;
+          Alcotest.test_case "c003 positive" `Quick test_deep_c003_positive;
+          Alcotest.test_case "c003 suppressed" `Quick test_deep_c003_suppressed;
+          Alcotest.test_case "c004 positive" `Quick test_deep_c004_positive;
+          Alcotest.test_case "c004 suppressed" `Quick test_deep_c004_suppressed;
+          Alcotest.test_case "c004 clean" `Quick test_deep_c004_clean;
+          Alcotest.test_case "c005 positive" `Quick test_deep_c005_positive;
+          Alcotest.test_case "c005 suppressed" `Quick test_deep_c005_suppressed;
+          Alcotest.test_case "c005 clean" `Quick test_deep_c005_clean;
+          Alcotest.test_case "s002 orphan" `Quick test_deep_s002_orphan;
+          Alcotest.test_case "s002 deep-only" `Quick
+            test_deep_s002_not_in_shallow_runs;
         ] );
       ( "report",
         [
@@ -412,5 +735,9 @@ let () =
           Alcotest.test_case "catalogue" `Quick test_rule_catalogue;
         ] );
       ( "smoke",
-        [ Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_clean ] );
+        [
+          Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_clean;
+          Alcotest.test_case "repo is deep-clean, lock graph acyclic" `Quick
+            test_repo_deep_clean;
+        ] );
     ]
