@@ -1,7 +1,7 @@
 # Convenience targets; everything below is plain dune + the built
 # binaries, so `dune build` / `dune runtest` directly work too.
 
-.PHONY: all build test lint lint-deep verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload verify-fleet demo supervised-demo bench bench-obs clean
+.PHONY: all build test lint lint-deep verify-lint verify verify-supervised verify-obs verify-diagnostics verify-serve verify-overload verify-fleet verify-prof demo supervised-demo bench bench-obs clean
 
 all: build
 
@@ -34,7 +34,7 @@ verify-lint: lint lint-deep
 # clock skew, reversed intervals, reordering), run checkpointed
 # inference in lenient mode over the survivors, and resume from the
 # written checkpoint.
-verify: build lint lint-deep test demo supervised-demo verify-diagnostics verify-serve verify-overload verify-fleet
+verify: build lint lint-deep test demo supervised-demo verify-diagnostics verify-serve verify-overload verify-fleet verify-prof
 	@echo "verify: OK"
 
 # Supervised-runtime verification: the test suite plus a live
@@ -177,6 +177,14 @@ verify-overload: build
 verify-fleet: build
 	scripts/verify_fleet
 
+# Profiler verification (DESIGN.md section 15): a profiled short run
+# must produce a non-empty allocation site table, live pause
+# histograms and a diffable folded export; an unprofiled run must
+# publish zero qnet_prof_* series (the off-by-default guard).
+# Details in scripts/verify_prof.
+verify-prof: build
+	scripts/verify_prof
+
 # Core-throughput regression gate: time the hot paths directly and
 # compare against the committed BENCH_core.json baseline; fails on a
 # >20% regression. Refresh the baseline with:
@@ -195,4 +203,4 @@ bench-obs:
 
 clean:
 	dune clean
-	rm -rf _demo _demo_supervised _demo_obs _demo_diag _demo_serve _demo_fleet _bench_core_current.json _bench_obs_current.json
+	rm -rf _demo _demo_supervised _demo_obs _demo_diag _demo_serve _demo_fleet _demo_prof _bench_core_current.json _bench_obs_current.json

@@ -17,13 +17,18 @@
 
    Run with: dune exec bench/main.exe
 
-   Regression mode: `dune exec bench/main.exe -- --core-json [PATH]`
-   skips Bechamel and the experiments and instead times the three
-   core-throughput numbers directly (median of repeats) — Gibbs
-   sweeps/s, StEM iterations/s, piecewise conditional draws/s — and
-   writes them to PATH (default BENCH_core.json). `make bench`
-   compares that file against the committed baseline and fails on a
-   >20% regression (scripts/bench_compare). *)
+   Regression mode: `dune exec bench/main.exe -- --core-json [PATH]
+   [--sizes 1k,10k,100k,1m]` skips Bechamel and the experiments and
+   instead runs the ROADMAP size sweep: per store size it times Gibbs
+   sweeps/s directly (median of repeats), measures exact allocated
+   bytes/sweep on the plain hot path, and takes a short profiled pass
+   (Qnet_obs.Prof) for GC pause p50/p99 and the phase self-time split;
+   StEM iterations/s and piecewise draws/s are timed on the 1k
+   fixture. Everything lands in PATH (default BENCH_core.json,
+   schema 2, one size object per line). `make bench` compares that
+   file against the committed baseline per size and fails on a >20%
+   sweeps/s regression or alloc-per-sweep growth
+   (scripts/bench_compare). *)
 
 open Bechamel
 open Toolkit
@@ -40,6 +45,7 @@ module Stem = Qnet_core.Stem
 module Estimators = Qnet_core.Estimators
 module Jackson = Qnet_analytic.Jackson
 module Parallel_gibbs = Qnet_core.Parallel_gibbs
+module Prof = Qnet_obs.Prof
 module E = Qnet_experiments
 
 (* ------------------------------------------------------------------ *)
@@ -179,18 +185,133 @@ let median_rate ~repeats ~work ~per_repeat =
   Array.sort compare rates;
   rates.(repeats / 2)
 
-let core_json out =
+(* The ROADMAP size sweep: the same three-tier topology at 1k / 10k /
+   100k / 1M unobserved events (events ~= 3.8 x tasks at 5%
+   observation). The 1k rung IS the historical fig4 fixture, so its
+   sweeps/s stays comparable across baselines. The larger stores skip
+   Init.feasible on purpose — a simulated trace is already a feasible
+   latent configuration (it is the ground truth), and the
+   difference-constraint initializer costs ~80s at 1M events, which
+   would be the bench timing the initializer instead of the sweep. *)
+type size_spec = {
+  label : string;
+  tasks : int;
+  repeats : int;  (* timing repeats (median taken) *)
+  sweeps_per_repeat : int;
+  profiled_sweeps : int;  (* extra profiled pass for pauses/phases *)
+}
+
+let size_specs =
+  [
+    { label = "1k"; tasks = 300; repeats = 7; sweeps_per_repeat = 60; profiled_sweeps = 20 };
+    { label = "10k"; tasks = 2632; repeats = 5; sweeps_per_repeat = 8; profiled_sweeps = 5 };
+    { label = "100k"; tasks = 26316; repeats = 3; sweeps_per_repeat = 3; profiled_sweeps = 2 };
+    { label = "1m"; tasks = 263158; repeats = 3; sweeps_per_repeat = 1; profiled_sweeps = 1 };
+  ]
+
+let size_store spec =
+  if spec.tasks = 300 then (fig4_store, fig4_params)
+  else begin
+    let trace =
+      Network.simulate_poisson (Rng.create ~seed:1001 ()) fig4_net
+        ~num_tasks:spec.tasks
+    in
+    let mask =
+      Obs.mask (Rng.create ~seed:1002 ()) (Obs.Task_fraction 0.05) trace
+    in
+    (Store.of_trace ~observed:mask trace, fig4_params)
+  end
+
+type size_result = {
+  spec : size_spec;
+  events : int;
+  sweeps_per_s : float;
+  alloc_bytes_per_sweep : float;
+  pause_minor : Prof.pause_stats;
+  pause_major : Prof.pause_stats;
+  pauses_recorded : int;
+  phase_self : (string * float) list;
+}
+
+let allocated_words () =
+  let minor, promoted, major = Gc.counters () in
+  minor +. major -. promoted
+
+let run_size spec =
+  let store, params = size_store spec in
+  let events = Array.length (Store.unobserved_events store) in
+  let rng = Rng.create ~seed:42 () in
+  (* warmup: fault in code paths, warm the allocator *)
+  for _ = 1 to Stdlib.min 3 spec.sweeps_per_repeat + 1 do
+    Gibbs.sweep ~shuffle:false rng store params
+  done;
+  (* Exact allocation per sweep on the plain (unprofiled, unmetered)
+     hot path: Gc.counters delta over the measured sweeps. *)
+  let a0 = allocated_words () in
+  let sweeps_per_s =
+    median_rate ~repeats:spec.repeats ~per_repeat:spec.sweeps_per_repeat
+      ~work:(fun () -> Gibbs.sweep ~shuffle:false rng store params)
+  in
+  let total_sweeps = spec.repeats * spec.sweeps_per_repeat in
+  let alloc_bytes_per_sweep =
+    (allocated_words () -. a0)
+    *. float_of_int (Sys.word_size / 8)
+    /. float_of_int total_sweeps
+  in
+  (* Profiled pass: GC pauses (stride probes inside the sweep) and the
+     per-phase self-time split come from a short Prof session. *)
+  ignore (Prof.start ());
+  for _ = 1 to spec.profiled_sweeps do
+    Gibbs.sweep ~shuffle:false rng store params
+  done;
+  Prof.stop ();
+  let pauses = Prof.pause_summary () in
+  let find k = List.assoc k pauses in
+  let pstats = Prof.stats () in
+  {
+    spec;
+    events;
+    sweeps_per_s;
+    alloc_bytes_per_sweep;
+    pause_minor = find Prof.Minor;
+    pause_major = find Prof.Major;
+    pauses_recorded = pstats.Prof.pauses_recorded;
+    phase_self = Prof.phase_split ();
+  }
+
+let jnum v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let size_json r =
+  let phase_keys =
+    r.phase_self
+    |> List.map (fun (leaf, self_s) ->
+           let flat =
+             String.map (fun c -> if c = '.' then '_' else c) leaf
+           in
+           Printf.sprintf ",\"phase_%s_self_s\":%s" flat (jnum self_s))
+    |> String.concat ""
+  in
+  Printf.sprintf
+    "\"%s\":{\"tasks\":%d,\"store_events\":%d,\"repeats\":%d,\"gibbs_sweeps_per_s\":%.2f,\"alloc_bytes_per_sweep\":%.1f,\"minor_pause_p50_s\":%s,\"minor_pause_p99_s\":%s,\"major_pause_p50_s\":%s,\"major_pause_p99_s\":%s,\"gc_pauses\":%d%s}"
+    r.spec.label r.spec.tasks r.events r.spec.repeats r.sweeps_per_s
+    r.alloc_bytes_per_sweep (jnum r.pause_minor.Prof.p50_s)
+    (jnum r.pause_minor.Prof.p99_s) (jnum r.pause_major.Prof.p50_s)
+    (jnum r.pause_major.Prof.p99_s) r.pauses_recorded phase_keys
+
+let core_json ~sizes out =
+  let specs =
+    match sizes with
+    | None -> size_specs
+    | Some wanted ->
+        List.filter (fun s -> List.mem s.label wanted) size_specs
+  in
+  if specs = [] then failwith "--sizes matched no size (known: 1k 10k 100k 1m)";
   let repeats = 7 in
   let rng = Rng.create ~seed:42 () in
-  let events = Array.length (Store.unobserved_events fig4_store) in
   (* warmup: fault in code paths, warm the allocator *)
   for _ = 1 to 20 do
     Gibbs.sweep ~shuffle:false rng fig4_store fig4_params
   done;
-  let gibbs_sweeps =
-    median_rate ~repeats ~per_repeat:60 ~work:(fun () ->
-        Gibbs.sweep ~shuffle:false rng fig4_store fig4_params)
-  in
   let stem_iterations =
     median_rate ~repeats ~per_repeat:40 ~work:(fun () ->
         Gibbs.sweep ~shuffle:false rng fig4_store fig4_params;
@@ -201,17 +322,39 @@ let core_json out =
     median_rate ~repeats ~per_repeat:60_000 ~work:(fun () ->
         ignore (Gibbs.sample_event rng fig4_store fig4_params kernel_event))
   in
-  let json =
-    Printf.sprintf
-      "{\"benchmark\":\"core\",\"store_events\":%d,\"repeats\":%d,\"gibbs_sweeps_per_s\":%.2f,\"stem_iterations_per_s\":%.2f,\"piecewise_draws_per_s\":%.2f}\n"
-      events repeats gibbs_sweeps stem_iterations piecewise_draws
+  let results = List.map run_size specs in
+  let legacy_sweeps =
+    match List.find_opt (fun r -> r.spec.label = "1k") results with
+    | Some r -> r.sweeps_per_s
+    | None -> (List.hd results).sweeps_per_s
   in
+  (* One size object per line: scripts/bench_compare (POSIX sh + awk)
+     slices per-size keys by grepping the "LABEL":{...} line. *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"benchmark\":\"core\",\"schema\":2,\n\"sizes\":{\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (size_json r);
+      if i < List.length results - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "},\n\"gibbs_sweeps_per_s\":%.2f,\"stem_iterations_per_s\":%.2f,\"piecewise_draws_per_s\":%.2f}\n"
+       legacy_sweeps stem_iterations piecewise_draws);
   let oc = open_out out in
-  output_string oc json;
+  output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "core throughput (%d unobserved events, median of %d):\n" events
-    repeats;
-  Printf.printf "  gibbs sweeps        %10.1f /s\n" gibbs_sweeps;
+  Printf.printf "core throughput (median of repeats):\n";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-4s %8d events: %10.2f sweeps/s, %11.0f alloc B/sweep, %d GC pause(s) [minor p99 %s, major p99 %s]\n"
+        r.spec.label r.events r.sweeps_per_s r.alloc_bytes_per_sweep
+        r.pauses_recorded
+        (jnum r.pause_minor.Prof.p99_s)
+        (jnum r.pause_major.Prof.p99_s))
+    results;
   Printf.printf "  stem iterations     %10.1f /s\n" stem_iterations;
   Printf.printf "  piecewise draws     %10.1f /s\n" piecewise_draws;
   Printf.printf "-> %s\n" out
@@ -227,7 +370,14 @@ let benchmark () =
 let () =
   (match Array.to_list Sys.argv with
   | _ :: "--core-json" :: rest ->
-      core_json (match rest with path :: _ -> path | [] -> "BENCH_core.json");
+      let rec parse path sizes = function
+        | [] -> (path, sizes)
+        | "--sizes" :: spec :: rest ->
+            parse path (Some (String.split_on_char ',' spec)) rest
+        | arg :: rest -> parse arg sizes rest
+      in
+      let path, sizes = parse "BENCH_core.json" None rest in
+      core_json ~sizes path;
       exit 0
   | _ -> ());
   Bechamel_notty.Unit.add Instance.monotonic_clock "ns";

@@ -2,8 +2,15 @@
    instrumentation (a) compiled in but disabled — the default for
    every run that passes no telemetry flag, contractually within 5% of
    the uninstrumented seed because the disabled path is the seed path
-   behind one atomic load — (b) with the metrics registry enabled, and
-   (c) with metrics and span tracing enabled.
+   behind one atomic load — (b) with the metrics registry enabled,
+   (c) with metrics and span tracing enabled, and (d) with the
+   allocation/GC-pause profiler (Qnet_obs.Prof) running alone.
+
+   The disabled run doubles as the profiler's off-by-default guard:
+   it asserts that a profiler that was never started contributed zero
+   Memprof callbacks and zero pause probes to the sweep loop (the
+   <1%-when-off contract from DESIGN.md section 15 — the off path is
+   one extra atomic load per sweep, not per event).
 
    Writes BENCH_obs.json at the repo root (or the path given as
    argv(1)) and prints the same numbers as a table.
@@ -20,6 +27,7 @@ module Gibbs = Qnet_core.Gibbs
 module Init = Qnet_core.Init
 module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
+module Prof = Qnet_obs.Prof
 
 let fixture () =
   let net =
@@ -63,6 +71,15 @@ let () =
   Metrics.set_enabled false;
   Span.disable ();
   let disabled = sweep_rate ~repeats ~sweeps store params in
+  (* Off-by-default guard: with no Prof session ever started, the
+     sweeps above must not have touched the profiler at all. *)
+  let st = Prof.stats () in
+  if st.Prof.probes <> 0 || st.Prof.memprof_callbacks <> 0 then
+    failwith
+      (Printf.sprintf
+         "obs_overhead: profiler touched while disabled (probes %d, \
+          memprof callbacks %d)"
+         st.Prof.probes st.Prof.memprof_callbacks);
 
   Metrics.set_enabled true;
   let metrics_on = sweep_rate ~repeats ~sweeps store params in
@@ -73,12 +90,20 @@ let () =
   Span.disable ();
   Metrics.set_enabled false;
 
+  (* Profiler alone: metrics and tracing back off, Counters backend
+     doing phase accounting + stride pause probes. *)
+  ignore
+    (Prof.start ~config:{ Prof.sampling_rate = 0.01; max_sites = 64 } ());
+  let profiling_on = sweep_rate ~repeats ~sweeps store params in
+  Prof.stop ();
+
   let pct base x = 100.0 *. (base -. x) /. base in
   let json =
     Printf.sprintf
-      "{\"benchmark\":\"obs_overhead\",\"store_events\":%d,\"sweeps_per_repeat\":%d,\"repeats\":%d,\"sweep_rate_per_s\":{\"telemetry_disabled\":%.2f,\"metrics_enabled\":%.2f,\"metrics_and_tracing\":%.2f},\"overhead_pct_vs_disabled\":{\"metrics_enabled\":%.2f,\"metrics_and_tracing\":%.2f},\"budget\":{\"disabled_vs_seed_pct_max\":5.0,\"note\":\"the disabled path is the seed code behind one atomic load per sweep/event site\"}}\n"
-      events sweeps repeats disabled metrics_on tracing_on
+      "{\"benchmark\":\"obs_overhead\",\"store_events\":%d,\"sweeps_per_repeat\":%d,\"repeats\":%d,\"sweep_rate_per_s\":{\"telemetry_disabled\":%.2f,\"metrics_enabled\":%.2f,\"metrics_and_tracing\":%.2f,\"profiling_enabled\":%.2f},\"overhead_pct_vs_disabled\":{\"metrics_enabled\":%.2f,\"metrics_and_tracing\":%.2f,\"profiling_enabled\":%.2f},\"budget\":{\"disabled_vs_seed_pct_max\":5.0,\"note\":\"the disabled path is the seed code behind one atomic load per sweep/event site; a never-started profiler contributes zero probes and zero Memprof callbacks (asserted)\"}}\n"
+      events sweeps repeats disabled metrics_on tracing_on profiling_on
       (pct disabled metrics_on) (pct disabled tracing_on)
+      (pct disabled profiling_on)
   in
   let oc = open_out out in
   output_string oc json;
@@ -90,4 +115,6 @@ let () =
     metrics_on (-.pct disabled metrics_on);
   Printf.printf "  metrics + tracing    %8.1f sweeps/s  (%+.1f%% vs disabled)\n"
     tracing_on (-.pct disabled tracing_on);
+  Printf.printf "  profiling (alone)    %8.1f sweeps/s  (%+.1f%% vs disabled)\n"
+    profiling_on (-.pct disabled profiling_on);
   Printf.printf "-> %s\n" out

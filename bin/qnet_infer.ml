@@ -35,6 +35,7 @@ module Fault = Qnet_runtime.Fault
 module Supervisor = Qnet_runtime.Supervisor
 module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
+module Prof = Qnet_obs.Prof
 module Diagnostics = Qnet_obs.Diagnostics
 module Metrics_server = Qnet_webapp.Metrics_server
 
@@ -146,12 +147,34 @@ let write_span_log path =
       (Printf.sprintf "{\"meta\":\"qnet_trace\",\"dropped\":%d}\n" dropped);
   write_file path (Buffer.contents buf)
 
+(* The profile written on shutdown: folded stacks (bytes-valued, ready
+   for flamegraph tooling and `qnet_trace_tool flamegraph-diff`) when
+   the path ends in .folded, the full JSON snapshot otherwise. The
+   session is stopped first so the snapshot's duration is final. *)
+let write_profile path =
+  Prof.stop ();
+  let data =
+    if Filename.check_suffix path ".folded" then begin
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun (stack, bytes) ->
+          Buffer.add_string buf stack;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int bytes);
+          Buffer.add_char buf '\n')
+        (Prof.to_folded ());
+      Buffer.contents buf
+    end
+    else Prof.snapshot_json () ^ "\n"
+  in
+  write_file path data
+
 (* Combine the inference outcome with the telemetry writes: telemetry
    is flushed even when inference fails (a failed run is exactly the
    one you want a trace of), and a telemetry write failure surfaces as
    the run's error rather than vanishing. *)
 let with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
-    ~serve_linger f =
+    ~serve_linger ~profile_out ~profile_alloc_rate f =
   if metrics_out <> None || serve_metrics <> None || diagnostics_out <> None
   then begin
     Metrics.set_enabled true;
@@ -160,6 +183,18 @@ let with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
     Diagnostics.register_metrics ()
   end;
   if trace_out <> None then Span.enable ();
+  (match profile_out with
+  | None -> ()
+  | Some _ ->
+      let backend =
+        Prof.start
+          ~config:
+            { Prof.default_config with sampling_rate = profile_alloc_rate }
+          ()
+      in
+      chat "profiling allocations and GC pauses (%s backend, rate %g)@."
+        (match backend with Prof.Counters -> "counters" | Prof.Memprof -> "memprof")
+        profile_alloc_rate);
   let diag_sink =
     match diagnostics_out with
     | None -> Ok None
@@ -210,7 +245,11 @@ let with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
           (fun (path, write) -> match path with
             | None -> None
             | Some p -> (match write p with Ok () -> None | Error m -> Some m))
-          [ (metrics_out, write_metrics_snapshot); (trace_out, write_span_log) ]
+          [
+            (metrics_out, write_metrics_snapshot);
+            (trace_out, write_span_log);
+            (profile_out, write_profile);
+          ]
       in
       (match server with
       | Some srv ->
@@ -357,23 +396,29 @@ let infer input num_queues fraction iterations seed bayes lenient checkpoint_eve
 let run input num_queues fraction iterations seed bayes lenient checkpoint_every
     checkpoint resume max_retries budget_seconds chains min_chains
     sweep_deadline_ms chain_faults quiet metrics_out trace_out diagnostics_out
-    log_level serve_metrics serve_linger =
+    log_level serve_metrics serve_linger profile_out profile_alloc_rate =
   quiet_flag := quiet;
   match
-    match log_level with
-    | None -> Ok ()
-    | Some s -> (
-        match parse_log_level s with
-        | Error m -> Error m
-        | Ok level ->
-            Logs.set_reporter (Logs_fmt.reporter ());
-            Logs.set_level level;
-            Ok ())
+    if not (profile_alloc_rate > 0.0 && profile_alloc_rate <= 1.0) then
+      Error
+        (Printf.sprintf
+           "bad --profile-alloc-rate %g: expected a rate in (0, 1]"
+           profile_alloc_rate)
+    else
+      match log_level with
+      | None -> Ok ()
+      | Some s -> (
+          match parse_log_level s with
+          | Error m -> Error m
+          | Ok level ->
+              Logs.set_reporter (Logs_fmt.reporter ());
+              Logs.set_level level;
+              Ok ())
   with
   | Error m -> Error m
   | Ok () ->
       with_telemetry ~metrics_out ~trace_out ~diagnostics_out ~serve_metrics
-        ~serve_linger (fun () ->
+        ~serve_linger ~profile_out ~profile_alloc_rate (fun () ->
           Span.with_span "infer.run" (fun () ->
               infer input num_queues fraction iterations seed bayes lenient
                 checkpoint_every checkpoint resume max_retries budget_seconds
@@ -567,13 +612,34 @@ let serve_linger =
           "Keep the /metrics endpoint alive $(docv) seconds after the run \
            finishes, so external scrapers can collect the final snapshot.")
 
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run's allocations and GC pauses and write the result \
+           to $(docv) on shutdown: flamegraph folded stacks (bytes-valued, \
+           diff two runs with `qnet_trace_tool flamegraph-diff`) when $(docv) \
+           ends in .folded, the full JSON snapshot (site table, pause \
+           histograms, rusage) otherwise.")
+
+let profile_alloc_rate =
+  Arg.(
+    value & opt float 0.01
+    & info [ "profile-alloc-rate" ] ~docv:"RATE"
+        ~doc:
+          "Memprof sampling rate in (0,1] for --profile-out (default 1%; \
+           ignored by the exact counters backend).")
+
 let cmd =
   let term =
     Term.(
       const run $ input $ num_queues $ fraction $ iterations $ seed $ bayes $ lenient
       $ checkpoint_every $ checkpoint $ resume $ max_retries $ budget_seconds
       $ chains $ min_chains $ sweep_deadline_ms $ chain_faults $ quiet $ metrics_out
-      $ trace_out $ diagnostics_out $ log_level $ serve_metrics $ serve_linger)
+      $ trace_out $ diagnostics_out $ log_level $ serve_metrics $ serve_linger
+      $ profile_out $ profile_alloc_rate)
   in
   let info =
     Cmd.info "qnet_infer"

@@ -101,11 +101,16 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
     refit_events refit_interval min_tenant_events fit_iterations chains
     max_restarts fit_deadline admission_min_rate seed dead_letter
     no_dead_letter tails tail_policy faults trace_out trace_sample_rate
-    trace_seed run_seconds metrics_out log_level =
+    trace_seed run_seconds metrics_out log_level profile profile_alloc_rate =
   if not (trace_sample_rate >= 0.0 && trace_sample_rate <= 1.0) then
     Error
       (Printf.sprintf "bad --trace-sample-rate %g: expected a rate in [0, 1]"
          trace_sample_rate)
+  else if not (profile_alloc_rate > 0.0 && profile_alloc_rate <= 1.0) then
+    Error
+      (Printf.sprintf
+         "bad --profile-alloc-rate %g: expected a rate in (0, 1]"
+         profile_alloc_rate)
   else
   match
     match log_level with
@@ -173,6 +178,8 @@ let serve shards data_dir host port retry_ephemeral queues queue_capacity
                   faults;
                   trace_sample_rate;
                   trace_seed;
+                  profile_on_start = profile;
+                  profile_alloc_rate;
                 }
               in
               if trace_out <> None then Span.enable ();
@@ -430,6 +437,22 @@ let log_level =
         ~doc:"Daemon log verbosity on stderr: quiet, error, warning, info \
               or debug.")
 
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Start an allocation/GC-pause profiling session at boot; scrape \
+              it live at GET /profile.json. Without this flag a live daemon \
+              can still be profiled on demand via POST /profile/start and \
+              /profile/stop.")
+
+let profile_alloc_rate =
+  Arg.(
+    value & opt float 0.01
+    & info [ "profile-alloc-rate" ] ~docv:"RATE"
+        ~doc:"Memprof sampling rate in (0,1] used when profiling starts \
+              (default 1%; ignored by the exact counters backend).")
+
 let cmd =
   let term =
     Term.(
@@ -438,7 +461,7 @@ let cmd =
       $ fit_iterations $ chains $ max_restarts $ fit_deadline
       $ admission_min_rate $ seed $ dead_letter $ no_dead_letter $ tails
       $ tail_policy $ faults $ trace_out $ trace_sample_rate $ trace_seed
-      $ run_seconds $ metrics_out $ log_level)
+      $ run_seconds $ metrics_out $ log_level $ profile $ profile_alloc_rate)
   in
   let info =
     Cmd.info "qnet_serve"

@@ -216,6 +216,87 @@ let flamegraph input output =
         Ok ()
       end
 
+(* Read one folded-stack file: "stack count" lines as produced by the
+   flamegraph subcommand, Span.to_folded, or qnet_infer --profile-out
+   FILE.folded. Repeated stacks sum; malformed lines are counted and
+   reported, not fatal (the format is whitespace-hostile enough that a
+   truncated tail shouldn't void the whole diff). *)
+let read_folded path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let tbl = Hashtbl.create 64 in
+      let malformed = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match String.rindex_opt line ' ' with
+             | None -> incr malformed
+             | Some i -> (
+                 let stack = String.sub line 0 i in
+                 let count =
+                   String.sub line (i + 1) (String.length line - i - 1)
+                 in
+                 match int_of_string_opt count with
+                 | Some n when stack <> "" ->
+                     Hashtbl.replace tbl stack
+                       (n
+                       + (match Hashtbl.find_opt tbl stack with
+                         | Some m -> m
+                         | None -> 0))
+                 | _ -> incr malformed)
+         done
+       with End_of_file -> ());
+      close_in_noerr ic;
+      if !malformed > 0 then
+        Printf.eprintf "warning: %s: skipped %d malformed line(s)\n%!" path
+          !malformed;
+      if Hashtbl.length tbl = 0 then
+        Error (Printf.sprintf "%s: no folded-stack lines" path)
+      else Ok tbl
+
+let flamegraph_diff before after output top =
+  match (read_folded before, read_folded after) with
+  | Error m, _ | _, Error m -> Error m
+  | Ok b, Ok a ->
+      let stacks = Hashtbl.create 64 in
+      Hashtbl.iter (fun s _ -> Hashtbl.replace stacks s ()) b;
+      Hashtbl.iter (fun s _ -> Hashtbl.replace stacks s ()) a;
+      let get tbl s = match Hashtbl.find_opt tbl s with Some n -> n | None -> 0 in
+      let rows =
+        Hashtbl.fold (fun s () acc -> (s, get b s, get a s) :: acc) stacks []
+        |> List.sort (fun (sa, _, _) (sb, _, _) -> compare sa sb)
+      in
+      (* difffolded format — "stack before after" — feeds
+         flamegraph.pl's differential mode directly. *)
+      let emit oc =
+        List.iter
+          (fun (s, vb, va) -> Printf.fprintf oc "%s %d %d\n" s vb va)
+          rows
+      in
+      (match output with
+      | "-" -> emit stdout
+      | path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+          Printf.eprintf "%d stack(s) -> %s\n%!" (List.length rows) path);
+      let tb = List.fold_left (fun acc (_, vb, _) -> acc + vb) 0 rows in
+      let ta = List.fold_left (fun acc (_, _, va) -> acc + va) 0 rows in
+      Printf.printf "total: %d -> %d (%+d)\n" tb ta (ta - tb);
+      let by_delta =
+        List.sort
+          (fun (_, b1, a1) (_, b2, a2) ->
+            compare (abs (a2 - b2)) (abs (a1 - b1)))
+          rows
+      in
+      List.iteri
+        (fun i (s, vb, va) ->
+          if i < top && va <> vb then
+            Printf.printf "  %+12d  %10d -> %-10d  %s\n" (va - vb) vb va s)
+        by_delta;
+      Ok ()
+
 let input =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.CSV")
 
@@ -306,12 +387,44 @@ let flamegraph_cmd =
           inferno-flamegraph or speedscope")
     (handle Term.(const flamegraph $ spans $ output))
 
+let flamegraph_diff_cmd =
+  let before =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BEFORE.folded")
+  in
+  let after =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"AFTER.folded")
+  in
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Output file for the difffolded lines — 'stack before after' — \
+             ready for flamegraph.pl's differential mode (- for stdout, the \
+             default; the top-delta table always prints to stdout).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows in the top-|delta| table (default 10).")
+  in
+  Cmd.v
+    (Cmd.info "flamegraph-diff"
+       ~doc:
+         "Diff two folded-stack files (from the flamegraph subcommand or \
+          qnet_infer --profile-out FILE.folded): emits difffolded 'stack \
+          before after' lines and prints the largest per-stack deltas — \
+          before/after allocation or self-time regressions at a glance")
+    (handle
+       Term.(const flamegraph_diff $ before $ after $ output $ top))
+
 let cmd =
   Cmd.group
     (Cmd.info "qnet_trace_tool" ~doc:"Inspect and manipulate qnet trace CSVs")
     [
       summary_cmd; validate_cmd; window_cmd; mask_cmd; corrupt_cmd;
-      summarize_trace_cmd; flamegraph_cmd;
+      summarize_trace_cmd; flamegraph_cmd; flamegraph_diff_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

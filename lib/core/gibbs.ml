@@ -3,6 +3,7 @@ module Piecewise = Qnet_prob.Piecewise
 module Store = Event_store
 module Metrics = Qnet_obs.Metrics
 module Clock = Qnet_obs.Clock
+module Prof = Qnet_obs.Prof
 
 (* Telemetry handles, created on first use. Hot-path sites are gated
    on [Metrics.enabled] — one atomic load when instrumentation is off. *)
@@ -158,31 +159,32 @@ let resample_event rng store params f =
    for two gettimeofday calls per 32 events instead of one per event. *)
 let timing_stride = 32
 
-let sweep ?(shuffle = false) rng store params =
-  let order = Store.unobserved_events store in
-  if shuffle then Rng.shuffle_in_place rng order;
-  if not (Metrics.enabled ()) then
-    Array.iter (fun f -> resample_event rng store params f) order
-  else begin
-    let t0 = Clock.now () in
-    let per_event = Lazy.force m_event_seconds in
-    let n = Array.length order in
-    let pt = ref 0 and tl = ref 0 and bd = ref 0 in
-    for k = 0 to n - 1 do
-      let f = order.(k) in
-      let timed = k land (timing_stride - 1) = 0 in
-      let te = if timed then Clock.now_raw () else 0.0 in
-      let compiled = compile (local_density store params f) in
-      (match compiled with
-      | `Point _ -> incr pt
-      | `Tail _ -> incr tl
-      | `Bounded _ -> incr bd);
-      Store.set_departure store f (sample_compiled rng compiled);
-      if timed then
-        Metrics.Histogram.observe_n per_event
-          ~n:(Int.min timing_stride (n - k))
-          (Float.max 0.0 (Clock.now_raw () -. te))
-    done;
+let instrumented_sweep ~metrics ~profiling rng store params order =
+  let t0 = if metrics then Clock.now () else 0.0 in
+  let per_event = if metrics then Some (Lazy.force m_event_seconds) else None in
+  let n = Array.length order in
+  let pt = ref 0 and tl = ref 0 and bd = ref 0 in
+  for k = 0 to n - 1 do
+    let f = order.(k) in
+    let timed = metrics && k land (timing_stride - 1) = 0 in
+    let te = if timed then Clock.now_raw () else 0.0 in
+    let compiled = compile (local_density store params f) in
+    (match compiled with
+    | `Point _ -> incr pt
+    | `Tail _ -> incr tl
+    | `Bounded _ -> incr bd);
+    Store.set_departure store f (sample_compiled rng compiled);
+    (* [timed] implies [metrics] implies the handle exists *)
+    if timed then
+      Metrics.Histogram.observe_n (Option.get per_event)
+        ~n:(Int.min timing_stride (n - k))
+        (Float.max 0.0 (Clock.now_raw () -. te));
+    (* Probe at the same stride the timing samples use: frequent
+       enough to catch collection stalls inside one sweep, rare
+       enough that quick_stat stays off the per-event path. *)
+    if profiling && k land (timing_stride - 1) = 0 then Prof.pause_probe ()
+  done;
+  if metrics then begin
     if !pt > 0 then
       Metrics.Counter.inc ~by:(float_of_int !pt) (Lazy.force m_kernel_point);
     if !tl > 0 then
@@ -192,6 +194,20 @@ let sweep ?(shuffle = false) rng store params =
     Metrics.Histogram.observe (Lazy.force m_sweep_seconds) (Clock.now () -. t0);
     Metrics.Counter.inc ~by:(float_of_int n) (Lazy.force m_events)
   end
+
+let sweep ?(shuffle = false) rng store params =
+  let order = Store.unobserved_events store in
+  if shuffle then Rng.shuffle_in_place rng order;
+  let metrics = Metrics.enabled () in
+  let profiling = Prof.running () in
+  if (not metrics) && not profiling then
+    (* Plain path: zero clock reads, zero probes, zero Memprof
+       callbacks from this module — two atomic loads per sweep. *)
+    Array.iter (fun f -> resample_event rng store params f) order
+  else if profiling then
+    Prof.with_phase "gibbs.sweep" (fun () ->
+        instrumented_sweep ~metrics ~profiling rng store params order)
+  else instrumented_sweep ~metrics ~profiling rng store params order
 
 let run ?shuffle ?(on_sweep = fun _ -> ()) ~sweeps rng store params =
   if sweeps < 0 then invalid_arg "Gibbs.run: negative sweep count";

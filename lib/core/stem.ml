@@ -3,6 +3,7 @@ module Metrics = Qnet_obs.Metrics
 module Span = Qnet_obs.Span
 module Clock = Qnet_obs.Clock
 module Diagnostics = Qnet_obs.Diagnostics
+module Prof = Qnet_obs.Prof
 
 let m_iteration_seconds =
   lazy
@@ -156,7 +157,9 @@ let run_impl ~config ?init ?route_fsm ~diag_chain ~on_iteration rng store =
   | Ok () -> ()
   | Error msg -> failwith ("Stem.run: initialization failed: " ^ msg));
   Span.with_span "stem.warmup" (fun () ->
-      Gibbs.run ~shuffle:config.shuffle ~sweeps:config.warmup_sweeps rng store params0);
+      Prof.with_phase "stem.warmup" (fun () ->
+          Gibbs.run ~shuffle:config.shuffle ~sweeps:config.warmup_sweeps rng
+            store params0));
   let history = Array.make config.iterations params0 in
   let llh = Array.make config.iterations nan in
   let params = ref params0 in
@@ -165,6 +168,7 @@ let run_impl ~config ?init ?route_fsm ~diag_chain ~on_iteration rng store =
     Diagnostics.set_arrival_queue Diagnostics.default (Store.arrival_queue store);
   for it = 0 to config.iterations - 1 do
     let t0 = if instrumented then Clock.now () else 0.0 in
+    Prof.with_phase "stem.iteration" (fun () ->
     (* Stochastic E-step: one sweep under the current parameters, plus
        a routing sweep when paths are uncertain. *)
     Gibbs.sweep ~shuffle:config.shuffle rng store !params;
@@ -177,10 +181,13 @@ let run_impl ~config ?init ?route_fsm ~diag_chain ~on_iteration rng store =
       else None
     in
     params :=
-      mle_step ?prior store ~previous:!params
-        ~min_queue_events:config.min_queue_events;
+      Prof.with_phase "stem.mstep" (fun () ->
+          mle_step ?prior store ~previous:!params
+            ~min_queue_events:config.min_queue_events);
     history.(it) <- !params;
-    llh.(it) <- Store.log_likelihood store !params;
+    llh.(it) <-
+      Prof.with_phase "stem.loglik" (fun () ->
+          Store.log_likelihood store !params));
     if instrumented then begin
       Metrics.Histogram.observe (Lazy.force m_iteration_seconds) (Clock.now () -. t0);
       Metrics.Counter.inc (Lazy.force m_iterations);
@@ -226,6 +233,7 @@ let estimate_waiting ?(sweeps = 100) ?(burn_in = 50) rng store params =
   if burn_in < 0 || burn_in >= sweeps then
     invalid_arg "Stem.estimate_waiting: burn_in must be in [0, sweeps)";
   Span.with_span "stem.estimate_waiting" (fun () ->
+      Prof.with_phase "stem.estimate_waiting" @@ fun () ->
       let nq = Store.num_queues store in
       let acc = Array.make nq 0.0 in
       let kept = sweeps - burn_in in

@@ -1,0 +1,770 @@
+type backend = Counters | Memprof
+type pause_kind = Minor | Major | Compaction
+
+type config = { sampling_rate : float; max_sites : int }
+
+let default_config = { sampling_rate = 0.01; max_sites = 512 }
+
+(* The SLO ladder shared with the serving layer's latency histograms:
+   decades from 1µs to 100s. GC pauses live at the low end; the high
+   decades exist so an outlier lands in a finite bucket instead of
+   clamping the p99 to a lie. *)
+let pause_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+(* One allocation-site (or phase-path) row. Written only under the
+   session lock; scraped under the same lock. *)
+type cell = {
+  mutable bytes : float;
+  mutable samples : int;
+  mutable self_seconds : float;
+}
+
+type session = {
+  id : int;
+  config : config;
+  active : backend;
+  started_at : float;  (* Clock.now wall-clock seconds *)
+  started_elapsed : float;  (* Clock.elapsed, for durations *)
+  gc0 : Gc.stat;
+  sites : (string, cell) Hashtbl.t;  (* stack path -> attribution *)
+  by_domain : (int * string, cell) Hashtbl.t;  (* (domain, leaf phase) *)
+  lock : Mutex.t;
+  (* Session-local registry: pause/cycle histograms reset per session
+     (so quantiles describe this session), mirrored into the default
+     registry for scrapes. *)
+  p_minor : Metrics.Histogram.t;
+  p_major : Metrics.Histogram.t;
+  p_compact : Metrics.Histogram.t;
+  p_cycle : Metrics.Histogram.t;
+  mutable alarm : Gc.alarm option;
+  mutable stopped_after : float option;  (* duration at stop *)
+  probes : int Atomic.t;
+  callbacks : int Atomic.t;
+  pauses : int Atomic.t;
+  dropped : int Atomic.t;  (* Memprof samples dropped on lock contention *)
+  last_cycle : float Atomic.t;  (* previous alarm timestamp, 0 = none *)
+}
+
+(* [current] is the running session (the hot-path gate: one atomic
+   load); [latest] additionally survives [stop] so snapshots of a
+   finished profile stay readable until the next [start]. *)
+let current : session option Atomic.t = Atomic.make None
+let latest : session option Atomic.t = Atomic.make None
+let lifecycle = Mutex.create ()
+let next_id = Atomic.make 0
+
+let running () = Atomic.get current <> None
+
+let backend () =
+  match Atomic.get latest with None -> None | Some s -> Some s.active
+
+(* ------------------------------------------------------------------ *)
+(* Frame sanitization (same rules as Span.to_folded)                   *)
+(* ------------------------------------------------------------------ *)
+
+let folded_frame name =
+  if name = "" then "(anonymous)"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | ';' -> ':'
+        | ' ' | '\t' | '\n' | '\r' -> '_'
+        | c when Char.code c < 0x20 -> '?'
+        | c -> c)
+      name
+
+(* ------------------------------------------------------------------ *)
+(* Site table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let add_site_locked s ~path ~bytes ~samples ~self_seconds =
+  let cell =
+    match Hashtbl.find_opt s.sites path with
+    | Some c -> c
+    | None ->
+        let c = { bytes = 0.0; samples = 0; self_seconds = 0.0 } in
+        Hashtbl.replace s.sites path c;
+        c
+  in
+  cell.bytes <- cell.bytes +. bytes;
+  cell.samples <- cell.samples + samples;
+  cell.self_seconds <- cell.self_seconds +. self_seconds
+
+let add_domain_locked s ~leaf ~bytes ~self_seconds =
+  let key = ((Domain.self () :> int), leaf) in
+  let cell =
+    match Hashtbl.find_opt s.by_domain key with
+    | Some c -> c
+    | None ->
+        let c = { bytes = 0.0; samples = 0; self_seconds = 0.0 } in
+        Hashtbl.replace s.by_domain key c;
+        c
+  in
+  cell.bytes <- cell.bytes +. bytes;
+  cell.samples <- cell.samples + 1;
+  cell.self_seconds <- cell.self_seconds +. self_seconds
+
+let record_site ~stack ~bytes =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      if Float.is_finite bytes && bytes >= 0.0 && stack <> [] then begin
+        let path = String.concat ";" (List.map folded_frame stack) in
+        Mutex.lock s.lock;
+        add_site_locked s ~path ~bytes ~samples:1 ~self_seconds:0.0;
+        Mutex.unlock s.lock
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Phase attribution (Counters backend, but active under both)         *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  name : string;
+  t0 : float;
+  a0 : float;  (* words allocated by this domain at entry *)
+  mutable child_seconds : float;  (* qnet-lint: racy-ok C001 Domain.DLS frame: the stack ref is per-domain state, only its owner domain pushes/pops/updates *)
+  mutable child_words : float;  (* qnet-lint: racy-ok C001 Domain.DLS frame (see child_seconds) *)
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let allocated_words () =
+  let minor, promoted, major = Gc.counters () in
+  minor +. major -. promoted
+
+let bytes_per_word = float_of_int (Sys.word_size / 8)
+
+let with_phase name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some s ->
+      let stack = Domain.DLS.get stack_key in
+      let frame =
+        {
+          name;
+          t0 = Clock.now_raw ();
+          a0 = allocated_words ();
+          child_seconds = 0.0;
+          child_words = 0.0;
+        }
+      in
+      stack := frame :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.now_raw () in
+          let a1 = allocated_words () in
+          (match !stack with
+          | fr :: rest when fr == frame -> stack := rest
+          | other -> stack := List.filter (fun fr -> fr != frame) other);
+          let total_s = Float.max 0.0 (t1 -. frame.t0) in
+          let total_w = Float.max 0.0 (a1 -. frame.a0) in
+          let self_s = Float.max 0.0 (total_s -. frame.child_seconds) in
+          let self_w = Float.max 0.0 (total_w -. frame.child_words) in
+          (match !stack with
+          | parent :: _ ->
+              parent.child_seconds <- parent.child_seconds +. total_s;
+              parent.child_words <- parent.child_words +. total_w
+          | [] -> ());
+          let path =
+            String.concat ";"
+              (List.rev_map (fun fr -> folded_frame fr.name) (frame :: !stack))
+          in
+          let bytes = self_w *. bytes_per_word in
+          Mutex.lock s.lock;
+          add_site_locked s ~path ~bytes ~samples:1 ~self_seconds:self_s;
+          add_domain_locked s ~leaf:(folded_frame name) ~bytes
+            ~self_seconds:self_s;
+          Mutex.unlock s.lock)
+        f
+
+let current_path () =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> "(unattributed)"
+  | frames -> String.concat ";" (List.rev_map (fun fr -> folded_frame fr.name) frames)
+
+(* ------------------------------------------------------------------ *)
+(* Pause histograms                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Default-registry mirrors: scrape-visible, cumulative across
+   sessions (histogram series must stay monotone for Prometheus).
+   Lazily created, so a run that never profiles exports no
+   qnet_prof_* series at all. *)
+let m_minor =
+  lazy
+    (Metrics.Histogram.create ~buckets:pause_buckets
+       ~help:"Probe-detected minor GC pauses while profiling"
+       "qnet_prof_minor_pause_seconds")
+
+let m_major =
+  lazy
+    (Metrics.Histogram.create ~buckets:pause_buckets
+       ~help:"Probe-detected major GC pauses while profiling"
+       "qnet_prof_major_pause_seconds")
+
+let m_compact =
+  lazy
+    (Metrics.Histogram.create ~buckets:pause_buckets
+       ~help:"Probe-detected compaction pauses while profiling"
+       "qnet_prof_compaction_pause_seconds")
+
+let m_cycle =
+  lazy
+    (Metrics.Histogram.create ~buckets:pause_buckets
+       ~help:"Intervals between end-of-major-cycle GC alarms while profiling"
+       "qnet_prof_major_cycle_seconds")
+
+let session_histogram s = function
+  | Minor -> s.p_minor
+  | Major -> s.p_major
+  | Compaction -> s.p_compact
+
+let mirror_histogram = function
+  | Minor -> Lazy.force m_minor
+  | Major -> Lazy.force m_major
+  | Compaction -> Lazy.force m_compact
+
+let record_pause kind seconds =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      if Float.is_finite seconds then begin
+        let v = Float.max 0.0 seconds in
+        Metrics.Histogram.observe (session_histogram s kind) v;
+        Metrics.Histogram.observe (mirror_histogram kind) v;
+        Atomic.incr s.pauses
+      end
+
+(* Per-domain probe state: gap EWMA is the domain's "collection-free
+   stride time" baseline; a probe gap that coincides with a GC counter
+   advance charges the excess over that baseline to the collector.
+   [tag] pins the state to one session — stale state from a previous
+   session would otherwise charge the whole inter-session gap (store
+   builds, unprofiled phases) to the first collection it sees. *)
+type probe = {
+  mutable tag : int;  (* qnet-lint: racy-ok C001 Domain.DLS probe state: one record per domain, only its owner domain reads/writes *)
+  mutable last : float;  (* qnet-lint: racy-ok C001 Domain.DLS probe state (see tag) *)
+  mutable ewma : float;  (* qnet-lint: racy-ok C001 Domain.DLS probe state (see tag) *)
+  mutable minor_n : int;  (* qnet-lint: racy-ok C001 Domain.DLS probe state (see tag) *)
+  mutable major_n : int;  (* qnet-lint: racy-ok C001 Domain.DLS probe state (see tag) *)
+  mutable compact_n : int;  (* qnet-lint: racy-ok C001 Domain.DLS probe state (see tag) *)
+}
+
+let probe_key : probe Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        tag = -1;
+        last = 0.0;
+        ewma = 0.0;
+        minor_n = 0;
+        major_n = 0;
+        compact_n = 0;
+      })
+
+let pause_probe () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      let now = Clock.now_raw () in
+      let st = Gc.quick_stat () in
+      let p = Domain.DLS.get probe_key in
+      if p.tag = s.id then begin
+        Atomic.incr s.probes;
+        let gap = now -. p.last in
+        if gap >= 0.0 then begin
+          let d_minor = st.Gc.minor_collections - p.minor_n in
+          let d_major = st.Gc.major_collections - p.major_n in
+          let d_compact = st.Gc.compactions - p.compact_n in
+          if d_minor = 0 && d_major = 0 && d_compact = 0 then
+            p.ewma <-
+              (if p.ewma > 0.0 then (0.875 *. p.ewma) +. (0.125 *. gap) else gap)
+          else if p.ewma > 0.0 then begin
+            (* only charge pauses once a collection-free baseline
+               exists — before that, "excess" would just be the gap *)
+            let excess = gap -. p.ewma in
+            if excess > 0.0 then
+              record_pause
+                (if d_compact > 0 then Compaction
+                 else if d_major > 0 then Major
+                 else Minor)
+                excess
+          end
+        end
+      end
+      else begin
+        p.tag <- s.id;
+        p.ewma <- 0.0
+      end;
+      p.last <- now;
+      p.minor_n <- st.Gc.minor_collections;
+      p.major_n <- st.Gc.major_collections;
+      p.compact_n <- st.Gc.compactions
+
+(* The end-of-major-cycle alarm: lock-free on purpose — an alarm runs
+   at an allocation safepoint and must not contend for the session
+   lock the same domain might hold mid-phase-exit. *)
+let is_current s =
+  match Atomic.get current with Some s' -> s' == s | None -> false
+
+let on_major_cycle s () =
+  if is_current s then begin
+    let now = Clock.now_raw () in
+    let prev = Atomic.exchange s.last_cycle now in
+    if prev > 0.0 && now > prev then begin
+      Metrics.Histogram.observe s.p_cycle (now -. prev);
+      Metrics.Histogram.observe (Lazy.force m_cycle) (now -. prev)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memprof (engages on runtimes where Gc.Memprof.start works)          *)
+(* ------------------------------------------------------------------ *)
+
+let memprof_leaf callstack =
+  let raw = Printexc.raw_backtrace_to_string callstack in
+  let line =
+    match String.index_opt raw '\n' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let line = if String.length line > 120 then String.sub line 0 120 else line in
+  if line = "" then "(no-backtrace)" else folded_frame line
+
+let memprof_sample s (al : Gc.Memprof.allocation) =
+  Atomic.incr s.callbacks;
+  let words =
+    float_of_int al.Gc.Memprof.n_samples /. s.config.sampling_rate
+  in
+  let path = current_path () ^ ";" ^ memprof_leaf al.Gc.Memprof.callstack in
+  (* try_lock, not lock: a sample can fire at any allocation point,
+     including inside our own critical sections; dropping it beats
+     deadlocking, and the drop is counted. *)
+  if Mutex.try_lock s.lock then begin
+    add_site_locked s ~path ~bytes:(words *. bytes_per_word)
+      ~samples:al.Gc.Memprof.n_samples ~self_seconds:0.0;
+    Mutex.unlock s.lock
+  end
+  else Atomic.incr s.dropped;
+  None
+
+let try_memprof s =
+  match
+    Gc.Memprof.start ~sampling_rate:s.config.sampling_rate ~callstack_size:16
+      {
+        Gc.Memprof.null_tracker with
+        Gc.Memprof.alloc_minor = (fun al -> memprof_sample s al);
+        alloc_major = (fun al -> memprof_sample s al);
+      }
+  with
+  | () -> true
+  | exception Failure _ -> false  (* "not implemented in multicore" on 5.0/5.1 *)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) () =
+  if
+    (not (Float.is_finite config.sampling_rate))
+    || config.sampling_rate <= 0.0
+    || config.sampling_rate > 1.0
+  then invalid_arg "Prof.start: sampling_rate must be in (0, 1]";
+  if config.max_sites < 1 then invalid_arg "Prof.start: max_sites must be >= 1";
+  Mutex.lock lifecycle;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lifecycle) @@ fun () ->
+  match Atomic.get current with
+  | Some s -> s.active
+  | None ->
+      let reg = Metrics.create_registry () in
+      let hist name =
+        Metrics.Histogram.create ~registry:reg ~buckets:pause_buckets name
+      in
+      let s =
+        {
+          id = Atomic.fetch_and_add next_id 1;
+          config;
+          active = Counters;
+          started_at = Clock.now ();
+          started_elapsed = Clock.elapsed ();
+          gc0 = Gc.quick_stat ();
+          sites = Hashtbl.create 128;
+          by_domain = Hashtbl.create 16;
+          lock = Mutex.create ();
+          p_minor = hist "qnet_prof_minor_pause_seconds";
+          p_major = hist "qnet_prof_major_pause_seconds";
+          p_compact = hist "qnet_prof_compaction_pause_seconds";
+          p_cycle = hist "qnet_prof_major_cycle_seconds";
+          alarm = None;
+          stopped_after = None;
+          probes = Atomic.make 0;
+          callbacks = Atomic.make 0;
+          pauses = Atomic.make 0;
+          dropped = Atomic.make 0;
+          last_cycle = Atomic.make 0.0;
+        }
+      in
+      let s = if try_memprof s then { s with active = Memprof } else s in
+      Atomic.set latest (Some s);
+      Atomic.set current (Some s);  (* qnet-lint: racy-ok C005 start/stop serialize on the lifecycle mutex; [current] is Atomic only for the lock-free readers *)
+      (* alarm after [current] is set: the callback gates on it *)
+      s.alarm <- Some (Gc.create_alarm (on_major_cycle s));
+      s.active
+
+let stop () =
+  Mutex.lock lifecycle;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lifecycle) @@ fun () ->
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      if s.active = Memprof then Gc.Memprof.stop ();
+      (match s.alarm with
+      | Some a ->
+          Gc.delete_alarm a;
+          s.alarm <- None
+      | None -> ());
+      s.stopped_after <- Some (Clock.elapsed () -. s.started_elapsed);
+      Atomic.set current None  (* qnet-lint: racy-ok C005 start/stop serialize on the lifecycle mutex (see start) *)
+
+(* ------------------------------------------------------------------ *)
+(* Readers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type phase_self = {
+  path : string;
+  samples : int;
+  bytes : float;
+  self_seconds : float;
+}
+
+let sites () =
+  match Atomic.get latest with
+  | None -> []
+  | Some s ->
+      Mutex.lock s.lock;
+      let rows =
+        Hashtbl.fold
+          (fun path (c : cell) acc ->
+            {
+              path;
+              samples = c.samples;
+              bytes = c.bytes;
+              self_seconds = c.self_seconds;
+            }
+            :: acc)
+          s.sites []
+      in
+      Mutex.unlock s.lock;
+      List.sort
+        (fun a b ->
+          match compare b.bytes a.bytes with 0 -> compare a.path b.path | c -> c)
+        rows
+
+let to_folded () =
+  match Atomic.get latest with
+  | None -> []
+  | Some s ->
+      Mutex.lock s.lock;
+      let rows =
+        Hashtbl.fold
+          (fun path (c : cell) acc ->
+            let b = int_of_float (Float.round c.bytes) in
+            if b > 0 then (path, b) :: acc else acc)
+          s.sites []
+      in
+      Mutex.unlock s.lock;
+      List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let phase_split () =
+  match Atomic.get latest with
+  | None -> []
+  | Some s ->
+      Mutex.lock s.lock;
+      let by_leaf = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun (_, leaf) (c : cell) ->
+          Hashtbl.replace by_leaf leaf
+            (c.self_seconds
+            +. (try Hashtbl.find by_leaf leaf with Not_found -> 0.0)))
+        s.by_domain;
+      Mutex.unlock s.lock;
+      Hashtbl.fold (fun leaf t acc -> (leaf, t) :: acc) by_leaf []
+      |> List.sort (fun (na, a) (nb, b) ->
+             match compare b a with 0 -> compare na nb | c -> c)
+
+let allocated_bytes () =
+  match Atomic.get latest with
+  | None -> 0.0
+  | Some s ->
+      let st = Gc.quick_stat () in
+      let words st =
+        st.Gc.minor_words +. st.Gc.major_words -. st.Gc.promoted_words
+      in
+      Float.max 0.0 ((words st -. words s.gc0) *. bytes_per_word)
+
+type pause_stats = { count : int; p50_s : float; p99_s : float }
+
+let hist_stats h =
+  {
+    count = Metrics.Histogram.count h;
+    p50_s = Metrics.Histogram.quantile h 0.5;
+    p99_s = Metrics.Histogram.quantile h 0.99;
+  }
+
+let empty_stats = { count = 0; p50_s = nan; p99_s = nan }
+
+let pause_summary () =
+  match Atomic.get latest with
+  | None -> [ (Minor, empty_stats); (Major, empty_stats); (Compaction, empty_stats) ]
+  | Some s ->
+      [
+        (Minor, hist_stats s.p_minor);
+        (Major, hist_stats s.p_major);
+        (Compaction, hist_stats s.p_compact);
+      ]
+
+let major_cycle_summary () =
+  match Atomic.get latest with
+  | None -> empty_stats
+  | Some s -> hist_stats s.p_cycle
+
+type stats = {
+  is_running : bool;
+  active_backend : backend option;
+  site_rows : int;
+  probes : int;
+  memprof_callbacks : int;
+  pauses_recorded : int;
+}
+
+let stats () =
+  match Atomic.get latest with
+  | None ->
+      {
+        is_running = false;
+        active_backend = None;
+        site_rows = 0;
+        probes = 0;
+        memprof_callbacks = 0;
+        pauses_recorded = 0;
+      }
+  | Some s ->
+      Mutex.lock s.lock;
+      let rows = Hashtbl.length s.sites in
+      Mutex.unlock s.lock;
+      {
+        is_running = is_current s;
+        active_backend = Some s.active;
+        site_rows = rows;
+        probes = Atomic.get s.probes;
+        memprof_callbacks = Atomic.get s.callbacks;
+        pauses_recorded = Atomic.get s.pauses;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Rusage                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Rusage = struct
+  type t = {
+    utime_s : float;
+    stime_s : float;
+    rss_bytes : float;
+    max_rss_bytes : float;
+  }
+
+  let read_file path =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let buf = Buffer.create 1024 in
+        (try
+           while true do
+             Buffer.add_channel buf ic 1
+           done
+         with End_of_file -> ());
+        close_in_noerr ic;
+        Some (Buffer.contents buf)
+
+  (* /proc/self/stat: utime and stime are fields 14 and 15 (1-based),
+     counted after the parenthesized comm field (which can itself
+     contain spaces), in USER_HZ ticks — 100 on every Linux ABI. *)
+  let parse_stat s =
+    match String.rindex_opt s ')' with
+    | None -> None
+    | Some i ->
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        let fields =
+          List.filter (fun f -> f <> "") (String.split_on_char ' ' rest)
+        in
+        (* after ")": state is field 3 overall, so utime (14) and
+           stime (15) are the 12th and 13th entries here (1-based) *)
+        let nth n = List.nth_opt fields (n - 1) in
+        (match (nth 12, nth 13) with
+        | Some u, Some t -> (
+            match (float_of_string_opt u, float_of_string_opt t) with
+            | Some u, Some t -> Some (u /. 100.0, t /. 100.0)
+            | _ -> None)
+        | _ -> None)
+
+  let parse_status_kb s key =
+    let prefix = key ^ ":" in
+    let lines = String.split_on_char '\n' s in
+    List.find_map
+      (fun line ->
+        if String.length line > String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then
+          let rest =
+            String.trim
+              (String.sub line (String.length prefix)
+                 (String.length line - String.length prefix))
+          in
+          match String.split_on_char ' ' rest with
+          | kb :: _ -> float_of_string_opt kb
+          | [] -> None
+        else None)
+      lines
+
+  let sample () =
+    match (read_file "/proc/self/stat", read_file "/proc/self/status") with
+    | Some stat, Some status -> (
+        match
+          ( parse_stat stat,
+            parse_status_kb status "VmRSS",
+            parse_status_kb status "VmHWM" )
+        with
+        | Some (utime_s, stime_s), Some rss_kb, Some hwm_kb ->
+            Some
+              {
+                utime_s;
+                stime_s;
+                rss_bytes = rss_kb *. 1024.0;
+                max_rss_bytes = hwm_kb *. 1024.0;
+              }
+        | _ -> None)
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Gauges + JSON snapshot                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gauge name help =
+  lazy (Metrics.Gauge.create ~help ("qnet_prof_" ^ name))
+
+let g_alloc = gauge "allocated_bytes" "Bytes allocated since the profiling session started"
+let g_minor_coll = gauge "minor_collections" "Minor collections since the profiling session started"
+let g_major_coll = gauge "major_collections" "Major collections since the profiling session started"
+let g_compactions = gauge "compactions" "Compactions since the profiling session started"
+let g_heap = gauge "heap_bytes" "Major heap size at the last profile snapshot"
+let g_rss = gauge "rss_bytes" "Resident set size at the last profile snapshot"
+let g_max_rss = gauge "max_rss_bytes" "Peak resident set size at the last profile snapshot"
+let g_utime = gauge "utime_seconds" "User CPU time at the last profile snapshot"
+let g_stime = gauge "stime_seconds" "System CPU time at the last profile snapshot"
+
+let publish_gauges s st rusage =
+  let d_int f = float_of_int (f st - f s.gc0) in
+  Metrics.Gauge.set (Lazy.force g_alloc) (allocated_bytes ());
+  Metrics.Gauge.set (Lazy.force g_minor_coll)
+    (d_int (fun g -> g.Gc.minor_collections));
+  Metrics.Gauge.set (Lazy.force g_major_coll)
+    (d_int (fun g -> g.Gc.major_collections));
+  Metrics.Gauge.set (Lazy.force g_compactions) (d_int (fun g -> g.Gc.compactions));
+  Metrics.Gauge.set (Lazy.force g_heap)
+    (float_of_int st.Gc.heap_words *. bytes_per_word);
+  match rusage with
+  | None -> ()
+  | Some r ->
+      Metrics.Gauge.set (Lazy.force g_rss) r.Rusage.rss_bytes;
+      Metrics.Gauge.set (Lazy.force g_max_rss) r.Rusage.max_rss_bytes;
+      Metrics.Gauge.set (Lazy.force g_utime) r.Rusage.utime_s;
+      Metrics.Gauge.set (Lazy.force g_stime) r.Rusage.stime_s
+
+let num v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let pause_json name st =
+  Printf.sprintf "\"%s\":{\"count\":%d,\"p50_s\":%s,\"p99_s\":%s}" name st.count
+    (num st.p50_s) (num st.p99_s)
+
+let snapshot_json () =
+  match Atomic.get latest with
+  | None -> "{\"running\":false,\"backend\":null}"
+  | Some s ->
+      let st = Gc.quick_stat () in
+      let rusage = Rusage.sample () in
+      publish_gauges s st rusage;
+      let is_running = is_current s in
+      let duration =
+        match s.stopped_after with
+        | Some d -> d
+        | None -> Clock.elapsed () -. s.started_elapsed
+      in
+      let rows = sites () in
+      let total_bytes = List.fold_left (fun a r -> a +. r.bytes) 0.0 rows in
+      let top =
+        List.filteri (fun i _ -> i < s.config.max_sites) rows
+        |> List.map (fun r ->
+               Printf.sprintf
+                 "{\"stack\":\"%s\",\"bytes\":%s,\"samples\":%d,\"self_seconds\":%s}"
+                 (Jsonx.escape r.path) (num r.bytes) r.samples
+                 (num r.self_seconds))
+        |> String.concat ","
+      in
+      let pauses =
+        match pause_summary () with
+        | [ (Minor, mi); (Major, ma); (Compaction, co) ] ->
+            String.concat ","
+              [
+                pause_json "minor" mi;
+                pause_json "major" ma;
+                pause_json "compaction" co;
+                pause_json "major_cycle" (major_cycle_summary ());
+              ]
+        | _ -> assert false
+      in
+      let domains =
+        Mutex.lock s.lock;
+        let per =
+          Hashtbl.fold
+            (fun (d, leaf) (c : cell) acc ->
+              (d, leaf, c.samples, c.bytes, c.self_seconds) :: acc)
+            s.by_domain []
+        in
+        Mutex.unlock s.lock;
+        List.sort compare per
+        |> List.map (fun (d, leaf, n, b, t) ->
+               Printf.sprintf
+                 "{\"domain\":%d,\"phase\":\"%s\",\"count\":%d,\"alloc_bytes\":%s,\"self_seconds\":%s}"
+                 d (Jsonx.escape leaf) n (num b) (num t))
+        |> String.concat ","
+      in
+      let gd f = f st - f s.gc0 in
+      Printf.sprintf
+        "{\"running\":%b,\"backend\":\"%s\",\"sampling_rate\":%s,\"started_at\":%s,\"duration_s\":%s,\
+         \"alloc\":{\"total_bytes\":%s,\"sites\":%d,\"memprof_callbacks\":%d,\"dropped_samples\":%d,\"top\":[%s]},\
+         \"gc\":{\"allocated_bytes\":%s,\"minor_collections\":%d,\"major_collections\":%d,\"compactions\":%d,\"heap_bytes\":%s},\
+         \"pauses\":{%s},\
+         \"rusage\":%s,\
+         \"probes\":%d,\"domains\":[%s]}"
+        is_running
+        (match s.active with Counters -> "counters" | Memprof -> "memprof")
+        (num s.config.sampling_rate) (num s.started_at) (num duration)
+        (num total_bytes) (List.length rows)
+        (Atomic.get s.callbacks) (Atomic.get s.dropped) top
+        (num (allocated_bytes ()))
+        (gd (fun g -> g.Gc.minor_collections))
+        (gd (fun g -> g.Gc.major_collections))
+        (gd (fun g -> g.Gc.compactions))
+        (num (float_of_int st.Gc.heap_words *. bytes_per_word))
+        pauses
+        (match rusage with
+        | None -> "null"
+        | Some r ->
+            Printf.sprintf
+              "{\"utime_s\":%s,\"stime_s\":%s,\"rss_bytes\":%s,\"max_rss_bytes\":%s}"
+              (num r.Rusage.utime_s) (num r.Rusage.stime_s)
+              (num r.Rusage.rss_bytes) (num r.Rusage.max_rss_bytes))
+        (Atomic.get s.probes) domains

@@ -1,0 +1,165 @@
+(** Statistical allocation and GC-pause profiler — the "where do the
+    bytes and the pauses go" layer under the hot-path roadmap work.
+
+    {b Backends.} [start] first tries the runtime's statistical
+    allocation sampler ([Gc.Memprof], sampling each allocated word
+    with probability [sampling_rate] and bucketing samples by
+    backtrace under the current phase stack). OCaml 5.0/5.1 ships the
+    Memprof interface but its [start] raises ([Failure "... not
+    implemented in multicore"]); the profiler then degrades to the
+    [Counters] backend: exact per-phase allocation deltas read from
+    [Gc.counters] at {!with_phase} boundaries. Either way the site
+    table folds into flamegraph folded-stack lines ({!to_folded}, the
+    same [stack count] format as [Span.to_folded], valued in bytes),
+    so [qnet_trace_tool flamegraph-diff] can diff before/after runs.
+
+    {b Pauses.} OCaml exposes no direct pause timestamps, so pauses
+    are observed two ways: a [Gc.create_alarm] hook records
+    end-of-major-cycle intervals, and {!pause_probe} — called at a
+    stride from instrumented hot loops — detects collection-coincident
+    stalls: when the gap since the previous probe on this domain
+    exceeds its EWMA baseline {e and} the domain's minor/major/
+    compaction counters advanced, the excess is recorded as a pause of
+    that kind. Histograms sit on the telemetry SLO ladder (decades,
+    1µs–100s); {!record_pause} feeds them directly (tests, external
+    attributors).
+
+    {b Cost contract.} Off (the default) the profiler adds one atomic
+    load per gated site — {!with_phase} is the thunk behind one load,
+    the sweep hot path takes zero Memprof callbacks and zero probes —
+    mirroring the [Metrics.enabled] fast-path pattern. No
+    [qnet_prof_*] series exist in the default registry until a
+    session runs. On (phase granularity, stride-sampled probes) the
+    cost is two clock reads, two [Gc.counters] reads and one table
+    update per phase, plus one [Gc.quick_stat] per probe stride. *)
+
+type backend =
+  | Counters
+      (** exact phase-scoped [Gc.counters] deltas (the fallback, and
+          the only backend on OCaml 5.0/5.1) *)
+  | Memprof  (** statistical [Gc.Memprof] sampling with backtraces *)
+
+type config = {
+  sampling_rate : float;
+      (** Memprof per-word sampling probability in (0, 1]; ignored by
+          the [Counters] backend (which is exact) *)
+  max_sites : int;  (** site-table rows kept in {!snapshot_json} *)
+}
+
+val default_config : config
+(** 1% sampling, 512 sites. *)
+
+val start : ?config:config -> unit -> backend
+(** Start a profiling session (clearing any stopped session's data)
+    and return the backend that actually engaged. If a session is
+    already running this is a no-op returning its backend. Raises
+    [Invalid_argument] on a sampling rate outside (0, 1] or a
+    non-positive [max_sites]. *)
+
+val stop : unit -> unit
+(** Stop sampling (Memprof detached, alarm deleted). Idempotent. The
+    session's data stays readable ({!snapshot_json}, {!to_folded})
+    until the next [start]. *)
+
+val running : unit -> bool
+val backend : unit -> backend option
+(** Backend of the current {e or most recent} session. *)
+
+(** {1 Attribution} *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** [with_phase name f] runs [f]; when a session is running, the
+    allocation and wall-time {e self} cost (minus nested phases) is
+    attributed to the current domain's phase stack ending in [name].
+    Phases nest per domain like spans; a profiler-off call is [f ()]
+    behind one atomic load. Exception-safe. *)
+
+val record_site : stack:string list -> bytes:float -> unit
+(** Credit [bytes] to an explicit stack (root first) — deterministic
+    test injection and external attributors. Frames are sanitized the
+    way {!Qnet_obs.Span.to_folded} sanitizes span names. No-op when
+    not running; non-finite or negative [bytes] ignored. *)
+
+(** {1 Pauses} *)
+
+type pause_kind = Minor | Major | Compaction
+
+val record_pause : pause_kind -> float -> unit
+(** Record one pause of [seconds] into the kind's histogram. No-op
+    when not running; negative values clamp to 0. *)
+
+val pause_probe : unit -> unit
+(** Hot-loop stall probe (see module doc). Call at a stride — the
+    Gibbs sweep calls it every timed stride event. No-op (one atomic
+    load) when not running. *)
+
+type pause_stats = { count : int; p50_s : float; p99_s : float }
+(** Quantiles are {!Metrics.Histogram.quantile} estimates ([nan] when
+    [count = 0]). *)
+
+val pause_summary : unit -> (pause_kind * pause_stats) list
+(** Always three entries, [Minor; Major; Compaction] order, from the
+    current or most recent session (all-zero when none). *)
+
+val major_cycle_summary : unit -> pause_stats
+(** End-of-major-cycle interval stats from the alarm hook. *)
+
+(** {1 Export} *)
+
+val to_folded : unit -> (string * int) list
+(** The site table as folded-stack lines valued in (integer) sampled
+    bytes, deterministically sorted by stack; zero-byte sites are
+    dropped. Empty when no session has run. *)
+
+type phase_self = {
+  path : string;  (** sanitized [;]-joined phase stack *)
+  samples : int;
+  bytes : float;
+  self_seconds : float;
+}
+
+val sites : unit -> phase_self list
+(** Site table sorted by bytes descending. *)
+
+val phase_split : unit -> (string * float) list
+(** Leaf-phase self-time split summed over domains, as
+    [(leaf_phase, self_seconds)] sorted by self time descending. *)
+
+val allocated_bytes : unit -> float
+(** Process-wide bytes allocated since the session started
+    ([Gc.quick_stat] delta, all domains' minor words this domain can
+    see plus major), 0 when no session. *)
+
+val snapshot_json : unit -> string
+(** One self-contained JSON object: session state and backend, the
+    site table (top [max_sites] by bytes), GC-counter deltas since
+    [start], pause and major-cycle histograms (count/p50/p99), an
+    rusage sample, and per-domain leaf-phase self-time rollups. Also
+    refreshes the [qnet_prof_*] gauges in the default metrics
+    registry. Served by [qnet_serve GET /profile.json] and written by
+    [qnet_infer --profile-out]. *)
+
+type stats = {
+  is_running : bool;
+  active_backend : backend option;
+  site_rows : int;
+  probes : int;  (** {!pause_probe} calls that sampled *)
+  memprof_callbacks : int;
+  pauses_recorded : int;
+}
+
+val stats : unit -> stats
+(** Cheap counters for tests and the off-by-default overhead guard. *)
+
+(** Process resource usage, read from [/proc] (Linux); [None] where
+    unavailable. *)
+module Rusage : sig
+  type t = {
+    utime_s : float;  (** user CPU seconds (USER_HZ assumed 100) *)
+    stime_s : float;  (** system CPU seconds *)
+    rss_bytes : float;  (** current resident set *)
+    max_rss_bytes : float;  (** peak resident set (VmHWM) *)
+  }
+
+  val sample : unit -> t option
+end

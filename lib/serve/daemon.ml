@@ -24,6 +24,8 @@ type config = {
   faults : Fault.service_fault list;
   trace_sample_rate : float;
   trace_seed : int;
+  profile_on_start : bool;
+  profile_alloc_rate : float;
 }
 
 let default_config =
@@ -41,6 +43,8 @@ let default_config =
     faults = [];
     trace_sample_rate = 0.01;
     trace_seed = 1;
+    profile_on_start = false;
+    profile_alloc_rate = 0.01;
   }
 
 type t = {
@@ -50,6 +54,7 @@ type t = {
   sampler : Trace_ctx.sampler;
   dead : Ingest.Dead_letter.t;
   mutable server : Server.t option;
+  profiling : bool Atomic.t;  (** this daemon started the profiler *)
   stopping : bool Atomic.t;
   mutable tailers : Thread.t list;
   mutable stopped : bool;
@@ -444,6 +449,54 @@ let handle_posterior t tenant =
   resp
 
 (* ------------------------------------------------------------------ *)
+(* Live profiling (GET /profile.json, POST /profile/{start,stop})      *)
+(* ------------------------------------------------------------------ *)
+
+let profile_status () =
+  let backend =
+    match Qnet_obs.Prof.backend () with
+    | None -> "null"
+    | Some Qnet_obs.Prof.Counters -> "\"counters\""
+    | Some Qnet_obs.Prof.Memprof -> "\"memprof\""
+  in
+  Printf.sprintf "{\"running\":%b,\"backend\":%s}\n"
+    (Qnet_obs.Prof.running ()) backend
+
+let handle_profile_start t body =
+  let rate =
+    if String.trim body = "" then Ok t.cfg.profile_alloc_rate
+    else
+      match Jsonx.parse_object body with
+      | Error e -> Error ("bad JSON body: " ^ e)
+      | Ok fields -> (
+          match List.assoc_opt "sampling_rate" fields with
+          | Some (Jsonx.Num r) -> Ok r
+          | Some _ -> Error "sampling_rate must be a number"
+          | None -> Ok t.cfg.profile_alloc_rate)
+  in
+  match rate with
+  | Error msg ->
+      Server.response ~status:"400 Bad Request"
+        (Printf.sprintf "{\"error\":\"%s\"}\n" (Jsonx.escape msg))
+  | Ok rate -> (
+      match
+        Qnet_obs.Prof.start
+          ~config:{ Qnet_obs.Prof.default_config with sampling_rate = rate }
+          ()
+      with
+      | _backend ->
+          Atomic.set t.profiling true;
+          Server.response ~status:"200 OK" (profile_status ())
+      | exception Invalid_argument msg ->
+          Server.response ~status:"400 Bad Request"
+            (Printf.sprintf "{\"error\":\"%s\"}\n" (Jsonx.escape msg)))
+
+let handle_profile_stop t =
+  Qnet_obs.Prof.stop ();
+  Atomic.set t.profiling false;
+  Server.response ~status:"200 OK" (profile_status ())
+
+(* ------------------------------------------------------------------ *)
 (* The route handler                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,6 +516,14 @@ let handle t (req : Server.request) =
         (Some
            (Server.response ~status:"200 OK"
               ~content_type:"text/html; charset=utf-8" Qnet_webapp.Fleet_panel.html))
+  | "GET", "/profile.json" ->
+      serve_route
+        (Some
+           (Server.response ~status:"200 OK"
+              (Qnet_obs.Prof.snapshot_json () ^ "\n")))
+  | "POST", "/profile/start" ->
+      serve_route (Some (handle_profile_start t req.Server.body))
+  | "POST", "/profile/stop" -> serve_route (Some (handle_profile_stop t))
   | "GET", path -> (
       match posterior_path path with
       | Some tenant -> serve_route (handle_posterior t tenant)
@@ -630,6 +691,7 @@ let create cfg =
                     admission = Admission.create cfg.admission;
                     dead;
                     server = None;
+                    profiling = Atomic.make false;
                     stopping = Atomic.make false;
                     tailers = [];
                     stopped = false;
@@ -650,6 +712,24 @@ let create cfg =
                     Error (Server.bind_error_message e)
                 | Ok server ->
                     t.server <- Some server;
+                    if cfg.profile_on_start then begin
+                      let backend =
+                        Qnet_obs.Prof.start
+                          ~config:
+                            {
+                              Qnet_obs.Prof.default_config with
+                              sampling_rate = cfg.profile_alloc_rate;
+                            }
+                          ()
+                      in
+                      Atomic.set t.profiling true;
+                      Log.info (fun f ->
+                          f "profiling from boot (%s backend, rate %g)"
+                            (match backend with
+                            | Qnet_obs.Prof.Counters -> "counters"
+                            | Qnet_obs.Prof.Memprof -> "memprof")
+                            cfg.profile_alloc_rate)
+                    end;
                     Metrics.Gauge.set (Lazy.force g_healthy)
                       (float_of_int (healthy_shards t));
                     t.tailers <-
@@ -679,5 +759,9 @@ let stop t =
             Server.stop s;
             t.server <- None
         | None -> ());
+        if Atomic.get t.profiling then begin
+          Qnet_obs.Prof.stop ();
+          Atomic.set t.profiling false  (* qnet-lint: racy-ok C005 under stop_mutex; the /profile/* handlers only set true->true or false->false races away *)
+        end;
         Ingest.Dead_letter.close t.dead
       end)

@@ -38,6 +38,11 @@
       p50/p95/p99 over the ingest / queue-wait / refit / serve phases
       plus the bottleneck ranking; [GET /fleet] serves the
       self-contained HTML panel that polls it.
+    - [GET /profile.json] — the {!Qnet_obs.Prof} snapshot (allocation
+      site table, GC pause histograms, rusage); [POST /profile/start]
+      (optional body [{"sampling_rate": r}]) and [POST /profile/stop]
+      profile a live shard without restart. A stopped session's
+      snapshot stays readable, so start → soak → stop → scrape works.
 
     Tenants are routed to shards by a stable FNV-1a hash
     ({!Router.shard_of_tenant}), so a restarted daemon routes every
@@ -66,6 +71,13 @@ type config = {
   trace_seed : int;
       (** seed for the deterministic trace sampler: the same seed and
           ingest order sample the same requests (default 1) *)
+  profile_on_start : bool;
+      (** start a {!Qnet_obs.Prof} session as soon as the daemon is up
+          (default false; a live daemon can always be profiled
+          on-demand via [POST /profile/start]) *)
+  profile_alloc_rate : float;
+      (** Memprof sampling rate used when profiling starts — at boot
+          or by a [POST /profile/start] with no body (default 0.01) *)
 }
 
 val default_config : config

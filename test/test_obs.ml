@@ -777,6 +777,195 @@ let test_span_dropped_trailer_roundtrip () =
       Alcotest.(check int) "trailer is not a malformed line" 0 malformed;
       Alcotest.(check int) "dropped count survives the file" 6 d
 
+(* --- allocation/GC-pause profiler ---------------------------------- *)
+
+module Prof = Qnet_obs.Prof
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in %S" name needle hay
+
+(* Keep the global profiler stopped between tests so the suite stays
+   order-independent. *)
+let with_prof ?config f =
+  Prof.stop ();
+  let backend = Prof.start ?config () in
+  Fun.protect ~finally:(fun () -> Prof.stop ()) (fun () -> f backend)
+
+let test_prof_off_by_default () =
+  Prof.stop ();
+  let before = Prof.stats () in
+  Alcotest.(check bool) "not running" false before.Prof.is_running;
+  (* Every gated entry point must be a pure pass-through when off. *)
+  let r = Prof.with_phase "off.phase" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_phase passes the value through" 42 r;
+  Prof.pause_probe ();
+  Prof.record_site ~stack:[ "ghost" ] ~bytes:1024.0;
+  Prof.record_pause Prof.Minor 0.5;
+  let after = Prof.stats () in
+  Alcotest.(check int) "no probes sampled" before.Prof.probes after.Prof.probes;
+  Alcotest.(check int) "no memprof callbacks" before.Prof.memprof_callbacks
+    after.Prof.memprof_callbacks;
+  Alcotest.(check int) "no pauses recorded" before.Prof.pauses_recorded
+    after.Prof.pauses_recorded;
+  Alcotest.(check int) "no site rows added" before.Prof.site_rows
+    after.Prof.site_rows
+
+let test_prof_counters_accounting () =
+  with_prof ~config:{ Prof.sampling_rate = 1.0; max_sites = 64 }
+    (fun backend ->
+      Alcotest.(check bool) "running" true (Prof.running ());
+      let keep =
+        Prof.with_phase "outer" (fun () ->
+            Prof.with_phase "inner" (fun () -> Array.make 100_000 0.0))
+      in
+      Alcotest.(check int) "computation intact" 100_000 (Array.length keep);
+      match backend with
+      | Prof.Memprof ->
+          (* statistical: just require the session to have sampled *)
+          Alcotest.(check bool) "sampled something" true
+            ((Prof.stats ()).Prof.memprof_callbacks > 0)
+      | Prof.Counters ->
+          (* exact Gc.counters deltas: the 100k-float array (~800KB)
+             must land on the inner phase, and the outer phase's SELF
+             bytes must exclude it *)
+          let find path =
+            match
+              List.find_opt (fun r -> String.equal r.Prof.path path)
+                (Prof.sites ())
+            with
+            | Some r -> r
+            | None -> Alcotest.failf "no site row for %s" path
+          in
+          let inner = find "outer;inner" and outer = find "outer" in
+          Alcotest.(check bool)
+            (Printf.sprintf "inner holds the array (%.0f bytes)"
+               inner.Prof.bytes)
+            true
+            (inner.Prof.bytes >= 800_000.0 && inner.Prof.bytes < 4_000_000.0);
+          Alcotest.(check bool)
+            (Printf.sprintf "outer self excludes it (%.0f bytes)"
+               outer.Prof.bytes)
+            true
+            (outer.Prof.bytes >= 0.0 && outer.Prof.bytes < 200_000.0);
+          Alcotest.(check bool) "session-wide bytes cover the array" true
+            (Prof.allocated_bytes () >= 800_000.0))
+
+let test_prof_folded_golden () =
+  with_prof (fun _ ->
+      Prof.record_site ~stack:[ "a b"; "x;y"; "" ] ~bytes:1024.0;
+      Prof.record_site ~stack:[ "root" ] ~bytes:2048.0;
+      Prof.record_site ~stack:[ "a b"; "x;y"; "" ] ~bytes:1024.0;
+      Prof.record_site ~stack:[ "zero" ] ~bytes:0.0;
+      Prof.record_site ~stack:[ "bad" ] ~bytes:Float.nan;
+      Prof.record_site ~stack:[ "neg" ] ~bytes:(-5.0);
+      (* sanitized (spaces -> _, ';' -> ':', "" -> (anonymous)),
+         identical stacks merged, zero/non-finite/negative dropped,
+         deterministically sorted by stack *)
+      Alcotest.(check (list (pair string int)))
+        "folded golden"
+        [ ("a_b;x:y;(anonymous)", 2048); ("root", 2048) ]
+        (Prof.to_folded ()))
+
+let test_prof_pause_buckets () =
+  with_prof (fun _ ->
+      let base = (Prof.stats ()).Prof.pauses_recorded in
+      Prof.record_pause Prof.Minor 1e-6;
+      (* exactly on the first SLO bucket edge *)
+      Prof.record_pause Prof.Minor 1e-9;
+      (* below the ladder: clamps into the first bucket *)
+      Prof.record_pause Prof.Minor (-3.0);
+      (* negative clamps to 0 *)
+      Prof.record_pause Prof.Major 1000.0;
+      (* beyond the ladder: p99 clamps to the top edge *)
+      Prof.record_pause Prof.Compaction 0.25;
+      let summary = Prof.pause_summary () in
+      (match summary with
+      | [ (Prof.Minor, mi); (Prof.Major, ma); (Prof.Compaction, co) ] ->
+          Alcotest.(check int) "three minor pauses" 3 mi.Prof.count;
+          Alcotest.(check bool) "minor p99 in the microsecond decade" true
+            (mi.Prof.p99_s <= 1e-5 +. 1e-12);
+          Alcotest.(check int) "one major pause" 1 ma.Prof.count;
+          Alcotest.(check bool)
+            (Printf.sprintf "major p99 clamps to the 100s top edge (%g)"
+               ma.Prof.p99_s)
+            true
+            (Float.is_finite ma.Prof.p99_s && ma.Prof.p99_s <= 100.0 +. 1e-9);
+          Alcotest.(check int) "one compaction pause" 1 co.Prof.count;
+          Alcotest.(check bool) "compaction p50 near 0.25s" true
+            (co.Prof.p50_s >= 0.1 && co.Prof.p50_s <= 1.0)
+      | _ -> Alcotest.fail "pause_summary is not [Minor; Major; Compaction]");
+      Alcotest.(check int) "stats counts the recorded pauses" (base + 5)
+        ((Prof.stats ()).Prof.pauses_recorded))
+
+let test_prof_snapshot_json () =
+  (* Jsonx.parse_object only descends two levels, so the snapshot is
+     checked by substring, the same way the verify scripts consume it. *)
+  with_prof (fun _ ->
+      ignore (Prof.with_phase "snap.phase" (fun () -> Array.make 50_000 0.0));
+      Prof.record_pause Prof.Minor 0.002;
+      let live = Prof.snapshot_json () in
+      check_contains "running" live "\"running\":true";
+      check_contains "backend" live "\"backend\":\"";
+      check_contains "alloc block" live "\"alloc\":{\"total_bytes\":";
+      check_contains "pause block" live "\"minor\":{\"count\":";
+      check_contains "major cycle block" live "\"major_cycle\":{\"count\":";
+      check_contains "gc deltas" live "\"minor_collections\":";
+      check_contains "probes" live "\"probes\":";
+      check_contains "domains rollup" live "\"domains\":[");
+  (* stop is idempotent and the data stays readable after it *)
+  Prof.stop ();
+  Prof.stop ();
+  let stopped = Prof.snapshot_json () in
+  check_contains "stopped" stopped "\"running\":false";
+  check_contains "site table survives stop" stopped "\"stack\":\"";
+  Alcotest.(check bool) "folded survives stop" true (Prof.to_folded () <> [])
+
+let test_prof_restart_clears () =
+  with_prof (fun _ -> Prof.record_site ~stack:[ "old" ] ~bytes:512.0);
+  Alcotest.(check bool) "data readable after stop" true
+    (List.mem_assoc "old" (Prof.to_folded ()));
+  with_prof (fun _ ->
+      Alcotest.(check (list (pair string int)))
+        "restart clears the previous session" [] (Prof.to_folded ()))
+
+let test_prof_start_validation () =
+  Prof.stop ();
+  let bad config =
+    match Prof.start ~config () with
+    | _ ->
+        Prof.stop ();
+        Alcotest.fail "invalid config accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad { Prof.sampling_rate = 0.0; max_sites = 16 };
+  bad { Prof.sampling_rate = 1.5; max_sites = 16 };
+  bad { Prof.sampling_rate = Float.nan; max_sites = 16 };
+  bad { Prof.sampling_rate = 0.5; max_sites = 0 };
+  Alcotest.(check bool) "nothing started" false (Prof.running ());
+  (* a second start while running is a no-op returning the live backend *)
+  with_prof (fun first ->
+      let again = Prof.start () in
+      Alcotest.(check bool) "no-op restart keeps the backend" true
+        (first = again))
+
+let test_prof_rusage () =
+  match Prof.Rusage.sample () with
+  | None ->
+      if Sys.os_type = "Unix" && Sys.file_exists "/proc/self/stat" then
+        Alcotest.fail "rusage unavailable despite /proc"
+  | Some r ->
+      Alcotest.(check bool) "rss positive" true (r.Prof.Rusage.rss_bytes > 0.0);
+      Alcotest.(check bool) "peak >= current rss" true
+        (r.Prof.Rusage.max_rss_bytes >= r.Prof.Rusage.rss_bytes);
+      Alcotest.(check bool) "cpu times non-negative" true
+        (r.Prof.Rusage.utime_s >= 0.0 && r.Prof.Rusage.stime_s >= 0.0)
+
 let () =
   Alcotest.run "obs"
     [
@@ -855,6 +1044,24 @@ let () =
             test_diag_gc_tick;
           Alcotest.test_case "register_metrics matches golden present-zeros scrape"
             `Quick test_diag_register_golden;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "off by default: pure pass-through" `Quick
+            test_prof_off_by_default;
+          Alcotest.test_case "counters backend: exact phase accounting" `Quick
+            test_prof_counters_accounting;
+          Alcotest.test_case "folded export golden" `Quick
+            test_prof_folded_golden;
+          Alcotest.test_case "pause ladder edges and clamps" `Quick
+            test_prof_pause_buckets;
+          Alcotest.test_case "snapshot JSON shape, stop idempotent" `Quick
+            test_prof_snapshot_json;
+          Alcotest.test_case "restart clears the previous session" `Quick
+            test_prof_restart_clears;
+          Alcotest.test_case "start validates config" `Quick
+            test_prof_start_validation;
+          Alcotest.test_case "rusage sample" `Quick test_prof_rusage;
         ] );
       ( "metrics-server",
         [

@@ -939,6 +939,90 @@ let test_daemon_shard_crash_recovers () =
       let shards = expect_some "shards" (get d "/shards.json") in
       Alcotest.(check string) "shards 200" "200 OK" shards.Server.status)
 
+(* ------------------------------------------------------------------ *)
+(* Profiler routes (GET /profile.json, POST /profile/{start,stop})     *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in %S" name needle hay
+
+(* The profiler is process-global state; the daemon only drives it.
+   Each test leaves it stopped so suites stay order-independent. *)
+let test_daemon_profile_routes () =
+  Qnet_obs.Prof.stop ();
+  let dir = fresh_dir "qnet-serve-prof" in
+  with_daemon (daemon_config dir) (fun d ->
+      let off = expect_some "/profile.json" (get d "/profile.json") in
+      Alcotest.(check string) "snapshot 200" "200 OK" off.Server.status;
+      check_contains "off by default" off.Server.body "\"running\":false";
+      let started =
+        expect_some "/profile/start"
+          (post d "/profile/start" "{\"sampling_rate\":0.5}")
+      in
+      Alcotest.(check string) "start 200" "200 OK" started.Server.status;
+      check_contains "start reports running" started.Server.body
+        "\"running\":true";
+      let on = expect_some "/profile.json" (get d "/profile.json") in
+      check_contains "snapshot running" on.Server.body "\"running\":true";
+      check_contains "snapshot has backend" on.Server.body "\"backend\":\"";
+      check_contains "snapshot has rate" on.Server.body "\"sampling_rate\":0.5";
+      check_contains "snapshot has pauses" on.Server.body "\"pauses\":{";
+      let stopped = expect_some "/profile/stop" (post d "/profile/stop" "") in
+      Alcotest.(check string) "stop 200" "200 OK" stopped.Server.status;
+      check_contains "stop reports stopped" stopped.Server.body
+        "\"running\":false";
+      let after = expect_some "/profile.json" (get d "/profile.json") in
+      check_contains "data readable after stop" after.Server.body
+        "\"running\":false";
+      check_contains "backend survives stop" after.Server.body "\"backend\":\"")
+
+let test_daemon_profile_start_rejects () =
+  Qnet_obs.Prof.stop ();
+  let dir = fresh_dir "qnet-serve-prof-bad" in
+  with_daemon (daemon_config dir) (fun d ->
+      let bad_json =
+        expect_some "/profile/start" (post d "/profile/start" "{nope")
+      in
+      Alcotest.(check string) "malformed body 400" "400 Bad Request"
+        bad_json.Server.status;
+      let bad_type =
+        expect_some "/profile/start"
+          (post d "/profile/start" "{\"sampling_rate\":\"lots\"}")
+      in
+      Alcotest.(check string) "non-numeric rate 400" "400 Bad Request"
+        bad_type.Server.status;
+      let bad_rate =
+        expect_some "/profile/start"
+          (post d "/profile/start" "{\"sampling_rate\":7.0}")
+      in
+      Alcotest.(check string) "out-of-range rate 400" "400 Bad Request"
+        bad_rate.Server.status;
+      let snap = expect_some "/profile.json" (get d "/profile.json") in
+      check_contains "still not running" snap.Server.body "\"running\":false")
+
+let test_daemon_profile_on_start () =
+  Qnet_obs.Prof.stop ();
+  let dir = fresh_dir "qnet-serve-prof-boot" in
+  let cfg =
+    {
+      (daemon_config dir) with
+      Daemon.profile_on_start = true;
+      profile_alloc_rate = 0.02;
+    }
+  in
+  with_daemon cfg (fun d ->
+      let snap = expect_some "/profile.json" (get d "/profile.json") in
+      check_contains "profiling from boot" snap.Server.body "\"running\":true";
+      check_contains "boot rate" snap.Server.body "\"sampling_rate\":0.02");
+  (* Daemon.stop must have stopped the session it started. *)
+  Alcotest.(check bool) "stopped with the daemon" false (Qnet_obs.Prof.running ())
+
 let () =
   Alcotest.run "qnet_serve"
     [
@@ -1011,5 +1095,14 @@ let () =
             test_daemon_resume_and_stale;
           Alcotest.test_case "crash recovery" `Quick
             test_daemon_shard_crash_recovers;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "start/snapshot/stop round-trip" `Quick
+            test_daemon_profile_routes;
+          Alcotest.test_case "bad start bodies rejected" `Quick
+            test_daemon_profile_start_rejects;
+          Alcotest.test_case "profile_on_start config" `Quick
+            test_daemon_profile_on_start;
         ] );
     ]
